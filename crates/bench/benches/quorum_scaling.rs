@@ -1,0 +1,27 @@
+//! Criterion benchmark for the Section II-C analysis: building the full
+//! state graph of the quorum-collection protocol, quorum vs single-message
+//! style, as the quorum size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_model::StateGraph;
+use mp_protocols::sweep::{collect_model, CollectSetting};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_scaling/collect(4 voters)");
+    group.sample_size(10);
+    for quorum in 1..=4usize {
+        let setting = CollectSetting::new(4, quorum, 1);
+        let q_model = collect_model(setting, true);
+        let s_model = collect_model(setting, false);
+        group.bench_function(BenchmarkId::new("quorum-model", quorum), |b| {
+            b.iter(|| StateGraph::build(&q_model, 10_000_000).unwrap().num_states())
+        });
+        group.bench_function(BenchmarkId::new("single-message-model", quorum), |b| {
+            b.iter(|| StateGraph::build(&s_model, 10_000_000).unwrap().num_states())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

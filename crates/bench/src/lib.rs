@@ -1,0 +1,80 @@
+//! # mp-bench — Criterion benchmarks for the DSN 2011 evaluation
+//!
+//! The benchmarks mirror the harness experiments at bench-friendly scale:
+//!
+//! * `table_i` — quorum vs single-message models under SPOR/unreduced search
+//!   (Table I);
+//! * `table_ii` — unsplit vs reply-/quorum-/combined-split models (Table II);
+//! * `quorum_scaling` — the Section II-C state-space inflation sweep;
+//! * `refinement_overhead` — cost of performing the splits themselves and of
+//!   validating them against Theorem 2;
+//! * `debugging` — time to the first counterexample in the faulty variants.
+//!
+//! The crate itself only exports small helpers shared by the benches.
+
+#![forbid(unsafe_code)]
+
+use mp_checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer, RunReport};
+use mp_model::{LocalState, Message, ProtocolSpec};
+
+/// Runs a stateful-DFS SPOR verification of `spec` against `property` and
+/// returns the report, panicking if the verdict is unexpected so that
+/// mis-configured benchmarks fail loudly instead of timing nonsense.
+pub fn run_spor<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    property: Invariant<S, M, O>,
+    observer: O,
+    expect_violation: bool,
+) -> RunReport
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let report = Checker::with_observer(spec, property, observer)
+        .spor()
+        .config(CheckerConfig::stateful_dfs())
+        .run();
+    assert_eq!(
+        report.verdict.is_violated(),
+        expect_violation,
+        "unexpected verdict in benchmark: {report}"
+    );
+    report
+}
+
+/// Runs an unreduced stateful-DFS verification (baseline for the benches).
+pub fn run_unreduced<S, M>(
+    spec: &ProtocolSpec<S, M>,
+    property: Invariant<S, M, NullObserver>,
+    expect_violation: bool,
+) -> RunReport
+where
+    S: LocalState,
+    M: Message,
+{
+    let report = Checker::new(spec, property)
+        .config(CheckerConfig::stateful_dfs())
+        .run();
+    assert_eq!(
+        report.verdict.is_violated(),
+        expect_violation,
+        "unexpected verdict in benchmark: {report}"
+    );
+    report
+}
+
+/// Runs a stateless search, with or without DPOR.
+pub fn run_stateless<S, M>(
+    spec: &ProtocolSpec<S, M>,
+    property: Invariant<S, M, NullObserver>,
+    dpor: bool,
+) -> RunReport
+where
+    S: LocalState,
+    M: Message,
+{
+    Checker::new(spec, property)
+        .config(CheckerConfig::stateless(dpor))
+        .run()
+}

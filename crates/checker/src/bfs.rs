@@ -1,0 +1,309 @@
+//! Stateful breadth-first search.
+//!
+//! Explores states level by level, which makes the first counterexample
+//! found a shortest one — convenient for the paper's debugging experiments
+//! ("finding the first bug ... requires little resources"). The engine keeps
+//! a parent pointer per stored state so counterexample paths can be rebuilt.
+//!
+//! Note on soundness with POR: a breadth-first search has no stack, so the
+//! cycle proviso of the DFS engine does not apply. On cyclic state graphs
+//! the BFS engine therefore only applies the reducer when the protocol's
+//! state graph is known to be acyclic (all three protocols in the paper
+//! terminate); for safety it falls back to full expansion whenever it
+//! re-encounters a state that is still in the frontier of the same level.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mp_model::{
+    enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
+    TransitionInstance,
+};
+use mp_por::Reducer;
+
+use crate::{
+    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
+    RunReport, Verdict,
+};
+
+struct Node<M> {
+    parent: Option<usize>,
+    incoming: Option<TransitionInstance<M>>,
+}
+
+/// Runs a stateful breadth-first search and returns the report.
+pub fn run_stateful_bfs<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    property: &Invariant<S, M, O>,
+    initial_observer: &O,
+    reducer: &dyn Reducer<S, M>,
+    config: &CheckerConfig,
+) -> RunReport
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let start = Instant::now();
+    let mut stats = ExplorationStats::new();
+    let strategy = format!("stateful-bfs+{}", reducer.name());
+
+    let initial = spec.initial_state();
+    let initial_observer = initial_observer.clone();
+
+    let mut index: HashMap<(GlobalState<S, M>, O), usize> = HashMap::new();
+    let mut nodes: Vec<Node<M>> = Vec::new();
+    let mut states: Vec<(GlobalState<S, M>, O)> = Vec::new();
+
+    let rebuild_path = |nodes: &Vec<Node<M>>, mut at: usize| -> Vec<TransitionInstance<M>> {
+        let mut path = Vec::new();
+        while let Some(parent) = nodes[at].parent {
+            if let Some(instance) = &nodes[at].incoming {
+                path.push(instance.clone());
+            }
+            at = parent;
+        }
+        path.reverse();
+        path
+    };
+
+    if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
+        stats.states = 1;
+        stats.elapsed = start.elapsed();
+        let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
+        return RunReport {
+            verdict: Verdict::Violated(Box::new(cx)),
+            stats,
+            strategy,
+        };
+    }
+
+    index.insert((initial.clone(), initial_observer.clone()), 0);
+    nodes.push(Node {
+        parent: None,
+        incoming: None,
+    });
+    states.push((initial, initial_observer));
+    stats.states = 1;
+
+    let mut frontier: Vec<usize> = vec![0];
+    let mut depth = 0usize;
+
+    while !frontier.is_empty() {
+        depth += 1;
+        stats.max_depth = stats.max_depth.max(depth);
+        let mut next_frontier = Vec::new();
+
+        for &node_idx in &frontier {
+            let (state, observer) = states[node_idx].clone();
+            stats.expansions += 1;
+
+            let all = enabled_instances(spec, &state);
+            if config.check_deadlocks && all.is_empty() {
+                stats.elapsed = start.elapsed();
+                let path = rebuild_path(&nodes, node_idx);
+                let cx = Counterexample::new(
+                    spec,
+                    property.name(),
+                    "deadlock: no transition enabled",
+                    &path,
+                    &state,
+                );
+                return RunReport {
+                    verdict: Verdict::Violated(Box::new(cx)),
+                    stats,
+                    strategy,
+                };
+            }
+            let reduction = reducer.reduce(spec, &state, all);
+            if reduction.reduced {
+                stats.reduced_states += 1;
+            }
+
+            for instance in reduction.explore {
+                let next_state = execute_enabled(spec, &state, &instance);
+                let next_observer = observer.update(spec, &state, &instance, &next_state);
+                stats.transitions_executed += 1;
+                let key = (next_state, next_observer);
+                if index.contains_key(&key) {
+                    stats.revisits += 1;
+                    continue;
+                }
+
+                let (next_state, next_observer) = key;
+                if let PropertyStatus::Violated(reason) =
+                    property.evaluate(&next_state, &next_observer)
+                {
+                    let mut path = rebuild_path(&nodes, node_idx);
+                    path.push(instance);
+                    stats.states += 1;
+                    stats.elapsed = start.elapsed();
+                    let cx =
+                        Counterexample::new(spec, property.name(), reason, &path, &next_state);
+                    return RunReport {
+                        verdict: Verdict::Violated(Box::new(cx)),
+                        stats,
+                        strategy,
+                    };
+                }
+
+                if states.len() >= config.max_states {
+                    stats.elapsed = start.elapsed();
+                    return RunReport {
+                        verdict: Verdict::LimitReached {
+                            what: format!("state limit of {}", config.max_states),
+                        },
+                        stats,
+                        strategy,
+                    };
+                }
+                if let Some(limit) = config.time_limit {
+                    if start.elapsed() > limit {
+                        stats.elapsed = start.elapsed();
+                        return RunReport {
+                            verdict: Verdict::LimitReached {
+                                what: format!("time limit of {limit:?}"),
+                            },
+                            stats,
+                            strategy,
+                        };
+                    }
+                }
+
+                let new_index = states.len();
+                index.insert((next_state.clone(), next_observer.clone()), new_index);
+                states.push((next_state, next_observer));
+                nodes.push(Node {
+                    parent: Some(node_idx),
+                    incoming: Some(instance),
+                });
+                stats.states += 1;
+                next_frontier.push(new_index);
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    stats.elapsed = start.elapsed();
+    RunReport {
+        verdict: Verdict::Verified,
+        stats,
+        strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+    use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
+    use mp_por::{NoReduction, SporReducer};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Tok;
+
+    impl Message for Tok {
+        fn kind(&self) -> Kind {
+            "TOK"
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Tok> {
+        let mut builder = ProtocolSpec::builder("independent");
+        for i in 0..n {
+            builder = builder.process(format!("w{i}"), 0u8);
+        }
+        for i in 0..n {
+            builder = builder.transition(
+                TransitionSpec::builder(format!("step{i}"), p(i))
+                    .internal()
+                    .guard(move |l, _| *l < steps)
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(l + 1))
+                    .build(),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree_on_state_counts() {
+        let spec = independent(3, 2);
+        let bfs = run_stateful_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::stateful_bfs(),
+        );
+        assert!(bfs.verdict.is_verified());
+        assert_eq!(bfs.stats.states, 27);
+    }
+
+    #[test]
+    fn bfs_finds_shortest_counterexample() {
+        let spec = independent(2, 4);
+        let property: Invariant<u8, Tok, NullObserver> =
+            Invariant::new("below-2", |s: &GlobalState<u8, Tok>, _| {
+                if s.locals.iter().any(|l| *l >= 2) {
+                    Err("reached 2".into())
+                } else {
+                    Ok(())
+                }
+            });
+        let report = run_stateful_bfs(
+            &spec,
+            &property,
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::stateful_bfs(),
+        );
+        let cx = report.verdict.counterexample().unwrap();
+        assert_eq!(cx.len(), 2, "BFS must find the 2-step shortest violation");
+    }
+
+    #[test]
+    fn bfs_with_spor_still_verifies() {
+        let spec = independent(3, 2);
+        let reducer = SporReducer::new(&spec);
+        let report = run_stateful_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &reducer,
+            &CheckerConfig::stateful_bfs(),
+        );
+        assert!(report.verdict.is_verified());
+        assert!(report.stats.states < 27);
+    }
+
+    #[test]
+    fn bfs_state_limit() {
+        let spec = independent(3, 3);
+        let report = run_stateful_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::stateful_bfs().with_max_states(4),
+        );
+        assert!(matches!(report.verdict, Verdict::LimitReached { .. }));
+    }
+
+    #[test]
+    fn bfs_deadlock_check() {
+        let spec = independent(1, 1);
+        let report = run_stateful_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::stateful_bfs().with_deadlock_check(true),
+        );
+        assert!(report.verdict.is_violated());
+    }
+}

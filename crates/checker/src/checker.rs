@@ -1,0 +1,288 @@
+//! The top-level [`Checker`] facade.
+//!
+//! A [`Checker`] bundles a protocol, a property, an observer, a reduction
+//! strategy and a [`CheckerConfig`], and dispatches to one of the search
+//! engines. It is the API every example, test and benchmark in this
+//! repository goes through.
+
+use std::sync::Arc;
+
+use mp_model::{LocalState, Message, ProtocolSpec};
+use mp_por::{NoReduction, Reducer, SeedHeuristic, SporReducer};
+
+use crate::{
+    bfs::run_stateful_bfs, dfs::run_stateful_dfs, parallel::run_parallel_bfs,
+    stateless::run_stateless, CheckerConfig, Invariant, NullObserver, Observer, RunReport,
+    SearchStrategy,
+};
+
+/// A configured model-checking run.
+///
+/// # Examples
+///
+/// ```
+/// use mp_checker::{Checker, Invariant};
+/// use mp_model::{GlobalState, Message, Outcome, ProcessId, ProtocolSpec, TransitionSpec};
+///
+/// #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// struct Tick;
+/// impl Message for Tick {
+///     fn kind(&self) -> &'static str { "TICK" }
+/// }
+///
+/// let spec: ProtocolSpec<u8, Tick> = ProtocolSpec::builder("counter")
+///     .process("c", 0u8)
+///     .transition(
+///         TransitionSpec::builder("inc", ProcessId(0))
+///             .internal()
+///             .guard(|l, _| *l < 3)
+///             .effect(|l, _| Outcome::new(l + 1))
+///             .build(),
+///     )
+///     .build()
+///     .unwrap();
+///
+/// let report = Checker::new(&spec, Invariant::new("below-10", |s: &GlobalState<u8, Tick>, _| {
+///     if s.locals[0] < 10 { Ok(()) } else { Err("overflow".into()) }
+/// }))
+/// .run();
+/// assert!(report.verdict.is_verified());
+/// assert_eq!(report.stats.states, 4);
+/// ```
+pub struct Checker<'a, S, M: Ord, O = NullObserver> {
+    spec: &'a ProtocolSpec<S, M>,
+    property: Invariant<S, M, O>,
+    initial_observer: O,
+    reducer: Arc<dyn Reducer<S, M>>,
+    config: CheckerConfig,
+}
+
+impl<'a, S, M> Checker<'a, S, M, NullObserver>
+where
+    S: LocalState,
+    M: Message,
+{
+    /// Creates a checker with the trivial observer, no reduction and the
+    /// default configuration (stateful DFS).
+    pub fn new(spec: &'a ProtocolSpec<S, M>, property: Invariant<S, M, NullObserver>) -> Self {
+        Checker {
+            spec,
+            property,
+            initial_observer: NullObserver,
+            reducer: Arc::new(NoReduction),
+            config: CheckerConfig::default(),
+        }
+    }
+}
+
+impl<'a, S, M, O> Checker<'a, S, M, O>
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    /// Creates a checker with an explicit observer initial value.
+    pub fn with_observer(
+        spec: &'a ProtocolSpec<S, M>,
+        property: Invariant<S, M, O>,
+        initial_observer: O,
+    ) -> Self {
+        Checker {
+            spec,
+            property,
+            initial_observer,
+            reducer: Arc::new(NoReduction),
+            config: CheckerConfig::default(),
+        }
+    }
+
+    /// Returns the protocol under verification.
+    pub fn spec(&self) -> &ProtocolSpec<S, M> {
+        self.spec
+    }
+
+    /// Uses the given reducer (builder style).
+    pub fn reducer(mut self, reducer: impl Reducer<S, M> + 'static) -> Self {
+        self.reducer = Arc::new(reducer);
+        self
+    }
+
+    /// Uses static partial-order reduction with the default seed heuristic
+    /// (builder style).
+    pub fn spor(mut self) -> Self {
+        self.reducer = Arc::new(SporReducer::new(self.spec));
+        self
+    }
+
+    /// Uses static partial-order reduction with an explicit seed heuristic
+    /// (builder style).
+    pub fn spor_with_heuristic(mut self, heuristic: SeedHeuristic) -> Self {
+        self.reducer = Arc::new(SporReducer::with_heuristic(self.spec, heuristic));
+        self
+    }
+
+    /// Disables reduction (builder style; the default).
+    pub fn unreduced(mut self) -> Self {
+        self.reducer = Arc::new(NoReduction);
+        self
+    }
+
+    /// Replaces the configuration (builder style).
+    pub fn config(mut self, config: CheckerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the configured engine and returns its report.
+    pub fn run(&self) -> RunReport {
+        match self.config.strategy {
+            SearchStrategy::StatefulDfs => run_stateful_dfs(
+                self.spec,
+                &self.property,
+                &self.initial_observer,
+                self.reducer.as_ref(),
+                &self.config,
+            ),
+            SearchStrategy::StatefulBfs => run_stateful_bfs(
+                self.spec,
+                &self.property,
+                &self.initial_observer,
+                self.reducer.as_ref(),
+                &self.config,
+            ),
+            SearchStrategy::Stateless { dpor } => run_stateless(
+                self.spec,
+                &self.property,
+                &self.initial_observer,
+                dpor,
+                &self.config,
+            ),
+            SearchStrategy::ParallelBfs { threads } => run_parallel_bfs(
+                self.spec,
+                &self.property,
+                &self.initial_observer,
+                self.reducer.as_ref(),
+                threads,
+                &self.config,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::{GlobalState, Kind, Outcome, ProcessId, TransitionSpec};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Tok;
+
+    impl Message for Tok {
+        fn kind(&self) -> Kind {
+            "TOK"
+        }
+    }
+
+    fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Tok> {
+        let mut builder = ProtocolSpec::builder("independent");
+        for i in 0..n {
+            builder = builder.process(format!("w{i}"), 0u8);
+        }
+        for i in 0..n {
+            builder = builder.transition(
+                TransitionSpec::builder(format!("step{i}"), ProcessId(i))
+                    .internal()
+                    .guard(move |l, _| *l < steps)
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(l + 1))
+                    .build(),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn all_strategies_agree_on_verification() {
+        let spec = independent(3, 1);
+        let strategies = [
+            CheckerConfig::stateful_dfs(),
+            CheckerConfig::stateful_bfs(),
+            CheckerConfig::stateless(false),
+            CheckerConfig::stateless(true),
+            CheckerConfig::parallel_bfs(2),
+        ];
+        for config in strategies {
+            let report = Checker::new(&spec, Invariant::always_true("true"))
+                .config(config.clone())
+                .run();
+            assert!(
+                report.verdict.is_verified(),
+                "strategy {:?} failed to verify",
+                config.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_violation() {
+        let spec = independent(2, 2);
+        let property = || {
+            Invariant::new("never-both-2", |s: &GlobalState<u8, Tok>, _| {
+                if s.locals.iter().all(|l| *l == 2) {
+                    Err("both counters reached 2".into())
+                } else {
+                    Ok(())
+                }
+            })
+        };
+        let strategies = [
+            CheckerConfig::stateful_dfs(),
+            CheckerConfig::stateful_bfs(),
+            CheckerConfig::stateless(false),
+            CheckerConfig::stateless(true),
+            CheckerConfig::parallel_bfs(2),
+        ];
+        for config in strategies {
+            let report = Checker::new(&spec, property()).config(config.clone()).run();
+            assert!(
+                report.verdict.is_violated(),
+                "strategy {:?} missed the violation",
+                config.strategy
+            );
+        }
+    }
+
+    #[test]
+    fn spor_reduces_states_through_the_facade() {
+        let spec = independent(4, 1);
+        let unreduced = Checker::new(&spec, Invariant::always_true("true")).run();
+        let reduced = Checker::new(&spec, Invariant::always_true("true"))
+            .spor()
+            .run();
+        assert_eq!(unreduced.stats.states, 16);
+        assert!(reduced.stats.states < unreduced.stats.states);
+        assert!(reduced.verdict.is_verified());
+    }
+
+    #[test]
+    fn heuristic_variant_is_available() {
+        let spec = independent(3, 1);
+        let report = Checker::new(&spec, Invariant::always_true("true"))
+            .spor_with_heuristic(SeedHeuristic::Transaction)
+            .run();
+        assert!(report.verdict.is_verified());
+    }
+
+    #[test]
+    fn strategy_label_reflects_engine_and_reducer() {
+        let spec = independent(2, 1);
+        let report = Checker::new(&spec, Invariant::always_true("true"))
+            .spor()
+            .config(CheckerConfig::stateful_bfs())
+            .run();
+        assert!(report.strategy.contains("bfs"));
+        assert!(report.strategy.contains("spor"));
+        let text = report.to_string();
+        assert!(text.contains("verified"));
+    }
+}

@@ -1,0 +1,253 @@
+//! Checker configuration and run reports.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::{Counterexample, ExplorationStats};
+
+/// Which search engine to use.
+///
+/// The paper's experiments use three engines: unreduced or SPOR-reduced
+/// *stateful* search (MP-Basset), and *stateless* search for DPOR (Basset);
+/// see the footnotes of Table I. The parallel engine is an extension of this
+/// reproduction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SearchStrategy {
+    /// Depth-first search with a visited-state store (stateful search).
+    #[default]
+    StatefulDfs,
+    /// Breadth-first search with a visited-state store. Finds shortest
+    /// counterexamples.
+    StatefulBfs,
+    /// Stateless depth-first search (no visited set); required by dynamic
+    /// POR, which must revisit subtrees to install backtrack points.
+    Stateless {
+        /// Enable Flanagan–Godefroid dynamic POR.
+        dpor: bool,
+    },
+    /// Level-synchronous parallel breadth-first search (extension; does not
+    /// reconstruct counterexample paths).
+    ParallelBfs {
+        /// Number of worker threads (0 = number of available CPUs).
+        threads: usize,
+    },
+}
+
+impl fmt::Display for SearchStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchStrategy::StatefulDfs => write!(f, "stateful-dfs"),
+            SearchStrategy::StatefulBfs => write!(f, "stateful-bfs"),
+            SearchStrategy::Stateless { dpor: true } => write!(f, "stateless-dpor"),
+            SearchStrategy::Stateless { dpor: false } => write!(f, "stateless"),
+            SearchStrategy::ParallelBfs { threads } => write!(f, "parallel-bfs({threads})"),
+        }
+    }
+}
+
+/// Configuration of a model-checking run.
+#[derive(Clone, Debug)]
+pub struct CheckerConfig {
+    /// Search engine.
+    pub strategy: SearchStrategy,
+    /// Abort after storing/expanding this many states.
+    pub max_states: usize,
+    /// Maximum path depth for the stateless engine (guards against cycles,
+    /// which a stateless search would otherwise follow forever).
+    pub max_depth: usize,
+    /// Treat deadlock states (no enabled transition) as violations. Off by
+    /// default because terminating protocols end in technical deadlocks.
+    pub check_deadlocks: bool,
+    /// Apply the stack (cycle) proviso: if a reduced expansion closes a
+    /// cycle back into the DFS stack, re-expand the state fully. Needed for
+    /// soundness of invariant checking on cyclic state graphs.
+    pub cycle_proviso: bool,
+    /// Optional wall-clock budget; the run stops with a limit verdict when
+    /// it is exceeded.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            strategy: SearchStrategy::StatefulDfs,
+            max_states: 20_000_000,
+            max_depth: 100_000,
+            check_deadlocks: false,
+            cycle_proviso: true,
+            time_limit: None,
+        }
+    }
+}
+
+impl CheckerConfig {
+    /// Configuration for a stateful depth-first run (the default).
+    pub fn stateful_dfs() -> Self {
+        Self::default()
+    }
+
+    /// Configuration for a stateful breadth-first run.
+    pub fn stateful_bfs() -> Self {
+        CheckerConfig {
+            strategy: SearchStrategy::StatefulBfs,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration for a stateless run, optionally with dynamic POR.
+    pub fn stateless(dpor: bool) -> Self {
+        CheckerConfig {
+            strategy: SearchStrategy::Stateless { dpor },
+            ..Self::default()
+        }
+    }
+
+    /// Configuration for the parallel breadth-first engine.
+    pub fn parallel_bfs(threads: usize) -> Self {
+        CheckerConfig {
+            strategy: SearchStrategy::ParallelBfs { threads },
+            ..Self::default()
+        }
+    }
+
+    /// Sets the state limit (builder style).
+    pub fn with_max_states(mut self, max_states: usize) -> Self {
+        self.max_states = max_states;
+        self
+    }
+
+    /// Sets the depth limit (builder style).
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Sets the wall-clock budget (builder style).
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Enables or disables deadlock checking (builder style).
+    pub fn with_deadlock_check(mut self, check: bool) -> Self {
+        self.check_deadlocks = check;
+        self
+    }
+}
+
+/// Outcome of a model-checking run.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// The property holds in every explored state and the exploration was
+    /// exhaustive (within the configured strategy's guarantees).
+    Verified,
+    /// A counterexample was found.
+    Violated(Box<Counterexample>),
+    /// A resource limit (states, depth, time) stopped the run before it
+    /// finished; the property was not violated in the explored portion.
+    LimitReached {
+        /// Which limit stopped the run.
+        what: String,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` if the run verified the property exhaustively.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified)
+    }
+
+    /// Returns `true` if a counterexample was found.
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+
+    /// Returns the counterexample, if any.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Violated(cx) => Some(cx),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified => write!(f, "verified"),
+            Verdict::Violated(cx) => write!(f, "counterexample found ({} steps)", cx.len()),
+            Verdict::LimitReached { what } => write!(f, "limit reached: {what}"),
+        }
+    }
+}
+
+/// The report returned by every engine: verdict plus statistics.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The verdict of the run.
+    pub verdict: Verdict,
+    /// Exploration statistics.
+    pub stats: ExplorationStats,
+    /// Name of the strategy that produced this report (engine + reducer).
+    pub strategy: String,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.strategy, self.verdict, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = CheckerConfig::default();
+        assert_eq!(c.strategy, SearchStrategy::StatefulDfs);
+        assert!(c.cycle_proviso);
+        assert!(!c.check_deadlocks);
+        assert!(c.time_limit.is_none());
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = CheckerConfig::stateless(true)
+            .with_max_states(10)
+            .with_max_depth(20)
+            .with_time_limit(Duration::from_secs(1))
+            .with_deadlock_check(true);
+        assert_eq!(c.strategy, SearchStrategy::Stateless { dpor: true });
+        assert_eq!(c.max_states, 10);
+        assert_eq!(c.max_depth, 20);
+        assert!(c.check_deadlocks);
+        assert_eq!(c.time_limit, Some(Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn strategy_display_names() {
+        assert_eq!(SearchStrategy::StatefulDfs.to_string(), "stateful-dfs");
+        assert_eq!(SearchStrategy::StatefulBfs.to_string(), "stateful-bfs");
+        assert_eq!(
+            SearchStrategy::Stateless { dpor: true }.to_string(),
+            "stateless-dpor"
+        );
+        assert_eq!(
+            SearchStrategy::ParallelBfs { threads: 4 }.to_string(),
+            "parallel-bfs(4)"
+        );
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Verified.is_verified());
+        assert!(!Verdict::Verified.is_violated());
+        assert!(Verdict::Verified.counterexample().is_none());
+        let lim = Verdict::LimitReached {
+            what: "states".into(),
+        };
+        assert!(!lim.is_verified());
+        assert!(lim.to_string().contains("states"));
+    }
+}

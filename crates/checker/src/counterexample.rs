@@ -1,0 +1,199 @@
+//! Counterexamples.
+//!
+//! "A counterexample is a path that violates the property" (paper, Section
+//! II-A). When the search finds a violating state it reconstructs the path
+//! from the initial state and reports the sequence of executed transitions,
+//! the violating state and the reason returned by the property.
+
+use std::fmt;
+
+use mp_model::{GlobalState, LocalState, Message, ProcessId, ProtocolSpec, TransitionInstance};
+
+/// One step of a counterexample path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CounterexampleStep {
+    /// Name of the executed transition.
+    pub transition: String,
+    /// Process that executed it.
+    pub process: ProcessId,
+    /// Display name of that process in the protocol.
+    pub process_name: String,
+    /// The senders of the messages consumed by the step (empty for internal
+    /// transitions).
+    pub consumed_from: Vec<ProcessId>,
+}
+
+impl CounterexampleStep {
+    /// Builds a step record from a transition instance.
+    pub fn from_instance<S: LocalState, M: Message>(
+        spec: &ProtocolSpec<S, M>,
+        instance: &TransitionInstance<M>,
+    ) -> Self {
+        CounterexampleStep {
+            transition: spec.transition(instance.transition).name().to_string(),
+            process: instance.process,
+            process_name: spec.process_name(instance.process).to_string(),
+            consumed_from: instance.senders(),
+        }
+    }
+}
+
+impl fmt::Display for CounterexampleStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.transition, self.process_name)?;
+        if !self.consumed_from.is_empty() {
+            let senders: Vec<String> = self.consumed_from.iter().map(|p| p.to_string()).collect();
+            write!(f, " consuming from {{{}}}", senders.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// A property-violating execution: the path from the initial state and the
+/// violating state itself.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counterexample {
+    /// Name of the violated property.
+    pub property: String,
+    /// Explanation returned by the property check.
+    pub reason: String,
+    /// The executed steps, in order.
+    pub steps: Vec<CounterexampleStep>,
+    /// A rendering of the violating global state.
+    pub violating_state: String,
+}
+
+impl Counterexample {
+    /// Builds a counterexample from a path of instances ending in
+    /// `violating_state`.
+    pub fn new<S: LocalState, M: Message>(
+        spec: &ProtocolSpec<S, M>,
+        property: impl Into<String>,
+        reason: impl Into<String>,
+        path: &[TransitionInstance<M>],
+        violating_state: &GlobalState<S, M>,
+    ) -> Self {
+        Counterexample {
+            property: property.into(),
+            reason: reason.into(),
+            steps: path
+                .iter()
+                .map(|i| CounterexampleStep::from_instance(spec, i))
+                .collect(),
+            violating_state: format!("{violating_state:#?}"),
+        }
+    }
+
+    /// Length of the counterexample path (number of transitions).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the violation occurs already in the initial state.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "counterexample to `{}` ({} steps): {}",
+            self.property,
+            self.steps.len(),
+            self.reason
+        )?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>3}. {}", i + 1, step)?;
+        }
+        writeln!(f, "violating state:")?;
+        for line in self.violating_state.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::{Envelope, Kind, Outcome, ProcessId, ProtocolSpec, TransitionId, TransitionSpec};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Ping;
+
+    impl Message for Ping {
+        fn kind(&self) -> Kind {
+            "PING"
+        }
+    }
+
+    fn spec() -> ProtocolSpec<u8, Ping> {
+        ProtocolSpec::builder("cx")
+            .process("sender", 0u8)
+            .process("receiver", 0u8)
+            .transition(
+                TransitionSpec::builder("SEND", ProcessId(0))
+                    .internal()
+                    .effect(|_, _| Outcome::new(1).send(ProcessId(1), Ping))
+                    .build(),
+            )
+            .transition(
+                TransitionSpec::builder("RECV", ProcessId(1))
+                    .single_input("PING")
+                    .effect(|_, _| Outcome::new(1))
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn steps_render_transition_and_process() {
+        let spec = spec();
+        let inst = TransitionInstance::new(
+            TransitionId(1),
+            ProcessId(1),
+            vec![Envelope::new(ProcessId(0), Ping)],
+        );
+        let step = CounterexampleStep::from_instance(&spec, &inst);
+        assert_eq!(step.transition, "RECV");
+        assert_eq!(step.process_name, "receiver");
+        assert_eq!(step.consumed_from, vec![ProcessId(0)]);
+        let rendered = step.to_string();
+        assert!(rendered.contains("RECV"));
+        assert!(rendered.contains("p0"));
+    }
+
+    #[test]
+    fn counterexample_display_lists_path() {
+        let spec = spec();
+        let path = vec![
+            TransitionInstance::new(TransitionId(0), ProcessId(0), Vec::new()),
+            TransitionInstance::new(
+                TransitionId(1),
+                ProcessId(1),
+                vec![Envelope::new(ProcessId(0), Ping)],
+            ),
+        ];
+        let state = spec.initial_state();
+        let cx = Counterexample::new(&spec, "agreement", "values differ", &path, &state);
+        assert_eq!(cx.len(), 2);
+        assert!(!cx.is_empty());
+        let text = cx.to_string();
+        assert!(text.contains("agreement"));
+        assert!(text.contains("SEND"));
+        assert!(text.contains("RECV"));
+        assert!(text.contains("values differ"));
+    }
+
+    #[test]
+    fn empty_counterexample_means_initial_violation() {
+        let spec = spec();
+        let state = spec.initial_state();
+        let cx = Counterexample::new(&spec, "inv", "bad init", &[], &state);
+        assert!(cx.is_empty());
+        assert_eq!(cx.len(), 0);
+    }
+}

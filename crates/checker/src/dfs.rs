@@ -1,0 +1,454 @@
+//! Stateful depth-first search.
+//!
+//! This is the workhorse engine of the reproduction (the analogue of
+//! MP-Basset's stateful search inside JPF). It stores every visited
+//! `(state, observer)` pair, asks the configured [`Reducer`] which enabled
+//! instances to explore in each state, checks the invariant in every state,
+//! and applies the **stack (cycle) proviso**: if a reduced expansion produces
+//! a successor that is still on the DFS stack, the state is re-expanded fully
+//! so that no transition is ignored forever (the "ignoring problem" of
+//! partial-order reduction).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use mp_model::{
+    enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
+    TransitionInstance,
+};
+use mp_por::Reducer;
+
+use crate::{
+    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
+    RunReport, StateStore, Verdict,
+};
+
+struct Frame<S, M: Ord, O> {
+    state: GlobalState<S, M>,
+    observer: O,
+    /// Instance that led into this state (None for the initial state).
+    incoming: Option<TransitionInstance<M>>,
+    /// Instances chosen by the reducer, explored in order.
+    explore: Vec<TransitionInstance<M>>,
+    /// Instances pruned by the reducer, re-added if the proviso fires.
+    pruned: Vec<TransitionInstance<M>>,
+    next: usize,
+    reduced: bool,
+}
+
+/// Runs a stateful depth-first search and returns the report.
+pub fn run_stateful_dfs<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    property: &Invariant<S, M, O>,
+    initial_observer: &O,
+    reducer: &dyn Reducer<S, M>,
+    config: &CheckerConfig,
+) -> RunReport
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let start = Instant::now();
+    let mut stats = ExplorationStats::new();
+    let strategy = format!("stateful-dfs+{}", reducer.name());
+
+    let mut store: StateStore<(GlobalState<S, M>, O)> = StateStore::new();
+    let mut on_stack: HashSet<(GlobalState<S, M>, O)> = HashSet::new();
+    let mut stack: Vec<Frame<S, M, O>> = Vec::new();
+
+    let initial = spec.initial_state();
+    let initial_observer = initial_observer.clone();
+
+    // Check the initial state before exploring.
+    if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
+        stats.states = 1;
+        stats.elapsed = start.elapsed();
+        let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
+        return RunReport {
+            verdict: Verdict::Violated(Box::new(cx)),
+            stats,
+            strategy,
+        };
+    }
+
+    store.insert((initial.clone(), initial_observer.clone()));
+    on_stack.insert((initial.clone(), initial_observer.clone()));
+    stats.states = 1;
+    stats.expansions = 1;
+    let first_frame = make_frame(
+        spec,
+        reducer,
+        &mut stats,
+        config,
+        initial,
+        initial_observer,
+        None,
+    );
+    if config.check_deadlocks && first_frame.explore.is_empty() && first_frame.pruned.is_empty() {
+        stats.elapsed = start.elapsed();
+        let cx = Counterexample::new(
+            spec,
+            property.name(),
+            "deadlock in the initial state",
+            &[],
+            &first_frame.state,
+        );
+        return RunReport {
+            verdict: Verdict::Violated(Box::new(cx)),
+            stats,
+            strategy,
+        };
+    }
+    stack.push(first_frame);
+
+    while !stack.is_empty() {
+        stats.max_depth = stats.max_depth.max(stack.len());
+        let top = stack.last_mut().expect("stack checked non-empty");
+
+        if top.next >= top.explore.len() {
+            // Frame exhausted.
+            let frame = stack.pop().expect("non-empty stack");
+            on_stack.remove(&(frame.state, frame.observer));
+            continue;
+        }
+
+        let instance = top.explore[top.next].clone();
+        top.next += 1;
+        let next_state = execute_enabled(spec, &top.state, &instance);
+        let next_observer = top.observer.update(spec, &top.state, &instance, &next_state);
+        stats.transitions_executed += 1;
+
+        let key = (next_state, next_observer);
+
+        // Cycle proviso: the successor closes a cycle into the DFS stack and
+        // the current state was expanded with a reduced set — re-expand it
+        // fully so no enabled transition is postponed around the cycle.
+        if config.cycle_proviso && top.reduced && on_stack.contains(&key) {
+            top.explore.append(&mut top.pruned);
+            top.reduced = false;
+            stats.proviso_expansions += 1;
+        }
+
+        if store.contains(&key) {
+            stats.revisits += 1;
+            continue;
+        }
+
+        let (next_state, next_observer) = key;
+
+        // Property check on the newly discovered state.
+        if let PropertyStatus::Violated(reason) = property.evaluate(&next_state, &next_observer) {
+            let mut path: Vec<TransitionInstance<M>> = stack
+                .iter()
+                .filter_map(|f| f.incoming.clone())
+                .collect();
+            path.push(instance);
+            stats.states += 1;
+            stats.elapsed = start.elapsed();
+            let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
+            return RunReport {
+                verdict: Verdict::Violated(Box::new(cx)),
+                stats,
+                strategy,
+            };
+        }
+
+        if store.len() >= config.max_states {
+            stats.elapsed = start.elapsed();
+            return RunReport {
+                verdict: Verdict::LimitReached {
+                    what: format!("state limit of {}", config.max_states),
+                },
+                stats,
+                strategy,
+            };
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() > limit {
+                stats.elapsed = start.elapsed();
+                return RunReport {
+                    verdict: Verdict::LimitReached {
+                        what: format!("time limit of {limit:?}"),
+                    },
+                    stats,
+                    strategy,
+                };
+            }
+        }
+
+        store.insert((next_state.clone(), next_observer.clone()));
+        on_stack.insert((next_state.clone(), next_observer.clone()));
+        stats.states += 1;
+        stats.expansions += 1;
+
+        let frame = make_frame(
+            spec,
+            reducer,
+            &mut stats,
+            config,
+            next_state,
+            next_observer,
+            Some(instance.clone()),
+        );
+
+        if config.check_deadlocks && frame.explore.is_empty() && frame.pruned.is_empty() {
+            let mut path: Vec<TransitionInstance<M>> = stack
+                .iter()
+                .filter_map(|f| f.incoming.clone())
+                .collect();
+            path.push(instance);
+            stats.elapsed = start.elapsed();
+            let cx = Counterexample::new(
+                spec,
+                property.name(),
+                "deadlock: no transition enabled",
+                &path,
+                &frame.state,
+            );
+            return RunReport {
+                verdict: Verdict::Violated(Box::new(cx)),
+                stats,
+                strategy,
+            };
+        }
+
+        stack.push(frame);
+    }
+
+    stats.elapsed = start.elapsed();
+    RunReport {
+        verdict: Verdict::Verified,
+        stats,
+        strategy,
+    }
+}
+
+fn make_frame<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    reducer: &dyn Reducer<S, M>,
+    stats: &mut ExplorationStats,
+    _config: &CheckerConfig,
+    state: GlobalState<S, M>,
+    observer: O,
+    incoming: Option<TransitionInstance<M>>,
+) -> Frame<S, M, O>
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let all = enabled_instances(spec, &state);
+    let reduction = reducer.reduce(spec, &state, all.clone());
+    if reduction.reduced {
+        stats.reduced_states += 1;
+    }
+    let pruned: Vec<TransitionInstance<M>> = if reduction.reduced {
+        all.into_iter()
+            .filter(|i| !reduction.explore.contains(i))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Frame {
+        state,
+        observer,
+        incoming,
+        explore: reduction.explore,
+        pruned,
+        next: 0,
+        reduced: reduction.reduced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+    use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
+    use mp_por::{NoReduction, SporReducer};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Tok;
+
+    impl Message for Tok {
+        fn kind(&self) -> Kind {
+            "TOK"
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    /// `n` independent processes each taking `steps` internal steps.
+    fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Tok> {
+        let mut builder = ProtocolSpec::builder("independent");
+        for i in 0..n {
+            builder = builder.process(format!("w{i}"), 0u8);
+        }
+        for i in 0..n {
+            builder = builder.transition(
+                TransitionSpec::builder(format!("step{i}"), p(i))
+                    .internal()
+                    .guard(move |l, _| *l < steps)
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(l + 1))
+                    .build(),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn unreduced_dfs_counts_the_full_product() {
+        // 3 processes × 2 steps each: (2+1)^3 = 27 states.
+        let spec = independent(3, 2);
+        let report = run_stateful_dfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::default(),
+        );
+        assert!(report.verdict.is_verified());
+        assert_eq!(report.stats.states, 27);
+    }
+
+    #[test]
+    fn spor_dfs_explores_fewer_states() {
+        let spec = independent(3, 2);
+        let reducer = SporReducer::new(&spec);
+        let report = run_stateful_dfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &reducer,
+            &CheckerConfig::default(),
+        );
+        assert!(report.verdict.is_verified());
+        assert!(
+            report.stats.states < 27,
+            "independent processes must be interleaved in fewer orders, got {}",
+            report.stats.states
+        );
+        // Fully independent: one linearisation suffices => 7 states on a line.
+        assert_eq!(report.stats.states, 7);
+    }
+
+    #[test]
+    fn violation_is_reported_with_path() {
+        let spec = independent(2, 3);
+        let property: Invariant<u8, Tok, NullObserver> =
+            Invariant::new("below-3", |s: &GlobalState<u8, Tok>, _| {
+                if s.locals.iter().any(|l| *l >= 3) {
+                    Err("a process reached 3".into())
+                } else {
+                    Ok(())
+                }
+            });
+        let report = run_stateful_dfs(
+            &spec,
+            &property,
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::default(),
+        );
+        let cx = report.verdict.counterexample().expect("violation expected");
+        assert_eq!(cx.len(), 3, "shortest possible path has 3 steps; DFS found {}", cx.len());
+        assert!(cx.reason.contains("reached 3"));
+    }
+
+    #[test]
+    fn initial_state_violation_gives_empty_counterexample() {
+        let spec = independent(1, 1);
+        let property: Invariant<u8, Tok, NullObserver> =
+            Invariant::new("never", |_: &GlobalState<u8, Tok>, _| Err("init is bad".into()));
+        let report = run_stateful_dfs(
+            &spec,
+            &property,
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::default(),
+        );
+        let cx = report.verdict.counterexample().unwrap();
+        assert!(cx.is_empty());
+    }
+
+    #[test]
+    fn state_limit_stops_the_search() {
+        let spec = independent(3, 3);
+        let report = run_stateful_dfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::default().with_max_states(5),
+        );
+        assert!(matches!(report.verdict, Verdict::LimitReached { .. }));
+        assert!(report.stats.states <= 6);
+    }
+
+    #[test]
+    fn deadlock_detection_reports_terminal_states() {
+        let spec = independent(1, 1);
+        let report = run_stateful_dfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            &CheckerConfig::default().with_deadlock_check(true),
+        );
+        assert!(report.verdict.is_violated());
+        let cx = report.verdict.counterexample().unwrap();
+        assert!(cx.reason.contains("deadlock"));
+    }
+
+    /// A cyclic protocol: one process toggles its bit forever, the other
+    /// makes a single visible move. Without the cycle proviso a naive
+    /// reduction could postpone the second process forever.
+    #[test]
+    fn cycle_proviso_keeps_search_sound_on_cycles() {
+        let spec: ProtocolSpec<u8, Tok> = ProtocolSpec::builder("cycle")
+            .process("toggler", 0u8)
+            .process("mover", 0u8)
+            .transition(
+                TransitionSpec::builder("toggle", p(0))
+                    .internal()
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(1 - *l))
+                    .build(),
+            )
+            .transition(
+                TransitionSpec::builder("move", p(1))
+                    .internal()
+                    .guard(|l, _| *l == 0)
+                    .sends_nothing()
+                    .visible()
+                    .effect(|_, _| Outcome::new(1))
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let property: Invariant<u8, Tok, NullObserver> =
+            Invariant::new("mover-never-moves", |s: &GlobalState<u8, Tok>, _| {
+                if *s.local(p(1)) == 1 {
+                    Err("mover moved".into())
+                } else {
+                    Ok(())
+                }
+            });
+        let reducer = SporReducer::new(&spec);
+        let report = run_stateful_dfs(
+            &spec,
+            &property,
+            &NullObserver,
+            &reducer,
+            &CheckerConfig::default(),
+        );
+        assert!(
+            report.verdict.is_violated(),
+            "the reduced search must still find the mover's step"
+        );
+    }
+}

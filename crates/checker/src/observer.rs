@@ -1,0 +1,163 @@
+//! History observers (ghost state).
+//!
+//! The paper's specifications are Java assertions that may peek at the state
+//! of remote processes (its footnote 7 calls this a "hack"). The sound
+//! equivalent in this reproduction is an **observer**: a deterministic
+//! history variable folded by the checker into every explored state. The
+//! observer sees each executed step together with the pre- and post-state and
+//! can record whatever the property needs (e.g. "which writes had completed
+//! when this read was invoked" for the regular-storage regularity property).
+//!
+//! Because the observer value is part of the explored state, stateful search
+//! remains sound; because observer-relevant transitions are annotated
+//! *visible*, partial-order reduction never postpones them past the
+//! reduction (see `mp-por`).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use mp_model::{GlobalState, LocalState, Message, ProtocolSpec, TransitionInstance};
+
+/// A deterministic history variable updated on every executed transition.
+pub trait Observer<S: LocalState, M: Message>:
+    Clone + Eq + Hash + Debug + Send + Sync + 'static
+{
+    /// Returns the observer value after `instance` was executed, taking the
+    /// system from `pre` to `post`.
+    fn update(
+        &self,
+        spec: &ProtocolSpec<S, M>,
+        pre: &GlobalState<S, M>,
+        instance: &TransitionInstance<M>,
+        post: &GlobalState<S, M>,
+    ) -> Self;
+}
+
+/// The trivial observer: records nothing and costs nothing. Used by every
+/// property that is expressible directly over the global state.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct NullObserver;
+
+impl<S: LocalState, M: Message> Observer<S, M> for NullObserver {
+    fn update(
+        &self,
+        _spec: &ProtocolSpec<S, M>,
+        _pre: &GlobalState<S, M>,
+        _instance: &TransitionInstance<M>,
+        _post: &GlobalState<S, M>,
+    ) -> Self {
+        NullObserver
+    }
+}
+
+/// An observer that counts how many times each transition (by id) has been
+/// executed along the current path. Mostly useful in tests and debugging;
+/// note that including it in the state distinguishes paths that would
+/// otherwise merge, so it inflates the state space.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct TransitionCountObserver {
+    counts: Vec<(usize, u32)>,
+}
+
+impl TransitionCountObserver {
+    /// Creates an observer with all counts at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns how many times transition `index` has fired on this path.
+    pub fn count(&self, index: usize) -> u32 {
+        self.counts
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Returns the total number of steps observed.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().map(|(_, c)| c).sum()
+    }
+}
+
+impl<S: LocalState, M: Message> Observer<S, M> for TransitionCountObserver {
+    fn update(
+        &self,
+        _spec: &ProtocolSpec<S, M>,
+        _pre: &GlobalState<S, M>,
+        instance: &TransitionInstance<M>,
+        _post: &GlobalState<S, M>,
+    ) -> Self {
+        let mut next = self.clone();
+        let idx = instance.transition.index();
+        match next.counts.iter_mut().find(|(i, _)| *i == idx) {
+            Some((_, c)) => *c += 1,
+            None => {
+                next.counts.push((idx, 1));
+                next.counts.sort_unstable();
+            }
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::{Kind, Outcome, ProcessId, ProtocolSpec, TransitionId, TransitionSpec};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Tok;
+
+    impl Message for Tok {
+        fn kind(&self) -> Kind {
+            "TOK"
+        }
+    }
+
+    fn tiny_spec() -> ProtocolSpec<u8, Tok> {
+        ProtocolSpec::builder("tiny")
+            .process("a", 0u8)
+            .transition(
+                TransitionSpec::builder("step", ProcessId(0))
+                    .internal()
+                    .effect(|l: &u8, _| Outcome::new(l.wrapping_add(1)))
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn null_observer_is_constant() {
+        let spec = tiny_spec();
+        let s = spec.initial_state();
+        let inst = TransitionInstance::new(TransitionId(0), ProcessId(0), Vec::new());
+        let o = NullObserver;
+        assert_eq!(o.update(&spec, &s, &inst, &s), NullObserver);
+    }
+
+    #[test]
+    fn transition_count_observer_counts_steps() {
+        let spec = tiny_spec();
+        let s = spec.initial_state();
+        let inst = TransitionInstance::new(TransitionId(0), ProcessId(0), Vec::new());
+        let o = TransitionCountObserver::new();
+        assert_eq!(o.count(0), 0);
+        let o = Observer::<u8, Tok>::update(&o, &spec, &s, &inst, &s);
+        let o = Observer::<u8, Tok>::update(&o, &spec, &s, &inst, &s);
+        assert_eq!(o.count(0), 2);
+        assert_eq!(o.count(1), 0);
+        assert_eq!(o.total(), 2);
+    }
+
+    #[test]
+    fn distinct_histories_are_distinct_observers() {
+        let spec = tiny_spec();
+        let s = spec.initial_state();
+        let inst = TransitionInstance::new(TransitionId(0), ProcessId(0), Vec::new());
+        let zero = TransitionCountObserver::new();
+        let one = Observer::<u8, Tok>::update(&zero, &spec, &s, &inst, &s);
+        assert_ne!(zero, one);
+    }
+}

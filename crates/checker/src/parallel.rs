@@ -1,0 +1,322 @@
+//! Level-synchronous parallel breadth-first search (extension).
+//!
+//! The paper's engines are single-threaded (a JPF limitation); this engine
+//! is an extension showing that the protocol-level models of `mp-model`
+//! parallelise naturally: each BFS level is partitioned across worker
+//! threads, the visited set is sharded by state hash behind `parking_lot`
+//! mutexes, and the next frontier is collected through crossbeam channels.
+//!
+//! The engine checks invariants and counts states; it does not reconstruct
+//! counterexample *paths* (the violating state is reported instead), so the
+//! sequential engines remain the right tool for debugging runs.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use mp_model::{
+    enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
+};
+use mp_por::Reducer;
+
+use crate::{
+    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
+    RunReport, Verdict,
+};
+
+const SHARDS: usize = 64;
+
+struct ShardedStore<K> {
+    shards: Vec<Mutex<HashSet<K>>>,
+}
+
+impl<K: Eq + Hash> ShardedStore<K> {
+    fn new() -> Self {
+        ShardedStore {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    fn insert(&self, key: K) -> bool {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = (hasher.finish() as usize) % SHARDS;
+        self.shards[shard].lock().insert(key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Runs a parallel breadth-first search over `threads` workers
+/// (0 = available parallelism).
+pub fn run_parallel_bfs<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    property: &Invariant<S, M, O>,
+    initial_observer: &O,
+    reducer: &dyn Reducer<S, M>,
+    threads: usize,
+    config: &CheckerConfig,
+) -> RunReport
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let start = Instant::now();
+    let mut stats = ExplorationStats::new();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let strategy = format!("parallel-bfs({threads})+{}", reducer.name());
+
+    let initial = spec.initial_state();
+    let initial_observer = initial_observer.clone();
+
+    if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
+        stats.states = 1;
+        stats.elapsed = start.elapsed();
+        let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
+        return RunReport {
+            verdict: Verdict::Violated(Box::new(cx)),
+            stats,
+            strategy,
+        };
+    }
+
+    let store: ShardedStore<(GlobalState<S, M>, O)> = ShardedStore::new();
+    store.insert((initial.clone(), initial_observer.clone()));
+
+    let violation: Mutex<Option<Counterexample>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+    let transitions_executed = AtomicUsize::new(0);
+    let reduced_states = AtomicUsize::new(0);
+    let expansions = AtomicUsize::new(0);
+
+    let mut frontier: Vec<(GlobalState<S, M>, O)> = vec![(initial, initial_observer)];
+    let mut depth = 0usize;
+
+    while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
+        depth += 1;
+        let (next_tx, next_rx) = channel::unbounded::<(GlobalState<S, M>, O)>();
+        let chunk_size = frontier.len().div_ceil(threads);
+
+        crossbeam::scope(|scope| {
+            for chunk in frontier.chunks(chunk_size.max(1)) {
+                let next_tx = next_tx.clone();
+                let store = &store;
+                let violation = &violation;
+                let stop = &stop;
+                let transitions_executed = &transitions_executed;
+                let reduced_states = &reduced_states;
+                let expansions = &expansions;
+                scope.spawn(move |_| {
+                    for (state, observer) in chunk {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        expansions.fetch_add(1, Ordering::Relaxed);
+                        let all = enabled_instances(spec, state);
+                        let reduction = reducer.reduce(spec, state, all);
+                        if reduction.reduced {
+                            reduced_states.fetch_add(1, Ordering::Relaxed);
+                        }
+                        for instance in reduction.explore {
+                            let next_state = execute_enabled(spec, state, &instance);
+                            let next_observer =
+                                observer.update(spec, state, &instance, &next_state);
+                            transitions_executed.fetch_add(1, Ordering::Relaxed);
+                            if let PropertyStatus::Violated(reason) =
+                                property.evaluate(&next_state, &next_observer)
+                            {
+                                let cx = Counterexample::new(
+                                    spec,
+                                    property.name(),
+                                    format!("{reason} (path not tracked by the parallel engine)"),
+                                    &[],
+                                    &next_state,
+                                );
+                                *violation.lock() = Some(cx);
+                                stop.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                            let key = (next_state, next_observer);
+                            if store.insert(key.clone()) {
+                                let _ = next_tx.send(key);
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        drop(next_tx);
+
+        frontier = next_rx.into_iter().collect();
+
+        if store.len() >= config.max_states {
+            stats.states = store.len();
+            stats.elapsed = start.elapsed();
+            stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
+            return RunReport {
+                verdict: Verdict::LimitReached {
+                    what: format!("state limit of {}", config.max_states),
+                },
+                stats,
+                strategy,
+            };
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() > limit {
+                stats.states = store.len();
+                stats.elapsed = start.elapsed();
+                return RunReport {
+                    verdict: Verdict::LimitReached {
+                        what: format!("time limit of {limit:?}"),
+                    },
+                    stats,
+                    strategy,
+                };
+            }
+        }
+    }
+
+    stats.states = store.len();
+    stats.expansions = expansions.load(Ordering::Relaxed);
+    stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
+    stats.reduced_states = reduced_states.load(Ordering::Relaxed);
+    stats.max_depth = depth;
+    stats.elapsed = start.elapsed();
+
+    let verdict = match violation.into_inner() {
+        Some(cx) => Verdict::Violated(Box::new(cx)),
+        None => Verdict::Verified,
+    };
+    RunReport {
+        verdict,
+        stats,
+        strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+    use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
+    use mp_por::{NoReduction, SporReducer};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Tok;
+
+    impl Message for Tok {
+        fn kind(&self) -> Kind {
+            "TOK"
+        }
+    }
+
+    fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Tok> {
+        let mut builder = ProtocolSpec::builder("independent");
+        for i in 0..n {
+            builder = builder.process(format!("w{i}"), 0u8);
+        }
+        for i in 0..n {
+            builder = builder.transition(
+                TransitionSpec::builder(format!("step{i}"), ProcessId(i))
+                    .internal()
+                    .guard(move |l, _| *l < steps)
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(l + 1))
+                    .build(),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_bfs_counts_the_same_states_as_sequential() {
+        let spec = independent(3, 2);
+        let report = run_parallel_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            2,
+            &CheckerConfig::parallel_bfs(2),
+        );
+        assert!(report.verdict.is_verified());
+        assert_eq!(report.stats.states, 27);
+    }
+
+    #[test]
+    fn parallel_bfs_detects_violations() {
+        let spec = independent(2, 3);
+        let property: Invariant<u8, Tok, NullObserver> =
+            Invariant::new("below-3", |s: &GlobalState<u8, Tok>, _| {
+                if s.locals.iter().any(|l| *l >= 3) {
+                    Err("reached 3".into())
+                } else {
+                    Ok(())
+                }
+            });
+        let report = run_parallel_bfs(
+            &spec,
+            &property,
+            &NullObserver,
+            &NoReduction,
+            2,
+            &CheckerConfig::parallel_bfs(2),
+        );
+        assert!(report.verdict.is_violated());
+    }
+
+    #[test]
+    fn parallel_bfs_with_spor_reduces() {
+        let spec = independent(4, 1);
+        let reducer = SporReducer::new(&spec);
+        let unreduced = run_parallel_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            2,
+            &CheckerConfig::parallel_bfs(2),
+        );
+        let reduced = run_parallel_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &reducer,
+            2,
+            &CheckerConfig::parallel_bfs(2),
+        );
+        assert!(unreduced.verdict.is_verified());
+        assert!(reduced.verdict.is_verified());
+        assert!(reduced.stats.states < unreduced.stats.states);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let spec = independent(2, 1);
+        let report = run_parallel_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            0,
+            &CheckerConfig::parallel_bfs(0),
+        );
+        assert!(report.verdict.is_verified());
+        assert_eq!(report.stats.states, 4);
+    }
+}

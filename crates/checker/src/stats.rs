@@ -1,0 +1,115 @@
+//! Exploration statistics.
+//!
+//! The paper reports two numbers per experiment — visited states and wall
+//! clock time (Tables I and II). [`ExplorationStats`] records those plus a
+//! few internals (transitions executed, peak depth, how many states were
+//! expanded with a reduced transition set) that the harness uses to explain
+//! *why* a strategy wins.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Counters collected during one model-checking run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExplorationStats {
+    /// Number of distinct states stored (stateful search) or expanded
+    /// (stateless search). This is the "States" column of Tables I and II.
+    pub states: usize,
+    /// Number of state expansions. For stateful search this equals
+    /// [`ExplorationStats::states`] unless the search stopped early; for
+    /// stateless search it counts every node of the explored tree.
+    pub expansions: usize,
+    /// Number of transition executions performed.
+    pub transitions_executed: usize,
+    /// Number of times a successor was already known (stateful search).
+    pub revisits: usize,
+    /// Number of states in which the reducer pruned at least one enabled
+    /// instance.
+    pub reduced_states: usize,
+    /// Number of states in which the cycle proviso forced full expansion.
+    pub proviso_expansions: usize,
+    /// Maximum search depth reached.
+    pub max_depth: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ExplorationStats {
+    /// Creates an empty statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Throughput in states per second (0 if the run was instantaneous).
+    pub fn states_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of expanded states in which a reduction was achieved.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.expansions == 0 {
+            0.0
+        } else {
+            self.reduced_states as f64 / self.expansions as f64
+        }
+    }
+}
+
+impl fmt::Display for ExplorationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} transitions, {:.1?} ({:.0} states/s, {:.0}% states reduced, max depth {})",
+            self.states,
+            self.transitions_executed,
+            self.elapsed,
+            self.states_per_second(),
+            self.reduction_ratio() * 100.0,
+            self.max_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = ExplorationStats::new();
+        assert_eq!(s.states, 0);
+        assert_eq!(s.states_per_second(), 0.0);
+        assert_eq!(s.reduction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn throughput_and_ratio() {
+        let s = ExplorationStats {
+            states: 1000,
+            expansions: 500,
+            reduced_states: 250,
+            elapsed: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((s.states_per_second() - 500.0).abs() < 1e-9);
+        assert!((s.reduction_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_mentions_states_and_time() {
+        let s = ExplorationStats {
+            states: 42,
+            transitions_executed: 100,
+            elapsed: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("42 states"));
+        assert!(text.contains("100 transitions"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Visited-state storage for stateful search.
+//!
+//! The paper contrasts stateful search (the model checker "maintains a set
+//! of visited states") against stateless search; the benefit of stateful
+//! search "becomes significant with large state spaces" (Section V-B). The
+//! store keys are the pair of global state and observer value, so history
+//! observers remain sound under state merging.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// A set of visited states with insertion statistics.
+#[derive(Clone, Debug)]
+pub struct StateStore<K> {
+    seen: HashSet<K>,
+    hits: usize,
+}
+
+impl<K: Eq + Hash> Default for StateStore<K> {
+    fn default() -> Self {
+        StateStore {
+            seen: HashSet::new(),
+            hits: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash> StateStore<K> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a store with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        StateStore {
+            seen: HashSet::with_capacity(capacity),
+            hits: 0,
+        }
+    }
+
+    /// Inserts a state; returns `true` if it was new.
+    pub fn insert(&mut self, key: K) -> bool {
+        let new = self.seen.insert(key);
+        if !new {
+            self.hits += 1;
+        }
+        new
+    }
+
+    /// Returns `true` if the state has been seen before (does not count as a
+    /// hit).
+    pub fn contains(&self, key: &K) -> bool {
+        self.seen.contains(key)
+    }
+
+    /// Number of distinct states stored.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Returns `true` if nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Number of times an insertion found the state already present.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut store = StateStore::new();
+        assert!(store.is_empty());
+        assert!(store.insert(1u32));
+        assert!(store.insert(2));
+        assert!(!store.insert(1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.hits(), 1);
+        assert!(store.contains(&2));
+        assert!(!store.contains(&3));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut store = StateStore::with_capacity(100);
+        assert!(store.insert("a"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.hits(), 0);
+    }
+
+    #[test]
+    fn contains_does_not_count_as_hit() {
+        let mut store = StateStore::new();
+        store.insert(5u8);
+        assert!(store.contains(&5));
+        assert_eq!(store.hits(), 0);
+    }
+}

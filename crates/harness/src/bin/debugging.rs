@@ -1,0 +1,14 @@
+//! Reproduces the debugging experiments: resources needed to find the first
+//! counterexample in the faulty protocol variants.
+//!
+//! Usage: `cargo run --release -p mp-harness --bin debugging`
+
+use mp_harness::{debugging::debugging_experiments, render_table, Budget};
+
+fn main() {
+    let rows = debugging_experiments(&Budget::default());
+    print!(
+        "{}",
+        render_table("Debugging: first counterexample in faulty variants", &rows)
+    );
+}

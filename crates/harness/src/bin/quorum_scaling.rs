@@ -1,0 +1,27 @@
+//! Reproduces the Section II-C analysis: how much larger single-message
+//! models are than quorum models, as a function of the quorum size.
+//!
+//! Usage: `cargo run --release -p mp-harness --bin quorum_scaling [--voters N]`
+
+use mp_harness::scaling::{collect_sweep, paxos_sweep, render_sweep};
+use mp_harness::{render_table, Budget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let voters = args
+        .iter()
+        .position(|a| a == "--voters")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+
+    println!("Section II-C: state-space inflation of single-message models");
+    println!();
+    println!("Quorum-collection protocol ({voters} voters, 1 collector):");
+    let points = collect_sweep(voters, 1, 5_000_000);
+    print!("{}", render_sweep(&points));
+    println!();
+    println!("Paxos with growing acceptor sets (1 proposer, 1 learner, SPOR):");
+    let rows = paxos_sweep(3, &Budget::default());
+    print!("{}", render_table("Paxos acceptor sweep", &rows));
+}

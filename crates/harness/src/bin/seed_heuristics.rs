@@ -1,0 +1,20 @@
+//! Compares the POR seed-transition heuristics discussed in Section V-B.
+//!
+//! Usage: `cargo run --release -p mp-harness --bin seed_heuristics [--full]`
+
+use mp_harness::{heuristics::heuristic_comparison, render_table, Budget};
+use mp_protocols::paxos::PaxosSetting;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (setting, budget) = if full {
+        (PaxosSetting::new(2, 3, 1), Budget::unbounded())
+    } else {
+        (PaxosSetting::new(2, 2, 1), Budget::default())
+    };
+    let rows = heuristic_comparison(setting, &budget);
+    print!(
+        "{}",
+        render_table("Seed-transition heuristics (Paxos, SPOR)", &rows)
+    );
+}

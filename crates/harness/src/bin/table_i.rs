@@ -1,0 +1,27 @@
+//! Reproduces Table I ("quorum semantics results") of the DSN 2011 paper.
+//!
+//! Usage: `cargo run --release -p mp-harness --bin table_i [--full] [--csv]`
+//!
+//! By default the run is bounded (smaller Paxos setting, per-cell state and
+//! time budgets) so it completes in minutes; `--full` switches to the
+//! paper-scale settings and removes the budgets.
+
+use mp_harness::{render_csv, render_table, table1::table_i, Budget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let budget = if full { Budget::unbounded() } else { Budget::default() };
+
+    eprintln!(
+        "running Table I ({} mode); cells marked with '>' hit the per-cell budget",
+        if full { "full/paper-scale" } else { "bounded" }
+    );
+    let rows = table_i(&budget, full);
+    if csv {
+        print!("{}", render_csv(&rows));
+    } else {
+        print!("{}", render_table("Table I — quorum semantics results", &rows));
+    }
+}

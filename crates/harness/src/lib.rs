@@ -1,0 +1,38 @@
+//! # mp-harness — reproduction of the DSN 2011 evaluation
+//!
+//! This crate turns the building blocks of the other crates into the
+//! experiments reported in the paper:
+//!
+//! * [`table1`] — Table I ("quorum semantics results"): single-message vs
+//!   quorum models under DPOR/SPOR;
+//! * [`table2`] — Table II ("transition refinement in action"): unsplit vs
+//!   reply-/quorum-/combined-split models under SPOR;
+//! * [`scaling`] — the Section II-C analysis: state-space inflation of
+//!   single-message models as a function of the quorum size;
+//! * [`debugging`] — the "fast debugging" experiments: resources needed to
+//!   find the first counterexample in the faulty variants;
+//! * [`heuristics`] — the seed-heuristic comparison discussed in Section V-B.
+//!
+//! Every experiment produces [`Measurement`] rows which the binaries print
+//! as aligned text tables (and optionally CSV); `EXPERIMENTS.md` in the
+//! repository root records a snapshot of these outputs next to the numbers
+//! the paper reports.
+//!
+//! Absolute state counts and times are not expected to match the paper — the
+//! engine, hardware and protocol-model details differ — but the *shape*
+//! (which strategy wins, by roughly what factor, and where the optimisations
+//! are ineffective) is the reproduction target.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod debugging;
+pub mod heuristics;
+pub mod report;
+pub mod runner;
+pub mod scaling;
+pub mod table1;
+pub mod table2;
+
+pub use report::{render_csv, render_table, Measurement};
+pub use runner::{Budget, CellStrategy};

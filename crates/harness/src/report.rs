@@ -1,0 +1,209 @@
+//! Measurement rows and plain-text/CSV rendering.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One cell of an evaluation table: a protocol/property/strategy combination
+/// with the measured state count and time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Measurement {
+    /// Protocol and setting, e.g. "Paxos (2,3,1)".
+    pub protocol: String,
+    /// Property under verification, e.g. "Consensus".
+    pub property: String,
+    /// Search strategy label, e.g. "SPOR" or "DPOR (stateless)".
+    pub strategy: String,
+    /// Number of states stored/expanded.
+    pub states: usize,
+    /// Number of transitions executed.
+    pub transitions: usize,
+    /// Wall-clock time of the run.
+    pub time: Duration,
+    /// The verdict string ("verified", "CE (n steps)", "bounded (...)" ).
+    pub verdict: String,
+    /// `false` if the run hit its budget before finishing.
+    pub completed: bool,
+    /// `true` if the verdict matches the expectation for the row (verified
+    /// vs counterexample), or the run was bounded.
+    pub as_expected: bool,
+}
+
+impl Measurement {
+    /// Human-readable duration (e.g. `1.2s`, `350ms`).
+    pub fn time_label(&self) -> String {
+        let secs = self.time.as_secs_f64();
+        if secs >= 60.0 {
+            format!("{:.0}m{:02.0}s", (secs / 60.0).floor(), secs % 60.0)
+        } else if secs >= 1.0 {
+            format!("{secs:.2}s")
+        } else {
+            format!("{:.0}ms", secs * 1000.0)
+        }
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} / {}: {} states in {} ({})",
+            self.protocol,
+            self.property,
+            self.strategy,
+            self.states,
+            self.time_label(),
+            self.verdict
+        )
+    }
+}
+
+/// Renders measurements as an aligned text table grouped the way the paper's
+/// tables are: one line per protocol row, one column pair (states, time) per
+/// strategy.
+pub fn render_table(title: &str, rows: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&"=".repeat(title.len()));
+    out.push('\n');
+
+    // Preserve first-appearance order of protocols and strategies.
+    let mut protocols: Vec<(String, String)> = Vec::new();
+    let mut strategies: Vec<String> = Vec::new();
+    for row in rows {
+        let key = (row.protocol.clone(), row.property.clone());
+        if !protocols.contains(&key) {
+            protocols.push(key);
+        }
+        if !strategies.contains(&row.strategy) {
+            strategies.push(row.strategy.clone());
+        }
+    }
+
+    let proto_width = protocols
+        .iter()
+        .map(|(p, prop)| p.len() + prop.len() + 3)
+        .chain(["protocol / property".len()])
+        .max()
+        .unwrap_or(20);
+    let col_width = 26usize;
+
+    out.push_str(&format!("{:<proto_width$}", "protocol / property"));
+    for s in &strategies {
+        out.push_str(&format!(" | {s:^col_width$}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<proto_width$}", ""));
+    for _ in &strategies {
+        out.push_str(&format!(" | {:^col_width$}", "states / time / verdict"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(proto_width + strategies.len() * (col_width + 3)));
+    out.push('\n');
+
+    for (protocol, property) in &protocols {
+        out.push_str(&format!(
+            "{:<proto_width$}",
+            format!("{protocol} [{property}]")
+        ));
+        for strategy in &strategies {
+            let cell = rows.iter().find(|r| {
+                &r.protocol == protocol && &r.property == property && &r.strategy == strategy
+            });
+            match cell {
+                Some(m) => {
+                    let marker = if m.completed { "" } else { ">" };
+                    out.push_str(&format!(
+                        " | {:^col_width$}",
+                        format!("{}{} / {} / {}", marker, m.states, m.time_label(), m.verdict)
+                    ));
+                }
+                None => out.push_str(&format!(" | {:^col_width$}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders measurements as CSV (one row per measurement).
+pub fn render_csv(rows: &[Measurement]) -> String {
+    let mut out =
+        String::from("protocol,property,strategy,states,transitions,time_ms,verdict,completed\n");
+    for m in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            m.protocol,
+            m.property,
+            m.strategy,
+            m.states,
+            m.transitions,
+            m.time.as_millis(),
+            m.verdict.replace(',', ";"),
+            m.completed
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(protocol: &str, strategy: &str, states: usize) -> Measurement {
+        Measurement {
+            protocol: protocol.to_string(),
+            property: "p".to_string(),
+            strategy: strategy.to_string(),
+            states,
+            transitions: states * 2,
+            time: Duration::from_millis(1500),
+            verdict: "verified".to_string(),
+            completed: true,
+            as_expected: true,
+        }
+    }
+
+    #[test]
+    fn time_labels() {
+        let mut m = sample("a", "s", 1);
+        assert_eq!(m.time_label(), "1.50s");
+        m.time = Duration::from_millis(20);
+        assert_eq!(m.time_label(), "20ms");
+        m.time = Duration::from_secs(90);
+        assert_eq!(m.time_label(), "1m30s");
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let rows = vec![
+            sample("Paxos (2,3,1)", "SPOR", 100),
+            sample("Paxos (2,3,1)", "DPOR (stateless)", 400),
+            sample("Storage (3,1)", "SPOR", 50),
+        ];
+        let table = render_table("Table I", &rows);
+        assert!(table.contains("Table I"));
+        assert!(table.contains("Paxos (2,3,1)"));
+        assert!(table.contains("Storage (3,1)"));
+        assert!(table.contains("SPOR"));
+        assert!(table.contains("DPOR (stateless)"));
+        assert!(table.contains("100"));
+        // The storage row has no DPOR cell: rendered as '-'.
+        assert!(table.contains('-'));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rows = vec![sample("p1", "s1", 10)];
+        let csv = render_csv(&rows);
+        assert!(csv.starts_with("protocol,"));
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("p1,p,s1,10,20,1500,verified,true"));
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let m = sample("p", "s", 5);
+        assert_eq!(m.to_string().lines().count(), 1);
+    }
+}

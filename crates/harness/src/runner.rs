@@ -1,0 +1,197 @@
+//! Shared experiment-cell runner.
+
+use std::time::Duration;
+
+use mp_checker::{Checker, CheckerConfig, Invariant, Observer, Verdict};
+use mp_model::{LocalState, Message, ProtocolSpec};
+use mp_por::SeedHeuristic;
+
+use crate::report::Measurement;
+
+/// Resource budget applied to every experiment cell. The defaults keep the
+/// whole table runnable on a laptop in minutes; `--full` in the binaries
+/// lifts them to paper-scale.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum states stored/expanded per cell.
+    pub max_states: usize,
+    /// Wall-clock budget per cell.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_states: 150_000,
+            time_limit: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl Budget {
+    /// An effectively unbounded budget (paper-scale runs).
+    pub fn unbounded() -> Self {
+        Budget {
+            max_states: usize::MAX / 2,
+            time_limit: None,
+        }
+    }
+
+    /// A tight budget used by smoke tests and benchmarks.
+    pub fn small() -> Self {
+        Budget {
+            max_states: 20_000,
+            time_limit: Some(Duration::from_secs(10)),
+        }
+    }
+
+    fn apply(&self, mut config: CheckerConfig) -> CheckerConfig {
+        config.max_states = self.max_states;
+        config.time_limit = self.time_limit;
+        config
+    }
+}
+
+/// The search/reduction strategies appearing as columns in the paper's
+/// tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CellStrategy {
+    /// Unreduced stateful depth-first search.
+    UnreducedStateful,
+    /// Stateful depth-first search with static POR (the MP-LPOR analogue).
+    SporStateful,
+    /// Stateful DFS with static POR and an explicit seed heuristic.
+    SporWithHeuristic(SeedHeuristic),
+    /// Stateless depth-first search with dynamic POR (the Basset baseline).
+    DporStateless,
+    /// Stateless depth-first search without reduction.
+    UnreducedStateless,
+}
+
+impl CellStrategy {
+    /// Column label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            CellStrategy::UnreducedStateful => "unreduced".to_string(),
+            CellStrategy::SporStateful => "SPOR".to_string(),
+            CellStrategy::SporWithHeuristic(h) => format!("SPOR[{}]", h.name()),
+            CellStrategy::DporStateless => "DPOR (stateless)".to_string(),
+            CellStrategy::UnreducedStateless => "stateless".to_string(),
+        }
+    }
+}
+
+/// Runs one experiment cell: a protocol + property + observer under a
+/// strategy and budget, returning a [`Measurement`] row.
+pub fn run_cell<S, M, O>(
+    protocol_label: &str,
+    property_label: &str,
+    expect_violation: bool,
+    spec: &ProtocolSpec<S, M>,
+    property: Invariant<S, M, O>,
+    observer: O,
+    strategy: CellStrategy,
+    budget: &Budget,
+) -> Measurement
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let checker = Checker::with_observer(spec, property, observer);
+    let checker = match strategy {
+        CellStrategy::UnreducedStateful => {
+            checker.unreduced().config(budget.apply(CheckerConfig::stateful_dfs()))
+        }
+        CellStrategy::SporStateful => {
+            checker.spor().config(budget.apply(CheckerConfig::stateful_dfs()))
+        }
+        CellStrategy::SporWithHeuristic(h) => checker
+            .spor_with_heuristic(h)
+            .config(budget.apply(CheckerConfig::stateful_dfs())),
+        CellStrategy::DporStateless => {
+            checker.config(budget.apply(CheckerConfig::stateless(true)))
+        }
+        CellStrategy::UnreducedStateless => {
+            checker.config(budget.apply(CheckerConfig::stateless(false)))
+        }
+    };
+    let report = checker.run();
+
+    let (verdict, completed, as_expected) = match &report.verdict {
+        Verdict::Verified => ("verified".to_string(), true, !expect_violation),
+        Verdict::Violated(cx) => (format!("CE ({} steps)", cx.len()), true, expect_violation),
+        Verdict::LimitReached { what } => (format!("bounded ({what})"), false, true),
+    };
+
+    Measurement {
+        protocol: protocol_label.to_string(),
+        property: property_label.to_string(),
+        strategy: strategy.label(),
+        states: report.stats.states,
+        transitions: report.stats.transitions_executed,
+        time: report.stats.elapsed,
+        verdict,
+        completed,
+        as_expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_checker::NullObserver;
+    use mp_protocols::sweep::{collect_model, collect_soundness_property, CollectSetting};
+
+    #[test]
+    fn run_cell_produces_sensible_measurements() {
+        let setting = CollectSetting::new(3, 2, 1);
+        let spec = collect_model(setting, true);
+        let m = run_cell(
+            "collect(3,2,1)",
+            "soundness",
+            false,
+            &spec,
+            collect_soundness_property(setting),
+            NullObserver,
+            CellStrategy::SporStateful,
+            &Budget::small(),
+        );
+        assert!(m.completed);
+        assert!(m.as_expected);
+        assert_eq!(m.verdict, "verified");
+        assert!(m.states > 1);
+        assert_eq!(m.strategy, "SPOR");
+    }
+
+    #[test]
+    fn budget_limits_are_applied() {
+        let setting = CollectSetting::new(4, 2, 2);
+        let spec = collect_model(setting, false);
+        let tiny = Budget {
+            max_states: 10,
+            time_limit: None,
+        };
+        let m = run_cell(
+            "collect",
+            "true",
+            false,
+            &spec,
+            mp_protocols::sweep::collect_true_property(),
+            NullObserver,
+            CellStrategy::UnreducedStateful,
+            &tiny,
+        );
+        assert!(!m.completed);
+        assert!(m.verdict.contains("bounded"));
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(CellStrategy::SporStateful.label(), "SPOR");
+        assert_eq!(CellStrategy::DporStateless.label(), "DPOR (stateless)");
+        assert!(CellStrategy::SporWithHeuristic(SeedHeuristic::Transaction)
+            .label()
+            .contains("transaction"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Section II-C — state-space inflation of single-message models.
+//!
+//! The paper argues that replacing a quorum transition that consumes `l`
+//! messages by single-message transitions inflates the state space by
+//! roughly `(k + l)²`. This experiment measures the actual inflation on two
+//! families:
+//!
+//! * the parametric quorum-collection protocol of
+//!   [`mp_protocols::sweep`], sweeping the quorum size, and
+//! * Paxos with a growing number of acceptors (hence a growing majority).
+
+use mp_checker::NullObserver;
+use mp_model::StateGraph;
+use mp_protocols::paxos::{consensus_property, quorum_model, single_message_model, PaxosSetting, PaxosVariant};
+use mp_protocols::sweep::{collect_model, CollectSetting};
+
+use crate::runner::run_cell;
+use crate::{Budget, CellStrategy, Measurement};
+
+/// One point of the quorum-size sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalingPoint {
+    /// Description of the configuration (voters, quorum).
+    pub label: String,
+    /// Quorum size of the collect transition.
+    pub quorum: usize,
+    /// Reachable states of the quorum-transition model.
+    pub quorum_states: usize,
+    /// Reachable states of the single-message model.
+    pub single_states: usize,
+}
+
+impl ScalingPoint {
+    /// The measured inflation factor (single-message / quorum states).
+    pub fn inflation(&self) -> f64 {
+        self.single_states as f64 / self.quorum_states as f64
+    }
+}
+
+/// Sweeps the quorum size of the collection protocol and returns the state
+/// counts of both modelling styles (full state graphs, no reduction — this
+/// measures model size, not search quality).
+pub fn collect_sweep(voters: usize, collectors: usize, max_states: usize) -> Vec<ScalingPoint> {
+    let mut points = Vec::new();
+    for quorum in 1..=voters {
+        let setting = CollectSetting::new(voters, quorum, collectors);
+        let quorum_states = StateGraph::build(&collect_model(setting, true), max_states)
+            .map(|g| g.num_states())
+            .unwrap_or(max_states);
+        let single_states = StateGraph::build(&collect_model(setting, false), max_states)
+            .map(|g| g.num_states())
+            .unwrap_or(max_states);
+        points.push(ScalingPoint {
+            label: format!("collect: {voters} voters, quorum {quorum}, {collectors} collector(s)"),
+            quorum,
+            quorum_states,
+            single_states,
+        });
+    }
+    points
+}
+
+/// Measures quorum vs single-message Paxos as the number of acceptors (and
+/// with it the majority quorum) grows, using SPOR for both so the comparison
+/// matches Table I's middle and right columns.
+pub fn paxos_sweep(max_acceptors: usize, budget: &Budget) -> Vec<Measurement> {
+    let mut rows = Vec::new();
+    for acceptors in 1..=max_acceptors {
+        let setting = PaxosSetting::new(1, acceptors, 1);
+        let label = format!("Paxos {setting}");
+        rows.push(run_cell(
+            &label,
+            "Consensus",
+            false,
+            &single_message_model(setting, PaxosVariant::Correct),
+            consensus_property(setting),
+            NullObserver,
+            CellStrategy::SporStateful,
+            budget,
+        ));
+        rows.push(run_cell(
+            &label,
+            "Consensus",
+            false,
+            &quorum_model(setting, PaxosVariant::Correct),
+            consensus_property(setting),
+            NullObserver,
+            CellStrategy::SporStateful,
+            budget,
+        ));
+    }
+    rows
+}
+
+/// Renders the collect sweep as a small text table.
+pub fn render_sweep(points: &[ScalingPoint]) -> String {
+    let mut out = String::from(
+        "quorum size | quorum-model states | single-message states | inflation\n",
+    );
+    out.push_str("------------+---------------------+-----------------------+----------\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:>11} | {:>19} | {:>21} | {:>8.2}x\n",
+            p.quorum,
+            p.quorum_states,
+            p.single_states,
+            p.inflation()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflation_grows_with_quorum_size() {
+        let points = collect_sweep(3, 1, 1_000_000);
+        assert_eq!(points.len(), 3);
+        assert!(points.iter().all(|p| p.single_states >= p.quorum_states));
+        assert!(
+            points.last().unwrap().inflation() >= points.first().unwrap().inflation(),
+            "inflation must not shrink as the quorum grows: {points:?}"
+        );
+        let rendered = render_sweep(&points);
+        assert!(rendered.contains("inflation"));
+        assert_eq!(rendered.lines().count(), 2 + points.len());
+    }
+
+    #[test]
+    fn paxos_sweep_prefers_quorum_models() {
+        let rows = paxos_sweep(2, &Budget::small());
+        assert_eq!(rows.len(), 4);
+        // For each acceptor count the quorum model (odd rows) must not be
+        // larger than the single-message model (even rows).
+        for pair in rows.chunks(2) {
+            assert!(pair[1].states <= pair[0].states, "{pair:?}");
+        }
+    }
+}

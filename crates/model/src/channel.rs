@@ -1,0 +1,328 @@
+//! Directed, unordered channels between processes.
+//!
+//! The system consists of `n` processes communicating via directed channels
+//! `c_{i,j}`, which are unordered multisets of messages (paper, Section
+//! II-A). [`Channels`] stores the contents of every non-empty channel in a
+//! canonical form so that two global states with the same pending messages
+//! compare and hash equal regardless of the order in which the messages were
+//! sent.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{Envelope, Kind, Message, Multiset, ProcessId};
+
+/// The contents of all channels of a system.
+///
+/// Conceptually a map from `(sender, receiver)` to a multiset of messages.
+/// The map is keyed by `(receiver, sender)` internally because the dominant
+/// query of the model checker is "all pending messages of process *i*"
+/// (the union of *i*'s incoming channels), which then becomes a contiguous
+/// range scan.
+///
+/// # Examples
+///
+/// ```
+/// use mp_model::{Channels, ProcessId};
+///
+/// let mut ch: Channels<String> = Channels::new(3);
+/// ch.send(ProcessId(0), ProcessId(2), "hello".to_string());
+/// ch.send(ProcessId(1), ProcessId(2), "world".to_string());
+/// assert_eq!(ch.total_pending(), 2);
+/// assert_eq!(ch.pending_for(ProcessId(2)).count(), 2);
+/// assert_eq!(ch.pending_for(ProcessId(0)).count(), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channels<M: Ord> {
+    /// `(receiver, sender) -> multiset of messages`; empty channels are not
+    /// stored, which keeps the canonical form unique.
+    contents: BTreeMap<(ProcessId, ProcessId), Multiset<M>>,
+    num_processes: usize,
+    total: usize,
+}
+
+impl<M: Message> Channels<M> {
+    /// Creates the channel state of a system of `num_processes` processes
+    /// with every channel empty.
+    pub fn new(num_processes: usize) -> Self {
+        Channels {
+            contents: BTreeMap::new(),
+            num_processes,
+            total: 0,
+        }
+    }
+
+    /// Returns the number of processes of the system.
+    pub fn num_processes(&self) -> usize {
+        self.num_processes
+    }
+
+    /// Returns the total number of pending messages across all channels.
+    pub fn total_pending(&self) -> usize {
+        self.total
+    }
+
+    /// Returns `true` if every channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Adds a message to the channel from `sender` to `receiver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or `receiver` is not a process of the system; the
+    /// protocol validation in [`ProtocolSpec`](crate::ProtocolSpec) is meant
+    /// to rule this out before exploration starts.
+    pub fn send(&mut self, sender: ProcessId, receiver: ProcessId, message: M) {
+        assert!(
+            sender.index() < self.num_processes && receiver.index() < self.num_processes,
+            "send endpoints out of range: {sender} -> {receiver} with {} processes",
+            self.num_processes
+        );
+        self.contents
+            .entry((receiver, sender))
+            .or_default()
+            .entry_increment(message);
+        self.total += 1;
+    }
+
+    /// Removes one occurrence of the message carried by `envelope` from the
+    /// incoming channel of `receiver`.
+    ///
+    /// Returns `true` if the message was present and removed.
+    pub fn consume(&mut self, receiver: ProcessId, envelope: &Envelope<M>) -> bool {
+        let key = (receiver, envelope.sender);
+        let Some(bag) = self.contents.get_mut(&key) else {
+            return false;
+        };
+        if !bag.remove(&envelope.payload) {
+            return false;
+        }
+        self.total -= 1;
+        if bag.is_empty() {
+            self.contents.remove(&key);
+        }
+        true
+    }
+
+    /// Returns how many copies of `envelope` are pending for `receiver`.
+    pub fn pending_count(&self, receiver: ProcessId, envelope: &Envelope<M>) -> usize {
+        self.contents
+            .get(&(receiver, envelope.sender))
+            .map(|bag| bag.count(&envelope.payload))
+            .unwrap_or(0)
+    }
+
+    /// Iterates over all pending envelopes of `receiver` (the union of its
+    /// incoming channels), repeating duplicated messages.
+    pub fn pending_for(&self, receiver: ProcessId) -> impl Iterator<Item = Envelope<M>> + '_ {
+        self.incoming_channels(receiver).flat_map(|(sender, bag)| {
+            bag.iter_occurrences()
+                .map(move |payload| Envelope::new(sender, payload.clone()))
+        })
+    }
+
+    /// Iterates over the non-empty incoming channels of `receiver` as
+    /// `(sender, contents)` pairs.
+    pub fn incoming_channels(
+        &self,
+        receiver: ProcessId,
+    ) -> impl Iterator<Item = (ProcessId, &Multiset<M>)> + '_ {
+        let lo = (receiver, ProcessId(0));
+        let hi = (receiver, ProcessId(usize::MAX));
+        self.contents
+            .range(lo..=hi)
+            .map(|((_, sender), bag)| (*sender, bag))
+    }
+
+    /// Returns the contents of the channel from `sender` to `receiver`; an
+    /// empty multiset if the channel is empty.
+    pub fn channel(&self, sender: ProcessId, receiver: ProcessId) -> Multiset<M> {
+        self.contents
+            .get(&(receiver, sender))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Returns, for each sender, the distinct pending payloads of the given
+    /// `kind` in the incoming channels of `receiver`.
+    ///
+    /// This is the enumeration primitive for quorum transitions: an exact
+    /// quorum of size `q` picks `q` distinct senders and one message per
+    /// sender (paper, Definition 2). Multiplicities above one are irrelevant
+    /// for enabledness because a transition consumes at most one copy of a
+    /// payload per sender in a single step.
+    pub fn pending_by_sender(
+        &self,
+        receiver: ProcessId,
+        kind: Kind,
+    ) -> BTreeMap<ProcessId, Vec<M>> {
+        let mut out: BTreeMap<ProcessId, Vec<M>> = BTreeMap::new();
+        for (sender, bag) in self.incoming_channels(receiver) {
+            let payloads: Vec<M> = bag
+                .iter()
+                .filter(|(payload, _)| payload.kind() == kind)
+                .map(|(payload, _)| payload.clone())
+                .collect();
+            if !payloads.is_empty() {
+                out.insert(sender, payloads);
+            }
+        }
+        out
+    }
+
+    /// Returns all pending envelopes of the given `kind` for `receiver`,
+    /// without repeating duplicated copies.
+    pub fn pending_of_kind(&self, receiver: ProcessId, kind: Kind) -> Vec<Envelope<M>> {
+        let mut out = Vec::new();
+        for (sender, payloads) in self.pending_by_sender(receiver, kind) {
+            for payload in payloads {
+                out.push(Envelope::new(sender, payload));
+            }
+        }
+        out
+    }
+
+    /// Iterates over every non-empty channel as `((sender, receiver), contents)`.
+    pub fn iter(&self) -> impl Iterator<Item = ((ProcessId, ProcessId), &Multiset<M>)> + '_ {
+        self.contents
+            .iter()
+            .map(|((receiver, sender), bag)| ((*sender, *receiver), bag))
+    }
+}
+
+impl<M: Message> fmt::Debug for Channels<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for ((sender, receiver), bag) in self.iter() {
+            map.entry(&format_args!("{sender}->{receiver}"), bag);
+        }
+        map.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    enum Msg {
+        Req(u8),
+        Ack(u8),
+    }
+
+    impl Message for Msg {
+        fn kind(&self) -> Kind {
+            match self {
+                Msg::Req(_) => "REQ",
+                Msg::Ack(_) => "ACK",
+            }
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn send_and_consume_roundtrip() {
+        let mut ch: Channels<Msg> = Channels::new(3);
+        ch.send(p(0), p(1), Msg::Req(1));
+        assert_eq!(ch.total_pending(), 1);
+        let env = Envelope::new(p(0), Msg::Req(1));
+        assert_eq!(ch.pending_count(p(1), &env), 1);
+        assert!(ch.consume(p(1), &env));
+        assert!(ch.is_empty());
+        assert!(!ch.consume(p(1), &env));
+    }
+
+    #[test]
+    fn duplicate_messages_are_kept_as_multiset() {
+        let mut ch: Channels<Msg> = Channels::new(2);
+        ch.send(p(0), p(1), Msg::Req(1));
+        ch.send(p(0), p(1), Msg::Req(1));
+        let env = Envelope::new(p(0), Msg::Req(1));
+        assert_eq!(ch.pending_count(p(1), &env), 2);
+        assert!(ch.consume(p(1), &env));
+        assert_eq!(ch.pending_count(p(1), &env), 1);
+        assert_eq!(ch.total_pending(), 1);
+    }
+
+    #[test]
+    fn pending_for_unions_incoming_channels() {
+        let mut ch: Channels<Msg> = Channels::new(4);
+        ch.send(p(0), p(3), Msg::Req(0));
+        ch.send(p(1), p(3), Msg::Ack(1));
+        ch.send(p(2), p(3), Msg::Ack(2));
+        ch.send(p(0), p(1), Msg::Req(9));
+        let pending: Vec<Envelope<Msg>> = ch.pending_for(p(3)).collect();
+        assert_eq!(pending.len(), 3);
+        assert!(pending.iter().all(|e| e.sender != p(3)));
+    }
+
+    #[test]
+    fn pending_by_sender_filters_kind() {
+        let mut ch: Channels<Msg> = Channels::new(3);
+        ch.send(p(0), p(2), Msg::Req(0));
+        ch.send(p(0), p(2), Msg::Ack(0));
+        ch.send(p(1), p(2), Msg::Ack(1));
+        let by_sender = ch.pending_by_sender(p(2), "ACK");
+        assert_eq!(by_sender.len(), 2);
+        assert_eq!(by_sender[&p(0)], vec![Msg::Ack(0)]);
+        assert_eq!(by_sender[&p(1)], vec![Msg::Ack(1)]);
+        let reqs = ch.pending_of_kind(p(2), "REQ");
+        assert_eq!(reqs, vec![Envelope::new(p(0), Msg::Req(0))]);
+    }
+
+    #[test]
+    fn channel_query_returns_copy() {
+        let mut ch: Channels<Msg> = Channels::new(2);
+        ch.send(p(0), p(1), Msg::Req(5));
+        let bag = ch.channel(p(0), p(1));
+        assert_eq!(bag.len(), 1);
+        assert!(bag.contains(&Msg::Req(5)));
+        assert!(ch.channel(p(1), p(0)).is_empty());
+    }
+
+    #[test]
+    fn canonical_equality_ignores_send_order() {
+        let mut a: Channels<Msg> = Channels::new(3);
+        a.send(p(0), p(2), Msg::Req(0));
+        a.send(p(1), p(2), Msg::Req(1));
+        let mut b: Channels<Msg> = Channels::new(3);
+        b.send(p(1), p(2), Msg::Req(1));
+        b.send(p(0), p(2), Msg::Req(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consuming_last_message_removes_channel_entry() {
+        let mut a: Channels<Msg> = Channels::new(2);
+        a.send(p(0), p(1), Msg::Req(0));
+        let b: Channels<Msg> = Channels::new(2);
+        assert_ne!(a, b);
+        assert!(a.consume(p(1), &Envelope::new(p(0), Msg::Req(0))));
+        assert_eq!(a, b, "empty channels must not linger in the canonical form");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn send_to_unknown_process_panics() {
+        let mut ch: Channels<Msg> = Channels::new(2);
+        ch.send(p(0), p(5), Msg::Req(0));
+    }
+
+    #[test]
+    fn iter_lists_all_nonempty_channels() {
+        let mut ch: Channels<Msg> = Channels::new(3);
+        ch.send(p(0), p(1), Msg::Req(0));
+        ch.send(p(2), p(1), Msg::Req(1));
+        ch.send(p(1), p(0), Msg::Ack(0));
+        let pairs: Vec<(ProcessId, ProcessId)> = ch.iter().map(|(k, _)| k).collect();
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&(p(0), p(1))));
+        assert!(pairs.contains(&(p(2), p(1))));
+        assert!(pairs.contains(&(p(1), p(0))));
+    }
+}

@@ -1,0 +1,523 @@
+//! Enumeration of enabled transition instances ("enabled sets of messages").
+//!
+//! MP-Basset extends Basset's notion of an *enabled message* to an *enabled
+//! set of messages* (paper, Section IV-A): a set `X` of messages is enabled
+//! in state `s` if there is a transition `t` and a state `s'` such that
+//! `s --t(X)--> s'`. A [`TransitionInstance`] is such a pair of a transition
+//! and a concrete message set.
+//!
+//! The paper notes that in the worst case the enabled sets form the powerset
+//! of all pending messages. The common case in fault-tolerant protocols,
+//! however, is the *exact quorum transition* (Definition 2), which consumes
+//! exactly `q` messages from `q` distinct senders; for those the enumeration
+//! walks combinations of senders instead of the full powerset. Unbounded
+//! [`QuorumSpec::AtLeast`]/[`QuorumSpec::Between`] transitions fall back to
+//! enumerating all admissible sender-set sizes and are subject to the
+//! [`EnumerationLimits`] safety valve.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::{
+    Envelope, GlobalState, InputSpec, Kind, LocalState, Message, ProcessId, ProtocolSpec,
+    QuorumSpec, TransitionId, TransitionSpec,
+};
+
+/// A transition together with the concrete set of messages it consumes.
+///
+/// Instances are the unit scheduled by the model checker: executing an
+/// instance consumes exactly `envelopes` from the incoming channels of
+/// `process` and applies the transition's effect.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionInstance<M> {
+    /// The transition being executed.
+    pub transition: TransitionId,
+    /// The process executing the transition.
+    pub process: ProcessId,
+    /// The messages consumed, in canonical (sorted) order; empty for
+    /// internal transitions.
+    pub envelopes: Vec<Envelope<M>>,
+}
+
+impl<M: Message> TransitionInstance<M> {
+    /// Creates an instance, canonicalising the envelope order.
+    pub fn new(transition: TransitionId, process: ProcessId, mut envelopes: Vec<Envelope<M>>) -> Self {
+        envelopes.sort();
+        TransitionInstance {
+            transition,
+            process,
+            envelopes,
+        }
+    }
+
+    /// Returns `senders(X)` for this instance: the distinct senders of the
+    /// consumed messages.
+    pub fn senders(&self) -> Vec<ProcessId> {
+        crate::message::senders(&self.envelopes)
+    }
+
+    /// Returns `true` if this instance consumes messages from more than one
+    /// sender, i.e. it is an execution of a quorum transition in the sense
+    /// of Section II-A.
+    pub fn is_quorum_execution(&self) -> bool {
+        self.senders().len() > 1
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for TransitionInstance<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}{:?}",
+            self.transition, self.process, self.envelopes
+        )
+    }
+}
+
+/// Limits applied while enumerating enabled instances, protecting against the
+/// exponential worst case of unbounded quorum specifications.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EnumerationLimits {
+    /// Maximum number of candidate message sets generated per transition per
+    /// state before enumeration aborts with a panic (indicating a modelling
+    /// mistake rather than silently dropping behaviours).
+    pub max_candidates_per_transition: usize,
+}
+
+impl Default for EnumerationLimits {
+    fn default() -> Self {
+        EnumerationLimits {
+            max_candidates_per_transition: 1 << 20,
+        }
+    }
+}
+
+/// Enumerates all enabled instances of all transitions in `state`.
+///
+/// The result is deterministic: instances are produced in transition-id order
+/// and, within a transition, in canonical message-set order.
+pub fn enabled_instances<S: LocalState, M: Message>(
+    spec: &ProtocolSpec<S, M>,
+    state: &GlobalState<S, M>,
+) -> Vec<TransitionInstance<M>> {
+    enabled_instances_with_limits(spec, state, EnumerationLimits::default())
+}
+
+/// Enumerates all enabled instances with explicit [`EnumerationLimits`].
+pub fn enabled_instances_with_limits<S: LocalState, M: Message>(
+    spec: &ProtocolSpec<S, M>,
+    state: &GlobalState<S, M>,
+    limits: EnumerationLimits,
+) -> Vec<TransitionInstance<M>> {
+    let mut out = Vec::new();
+    for (id, _) in spec.transitions() {
+        enabled_instances_of_into(spec, state, id, limits, &mut out);
+    }
+    out
+}
+
+/// Enumerates the enabled instances of a single transition in `state`.
+pub fn enabled_instances_of<S: LocalState, M: Message>(
+    spec: &ProtocolSpec<S, M>,
+    state: &GlobalState<S, M>,
+    transition: TransitionId,
+) -> Vec<TransitionInstance<M>> {
+    let mut out = Vec::new();
+    enabled_instances_of_into(
+        spec,
+        state,
+        transition,
+        EnumerationLimits::default(),
+        &mut out,
+    );
+    out
+}
+
+/// Returns `true` if `transition` has at least one enabled instance in
+/// `state`, without materialising every instance.
+pub fn is_enabled<S: LocalState, M: Message>(
+    spec: &ProtocolSpec<S, M>,
+    state: &GlobalState<S, M>,
+    transition: TransitionId,
+) -> bool {
+    !enabled_instances_of(spec, state, transition).is_empty()
+}
+
+fn enabled_instances_of_into<S: LocalState, M: Message>(
+    spec: &ProtocolSpec<S, M>,
+    state: &GlobalState<S, M>,
+    transition: TransitionId,
+    limits: EnumerationLimits,
+    out: &mut Vec<TransitionInstance<M>>,
+) {
+    let t = spec.transition(transition);
+    let process = t.process();
+    let local = state.local(process);
+    match t.input() {
+        InputSpec::Internal => {
+            if t.guard_holds(local, &[]) {
+                out.push(TransitionInstance::new(transition, process, Vec::new()));
+            }
+        }
+        InputSpec::Single { kind } => {
+            for env in pending_candidates(state, t, process, kind) {
+                if t.guard_holds(local, std::slice::from_ref(&env)) {
+                    out.push(TransitionInstance::new(transition, process, vec![env]));
+                }
+            }
+        }
+        InputSpec::Quorum { kind, quorum } => {
+            enumerate_quorum_instances(state, t, transition, process, kind, *quorum, limits, out);
+        }
+    }
+}
+
+/// Pending single-message candidates of `kind` for a transition, respecting
+/// its sender restriction.
+fn pending_candidates<S: LocalState, M: Message>(
+    state: &GlobalState<S, M>,
+    t: &TransitionSpec<S, M>,
+    process: ProcessId,
+    kind: Kind,
+) -> Vec<Envelope<M>> {
+    state
+        .channels
+        .pending_of_kind(process, kind)
+        .into_iter()
+        .filter(|env| t.may_receive_from(env.sender))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_quorum_instances<S: LocalState, M: Message>(
+    state: &GlobalState<S, M>,
+    t: &TransitionSpec<S, M>,
+    transition: TransitionId,
+    process: ProcessId,
+    kind: Kind,
+    quorum: QuorumSpec,
+    limits: EnumerationLimits,
+    out: &mut Vec<TransitionInstance<M>>,
+) {
+    let local = state.local(process);
+    let by_sender: BTreeMap<ProcessId, Vec<M>> = state
+        .channels
+        .pending_by_sender(process, kind)
+        .into_iter()
+        .filter(|(sender, _)| t.may_receive_from(*sender))
+        .collect();
+    let senders: Vec<ProcessId> = by_sender.keys().copied().collect();
+    if senders.is_empty() {
+        return;
+    }
+
+    let max_size = quorum
+        .max_senders()
+        .unwrap_or(senders.len())
+        .min(senders.len());
+    let min_size = quorum.min_senders();
+    if min_size > senders.len() {
+        return;
+    }
+
+    let mut candidates_generated = 0usize;
+    for size in min_size..=max_size {
+        if !quorum.admits(size) {
+            continue;
+        }
+        for combo in combinations(&senders, size) {
+            // One message per chosen sender; if a sender has several distinct
+            // pending payloads of the right kind, every choice is a candidate.
+            let per_sender: Vec<&Vec<M>> = combo.iter().map(|s| &by_sender[s]).collect();
+            for selection in cartesian_product(&per_sender) {
+                candidates_generated += 1;
+                assert!(
+                    candidates_generated <= limits.max_candidates_per_transition,
+                    "transition `{}` generated more than {} candidate message sets in one state; \
+                     tighten its quorum specification or raise EnumerationLimits",
+                    t.name(),
+                    limits.max_candidates_per_transition
+                );
+                let envelopes: Vec<Envelope<M>> = combo
+                    .iter()
+                    .zip(selection.iter())
+                    .map(|(sender, payload)| Envelope::new(**sender, (*payload).clone()))
+                    .collect();
+                if t.guard_holds(local, &envelopes) {
+                    out.push(TransitionInstance::new(transition, process, envelopes));
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates all `size`-element combinations of `items`, preserving order.
+fn combinations<'a, T>(items: &'a [T], size: usize) -> Vec<Vec<&'a T>> {
+    let mut out = Vec::new();
+    if size == 0 || size > items.len() {
+        if size == 0 {
+            out.push(Vec::new());
+        }
+        return out;
+    }
+    let mut indices: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(indices.iter().map(|&i| &items[i]).collect());
+        // Advance the combination indices (standard odometer).
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if indices[i] != i + items.len() - size {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        indices[i] += 1;
+        for j in i + 1..size {
+            indices[j] = indices[j - 1] + 1;
+        }
+    }
+}
+
+/// Cartesian product over per-sender payload choices.
+fn cartesian_product<'a, T>(lists: &[&'a Vec<T>]) -> Vec<Vec<&'a T>> {
+    let mut out: Vec<Vec<&T>> = vec![Vec::new()];
+    for list in lists {
+        let mut next = Vec::with_capacity(out.len() * list.len());
+        for prefix in &out {
+            for item in list.iter() {
+                let mut extended = prefix.clone();
+                extended.push(item);
+                next.push(extended);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Outcome, ProtocolSpec, TransitionSpec};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    enum Msg {
+        Vote(u8),
+        Other,
+    }
+
+    impl Message for Msg {
+        fn kind(&self) -> Kind {
+            match self {
+                Msg::Vote(_) => "VOTE",
+                Msg::Other => "OTHER",
+            }
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    /// Protocol: process 0 collects VOTE messages; processes 1..=3 are voters
+    /// (they have a trivial internal transition so the protocol validates).
+    fn collector_protocol(quorum: QuorumSpec) -> ProtocolSpec<u32, Msg> {
+        let mut b = ProtocolSpec::builder("collector");
+        b = b.process("collector", 0u32);
+        b = b.process("v1", 0).process("v2", 0).process("v3", 0);
+        b = b.transition(
+            TransitionSpec::builder("COLLECT", p(0))
+                .quorum_input("VOTE", quorum)
+                .effect(|l, msgs| Outcome::new(l + msgs.len() as u32))
+                .build(),
+        );
+        b = b.transition(
+            TransitionSpec::builder("NOOP", p(1))
+                .internal()
+                .guard(|_, _| false)
+                .effect(|l, _| Outcome::new(*l))
+                .build(),
+        );
+        b.build().unwrap()
+    }
+
+    fn state_with_votes(senders: &[usize]) -> GlobalState<u32, Msg> {
+        let mut s = GlobalState::new(vec![0u32, 0, 0, 0]);
+        for &i in senders {
+            s.channels.send(p(i), p(0), Msg::Vote(i as u8));
+        }
+        s
+    }
+
+    #[test]
+    fn combinations_enumeration() {
+        let items = [1, 2, 3, 4];
+        assert_eq!(combinations(&items, 2).len(), 6);
+        assert_eq!(combinations(&items, 4).len(), 1);
+        assert_eq!(combinations(&items, 5).len(), 0);
+        assert_eq!(combinations(&items, 0).len(), 1);
+        let singles = combinations(&items, 1);
+        assert_eq!(singles.len(), 4);
+    }
+
+    #[test]
+    fn cartesian_product_counts() {
+        let a = vec![1, 2];
+        let b = vec![3];
+        let c = vec![4, 5, 6];
+        let prod = cartesian_product(&[&a, &b, &c]);
+        assert_eq!(prod.len(), 6);
+        let empty: Vec<&Vec<i32>> = Vec::new();
+        assert_eq!(cartesian_product(&empty).len(), 1);
+    }
+
+    #[test]
+    fn exact_quorum_instances_enumerate_sender_pairs() {
+        let proto = collector_protocol(QuorumSpec::Exact(2));
+        let state = state_with_votes(&[1, 2, 3]);
+        let instances = enabled_instances(&proto, &state);
+        // Three acceptor pairs: {1,2}, {1,3}, {2,3}; the NOOP guard is false.
+        assert_eq!(instances.len(), 3);
+        assert!(instances.iter().all(|i| i.envelopes.len() == 2));
+        assert!(instances.iter().all(|i| i.is_quorum_execution()));
+    }
+
+    #[test]
+    fn exact_quorum_needs_enough_senders() {
+        let proto = collector_protocol(QuorumSpec::Exact(2));
+        let state = state_with_votes(&[2]);
+        assert!(enabled_instances(&proto, &state).is_empty());
+        assert!(!is_enabled(&proto, &state, TransitionId(0)));
+    }
+
+    #[test]
+    fn at_least_quorum_enumerates_all_admissible_sizes() {
+        let proto = collector_protocol(QuorumSpec::AtLeast(2));
+        let state = state_with_votes(&[1, 2, 3]);
+        let instances = enabled_instances(&proto, &state);
+        // Size-2 sets: 3, size-3 sets: 1.
+        assert_eq!(instances.len(), 4);
+    }
+
+    #[test]
+    fn between_quorum_respects_bounds() {
+        let proto = collector_protocol(QuorumSpec::Between { min: 1, max: 2 });
+        let state = state_with_votes(&[1, 2, 3]);
+        let instances = enabled_instances(&proto, &state);
+        // Size-1 sets: 3, size-2 sets: 3.
+        assert_eq!(instances.len(), 6);
+    }
+
+    #[test]
+    fn guard_filters_instances() {
+        let mut b = ProtocolSpec::builder("guarded");
+        b = b.process("collector", 0u32).process("v1", 0).process("v2", 0);
+        b = b.transition(
+            TransitionSpec::builder("COLLECT", p(0))
+                .quorum_input("VOTE", QuorumSpec::Exact(2))
+                .guard(|_, msgs| {
+                    msgs.iter()
+                        .all(|e| matches!(e.payload, Msg::Vote(v) if v > 0))
+                })
+                .effect(|l, _| Outcome::new(*l))
+                .build(),
+        );
+        let proto = b.build().unwrap();
+        let mut s = GlobalState::new(vec![0u32, 0, 0]);
+        s.channels.send(p(1), p(0), Msg::Vote(0));
+        s.channels.send(p(2), p(0), Msg::Vote(5));
+        assert!(enabled_instances(&proto, &s).is_empty());
+        let mut s2 = GlobalState::new(vec![0u32, 0, 0]);
+        s2.channels.send(p(1), p(0), Msg::Vote(1));
+        s2.channels.send(p(2), p(0), Msg::Vote(5));
+        assert_eq!(enabled_instances(&proto, &s2).len(), 1);
+    }
+
+    #[test]
+    fn allowed_senders_restrict_instances() {
+        let mut b = ProtocolSpec::builder("restricted");
+        b = b
+            .process("collector", 0u32)
+            .process("v1", 0)
+            .process("v2", 0)
+            .process("v3", 0);
+        b = b.transition(
+            TransitionSpec::builder("COLLECT_12", p(0))
+                .quorum_input("VOTE", QuorumSpec::Exact(2))
+                .allowed_senders([p(1), p(2)])
+                .effect(|l, _| Outcome::new(*l))
+                .build(),
+        );
+        let proto = b.build().unwrap();
+        let state = state_with_votes(&[1, 2, 3]);
+        let instances = enabled_instances(&proto, &state);
+        assert_eq!(instances.len(), 1);
+        assert_eq!(instances[0].senders(), vec![p(1), p(2)]);
+    }
+
+    #[test]
+    fn multiple_payloads_per_sender_multiply_choices() {
+        let proto = collector_protocol(QuorumSpec::Exact(2));
+        let mut s = GlobalState::new(vec![0u32, 0, 0, 0]);
+        s.channels.send(p(1), p(0), Msg::Vote(1));
+        s.channels.send(p(1), p(0), Msg::Vote(9));
+        s.channels.send(p(2), p(0), Msg::Vote(2));
+        let instances = enabled_instances(&proto, &s);
+        // Sender set {1,2}: 2 payload choices for p1 × 1 for p2.
+        assert_eq!(instances.len(), 2);
+    }
+
+    #[test]
+    fn wrong_kind_messages_are_ignored() {
+        let proto = collector_protocol(QuorumSpec::Exact(2));
+        let mut s = GlobalState::new(vec![0u32, 0, 0, 0]);
+        s.channels.send(p(1), p(0), Msg::Other);
+        s.channels.send(p(2), p(0), Msg::Vote(2));
+        assert!(enabled_instances(&proto, &s).is_empty());
+    }
+
+    #[test]
+    fn internal_transitions_respect_guards() {
+        let mut b = ProtocolSpec::builder("internal");
+        b = b.process("a", 0u32);
+        b = b.transition(
+            TransitionSpec::builder("START", p(0))
+                .internal()
+                .guard(|l, _| *l == 0)
+                .effect(|l, _| Outcome::new(l + 1))
+                .build(),
+        );
+        let proto = b.build().unwrap();
+        let s0: GlobalState<u32, Msg> = GlobalState::new(vec![0]);
+        assert_eq!(enabled_instances(&proto, &s0).len(), 1);
+        let s1: GlobalState<u32, Msg> = GlobalState::new(vec![1]);
+        assert!(enabled_instances(&proto, &s1).is_empty());
+    }
+
+    #[test]
+    fn instance_canonicalises_envelope_order() {
+        let a = TransitionInstance::new(
+            TransitionId(0),
+            p(0),
+            vec![
+                Envelope::new(p(2), Msg::Vote(2)),
+                Envelope::new(p(1), Msg::Vote(1)),
+            ],
+        );
+        let b = TransitionInstance::new(
+            TransitionId(0),
+            p(0),
+            vec![
+                Envelope::new(p(1), Msg::Vote(1)),
+                Envelope::new(p(2), Msg::Vote(2)),
+            ],
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,136 @@
+//! Error types of the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ProcessId, TransitionId};
+
+/// Errors produced while validating or executing a protocol model.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A transition refers to a process that does not exist.
+    UnknownProcess {
+        /// The offending process id.
+        process: ProcessId,
+        /// Number of processes in the protocol.
+        num_processes: usize,
+    },
+    /// A transition id does not exist in the protocol.
+    UnknownTransition {
+        /// The offending transition id.
+        transition: TransitionId,
+    },
+    /// Two transitions share the same name; names must be unique because
+    /// refinement and reporting address transitions by name.
+    DuplicateTransitionName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The protocol declares no processes or no transitions.
+    EmptyProtocol,
+    /// The initial local-state vector length does not match the number of
+    /// processes.
+    InitialStateMismatch {
+        /// Number of processes declared.
+        processes: usize,
+        /// Number of initial local states provided.
+        initial_states: usize,
+    },
+    /// A quorum specification can never be satisfied (e.g. quorum size
+    /// larger than the number of potential senders).
+    InfeasibleQuorum {
+        /// Name of the offending transition.
+        transition: String,
+        /// Detail message.
+        detail: String,
+    },
+    /// A transition instance was executed in a state where its guard does
+    /// not hold or its messages are not pending.
+    NotEnabled {
+        /// Name of the transition.
+        transition: String,
+    },
+    /// State-space exploration exceeded a configured limit.
+    LimitExceeded {
+        /// Description of the limit that was hit.
+        what: String,
+        /// The configured limit value.
+        limit: usize,
+    },
+    /// A generic validation failure with a human-readable explanation.
+    Validation(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownProcess {
+                process,
+                num_processes,
+            } => write!(
+                f,
+                "transition refers to process {process} but the protocol has {num_processes} processes"
+            ),
+            ModelError::UnknownTransition { transition } => {
+                write!(f, "unknown transition {transition}")
+            }
+            ModelError::DuplicateTransitionName { name } => {
+                write!(f, "duplicate transition name `{name}`")
+            }
+            ModelError::EmptyProtocol => write!(f, "protocol has no processes or no transitions"),
+            ModelError::InitialStateMismatch {
+                processes,
+                initial_states,
+            } => write!(
+                f,
+                "protocol declares {processes} processes but {initial_states} initial local states"
+            ),
+            ModelError::InfeasibleQuorum { transition, detail } => {
+                write!(f, "infeasible quorum for transition `{transition}`: {detail}")
+            }
+            ModelError::NotEnabled { transition } => {
+                write!(f, "transition `{transition}` is not enabled in the given state")
+            }
+            ModelError::LimitExceeded { what, limit } => {
+                write!(f, "exploration limit exceeded: {what} > {limit}")
+            }
+            ModelError::Validation(msg) => write!(f, "protocol validation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::UnknownProcess {
+            process: ProcessId(7),
+            num_processes: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("p7"));
+        assert!(msg.contains('3'));
+
+        let e = ModelError::DuplicateTransitionName {
+            name: "READ".into(),
+        };
+        assert!(e.to_string().contains("READ"));
+
+        let e = ModelError::LimitExceeded {
+            what: "states".into(),
+            limit: 10,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+}

@@ -1,0 +1,346 @@
+//! A canonical, ordered multiset.
+//!
+//! Channels in the message-passing computation model are *unordered*
+//! collections of messages that may contain duplicates (the same payload sent
+//! twice must be deliverable twice). The model checker stores global states
+//! in a hash table, so channel contents need a canonical representation:
+//! [`Multiset`] keeps elements in a `BTreeMap` keyed by the element with its
+//! multiplicity as the value, which makes equality, ordering and hashing of
+//! channel contents independent of insertion order.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::iter::FromIterator;
+
+/// An ordered multiset (bag) of elements.
+///
+/// # Examples
+///
+/// ```
+/// use mp_model::Multiset;
+///
+/// let mut bag: Multiset<&str> = Multiset::new();
+/// bag.insert("ack");
+/// bag.insert("ack");
+/// bag.insert("nack");
+/// assert_eq!(bag.count(&"ack"), 2);
+/// assert_eq!(bag.len(), 3);
+/// assert!(bag.remove(&"ack"));
+/// assert_eq!(bag.count(&"ack"), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Multiset<T: Ord> {
+    elems: BTreeMap<T, usize>,
+    total: usize,
+}
+
+impl<T: Ord> Default for Multiset<T> {
+    fn default() -> Self {
+        Multiset {
+            elems: BTreeMap::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<T: Ord> Multiset<T> {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the total number of elements, counting multiplicities.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Returns `true` if the multiset contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Returns the number of *distinct* elements.
+    pub fn distinct_len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Inserts one occurrence of `value`.
+    pub fn insert(&mut self, value: T) {
+        self.insert_n(value, 1);
+    }
+
+    /// Inserts `n` occurrences of `value`. Inserting zero occurrences is a
+    /// no-op.
+    pub fn insert_n(&mut self, value: T, n: usize) {
+        if n == 0 {
+            return;
+        }
+        *self.elems.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Removes one occurrence of `value`.
+    ///
+    /// Returns `true` if an occurrence was present and removed.
+    pub fn remove(&mut self, value: &T) -> bool {
+        match self.elems.get_mut(value) {
+            Some(count) if *count > 1 => {
+                *count -= 1;
+                self.total -= 1;
+                true
+            }
+            Some(_) => {
+                self.elems.remove(value);
+                self.total -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes all occurrences of `value`, returning how many were removed.
+    pub fn remove_all(&mut self, value: &T) -> usize {
+        match self.elems.remove(value) {
+            Some(count) => {
+                self.total -= count;
+                count
+            }
+            None => 0,
+        }
+    }
+
+    /// Returns the multiplicity of `value`.
+    pub fn count(&self, value: &T) -> usize {
+        self.elems.get(value).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if at least one occurrence of `value` is present.
+    pub fn contains(&self, value: &T) -> bool {
+        self.elems.contains_key(value)
+    }
+
+    /// Iterates over `(element, multiplicity)` pairs in element order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, usize)> {
+        self.elems.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Iterates over every occurrence, repeating elements according to their
+    /// multiplicity, in element order.
+    pub fn iter_occurrences(&self) -> impl Iterator<Item = &T> {
+        self.elems
+            .iter()
+            .flat_map(|(k, v)| std::iter::repeat(k).take(*v))
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.elems.clear();
+        self.total = 0;
+    }
+
+    /// Merges another multiset into this one.
+    pub fn union_with(&mut self, other: &Multiset<T>)
+    where
+        T: Clone,
+    {
+        for (elem, count) in other.iter() {
+            self.insert_n(elem.clone(), count);
+        }
+    }
+
+    /// Returns `true` if every occurrence in `other` is also present here
+    /// (multiset inclusion).
+    pub fn includes(&self, other: &Multiset<T>) -> bool {
+        other.iter().all(|(elem, count)| self.count(elem) >= count)
+    }
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for Multiset<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (elem, count) in self.elems.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            if *count == 1 {
+                write!(f, "{elem:?}")?;
+            } else {
+                write!(f, "{elem:?}×{count}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<T: Ord> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = Multiset::new();
+        for item in iter {
+            set.insert(item);
+        }
+        set
+    }
+}
+
+impl<T: Ord> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+}
+
+impl<T: Ord + Clone> Multiset<T> {
+    /// Returns the elements of the multiset as a sorted vector, with
+    /// duplicates repeated according to multiplicity.
+    pub fn to_sorted_vec(&self) -> Vec<T> {
+        self.iter_occurrences().cloned().collect()
+    }
+}
+
+/// Entry-style increment used internally when the element is already owned.
+impl<T: Ord> Multiset<T> {
+    pub(crate) fn entry_increment(&mut self, value: T) {
+        match self.elems.entry(value) {
+            Entry::Occupied(mut e) => *e.get_mut() += 1,
+            Entry::Vacant(e) => {
+                e.insert(1);
+            }
+        }
+        self.total += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let m: Multiset<u32> = Multiset::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.distinct_len(), 0);
+    }
+
+    #[test]
+    fn insert_and_count() {
+        let mut m = Multiset::new();
+        m.insert(5u32);
+        m.insert(5);
+        m.insert(7);
+        assert_eq!(m.count(&5), 2);
+        assert_eq!(m.count(&7), 1);
+        assert_eq!(m.count(&9), 0);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.distinct_len(), 2);
+    }
+
+    #[test]
+    fn insert_n_zero_is_noop() {
+        let mut m = Multiset::new();
+        m.insert_n(1u8, 0);
+        assert!(m.is_empty());
+        assert!(!m.contains(&1));
+    }
+
+    #[test]
+    fn remove_decrements_and_deletes() {
+        let mut m = Multiset::new();
+        m.insert_n("x", 2);
+        assert!(m.remove(&"x"));
+        assert_eq!(m.count(&"x"), 1);
+        assert!(m.remove(&"x"));
+        assert_eq!(m.count(&"x"), 0);
+        assert!(!m.contains(&"x"));
+        assert!(!m.remove(&"x"));
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn remove_all_returns_multiplicity() {
+        let mut m = Multiset::new();
+        m.insert_n('a', 3);
+        m.insert('b');
+        assert_eq!(m.remove_all(&'a'), 3);
+        assert_eq!(m.remove_all(&'a'), 0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn equality_is_insertion_order_independent() {
+        let a: Multiset<u32> = [3, 1, 2, 1].into_iter().collect();
+        let b: Multiset<u32> = [1, 1, 2, 3].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_matches_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a: Multiset<u32> = [3, 1, 2, 1].into_iter().collect();
+        let b: Multiset<u32> = [1, 2, 1, 3].into_iter().collect();
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn iter_occurrences_repeats_elements() {
+        let m: Multiset<u32> = [2, 2, 1].into_iter().collect();
+        let v: Vec<u32> = m.iter_occurrences().copied().collect();
+        assert_eq!(v, vec![1, 2, 2]);
+        assert_eq!(m.to_sorted_vec(), vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn union_with_adds_multiplicities() {
+        let mut a: Multiset<u32> = [1, 2].into_iter().collect();
+        let b: Multiset<u32> = [2, 3].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.count(&1), 1);
+        assert_eq!(a.count(&2), 2);
+        assert_eq!(a.count(&3), 1);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn includes_checks_multiplicities() {
+        let big: Multiset<u32> = [1, 1, 2, 3].into_iter().collect();
+        let small: Multiset<u32> = [1, 2].into_iter().collect();
+        let too_many: Multiset<u32> = [2, 2].into_iter().collect();
+        assert!(big.includes(&small));
+        assert!(big.includes(&big));
+        assert!(!big.includes(&too_many));
+        assert!(!small.includes(&big));
+    }
+
+    #[test]
+    fn debug_output_shows_multiplicities() {
+        let m: Multiset<u32> = [1, 1, 2].into_iter().collect();
+        assert_eq!(format!("{m:?}"), "{1×2, 2}");
+        let empty: Multiset<u32> = Multiset::new();
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut m: Multiset<u32> = [1, 2, 3].into_iter().collect();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.distinct_len(), 0);
+    }
+
+    #[test]
+    fn extend_adds_elements() {
+        let mut m: Multiset<u32> = Multiset::new();
+        m.extend([4, 4, 5]);
+        assert_eq!(m.count(&4), 2);
+        assert_eq!(m.count(&5), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the core data structures of `mp-model`.
+//!
+//! These check the invariants the explicit-state model checker relies on:
+//! multisets and channels are canonical (insertion-order independent),
+//! consuming what was sent restores the previous contents, and the
+//! enabled-instance enumeration matches a brute-force reference for exact
+//! quorum transitions.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use mp_model::{
+    enabled_instances, Channels, Envelope, GlobalState, Message, Multiset, Outcome, ProcessId,
+    ProtocolSpec, QuorumSpec, TransitionSpec,
+};
+
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+enum Msg {
+    Vote(u8),
+}
+
+impl Message for Msg {
+    fn kind(&self) -> &'static str {
+        "VOTE"
+    }
+}
+
+fn arb_elems() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, 0..32)
+}
+
+proptest! {
+    /// Multiset equality and length are independent of insertion order.
+    #[test]
+    fn multiset_is_order_independent(elems in arb_elems(), seed in any::<u64>()) {
+        let forward: Multiset<u8> = elems.iter().copied().collect();
+        let mut shuffled = elems.clone();
+        // Deterministic pseudo-shuffle driven by the seed.
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s as usize) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let backward: Multiset<u8> = shuffled.into_iter().collect();
+        prop_assert_eq!(&forward, &backward);
+        prop_assert_eq!(forward.len(), elems.len());
+    }
+
+    /// Removing an element that was inserted restores the original multiset.
+    #[test]
+    fn multiset_insert_remove_roundtrip(elems in arb_elems(), extra in 0u8..8) {
+        let original: Multiset<u8> = elems.iter().copied().collect();
+        let mut modified = original.clone();
+        modified.insert(extra);
+        prop_assert_eq!(modified.len(), original.len() + 1);
+        prop_assert!(modified.remove(&extra));
+        prop_assert_eq!(&modified, &original);
+    }
+
+    /// Multiset inclusion is a partial order consistent with counts.
+    #[test]
+    fn multiset_inclusion(elems in arb_elems()) {
+        let full: Multiset<u8> = elems.iter().copied().collect();
+        let half: Multiset<u8> = elems.iter().copied().take(elems.len() / 2).collect();
+        prop_assert!(full.includes(&half));
+        prop_assert!(full.includes(&full));
+        if half.len() < full.len() {
+            prop_assert!(!half.includes(&full));
+        }
+    }
+
+    /// Channels: sending then consuming every message restores emptiness,
+    /// and pending counts always match what was sent.
+    #[test]
+    fn channels_send_consume_roundtrip(sends in proptest::collection::vec((0usize..4, 0usize..4, 0u8..4), 0..24)) {
+        let mut ch: Channels<Msg> = Channels::new(4);
+        for (from, to, v) in &sends {
+            ch.send(ProcessId(*from), ProcessId(*to), Msg::Vote(*v));
+        }
+        prop_assert_eq!(ch.total_pending(), sends.len());
+        for (from, to, v) in &sends {
+            let env = Envelope::new(ProcessId(*from), Msg::Vote(*v));
+            prop_assert!(ch.consume(ProcessId(*to), &env));
+        }
+        prop_assert!(ch.is_empty());
+        prop_assert_eq!(&ch, &Channels::new(4));
+    }
+
+    /// The number of enabled instances of an exact quorum transition equals
+    /// the binomial coefficient C(#senders, q) when every sender has exactly
+    /// one pending message and the guard is true.
+    #[test]
+    fn exact_quorum_instance_count_is_binomial(
+        num_senders in 1usize..6,
+        q in 1usize..6,
+        present in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        prop_assume!(q <= num_senders);
+        let mut builder = ProtocolSpec::builder("prop-collector").process("collector", 0u32);
+        for i in 0..num_senders {
+            builder = builder.process(format!("voter{i}"), 0u32);
+        }
+        let proto = builder
+            .transition(
+                TransitionSpec::builder("COLLECT", ProcessId(0))
+                    .quorum_input("VOTE", QuorumSpec::Exact(q))
+                    .effect(|l, _| Outcome::new(*l))
+                    .build(),
+            )
+            .build()
+            .unwrap();
+
+        let mut state: GlobalState<u32, Msg> = proto.initial_state();
+        let mut senders_present = BTreeSet::new();
+        for i in 0..num_senders {
+            if present.get(i).copied().unwrap_or(false) {
+                state.channels.send(ProcessId(i + 1), ProcessId(0), Msg::Vote(i as u8));
+                senders_present.insert(i + 1);
+            }
+        }
+        let n = senders_present.len();
+        let expected = binomial(n, q);
+        let instances = enabled_instances(&proto, &state);
+        prop_assert_eq!(instances.len(), expected);
+        for inst in &instances {
+            prop_assert_eq!(inst.envelopes.len(), q);
+            let distinct: BTreeSet<ProcessId> = inst.senders().into_iter().collect();
+            prop_assert_eq!(distinct.len(), q);
+        }
+    }
+}
+
+fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let mut result = 1usize;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}

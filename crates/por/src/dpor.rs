@@ -1,0 +1,239 @@
+//! Dynamic partial-order reduction (Flanagan–Godefroid) support.
+//!
+//! DPOR computes the stubborn set "on the fly" while the successors of a
+//! state are visited (paper, Section III-A). The search itself is the
+//! stateless depth-first engine in `mp-checker`; this module provides the
+//! ingredients it needs:
+//!
+//! * [`instances_dependent`] — the dependence check between two *concrete*
+//!   transition instances (the dynamic analogue of the static relation in
+//!   [`crate::IndependenceRelation`]);
+//! * [`ExecutedStep`] and [`happens_before`] — the causality bookkeeping used
+//!   to find, for each newly executed instance, the most recent earlier step
+//!   it races with, where a backtrack point has to be added.
+//!
+//! As in the paper, DPOR is only sound with stateless search (it must see
+//! every path below a state again to install backtrack points), so MP-Basset
+//! applies it to single-message models only; our engine imposes the same
+//! discipline in the harness but the machinery itself is model-agnostic.
+
+use mp_model::{Message, ProcessId, TransitionInstance};
+
+/// One executed step of the current stateless execution, with enough
+/// information to decide races against later steps.
+#[derive(Clone, Debug)]
+pub struct ExecutedStep<M> {
+    /// The instance that was executed.
+    pub instance: TransitionInstance<M>,
+    /// The processes that received messages sent by this step.
+    pub sent_to: Vec<ProcessId>,
+}
+
+impl<M: Message> ExecutedStep<M> {
+    /// Creates an executed step record.
+    pub fn new(instance: TransitionInstance<M>, sent_to: Vec<ProcessId>) -> Self {
+        ExecutedStep { instance, sent_to }
+    }
+
+    /// The process that executed the step.
+    pub fn process(&self) -> ProcessId {
+        self.instance.process
+    }
+}
+
+/// Returns `true` if the two concrete instances are dependent.
+///
+/// Two instances are dependent iff they are executed by the same process
+/// (they compete for its local state and incoming channels), or one of them
+/// consumed a message sent by the other's process (a direct communication).
+pub fn instances_dependent<M: Message>(
+    a: &TransitionInstance<M>,
+    b: &TransitionInstance<M>,
+) -> bool {
+    if a.process == b.process {
+        return true;
+    }
+    a.envelopes.iter().any(|e| e.sender == b.process)
+        || b.envelopes.iter().any(|e| e.sender == a.process)
+}
+
+/// Returns `true` if step `earlier` happens-before step `later` in the given
+/// execution, i.e. there is a causal chain of dependent steps from `earlier`
+/// to `later`.
+///
+/// `steps` is the executed prefix in order; `earlier` and `later` are indices
+/// into it with `earlier < later`.
+pub fn happens_before<M: Message>(steps: &[ExecutedStep<M>], earlier: usize, later: usize) -> bool {
+    debug_assert!(earlier < later && later < steps.len());
+    // Standard transitive closure over the dependence relation restricted to
+    // the execution order. Executions explored by the stateless search are
+    // short (bounded by the protocol's terminating runs), so the quadratic
+    // scan is acceptable and keeps the code auditable.
+    let mut reachable = vec![false; steps.len()];
+    reachable[earlier] = true;
+    for idx in (earlier + 1)..=later {
+        if reachable[idx] {
+            continue;
+        }
+        let depends_on_reachable = (earlier..idx).any(|prev| {
+            reachable[prev] && step_dependent(&steps[prev], &steps[idx])
+        });
+        if depends_on_reachable {
+            reachable[idx] = true;
+        }
+    }
+    reachable[later]
+}
+
+/// Dependence between executed steps: instance dependence plus the
+/// "message delivery" causality (a step that sent a message to process `p`
+/// causally precedes any later step of `p` that consumed it; conservatively,
+/// any later step of `p`).
+pub fn step_dependent<M: Message>(a: &ExecutedStep<M>, b: &ExecutedStep<M>) -> bool {
+    if instances_dependent(&a.instance, &b.instance) {
+        return true;
+    }
+    a.sent_to.contains(&b.process()) || b.sent_to.contains(&a.process())
+}
+
+/// Finds the most recent earlier step that *races* with `latest`: it is
+/// dependent with `latest` and not ordered before it by happens-before
+/// through intermediate steps. Returns its index, if any.
+///
+/// This is the point where the Flanagan–Godefroid algorithm installs a
+/// backtrack obligation.
+pub fn latest_racing_step<M: Message>(steps: &[ExecutedStep<M>], latest: usize) -> Option<usize> {
+    debug_assert!(latest < steps.len());
+    (0..latest).rev().find(|&candidate| {
+        step_dependent(&steps[candidate], &steps[latest])
+            && !intermediate_ordering(steps, candidate, latest)
+    })
+}
+
+/// Returns `true` if `earlier` is ordered before `latest` through a chain of
+/// dependent steps strictly between them (in which case the pair is not a
+/// race: their order is already forced).
+fn intermediate_ordering<M: Message>(
+    steps: &[ExecutedStep<M>],
+    earlier: usize,
+    latest: usize,
+) -> bool {
+    ((earlier + 1)..latest).any(|mid| {
+        step_dependent(&steps[earlier], &steps[mid]) && happens_before(steps, mid, latest)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::{Envelope, Kind, TransitionId};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Msg(u8);
+
+    impl Message for Msg {
+        fn kind(&self) -> Kind {
+            "MSG"
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn internal_instance(t: usize, proc: usize) -> TransitionInstance<Msg> {
+        TransitionInstance::new(TransitionId(t), p(proc), Vec::new())
+    }
+
+    fn receive_instance(t: usize, proc: usize, from: usize) -> TransitionInstance<Msg> {
+        TransitionInstance::new(
+            TransitionId(t),
+            p(proc),
+            vec![Envelope::new(p(from), Msg(0))],
+        )
+    }
+
+    #[test]
+    fn same_process_instances_are_dependent() {
+        let a = internal_instance(0, 1);
+        let b = internal_instance(1, 1);
+        assert!(instances_dependent(&a, &b));
+    }
+
+    #[test]
+    fn communicating_instances_are_dependent() {
+        let sender = internal_instance(0, 0);
+        let receiver = receive_instance(1, 2, 0);
+        assert!(instances_dependent(&sender, &receiver));
+        assert!(instances_dependent(&receiver, &sender));
+    }
+
+    #[test]
+    fn unrelated_instances_are_independent() {
+        let a = internal_instance(0, 0);
+        let b = receive_instance(1, 2, 3);
+        assert!(!instances_dependent(&a, &b));
+    }
+
+    #[test]
+    fn happens_before_follows_dependence_chains() {
+        // p0 sends to p1; p1 receives (dependent on step 0); p2 acts alone.
+        let steps = vec![
+            ExecutedStep::new(internal_instance(0, 0), vec![p(1)]),
+            ExecutedStep::new(receive_instance(1, 1, 0), vec![]),
+            ExecutedStep::new(internal_instance(2, 2), vec![]),
+        ];
+        assert!(happens_before(&steps, 0, 1));
+        assert!(!happens_before(&steps, 0, 2));
+        assert!(!happens_before(&steps, 1, 2));
+    }
+
+    #[test]
+    fn happens_before_is_transitive() {
+        // 0: p0 sends to p1; 1: p1 receives and sends to p2; 2: p2 receives.
+        let steps = vec![
+            ExecutedStep::new(internal_instance(0, 0), vec![p(1)]),
+            ExecutedStep::new(receive_instance(1, 1, 0), vec![p(2)]),
+            ExecutedStep::new(receive_instance(2, 2, 1), vec![]),
+        ];
+        assert!(happens_before(&steps, 0, 2));
+    }
+
+    #[test]
+    fn racing_step_is_detected() {
+        // Two steps of the same process with an unrelated step in between:
+        // the same-process pair races (its order is not forced by anything
+        // in between).
+        let steps = vec![
+            ExecutedStep::new(internal_instance(0, 1), vec![]),
+            ExecutedStep::new(internal_instance(1, 2), vec![]),
+            ExecutedStep::new(internal_instance(2, 1), vec![]),
+        ];
+        assert_eq!(latest_racing_step(&steps, 2), Some(0));
+        assert_eq!(latest_racing_step(&steps, 1), None);
+    }
+
+    #[test]
+    fn ordered_pairs_are_not_races() {
+        // 0: p0 sends to p1; 1: p1 receives from p0 and sends to p2;
+        // 2: p2 receives from p1. Step 0 and step 2 are causally ordered via
+        // step 1, so the only race candidate for step 2 is step 1.
+        let steps = vec![
+            ExecutedStep::new(internal_instance(0, 0), vec![p(1)]),
+            ExecutedStep::new(receive_instance(1, 1, 0), vec![p(2)]),
+            ExecutedStep::new(receive_instance(2, 2, 1), vec![]),
+        ];
+        assert_eq!(latest_racing_step(&steps, 2), Some(1));
+    }
+
+    #[test]
+    fn independent_steps_have_no_race() {
+        let steps = vec![
+            ExecutedStep::new(internal_instance(0, 0), vec![]),
+            ExecutedStep::new(internal_instance(1, 1), vec![]),
+            ExecutedStep::new(internal_instance(2, 2), vec![]),
+        ];
+        assert_eq!(latest_racing_step(&steps, 2), None);
+        assert_eq!(latest_racing_step(&steps, 1), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! Seed-transition heuristics.
+//!
+//! "The performance of POR depends on the first transition in the stubborn
+//! set" (paper, Section V-B). MP-Basset uses the *opposite transaction
+//! heuristic*: prefer transitions that start a new instance of the protocol
+//! (e.g. `READ` in Paxos) or at least do not terminate an ongoing one,
+//! encoded through the `priority()` annotation of Table IV. The transaction
+//! heuristic of Bhattacharya et al. (reference [5] of the paper) prefers the
+//! opposite; both are provided so the harness can compare them, plus two
+//! protocol-agnostic fallbacks.
+
+use mp_model::{LocalState, Message, ProtocolSpec, TransitionId};
+
+use crate::IndependenceRelation;
+
+/// Strategy for choosing the seed (start) transition of a stubborn set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SeedHeuristic {
+    /// Prefer the enabled transition with the *highest* `priority`
+    /// annotation: the paper's "opposite transaction heuristic", where high
+    /// priority is assigned to transitions that start a new protocol
+    /// instance or keep it open.
+    #[default]
+    OppositeTransaction,
+    /// Prefer the enabled transition with the *lowest* `priority`
+    /// annotation: the transaction heuristic of [5], which prefers finishing
+    /// the ongoing instance.
+    Transaction,
+    /// Pick the first enabled transition in declaration order (a baseline
+    /// with no protocol knowledge).
+    FirstEnabled,
+    /// Pick the enabled transition with the fewest statically dependent
+    /// transitions, a protocol-agnostic attempt to keep stubborn sets small.
+    FewestDependents,
+}
+
+impl SeedHeuristic {
+    /// Chooses a seed among `enabled` (which must be non-empty) for the
+    /// given protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enabled` is empty.
+    pub fn choose<S: LocalState, M: Message>(
+        &self,
+        spec: &ProtocolSpec<S, M>,
+        independence: &IndependenceRelation,
+        enabled: &[TransitionId],
+    ) -> TransitionId {
+        assert!(!enabled.is_empty(), "cannot choose a seed among no transitions");
+        match self {
+            SeedHeuristic::OppositeTransaction => *enabled
+                .iter()
+                .max_by_key(|t| {
+                    (
+                        spec.transition(**t).annotations().priority,
+                        // Tie-break deterministically on reverse id so that
+                        // equal-priority choices favour later declarations
+                        // (protocol-start transitions are usually declared
+                        // first per process, but ties are arbitrary anyway).
+                        std::cmp::Reverse(t.index()),
+                    )
+                })
+                .expect("non-empty"),
+            SeedHeuristic::Transaction => *enabled
+                .iter()
+                .min_by_key(|t| (spec.transition(**t).annotations().priority, t.index()))
+                .expect("non-empty"),
+            SeedHeuristic::FirstEnabled => *enabled
+                .iter()
+                .min_by_key(|t| t.index())
+                .expect("non-empty"),
+            SeedHeuristic::FewestDependents => *enabled
+                .iter()
+                .min_by_key(|t| (independence.dependents_of(**t).len(), t.index()))
+                .expect("non-empty"),
+        }
+    }
+
+    /// Human-readable name used in experiment reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SeedHeuristic::OppositeTransaction => "opposite-transaction",
+            SeedHeuristic::Transaction => "transaction",
+            SeedHeuristic::FirstEnabled => "first-enabled",
+            SeedHeuristic::FewestDependents => "fewest-dependents",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::{Kind, Message, Outcome, ProcessId, TransitionSpec};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct NoMsg;
+
+    impl Message for NoMsg {
+        fn kind(&self) -> Kind {
+            "NONE"
+        }
+    }
+
+    fn spec_with_priorities(priorities: &[i32]) -> ProtocolSpec<u8, NoMsg> {
+        let mut builder = ProtocolSpec::builder("prio");
+        for (i, _) in priorities.iter().enumerate() {
+            builder = builder.process(format!("proc{i}"), 0u8);
+        }
+        for (i, prio) in priorities.iter().enumerate() {
+            builder = builder.transition(
+                TransitionSpec::builder(format!("t{i}"), ProcessId(i))
+                    .internal()
+                    .priority(*prio)
+                    .sends_nothing()
+                    .effect(|l, _| Outcome::new(l + 1))
+                    .build(),
+            );
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn opposite_transaction_prefers_highest_priority() {
+        let spec = spec_with_priorities(&[0, 5, 2]);
+        let rel = IndependenceRelation::compute(&spec);
+        let enabled: Vec<TransitionId> = spec.transition_ids().collect();
+        let seed = SeedHeuristic::OppositeTransaction.choose(&spec, &rel, &enabled);
+        assert_eq!(seed, TransitionId(1));
+    }
+
+    #[test]
+    fn transaction_prefers_lowest_priority() {
+        let spec = spec_with_priorities(&[3, 5, 2]);
+        let rel = IndependenceRelation::compute(&spec);
+        let enabled: Vec<TransitionId> = spec.transition_ids().collect();
+        let seed = SeedHeuristic::Transaction.choose(&spec, &rel, &enabled);
+        assert_eq!(seed, TransitionId(2));
+    }
+
+    #[test]
+    fn first_enabled_is_declaration_order() {
+        let spec = spec_with_priorities(&[0, 0, 0]);
+        let rel = IndependenceRelation::compute(&spec);
+        let enabled = vec![TransitionId(2), TransitionId(1)];
+        let seed = SeedHeuristic::FirstEnabled.choose(&spec, &rel, &enabled);
+        assert_eq!(seed, TransitionId(1));
+    }
+
+    #[test]
+    fn fewest_dependents_prefers_isolated_transitions() {
+        // Three independent processes: every transition has exactly one
+        // dependent (itself), so the tie-break picks the lowest id.
+        let spec = spec_with_priorities(&[0, 0, 0]);
+        let rel = IndependenceRelation::compute(&spec);
+        let enabled: Vec<TransitionId> = spec.transition_ids().collect();
+        let seed = SeedHeuristic::FewestDependents.choose(&spec, &rel, &enabled);
+        assert_eq!(seed, TransitionId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot choose a seed")]
+    fn empty_enabled_set_panics() {
+        let spec = spec_with_priorities(&[0]);
+        let rel = IndependenceRelation::compute(&spec);
+        SeedHeuristic::FirstEnabled.choose(&spec, &rel, &[]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SeedHeuristic::OppositeTransaction.name(), "opposite-transaction");
+        assert_eq!(SeedHeuristic::Transaction.name(), "transaction");
+        assert_eq!(SeedHeuristic::FirstEnabled.name(), "first-enabled");
+        assert_eq!(SeedHeuristic::FewestDependents.name(), "fewest-dependents");
+        assert_eq!(SeedHeuristic::default(), SeedHeuristic::OppositeTransaction);
+    }
+}

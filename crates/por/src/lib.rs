@@ -1,0 +1,42 @@
+//! # mp-por — partial-order reduction for message-passing protocols
+//!
+//! Partial-order reduction (POR) exploits the fact that executing
+//! independent transitions in either order leads to the same state, so it
+//! suffices to explore one representative order (paper, Section III-A). This
+//! crate provides the two POR flavours evaluated in the DSN 2011 paper:
+//!
+//! * **Static POR (SPOR / MP-LPOR analogue)** — [`StubbornSets`] pre-computes
+//!   a state-unconditional [`IndependenceRelation`] and [`CanEnable`]
+//!   (necessary enabling transitions) from the Table-IV style annotations of
+//!   the model, then computes a stubborn set in every visited state starting
+//!   from a [`SeedHeuristic`]-chosen seed transition. [`SporReducer`]
+//!   packages this as a per-state [`Reducer`] for the search engines in
+//!   `mp-checker`.
+//! * **Dynamic POR (Flanagan–Godefroid)** — the [`dpor`] module supplies the
+//!   instance-level dependence and race detection used by the *stateless*
+//!   search of `mp-checker` to install backtrack points on the fly.
+//!
+//! Transition refinement (crate `mp-refine`) does not change these
+//! algorithms; it changes the *inputs* — refined transitions have tighter
+//! sender/recipient annotations, which shrinks both relations and lets the
+//! same algorithms prune more, exactly the effect studied in the paper's
+//! Table II.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod canenable;
+pub mod dpor;
+pub mod heuristics;
+pub mod independence;
+pub mod reducer;
+pub mod stubborn;
+
+pub use canenable::{has_potential_enabler, CanEnable};
+pub use dpor::{
+    happens_before, instances_dependent, latest_racing_step, step_dependent, ExecutedStep,
+};
+pub use heuristics::SeedHeuristic;
+pub use independence::{can_communicate, may_emit_kind, transitions_dependent, IndependenceRelation};
+pub use reducer::{NoReduction, Reducer, Reduction, SporReducer};
+pub use stubborn::{StubbornSet, StubbornSets};

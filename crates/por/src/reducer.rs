@@ -1,0 +1,227 @@
+//! The reducer interface used by the search engines of `mp-checker`.
+//!
+//! A reducer looks at a state and the enabled transition instances and
+//! selects the subset that must be explored. [`NoReduction`] explores
+//! everything (the unreduced baseline of the paper's Table I for regular
+//! storage); [`SporReducer`] explores a stubborn set computed by
+//! [`StubbornSets`]; dynamic POR is not a per-state reducer — it lives in the
+//! stateless search of `mp-checker` and uses [`crate::dpor`] for its
+//! dependence checks.
+
+use mp_model::{GlobalState, LocalState, Message, ProtocolSpec, TransitionId, TransitionInstance};
+
+use crate::{SeedHeuristic, StubbornSets};
+
+/// Decision of a reducer for one state.
+#[derive(Clone, Debug)]
+pub struct Reduction<M> {
+    /// The instances the search must explore from this state.
+    pub explore: Vec<TransitionInstance<M>>,
+    /// `true` if some enabled instance was pruned.
+    pub reduced: bool,
+}
+
+/// A strategy that selects which enabled instances to explore in each state.
+pub trait Reducer<S: LocalState, M: Message>: Send + Sync {
+    /// Selects the instances to explore from `state`.
+    ///
+    /// `instances` holds every enabled instance of every transition in
+    /// `state`; implementations must return a non-empty subset whenever
+    /// `instances` is non-empty.
+    fn reduce(
+        &self,
+        spec: &ProtocolSpec<S, M>,
+        state: &GlobalState<S, M>,
+        instances: Vec<TransitionInstance<M>>,
+    ) -> Reduction<M>;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Explores every enabled instance (no reduction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoReduction;
+
+impl<S: LocalState, M: Message> Reducer<S, M> for NoReduction {
+    fn reduce(
+        &self,
+        _spec: &ProtocolSpec<S, M>,
+        _state: &GlobalState<S, M>,
+        instances: Vec<TransitionInstance<M>>,
+    ) -> Reduction<M> {
+        Reduction {
+            explore: instances,
+            reduced: false,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "unreduced"
+    }
+}
+
+/// Static partial-order reduction using pre-computed stubborn sets
+/// (the MP-LPOR analogue).
+#[derive(Clone, Debug)]
+pub struct SporReducer {
+    sets: StubbornSets,
+}
+
+impl SporReducer {
+    /// Builds the reducer for `spec` with the default
+    /// (opposite-transaction) seed heuristic.
+    pub fn new<S: LocalState, M: Message>(spec: &ProtocolSpec<S, M>) -> Self {
+        SporReducer {
+            sets: StubbornSets::new(spec),
+        }
+    }
+
+    /// Builds the reducer with an explicit seed heuristic.
+    pub fn with_heuristic<S: LocalState, M: Message>(
+        spec: &ProtocolSpec<S, M>,
+        heuristic: SeedHeuristic,
+    ) -> Self {
+        SporReducer {
+            sets: StubbornSets::with_heuristic(spec, heuristic),
+        }
+    }
+
+    /// Returns the underlying pre-computed stubborn-set data.
+    pub fn stubborn_sets(&self) -> &StubbornSets {
+        &self.sets
+    }
+}
+
+impl<S: LocalState, M: Message> Reducer<S, M> for SporReducer {
+    fn reduce(
+        &self,
+        spec: &ProtocolSpec<S, M>,
+        _state: &GlobalState<S, M>,
+        instances: Vec<TransitionInstance<M>>,
+    ) -> Reduction<M> {
+        if instances.is_empty() {
+            return Reduction {
+                explore: instances,
+                reduced: false,
+            };
+        }
+        let mut enabled: Vec<TransitionId> =
+            instances.iter().map(|i| i.transition).collect();
+        enabled.sort_unstable();
+        enabled.dedup();
+        match self.sets.compute(spec, &enabled) {
+            Some(result) => {
+                let explore: Vec<TransitionInstance<M>> = instances
+                    .into_iter()
+                    .filter(|i| result.explore.contains(&i.transition))
+                    .collect();
+                Reduction {
+                    reduced: result.reduced,
+                    explore,
+                }
+            }
+            None => Reduction {
+                explore: instances,
+                reduced: false,
+            },
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "spor"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::{enabled_instances, Kind, Outcome, ProcessId, TransitionSpec};
+
+    #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+    struct Tok;
+
+    impl Message for Tok {
+        fn kind(&self) -> Kind {
+            "TOK"
+        }
+    }
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    /// Two independent one-step processes (the diamond of Figure 4(a)).
+    fn diamond() -> ProtocolSpec<u8, Tok> {
+        ProtocolSpec::builder("diamond")
+            .process("a", 0u8)
+            .process("b", 0u8)
+            .transition(
+                TransitionSpec::builder("t1", p(0))
+                    .internal()
+                    .guard(|l, _| *l == 0)
+                    .sends_nothing()
+                    .effect(|_, _| Outcome::new(1))
+                    .build(),
+            )
+            .transition(
+                TransitionSpec::builder("t2", p(1))
+                    .internal()
+                    .guard(|l, _| *l == 0)
+                    .sends_nothing()
+                    .effect(|_, _| Outcome::new(1))
+                    .build(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn no_reduction_keeps_everything() {
+        let spec = diamond();
+        let state = spec.initial_state();
+        let instances = enabled_instances(&spec, &state);
+        let red = <NoReduction as Reducer<u8, Tok>>::reduce(
+            &NoReduction,
+            &spec,
+            &state,
+            instances.clone(),
+        );
+        assert_eq!(red.explore.len(), instances.len());
+        assert!(!red.reduced);
+        assert_eq!(<NoReduction as Reducer<u8, Tok>>::name(&NoReduction), "unreduced");
+    }
+
+    #[test]
+    fn spor_prunes_independent_branch() {
+        let spec = diamond();
+        let state = spec.initial_state();
+        let instances = enabled_instances(&spec, &state);
+        assert_eq!(instances.len(), 2);
+        let reducer = SporReducer::new(&spec);
+        let red = reducer.reduce(&spec, &state, instances);
+        assert_eq!(red.explore.len(), 1, "Figure 4(a): one representative order suffices");
+        assert!(red.reduced);
+        assert_eq!(<SporReducer as Reducer<u8, Tok>>::name(&reducer), "spor");
+    }
+
+    #[test]
+    fn spor_on_empty_instance_list_is_identity() {
+        let spec = diamond();
+        let state = spec.initial_state();
+        let reducer = SporReducer::new(&spec);
+        let red = reducer.reduce(&spec, &state, Vec::new());
+        assert!(red.explore.is_empty());
+        assert!(!red.reduced);
+    }
+
+    #[test]
+    fn spor_never_returns_empty_for_nonempty_input() {
+        let spec = diamond();
+        let state = spec.initial_state();
+        let instances = enabled_instances(&spec, &state);
+        let reducer = SporReducer::new(&spec);
+        let red = reducer.reduce(&spec, &state, instances);
+        assert!(!red.explore.is_empty());
+    }
+}

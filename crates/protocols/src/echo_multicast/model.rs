@@ -1,0 +1,436 @@
+//! The quorum-transition Echo Multicast model.
+
+use mp_model::{
+    Envelope, Outcome, ProcessId, ProtocolBuilder, ProtocolSpec, QuorumSpec, TransitionSpec,
+};
+
+use super::types::{
+    ByzantineInitiatorState, HonestInitiatorState, HonestReceiverState, InitiatorPhase,
+    MulticastMessage, MulticastSetting, MulticastState, Value,
+};
+
+const PRIORITY_START: i32 = 10;
+const PRIORITY_MIDDLE: i32 = 5;
+const PRIORITY_FINISH: i32 = -10;
+
+/// Builds the quorum-transition model of Echo Multicast for a setting.
+pub fn quorum_model(setting: MulticastSetting) -> ProtocolSpec<MulticastState, MulticastMessage> {
+    let mut builder = declare_processes(setting);
+    add_initiator_transitions(&mut builder, setting, true);
+    add_receiver_transitions(&mut builder, setting);
+    builder
+        .build()
+        .expect("the Echo Multicast quorum model is structurally valid")
+}
+
+pub(crate) fn declare_processes(
+    setting: MulticastSetting,
+) -> ProtocolBuilder<MulticastState, MulticastMessage> {
+    let mut builder = ProtocolSpec::builder(format!("echo-multicast{setting}"));
+    for i in 0..setting.honest_initiators {
+        builder = builder.process(
+            format!("initiator{i}"),
+            MulticastState::HonestInitiator(HonestInitiatorState::default()),
+        );
+    }
+    for i in 0..setting.byzantine_initiators {
+        builder = builder.process(
+            format!("byz-initiator{i}"),
+            MulticastState::ByzantineInitiator(ByzantineInitiatorState::default()),
+        );
+    }
+    for i in 0..setting.honest_receivers {
+        builder = builder.process(
+            format!("receiver{i}"),
+            MulticastState::HonestReceiver(HonestReceiverState::default()),
+        );
+    }
+    for i in 0..setting.byzantine_receivers {
+        builder = builder.process(
+            format!("byz-receiver{i}"),
+            MulticastState::ByzantineReceiver,
+        );
+    }
+    builder
+}
+
+/// Returns `true` if every envelope is an `ECHO` for the given initiator and
+/// value — the echo-certificate check of the commit transition.
+fn all_echoes_for(
+    msgs: &[Envelope<MulticastMessage>],
+    initiator: ProcessId,
+    value: Value,
+) -> bool {
+    msgs.iter().all(|m| {
+        matches!(
+            m.payload,
+            MulticastMessage::Echo { initiator: i, value: v } if i == initiator && v == value
+        )
+    })
+}
+
+pub(crate) fn add_initiator_transitions(
+    builder: &mut ProtocolBuilder<MulticastState, MulticastMessage>,
+    setting: MulticastSetting,
+    quorum: bool,
+) {
+    let receivers = setting.receiver_ids();
+    let quorum_size = setting.echo_quorum();
+
+    // Honest initiators multicast a single value to everyone.
+    for i in 0..setting.honest_initiators {
+        let me = setting.honest_initiator(i);
+        let value = setting.honest_value(i);
+        let receivers_init = receivers.clone();
+        builder.add_transition(
+            TransitionSpec::builder(format!("INIT_{i}"), me)
+                .internal()
+                .guard(|local: &MulticastState, _| {
+                    local.as_honest_initiator().phase == InitiatorPhase::Idle
+                })
+                .sends(&["INIT"])
+                .sends_to(receivers_init.clone())
+                .priority(PRIORITY_START)
+                .effect(move |local: &MulticastState, _| {
+                    let mut s = local.as_honest_initiator().clone();
+                    s.phase = InitiatorPhase::Sent;
+                    Outcome::new(MulticastState::HonestInitiator(s)).broadcast(
+                        receivers_init.clone(),
+                        MulticastMessage::Init {
+                            initiator: me,
+                            value,
+                        },
+                    )
+                })
+                .build(),
+        );
+
+        let receivers_commit = receivers.clone();
+        if quorum {
+            builder.add_transition(
+                TransitionSpec::builder(format!("COMMIT_{i}"), me)
+                    .quorum_input("ECHO", QuorumSpec::Exact(quorum_size))
+                    .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                        local.as_honest_initiator().phase == InitiatorPhase::Sent
+                            && all_echoes_for(msgs, me, value)
+                    })
+                    .sends(&["COMMIT"])
+                    .sends_to(receivers_commit.clone())
+                    .priority(PRIORITY_MIDDLE)
+                    .effect(move |local: &MulticastState, _| {
+                        let mut s = local.as_honest_initiator().clone();
+                        s.phase = InitiatorPhase::Committed;
+                        Outcome::new(MulticastState::HonestInitiator(s)).broadcast(
+                            receivers_commit.clone(),
+                            MulticastMessage::Commit {
+                                initiator: me,
+                                value,
+                            },
+                        )
+                    })
+                    .build(),
+            );
+        } else {
+            builder.add_transition(
+                TransitionSpec::builder(format!("COMMIT_{i}"), me)
+                    .single_input("ECHO")
+                    .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                        local.as_honest_initiator().phase == InitiatorPhase::Sent
+                            && all_echoes_for(msgs, me, value)
+                    })
+                    .sends(&["COMMIT"])
+                    .sends_to(receivers_commit.clone())
+                    .priority(PRIORITY_MIDDLE)
+                    .effect(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                        let mut s = local.as_honest_initiator().clone();
+                        s.echo_buffer.insert((msgs[0].sender, value));
+                        if s.echo_buffer.len() >= quorum_size {
+                            s.phase = InitiatorPhase::Committed;
+                            s.echo_buffer.clear();
+                            Outcome::new(MulticastState::HonestInitiator(s)).broadcast(
+                                receivers_commit.clone(),
+                                MulticastMessage::Commit {
+                                    initiator: me,
+                                    value,
+                                },
+                            )
+                        } else {
+                            Outcome::new(MulticastState::HonestInitiator(s))
+                        }
+                    })
+                    .build(),
+            );
+        }
+    }
+
+    // Byzantine initiators equivocate: one value to each half of the honest
+    // receivers, both values to the Byzantine receivers, then they try to
+    // commit each value for which they can assemble an echo certificate.
+    for b in 0..setting.byzantine_initiators {
+        let me = setting.byzantine_initiator(b);
+        let (value_first, value_second) = setting.byzantine_values(b);
+        let (group_first, group_second) = setting.attack_groups();
+        let byz_receivers = setting.byzantine_receiver_ids();
+
+        let mut first_targets = group_first.clone();
+        first_targets.extend(byz_receivers.iter().copied());
+        let mut second_targets = group_second.clone();
+        second_targets.extend(byz_receivers.iter().copied());
+
+        let all_targets: Vec<ProcessId> = receivers.clone();
+        let first_targets_init = first_targets.clone();
+        let second_targets_init = second_targets.clone();
+        builder.add_transition(
+            TransitionSpec::builder(format!("BYZ_INIT_{b}"), me)
+                .internal()
+                .guard(|local: &MulticastState, _| !local.as_byzantine_initiator().sent)
+                .sends(&["INIT"])
+                .sends_to(all_targets.clone())
+                .priority(PRIORITY_START)
+                .effect(move |local: &MulticastState, _| {
+                    let mut s = local.as_byzantine_initiator().clone();
+                    s.sent = true;
+                    Outcome::new(MulticastState::ByzantineInitiator(s))
+                        .broadcast(
+                            first_targets_init.clone(),
+                            MulticastMessage::Init {
+                                initiator: me,
+                                value: value_first,
+                            },
+                        )
+                        .broadcast(
+                            second_targets_init.clone(),
+                            MulticastMessage::Init {
+                                initiator: me,
+                                value: value_second,
+                            },
+                        )
+                })
+                .build(),
+        );
+
+        for (label, value, targets, is_first) in [
+            ("FIRST", value_first, group_first.clone(), true),
+            ("SECOND", value_second, group_second.clone(), false),
+        ] {
+            if targets.is_empty() {
+                // No honest receivers in this half: committing to it cannot
+                // affect agreement, so the attacker does not bother.
+                continue;
+            }
+            if quorum {
+                let targets_effect = targets.clone();
+                builder.add_transition(
+                    TransitionSpec::builder(format!("BYZ_COMMIT_{label}_{b}"), me)
+                        .quorum_input("ECHO", QuorumSpec::Exact(quorum_size))
+                        .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                            let s = local.as_byzantine_initiator();
+                            let not_yet = if is_first {
+                                !s.committed_first
+                            } else {
+                                !s.committed_second
+                            };
+                            s.sent && not_yet && all_echoes_for(msgs, me, value)
+                        })
+                        .sends(&["COMMIT"])
+                        .sends_to(targets.clone())
+                        .priority(PRIORITY_MIDDLE)
+                        .effect(move |local: &MulticastState, _| {
+                            let mut s = local.as_byzantine_initiator().clone();
+                            if is_first {
+                                s.committed_first = true;
+                            } else {
+                                s.committed_second = true;
+                            }
+                            Outcome::new(MulticastState::ByzantineInitiator(s)).broadcast(
+                                targets_effect.clone(),
+                                MulticastMessage::Commit {
+                                    initiator: me,
+                                    value,
+                                },
+                            )
+                        })
+                        .build(),
+                );
+            } else {
+                let targets_effect = targets.clone();
+                builder.add_transition(
+                    TransitionSpec::builder(format!("BYZ_COMMIT_{label}_{b}"), me)
+                        .single_input("ECHO")
+                        .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                            let s = local.as_byzantine_initiator();
+                            let not_yet = if is_first {
+                                !s.committed_first
+                            } else {
+                                !s.committed_second
+                            };
+                            s.sent && not_yet && all_echoes_for(msgs, me, value)
+                        })
+                        .sends(&["COMMIT"])
+                        .sends_to(targets.clone())
+                        .priority(PRIORITY_MIDDLE)
+                        .effect(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                            let mut s = local.as_byzantine_initiator().clone();
+                            s.echo_buffer.insert((msgs[0].sender, value));
+                            let votes = s
+                                .echo_buffer
+                                .iter()
+                                .filter(|(_, v)| *v == value)
+                                .count();
+                            if votes >= quorum_size {
+                                if is_first {
+                                    s.committed_first = true;
+                                } else {
+                                    s.committed_second = true;
+                                }
+                                Outcome::new(MulticastState::ByzantineInitiator(s)).broadcast(
+                                    targets_effect.clone(),
+                                    MulticastMessage::Commit {
+                                        initiator: me,
+                                        value,
+                                    },
+                                )
+                            } else {
+                                Outcome::new(MulticastState::ByzantineInitiator(s))
+                            }
+                        })
+                        .build(),
+                );
+            }
+        }
+    }
+}
+
+pub(crate) fn add_receiver_transitions(
+    builder: &mut ProtocolBuilder<MulticastState, MulticastMessage>,
+    setting: MulticastSetting,
+) {
+    // Honest receivers echo the first INIT per initiator and deliver commits.
+    for r in 0..setting.honest_receivers {
+        let me = setting.honest_receiver(r);
+        builder.add_transition(
+            TransitionSpec::builder(format!("ECHO_{r}"), me)
+                .single_input("INIT")
+                .reply()
+                .sends(&["ECHO"])
+                .priority(PRIORITY_MIDDLE)
+                .effect(|local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                    let mut s = local.as_honest_receiver().clone();
+                    let MulticastMessage::Init { initiator, value } = msgs[0].payload else {
+                        return Outcome::new(local.clone());
+                    };
+                    if s.echoed.contains_key(&initiator) {
+                        // An honest receiver echoes at most one value per
+                        // initiator; duplicates and equivocations are dropped.
+                        return Outcome::new(MulticastState::HonestReceiver(s));
+                    }
+                    s.echoed.insert(initiator, value);
+                    Outcome::new(MulticastState::HonestReceiver(s)).send(
+                        msgs[0].sender,
+                        MulticastMessage::Echo { initiator, value },
+                    )
+                })
+                .build(),
+        );
+
+        builder.add_transition(
+            TransitionSpec::builder(format!("DELIVER_{r}"), me)
+                .single_input("COMMIT")
+                .sends_nothing()
+                .visible()
+                .priority(PRIORITY_FINISH)
+                .effect(|local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                    let mut s = local.as_honest_receiver().clone();
+                    let MulticastMessage::Commit { initiator, value } = msgs[0].payload else {
+                        return Outcome::new(local.clone());
+                    };
+                    s.delivered.entry(initiator).or_insert(value);
+                    Outcome::new(MulticastState::HonestReceiver(s))
+                })
+                .build(),
+        );
+    }
+
+    // Byzantine receivers confirm (sign) everything they are sent — in
+    // particular both of an equivocating initiator's values.
+    for r in 0..setting.byzantine_receivers {
+        let me = setting.byzantine_receiver(r);
+        builder.add_transition(
+            TransitionSpec::builder(format!("BYZ_ECHO_{r}"), me)
+                .single_input("INIT")
+                .reply()
+                .sends(&["ECHO"])
+                .priority(PRIORITY_MIDDLE)
+                .effect(|local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                    let MulticastMessage::Init { initiator, value } = msgs[0].payload else {
+                        return Outcome::new(local.clone());
+                    };
+                    Outcome::new(local.clone()).send(
+                        msgs[0].sender,
+                        MulticastMessage::Echo { initiator, value },
+                    )
+                })
+                .build(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_model_transition_counts() {
+        // (3,0,1,1): byz initiator (init + 2 commits) + 3 honest receivers
+        // (echo + deliver) + 1 byz receiver (echo) = 3 + 6 + 1 = 10.
+        let setting = MulticastSetting::new(3, 0, 1, 1);
+        let spec = quorum_model(setting);
+        assert_eq!(spec.num_transitions(), 10);
+        assert_eq!(spec.num_processes(), 5);
+    }
+
+    #[test]
+    fn commit_transitions_are_exact_quorums() {
+        let setting = MulticastSetting::new(2, 1, 0, 1);
+        let spec = quorum_model(setting);
+        let commit = spec.transition(spec.transition_by_name("COMMIT_0").unwrap());
+        assert!(commit.is_exact_quorum());
+        assert_eq!(commit.exact_quorum_size(), Some(setting.echo_quorum()));
+    }
+
+    #[test]
+    fn echo_transitions_are_replies_and_deliver_is_visible() {
+        let setting = MulticastSetting::new(2, 1, 1, 1);
+        let spec = quorum_model(setting);
+        assert!(spec
+            .transition(spec.transition_by_name("ECHO_0").unwrap())
+            .annotations()
+            .is_reply);
+        assert!(spec
+            .transition(spec.transition_by_name("BYZ_ECHO_0").unwrap())
+            .annotations()
+            .is_reply);
+        assert!(spec
+            .transition(spec.transition_by_name("DELIVER_0").unwrap())
+            .annotations()
+            .is_visible);
+    }
+
+    #[test]
+    fn all_echoes_for_checks_initiator_and_value() {
+        let p0 = ProcessId(0);
+        let p9 = ProcessId(9);
+        let good = vec![
+            Envelope::new(ProcessId(2), MulticastMessage::Echo { initiator: p0, value: 1 }),
+            Envelope::new(ProcessId(3), MulticastMessage::Echo { initiator: p0, value: 1 }),
+        ];
+        assert!(all_echoes_for(&good, p0, 1));
+        assert!(!all_echoes_for(&good, p0, 2));
+        assert!(!all_echoes_for(&good, p9, 1));
+        let mixed = vec![
+            Envelope::new(ProcessId(2), MulticastMessage::Echo { initiator: p0, value: 1 }),
+            Envelope::new(ProcessId(3), MulticastMessage::Init { initiator: p0, value: 1 }),
+        ];
+        assert!(!all_echoes_for(&mixed, p0, 1));
+    }
+}

@@ -1,0 +1,94 @@
+//! Echo Multicast properties.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mp_checker::{Invariant, NullObserver};
+use mp_model::{GlobalState, ProcessId};
+
+use super::types::{MulticastMessage, MulticastSetting, MulticastState, Value};
+
+/// Returns, per initiator, the set of distinct values delivered by honest
+/// receivers in `state`.
+pub fn deliveries_per_initiator(
+    setting: MulticastSetting,
+    state: &GlobalState<MulticastState, MulticastMessage>,
+) -> BTreeMap<ProcessId, BTreeSet<Value>> {
+    let mut out: BTreeMap<ProcessId, BTreeSet<Value>> = BTreeMap::new();
+    for r in 0..setting.honest_receivers {
+        let receiver = state.local(setting.honest_receiver(r)).as_honest_receiver();
+        for (initiator, value) in &receiver.delivered {
+            out.entry(*initiator).or_default().insert(*value);
+        }
+    }
+    out
+}
+
+/// The agreement property of consistent multicast: "no two processes receive
+/// different messages" (paper, Section V-A) — per initiator, all honest
+/// receivers that deliver must deliver the same value.
+pub fn agreement_property(
+    setting: MulticastSetting,
+) -> Invariant<MulticastState, MulticastMessage, NullObserver> {
+    Invariant::new(
+        "agreement",
+        move |state: &GlobalState<MulticastState, MulticastMessage>, _| {
+            for (initiator, values) in deliveries_per_initiator(setting, state) {
+                if values.len() > 1 {
+                    return Err(format!(
+                        "agreement violated: honest receivers delivered {values:?} for initiator {initiator}"
+                    ));
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::echo_multicast::quorum_model;
+    use mp_checker::PropertyStatus;
+
+    #[test]
+    fn empty_state_satisfies_agreement() {
+        let setting = MulticastSetting::new(2, 1, 0, 1);
+        let spec = quorum_model(setting);
+        let prop = agreement_property(setting);
+        assert!(prop.evaluate(&spec.initial_state(), &NullObserver).holds());
+    }
+
+    #[test]
+    fn conflicting_deliveries_are_caught() {
+        let setting = MulticastSetting::new(2, 0, 0, 1);
+        let spec = quorum_model(setting);
+        let mut state = spec.initial_state();
+        let byz = setting.byzantine_initiator(0);
+        for (r, value) in [(0usize, 1u8), (1usize, 2u8)] {
+            if let MulticastState::HonestReceiver(s) = state.local_mut(setting.honest_receiver(r)) {
+                s.delivered.insert(byz, value);
+            }
+        }
+        let prop = agreement_property(setting);
+        match prop.evaluate(&state, &NullObserver) {
+            PropertyStatus::Violated(reason) => assert!(reason.contains("agreement")),
+            PropertyStatus::Holds => panic!("expected a violation"),
+        }
+        assert_eq!(deliveries_per_initiator(setting, &state)[&byz].len(), 2);
+    }
+
+    #[test]
+    fn same_value_deliveries_are_fine() {
+        let setting = MulticastSetting::new(2, 1, 0, 0);
+        let spec = quorum_model(setting);
+        let mut state = spec.initial_state();
+        let init = setting.honest_initiator(0);
+        for r in 0..2 {
+            if let MulticastState::HonestReceiver(s) = state.local_mut(setting.honest_receiver(r)) {
+                s.delivered.insert(init, 10);
+            }
+        }
+        let prop = agreement_property(setting);
+        assert!(prop.evaluate(&state, &NullObserver).holds());
+    }
+}

@@ -1,0 +1,52 @@
+//! The single-message Echo Multicast model (Table I "No quorum" columns).
+
+use mp_model::ProtocolSpec;
+
+use super::model::{add_initiator_transitions, add_receiver_transitions, declare_processes};
+use super::types::{MulticastMessage, MulticastSetting, MulticastState};
+
+/// Builds the single-message-transition model of Echo Multicast: initiator
+/// commit transitions buffer echoes one at a time instead of consuming an
+/// echo quorum atomically.
+pub fn single_message_model(
+    setting: MulticastSetting,
+) -> ProtocolSpec<MulticastState, MulticastMessage> {
+    let mut builder = declare_processes(setting);
+    add_initiator_transitions(&mut builder, setting, false);
+    add_receiver_transitions(&mut builder, setting);
+    builder
+        .build()
+        .expect("the Echo Multicast single-message model is structurally valid")
+        .renamed(format!("echo-multicast{setting}-single"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::echo_multicast::quorum_model;
+    use mp_model::StateGraph;
+
+    #[test]
+    fn single_message_model_has_no_quorum_transitions() {
+        let setting = MulticastSetting::new(2, 1, 0, 1);
+        let spec = single_message_model(setting);
+        for (_, t) in spec.transitions() {
+            assert!(!t.is_quorum(), "`{}` must not be a quorum transition", t.name());
+        }
+    }
+
+    #[test]
+    fn single_message_state_space_is_larger() {
+        let setting = MulticastSetting::new(2, 1, 0, 0);
+        let q = quorum_model(setting);
+        let s = single_message_model(setting);
+        let gq = StateGraph::build(&q, 1_000_000).unwrap();
+        let gs = StateGraph::build(&s, 1_000_000).unwrap();
+        assert!(
+            gs.num_states() > gq.num_states(),
+            "single-message {} vs quorum {}",
+            gs.num_states(),
+            gq.num_states()
+        );
+    }
+}

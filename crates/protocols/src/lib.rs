@@ -1,0 +1,32 @@
+//! # mp-protocols — the fault-tolerant protocols evaluated in the paper
+//!
+//! Protocol-level models of the three systems used in the evaluation of
+//! "Efficient Model Checking of Fault-Tolerant Distributed Protocols"
+//! (DSN 2011), each in two modelling styles — with **quorum transitions**
+//! (the paper's contribution) and with **single-message transitions** only
+//! (the baseline of Table I) — plus the faulty variants used for the
+//! debugging experiments:
+//!
+//! * [`paxos`] — single-decree Paxos consensus (crash faults), with the
+//!   "Faulty Paxos" learner bug;
+//! * [`echo_multicast`] — Reiter's Echo Multicast (Byzantine faults), with
+//!   equivocating initiators, colluding receivers and the over-threshold
+//!   "wrong agreement" configurations;
+//! * [`storage`] — an ABD-style single-writer regular register (crash
+//!   faults), with the regularity property expressed through a sound
+//!   history observer and the "wrong regularity" debugging specification;
+//! * [`sweep`] — a parametric quorum-collection protocol family used to
+//!   measure the Section II-C state-space inflation analytically claimed by
+//!   the paper.
+//!
+//! Every model is an ordinary [`mp_model::ProtocolSpec`]; they can be
+//! refined with `mp-refine` (quorum-/reply-/combined-split) and checked with
+//! any engine of `mp-checker`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod echo_multicast;
+pub mod paxos;
+pub mod storage;
+pub mod sweep;

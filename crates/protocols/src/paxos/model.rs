@@ -1,0 +1,382 @@
+//! The quorum-transition Paxos model (Figure 2 style).
+
+use mp_model::{
+    Envelope, Outcome, ProcessId, ProtocolBuilder, ProtocolSpec, QuorumSpec, TransitionSpec,
+};
+
+use super::types::{
+    AcceptorState, Ballot, LearnerState, PaxosMessage, PaxosSetting, PaxosState, PaxosVariant,
+    ProposerPhase, ProposerState, Value,
+};
+
+/// Seed-heuristic priorities implementing the paper's "opposite transaction
+/// heuristic": transitions that start a new protocol instance get the
+/// highest priority, transitions that terminate one the lowest.
+pub(crate) const PRIORITY_START: i32 = 10;
+pub(crate) const PRIORITY_MIDDLE: i32 = 5;
+pub(crate) const PRIORITY_FINISH: i32 = -10;
+
+/// Builds the quorum-transition model of Paxos for a setting and variant.
+pub fn quorum_model(setting: PaxosSetting, variant: PaxosVariant) -> ProtocolSpec<PaxosState, PaxosMessage> {
+    let mut builder = declare_processes(setting);
+    add_proposer_transitions(&mut builder, setting, true);
+    add_acceptor_transitions(&mut builder, setting);
+    add_learner_transitions(&mut builder, setting, variant, true);
+    builder
+        .build()
+        .expect("the Paxos quorum model is structurally valid")
+}
+
+pub(crate) fn declare_processes(setting: PaxosSetting) -> ProtocolBuilder<PaxosState, PaxosMessage> {
+    let mut builder = ProtocolSpec::builder(format!("paxos{setting}"));
+    for i in 0..setting.proposers {
+        builder = builder.process(
+            format!("proposer{i}"),
+            PaxosState::Proposer(ProposerState::default()),
+        );
+    }
+    for i in 0..setting.acceptors {
+        builder = builder.process(
+            format!("acceptor{i}"),
+            PaxosState::Acceptor(AcceptorState::default()),
+        );
+    }
+    for i in 0..setting.learners {
+        builder = builder.process(
+            format!("learner{i}"),
+            PaxosState::Learner(LearnerState::default()),
+        );
+    }
+    builder
+}
+
+/// Picks the value a proposer must write: the value of the highest-ballot
+/// accepted pair among the quorum's replies, or the proposer's own value if
+/// no acceptor in the quorum has accepted anything (Figure 2's "select
+/// highest READ_REPL message").
+pub(crate) fn choose_write_value(
+    replies: impl Iterator<Item = Option<(Ballot, Value)>>,
+    own_value: Value,
+) -> Value {
+    replies
+        .flatten()
+        .max_by_key(|(ballot, _)| *ballot)
+        .map(|(_, value)| value)
+        .unwrap_or(own_value)
+}
+
+pub(crate) fn add_proposer_transitions(
+    builder: &mut ProtocolBuilder<PaxosState, PaxosMessage>,
+    setting: PaxosSetting,
+    quorum: bool,
+) {
+    let acceptors = setting.acceptor_ids();
+    for i in 0..setting.proposers {
+        let me = setting.proposer(i);
+        let ballot = setting.ballot_of(i);
+        let own_value = setting.value_of(i);
+        let acceptors_for_start = acceptors.clone();
+
+        // Phase 1a: start the ballot.
+        builder.add_transition(
+            TransitionSpec::builder(format!("READ_{i}"), me)
+                .internal()
+                .guard(|local: &PaxosState, _| {
+                    local.as_proposer().phase == ProposerPhase::Idle
+                })
+                .sends(&["READ"])
+                .sends_to(acceptors_for_start.clone())
+                .priority(PRIORITY_START)
+                .effect(move |local: &PaxosState, _| {
+                    let mut proposer = local.as_proposer().clone();
+                    proposer.phase = ProposerPhase::ReadSent;
+                    Outcome::new(PaxosState::Proposer(proposer))
+                        .broadcast(acceptors_for_start.clone(), PaxosMessage::Read { ballot })
+                })
+                .build(),
+        );
+
+        if quorum {
+            // Phase 1b -> 2a: the quorum transition of Figure 2.
+            let acceptors_for_write = acceptors.clone();
+            builder.add_transition(
+                TransitionSpec::builder(format!("READ_REPL_{i}"), me)
+                    .quorum_input("READ_REPL", QuorumSpec::Exact(setting.majority()))
+                    .guard(move |local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                        local.as_proposer().phase == ProposerPhase::ReadSent
+                            && msgs.iter().all(|m| {
+                                matches!(m.payload, PaxosMessage::ReadRepl { ballot: b, .. } if b == ballot)
+                            })
+                    })
+                    .sends(&["WRITE"])
+                    .sends_to(acceptors_for_write.clone())
+                    .priority(PRIORITY_MIDDLE)
+                    .effect(move |local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                        let mut proposer = local.as_proposer().clone();
+                        proposer.phase = ProposerPhase::WriteSent;
+                        let value = choose_write_value(
+                            msgs.iter().map(|m| match m.payload {
+                                PaxosMessage::ReadRepl { accepted, .. } => accepted,
+                                _ => None,
+                            }),
+                            own_value,
+                        );
+                        Outcome::new(PaxosState::Proposer(proposer)).broadcast(
+                            acceptors_for_write.clone(),
+                            PaxosMessage::Write { ballot, value },
+                        )
+                    })
+                    .build(),
+            );
+        } else {
+            // Single-message simulation (Figure 3): buffer replies one by one.
+            let acceptors_for_write = acceptors.clone();
+            let majority = setting.majority();
+            builder.add_transition(
+                TransitionSpec::builder(format!("READ_REPL_{i}"), me)
+                    .single_input("READ_REPL")
+                    .guard(move |local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                        local.as_proposer().phase == ProposerPhase::ReadSent
+                            && matches!(msgs[0].payload, PaxosMessage::ReadRepl { ballot: b, .. } if b == ballot)
+                    })
+                    .sends(&["WRITE"])
+                    .sends_to(acceptors_for_write.clone())
+                    .priority(PRIORITY_MIDDLE)
+                    .effect(move |local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                        let mut proposer = local.as_proposer().clone();
+                        let accepted = match msgs[0].payload {
+                            PaxosMessage::ReadRepl { accepted, .. } => accepted,
+                            _ => None,
+                        };
+                        proposer.read_replies.insert((msgs[0].sender, accepted));
+                        if proposer.read_replies.len() >= majority {
+                            let value = choose_write_value(
+                                proposer.read_replies.iter().map(|(_, a)| *a),
+                                own_value,
+                            );
+                            proposer.phase = ProposerPhase::WriteSent;
+                            proposer.read_replies.clear();
+                            Outcome::new(PaxosState::Proposer(proposer)).broadcast(
+                                acceptors_for_write.clone(),
+                                PaxosMessage::Write { ballot, value },
+                            )
+                        } else {
+                            Outcome::new(PaxosState::Proposer(proposer))
+                        }
+                    })
+                    .build(),
+            );
+        }
+    }
+}
+
+pub(crate) fn add_acceptor_transitions(
+    builder: &mut ProtocolBuilder<PaxosState, PaxosMessage>,
+    setting: PaxosSetting,
+) {
+    let learners = setting.learner_ids();
+    for j in 0..setting.acceptors {
+        let me = setting.acceptor(j);
+
+        // Phase 1b: the reply transition of Figure 6.
+        builder.add_transition(
+            TransitionSpec::builder(format!("READ_ACC_{j}"), me)
+                .single_input("READ")
+                .reply()
+                .sends(&["READ_REPL"])
+                .priority(PRIORITY_MIDDLE)
+                .effect(|local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                    let mut acceptor = local.as_acceptor().clone();
+                    let PaxosMessage::Read { ballot } = msgs[0].payload else {
+                        return Outcome::new(local.clone());
+                    };
+                    if ballot > acceptor.promised {
+                        acceptor.promised = ballot;
+                        let reply = PaxosMessage::ReadRepl {
+                            ballot,
+                            accepted: acceptor.accepted,
+                        };
+                        Outcome::new(PaxosState::Acceptor(acceptor)).send(msgs[0].sender, reply)
+                    } else {
+                        // Stale ballot: consume the request without replying.
+                        Outcome::new(PaxosState::Acceptor(acceptor))
+                    }
+                })
+                .build(),
+        );
+
+        // Phase 2a -> 2b.
+        let learners_for_accept = learners.clone();
+        builder.add_transition(
+            TransitionSpec::builder(format!("WRITE_ACC_{j}"), me)
+                .single_input("WRITE")
+                .sends(&["ACCEPT"])
+                .sends_to(learners_for_accept.clone())
+                .priority(PRIORITY_MIDDLE)
+                .effect(move |local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                    let mut acceptor = local.as_acceptor().clone();
+                    let PaxosMessage::Write { ballot, value } = msgs[0].payload else {
+                        return Outcome::new(local.clone());
+                    };
+                    if ballot >= acceptor.promised {
+                        acceptor.promised = ballot;
+                        acceptor.accepted = Some((ballot, value));
+                        Outcome::new(PaxosState::Acceptor(acceptor)).broadcast(
+                            learners_for_accept.clone(),
+                            PaxosMessage::Accept { ballot, value },
+                        )
+                    } else {
+                        Outcome::new(PaxosState::Acceptor(acceptor))
+                    }
+                })
+                .build(),
+        );
+    }
+}
+
+pub(crate) fn add_learner_transitions(
+    builder: &mut ProtocolBuilder<PaxosState, PaxosMessage>,
+    setting: PaxosSetting,
+    variant: PaxosVariant,
+    quorum: bool,
+) {
+    let majority = setting.majority();
+    for k in 0..setting.learners {
+        let me = setting.learner(k);
+        if quorum {
+            builder.add_transition(
+                TransitionSpec::builder(format!("ACCEPT_{k}"), me)
+                    .quorum_input("ACCEPT", QuorumSpec::Exact(majority))
+                    .guard(move |_: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                        match variant {
+                            // A correct learner compares: all ACCEPTs of the
+                            // quorum must carry the same ballot and value.
+                            PaxosVariant::Correct => {
+                                let mut pairs = msgs.iter().map(|m| match m.payload {
+                                    PaxosMessage::Accept { ballot, value } => (ballot, value),
+                                    _ => (0, 0),
+                                });
+                                let first = pairs.next();
+                                pairs.all(|p| Some(p) == first)
+                            }
+                            // The faulty learner does not compare.
+                            PaxosVariant::FaultyLearner => true,
+                        }
+                    })
+                    .sends_nothing()
+                    .visible()
+                    .priority(PRIORITY_FINISH)
+                    .effect(move |local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                        let mut learner = local.as_learner().clone();
+                        for m in msgs {
+                            if let PaxosMessage::Accept { value, .. } = m.payload {
+                                learner.learned.insert(value);
+                            }
+                        }
+                        Outcome::new(PaxosState::Learner(learner))
+                    })
+                    .build(),
+            );
+        } else {
+            builder.add_transition(
+                TransitionSpec::builder(format!("ACCEPT_{k}"), me)
+                    .single_input("ACCEPT")
+                    .sends_nothing()
+                    .visible()
+                    .priority(PRIORITY_FINISH)
+                    .effect(move |local: &PaxosState, msgs: &[Envelope<PaxosMessage>]| {
+                        let mut learner = local.as_learner().clone();
+                        let PaxosMessage::Accept { ballot, value } = msgs[0].payload else {
+                            return Outcome::new(local.clone());
+                        };
+                        learner.accept_buffer.insert((msgs[0].sender, ballot, value));
+                        match variant {
+                            PaxosVariant::Correct => {
+                                // Count distinct senders per (ballot, value).
+                                for &(_, b, v) in learner.accept_buffer.iter() {
+                                    let senders = learner
+                                        .accept_buffer
+                                        .iter()
+                                        .filter(|(_, b2, v2)| *b2 == b && *v2 == v)
+                                        .map(|(s, _, _)| *s)
+                                        .collect::<std::collections::BTreeSet<_>>();
+                                    if senders.len() >= majority {
+                                        learner.learned.insert(v);
+                                    }
+                                }
+                            }
+                            PaxosVariant::FaultyLearner => {
+                                let senders = learner
+                                    .accept_buffer
+                                    .iter()
+                                    .map(|(s, _, _)| *s)
+                                    .collect::<std::collections::BTreeSet<_>>();
+                                if senders.len() >= majority {
+                                    for &(_, _, v) in learner.accept_buffer.iter() {
+                                        learner.learned.insert(v);
+                                    }
+                                }
+                            }
+                        }
+                        Outcome::new(PaxosState::Learner(learner))
+                    })
+                    .build(),
+            );
+        }
+    }
+}
+
+/// Re-exported helper so sibling modules can reuse process declaration.
+pub(crate) fn _unused(_: ProcessId) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choose_write_value_prefers_highest_ballot() {
+        assert_eq!(choose_write_value([None, None].into_iter(), 7), 7);
+        assert_eq!(
+            choose_write_value([Some((1, 4)), None, Some((3, 9)), Some((2, 5))].into_iter(), 7),
+            9
+        );
+        assert_eq!(choose_write_value(std::iter::empty(), 3), 3);
+    }
+
+    #[test]
+    fn quorum_model_has_expected_transition_count() {
+        let setting = PaxosSetting::new(2, 3, 1);
+        let spec = quorum_model(setting, PaxosVariant::Correct);
+        // 2 proposers × 2 + 3 acceptors × 2 + 1 learner = 11 transitions.
+        assert_eq!(spec.num_transitions(), 11);
+        assert_eq!(spec.num_processes(), 6);
+        assert!(spec.transition_by_name("READ_REPL_0").is_some());
+        assert!(spec.transition_by_name("ACCEPT_0").is_some());
+    }
+
+    #[test]
+    fn read_repl_is_an_exact_quorum_transition() {
+        let setting = PaxosSetting::new(2, 3, 1);
+        let spec = quorum_model(setting, PaxosVariant::Correct);
+        let id = spec.transition_by_name("READ_REPL_0").unwrap();
+        let t = spec.transition(id);
+        assert!(t.is_exact_quorum());
+        assert_eq!(t.exact_quorum_size(), Some(2));
+    }
+
+    #[test]
+    fn acceptor_read_is_a_reply_transition() {
+        let setting = PaxosSetting::new(2, 3, 1);
+        let spec = quorum_model(setting, PaxosVariant::Correct);
+        let id = spec.transition_by_name("READ_ACC_0").unwrap();
+        assert!(spec.transition(id).annotations().is_reply);
+    }
+
+    #[test]
+    fn learner_transition_is_visible() {
+        let setting = PaxosSetting::new(2, 3, 1);
+        let spec = quorum_model(setting, PaxosVariant::Correct);
+        let id = spec.transition_by_name("ACCEPT_0").unwrap();
+        assert!(spec.transition(id).annotations().is_visible);
+    }
+}

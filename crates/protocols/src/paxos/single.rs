@@ -1,0 +1,75 @@
+//! The single-message Paxos model (Figure 3 style).
+//!
+//! Every quorum transition of the quorum model is simulated by a
+//! single-message transition that buffers incoming messages in the local
+//! state and fires the original effect once the buffer holds a majority.
+//! This is exactly the modelling style the paper argues against in
+//! Section II-C: the intermediate buffering states are protocol-irrelevant
+//! but still enlarge the state space.
+
+use mp_model::ProtocolSpec;
+
+use super::model::{
+    add_acceptor_transitions, add_learner_transitions, add_proposer_transitions,
+    declare_processes,
+};
+use super::types::{PaxosMessage, PaxosSetting, PaxosState, PaxosVariant};
+
+/// Builds the single-message-transition model of Paxos for a setting and
+/// variant.
+pub fn single_message_model(
+    setting: PaxosSetting,
+    variant: PaxosVariant,
+) -> ProtocolSpec<PaxosState, PaxosMessage> {
+    let mut builder = declare_processes(setting);
+    add_proposer_transitions(&mut builder, setting, false);
+    add_acceptor_transitions(&mut builder, setting);
+    add_learner_transitions(&mut builder, setting, variant, false);
+    builder
+        .build()
+        .expect("the Paxos single-message model is structurally valid")
+        .renamed(format!("paxos{setting}-single"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_model::StateGraph;
+
+    #[test]
+    fn single_message_model_has_no_quorum_transitions() {
+        let setting = PaxosSetting::new(2, 3, 1);
+        let spec = single_message_model(setting, PaxosVariant::Correct);
+        assert_eq!(spec.num_transitions(), 11);
+        for (_, t) in spec.transitions() {
+            assert!(
+                !t.is_quorum(),
+                "transition `{}` must not be a quorum transition",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn single_message_state_space_is_larger_than_quorum_state_space() {
+        // Section II-C's claim, measured on the smallest meaningful instance.
+        let setting = PaxosSetting::new(1, 3, 1);
+        let quorum = super::super::quorum_model(setting, PaxosVariant::Correct);
+        let single = single_message_model(setting, PaxosVariant::Correct);
+        let gq = StateGraph::build(&quorum, 1_000_000).unwrap();
+        let gs = StateGraph::build(&single, 1_000_000).unwrap();
+        assert!(
+            gs.num_states() > gq.num_states(),
+            "single-message model has {} states, quorum model has {}",
+            gs.num_states(),
+            gq.num_states()
+        );
+    }
+
+    #[test]
+    fn name_distinguishes_the_models() {
+        let setting = PaxosSetting::new(1, 1, 1);
+        let spec = single_message_model(setting, PaxosVariant::Correct);
+        assert!(spec.name().contains("single"));
+    }
+}

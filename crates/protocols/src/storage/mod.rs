@@ -1,0 +1,132 @@
+//! Regular storage — an ABD-style single-writer, multi-reader register
+//! (paper, Section V-A, protocol (c); Attiya–Bar-Noy–Dolev).
+//!
+//! The writer stores a timestamped value at every base object and considers
+//! the write complete when a majority acknowledges; a reader queries every
+//! base object and returns the value with the highest timestamp among a
+//! majority of responses. *Regularity* guarantees that a read returns a
+//! value "not older than the one written by the latest preceding write
+//! operation"; it holds as long as a minority of base objects crash (crashes
+//! are modelled implicitly by scheduling, as in the paper).
+//!
+//! Because regularity relates a read's result to the writes that completed
+//! *before the read started*, it is not a predicate of a single state; the
+//! [`RegularityObserver`] history variable records the writer's progress at
+//! each read invocation and the property is checked as an invariant over
+//! state + observer (the sound version of the paper's footnote-7 "remote
+//! state assertions"). The "wrong regularity" debugging specification of
+//! Table I additionally demands that reads concurrent with a write already
+//! return it — which regular storage does not guarantee, so the checker
+//! produces a counterexample.
+
+mod model;
+mod properties;
+mod single;
+mod types;
+
+pub use model::quorum_model;
+pub use properties::{
+    regularity_property, wrong_regularity_property, RegularityObserver, WriteSnapshot,
+};
+pub use single::single_message_model;
+pub use types::{
+    BaseObjectState, ReaderPhase, ReaderState, StorageMessage, StorageSetting, StorageState,
+    WriterState,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_checker::{Checker, CheckerConfig};
+
+    #[test]
+    fn storage_2_1_satisfies_regularity() {
+        let setting = StorageSetting::new(2, 1);
+        let spec = quorum_model(setting);
+        let report = Checker::with_observer(
+            &spec,
+            regularity_property(setting),
+            RegularityObserver::new(setting),
+        )
+        .spor()
+        .run();
+        assert!(report.verdict.is_verified(), "{}", report);
+    }
+
+    #[test]
+    fn storage_3_1_satisfies_regularity() {
+        // Table I row: Regular storage (3,1) — verified.
+        let setting = StorageSetting::new(3, 1);
+        let spec = quorum_model(setting);
+        let report = Checker::with_observer(
+            &spec,
+            regularity_property(setting),
+            RegularityObserver::new(setting),
+        )
+        .spor()
+        .run();
+        assert!(report.verdict.is_verified(), "{}", report);
+        assert!(report.stats.states > 100);
+    }
+
+    #[test]
+    fn storage_wrong_regularity_is_violated() {
+        // Table I row: Regular storage (3,2) with the wrong specification —
+        // counterexample found. A smaller (3,1) instance already exposes it.
+        let setting = StorageSetting::new(3, 1);
+        let spec = quorum_model(setting);
+        let report = Checker::with_observer(
+            &spec,
+            wrong_regularity_property(setting),
+            RegularityObserver::new(setting),
+        )
+        .config(CheckerConfig::stateful_bfs())
+        .run();
+        assert!(report.verdict.is_violated(), "{}", report);
+    }
+
+    #[test]
+    fn single_message_model_agrees_on_verdicts() {
+        let setting = StorageSetting::new(2, 1);
+        let spec = single_message_model(setting);
+        let report = Checker::with_observer(
+            &spec,
+            regularity_property(setting),
+            RegularityObserver::new(setting),
+        )
+        .spor()
+        .run();
+        assert!(report.verdict.is_verified(), "{}", report);
+
+        let report = Checker::with_observer(
+            &spec,
+            wrong_regularity_property(setting),
+            RegularityObserver::new(setting),
+        )
+        .config(CheckerConfig::stateful_bfs())
+        .run();
+        assert!(report.verdict.is_violated(), "{}", report);
+    }
+
+    #[test]
+    fn reduced_and_unreduced_searches_agree() {
+        let setting = StorageSetting::new(2, 1);
+        let spec = quorum_model(setting);
+        let unreduced = Checker::with_observer(
+            &spec,
+            regularity_property(setting),
+            RegularityObserver::new(setting),
+        )
+        .run();
+        let reduced = Checker::with_observer(
+            &spec,
+            regularity_property(setting),
+            RegularityObserver::new(setting),
+        )
+        .spor()
+        .run();
+        assert!(unreduced.verdict.is_verified());
+        assert!(reduced.verdict.is_verified());
+        assert!(reduced.stats.states <= unreduced.stats.states);
+    }
+}

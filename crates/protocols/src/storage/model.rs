@@ -1,0 +1,311 @@
+//! The quorum-transition regular storage model (ABD-style single writer).
+
+use mp_model::{
+    Envelope, Outcome, ProtocolBuilder, ProtocolSpec, QuorumSpec, TransitionSpec,
+};
+
+use super::types::{
+    BaseObjectState, ReaderPhase, ReaderState, StorageMessage, StorageSetting, StorageState,
+    WriterState,
+};
+
+const PRIORITY_START: i32 = 10;
+const PRIORITY_MIDDLE: i32 = 5;
+const PRIORITY_FINISH: i32 = -10;
+
+/// Builds the quorum-transition model of the regular storage protocol.
+pub fn quorum_model(setting: StorageSetting) -> ProtocolSpec<StorageState, StorageMessage> {
+    let mut builder = declare_processes(setting);
+    add_writer_transitions(&mut builder, setting, true);
+    add_base_object_transitions(&mut builder, setting);
+    add_reader_transitions(&mut builder, setting, true);
+    builder
+        .build()
+        .expect("the storage quorum model is structurally valid")
+}
+
+pub(crate) fn declare_processes(
+    setting: StorageSetting,
+) -> ProtocolBuilder<StorageState, StorageMessage> {
+    let mut builder = ProtocolSpec::builder(format!("regular-storage{setting}"));
+    builder = builder.process("writer", StorageState::Writer(WriterState::default()));
+    for i in 0..setting.base_objects {
+        builder = builder.process(
+            format!("base{i}"),
+            StorageState::BaseObject(BaseObjectState::default()),
+        );
+    }
+    for i in 0..setting.readers {
+        builder = builder.process(
+            format!("reader{i}"),
+            StorageState::Reader(ReaderState::default()),
+        );
+    }
+    builder
+}
+
+pub(crate) fn add_writer_transitions(
+    builder: &mut ProtocolBuilder<StorageState, StorageMessage>,
+    setting: StorageSetting,
+    quorum: bool,
+) {
+    let me = setting.writer();
+    let bases = setting.base_object_ids();
+    let total_writes = setting.writes as u8;
+    let majority = setting.majority();
+
+    // Invoke the next write.
+    let bases_invoke = bases.clone();
+    builder.add_transition(
+        TransitionSpec::builder("W_INVOKE", me)
+            .internal()
+            .guard(move |local: &StorageState, _| {
+                let w = local.as_writer();
+                !w.writing && w.writes_done < total_writes
+            })
+            .sends(&["WRITE"])
+            .sends_to(bases_invoke.clone())
+            .priority(PRIORITY_START)
+            .effect(move |local: &StorageState, _| {
+                let mut w = local.as_writer().clone();
+                w.writing = true;
+                let ts = w.writes_done + 1;
+                Outcome::new(StorageState::Writer(w)).broadcast(
+                    bases_invoke.clone(),
+                    StorageMessage::Write { ts, value: ts },
+                )
+            })
+            .build(),
+    );
+
+    // Complete the write on a majority of acknowledgements.
+    if quorum {
+        builder.add_transition(
+            TransitionSpec::builder("W_ACK", me)
+                .quorum_input("WRITE_ACK", QuorumSpec::Exact(majority))
+                .guard(move |local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                    let w = local.as_writer();
+                    w.writing
+                        && msgs.iter().all(|m| {
+                            matches!(m.payload, StorageMessage::WriteAck { ts } if ts == w.writes_done + 1)
+                        })
+                })
+                .sends_nothing()
+                .visible()
+                .priority(PRIORITY_MIDDLE)
+                .effect(|local: &StorageState, _| {
+                    let mut w = local.as_writer().clone();
+                    w.writing = false;
+                    w.writes_done += 1;
+                    Outcome::new(StorageState::Writer(w))
+                })
+                .build(),
+        );
+    } else {
+        builder.add_transition(
+            TransitionSpec::builder("W_ACK", me)
+                .single_input("WRITE_ACK")
+                .guard(move |local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                    let w = local.as_writer();
+                    w.writing
+                        && matches!(msgs[0].payload, StorageMessage::WriteAck { ts } if ts == w.writes_done + 1)
+                })
+                .sends_nothing()
+                .visible()
+                .priority(PRIORITY_MIDDLE)
+                .effect(move |local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                    let mut w = local.as_writer().clone();
+                    w.ack_buffer.insert(msgs[0].sender);
+                    if w.ack_buffer.len() >= majority {
+                        w.ack_buffer.clear();
+                        w.writing = false;
+                        w.writes_done += 1;
+                    }
+                    Outcome::new(StorageState::Writer(w))
+                })
+                .build(),
+        );
+    }
+}
+
+pub(crate) fn add_base_object_transitions(
+    builder: &mut ProtocolBuilder<StorageState, StorageMessage>,
+    setting: StorageSetting,
+) {
+    for j in 0..setting.base_objects {
+        let me = setting.base_object(j);
+
+        builder.add_transition(
+            TransitionSpec::builder(format!("B_WRITE_{j}"), me)
+                .single_input("WRITE")
+                .reply()
+                .sends(&["WRITE_ACK"])
+                .priority(PRIORITY_MIDDLE)
+                .effect(|local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                    let mut b = local.as_base_object().clone();
+                    let StorageMessage::Write { ts, value } = msgs[0].payload else {
+                        return Outcome::new(local.clone());
+                    };
+                    if ts > b.ts {
+                        b.ts = ts;
+                        b.value = value;
+                    }
+                    // Base objects acknowledge every write, even stale ones.
+                    Outcome::new(StorageState::BaseObject(b))
+                        .send(msgs[0].sender, StorageMessage::WriteAck { ts })
+                })
+                .build(),
+        );
+
+        builder.add_transition(
+            TransitionSpec::builder(format!("B_READ_{j}"), me)
+                .single_input("READ_REQ")
+                .reply()
+                .sends(&["READ_RESP"])
+                .priority(PRIORITY_MIDDLE)
+                .effect(|local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                    let b = local.as_base_object().clone();
+                    let reply = StorageMessage::ReadResp {
+                        ts: b.ts,
+                        value: b.value,
+                    };
+                    Outcome::new(StorageState::BaseObject(b)).send(msgs[0].sender, reply)
+                })
+                .build(),
+        );
+    }
+}
+
+pub(crate) fn add_reader_transitions(
+    builder: &mut ProtocolBuilder<StorageState, StorageMessage>,
+    setting: StorageSetting,
+    quorum: bool,
+) {
+    let bases = setting.base_object_ids();
+    let majority = setting.majority();
+    for r in 0..setting.readers {
+        let me = setting.reader(r);
+
+        let bases_invoke = bases.clone();
+        builder.add_transition(
+            TransitionSpec::builder(format!("R_INVOKE_{r}"), me)
+                .internal()
+                .guard(|local: &StorageState, _| local.as_reader().phase == ReaderPhase::Idle)
+                .sends(&["READ_REQ"])
+                .sends_to(bases_invoke.clone())
+                .visible()
+                .priority(PRIORITY_START)
+                .effect(move |local: &StorageState, _| {
+                    let mut s = local.as_reader().clone();
+                    s.phase = ReaderPhase::Reading;
+                    Outcome::new(StorageState::Reader(s))
+                        .broadcast(bases_invoke.clone(), StorageMessage::ReadReq)
+                })
+                .build(),
+        );
+
+        if quorum {
+            builder.add_transition(
+                TransitionSpec::builder(format!("R_RESP_{r}"), me)
+                    .quorum_input("READ_RESP", QuorumSpec::Exact(majority))
+                    .guard(|local: &StorageState, _| {
+                        local.as_reader().phase == ReaderPhase::Reading
+                    })
+                    .sends_nothing()
+                    .visible()
+                    .priority(PRIORITY_FINISH)
+                    .effect(|local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                        let mut s = local.as_reader().clone();
+                        s.result = msgs
+                            .iter()
+                            .filter_map(|m| match m.payload {
+                                StorageMessage::ReadResp { ts, value } => Some((ts, value)),
+                                _ => None,
+                            })
+                            .max();
+                        s.phase = ReaderPhase::Done;
+                        Outcome::new(StorageState::Reader(s))
+                    })
+                    .build(),
+            );
+        } else {
+            builder.add_transition(
+                TransitionSpec::builder(format!("R_RESP_{r}"), me)
+                    .single_input("READ_RESP")
+                    .guard(|local: &StorageState, _| {
+                        local.as_reader().phase == ReaderPhase::Reading
+                    })
+                    .sends_nothing()
+                    .visible()
+                    .priority(PRIORITY_FINISH)
+                    .effect(move |local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                        let mut s = local.as_reader().clone();
+                        let StorageMessage::ReadResp { ts, value } = msgs[0].payload else {
+                            return Outcome::new(local.clone());
+                        };
+                        s.resp_buffer.insert((msgs[0].sender, ts, value));
+                        if s.resp_buffer.len() >= majority {
+                            s.result = s.resp_buffer.iter().map(|(_, t, v)| (*t, *v)).max();
+                            s.resp_buffer.clear();
+                            s.phase = ReaderPhase::Done;
+                        }
+                        Outcome::new(StorageState::Reader(s))
+                    })
+                    .build(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_model_transition_counts() {
+        // writer (2) + 3 base objects (2 each) + 1 reader (2) = 10.
+        let setting = StorageSetting::new(3, 1);
+        let spec = quorum_model(setting);
+        assert_eq!(spec.num_transitions(), 10);
+        assert_eq!(spec.num_processes(), 5);
+    }
+
+    #[test]
+    fn ack_and_response_are_exact_quorums() {
+        let setting = StorageSetting::new(3, 1);
+        let spec = quorum_model(setting);
+        let ack = spec.transition(spec.transition_by_name("W_ACK").unwrap());
+        assert!(ack.is_exact_quorum());
+        assert_eq!(ack.exact_quorum_size(), Some(2));
+        let resp = spec.transition(spec.transition_by_name("R_RESP_0").unwrap());
+        assert!(resp.is_exact_quorum());
+    }
+
+    #[test]
+    fn base_object_transitions_are_replies() {
+        let setting = StorageSetting::new(3, 1);
+        let spec = quorum_model(setting);
+        assert!(spec
+            .transition(spec.transition_by_name("B_WRITE_0").unwrap())
+            .annotations()
+            .is_reply);
+        assert!(spec
+            .transition(spec.transition_by_name("B_READ_2").unwrap())
+            .annotations()
+            .is_reply);
+    }
+
+    #[test]
+    fn observer_relevant_transitions_are_visible() {
+        let setting = StorageSetting::new(3, 2);
+        let spec = quorum_model(setting);
+        for name in ["W_ACK", "R_INVOKE_0", "R_RESP_1"] {
+            assert!(
+                spec.transition(spec.transition_by_name(name).unwrap())
+                    .annotations()
+                    .is_visible,
+                "{name} must be visible"
+            );
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Regular storage properties and the regularity observer.
+
+use mp_checker::{Invariant, Observer};
+use mp_model::{GlobalState, ProtocolSpec, TransitionInstance};
+
+use super::types::{
+    ReaderPhase, StorageMessage, StorageSetting, StorageState, Timestamp,
+};
+
+/// What the writer was doing when a read was invoked.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct WriteSnapshot {
+    /// Number of writes that had completed when the read started.
+    pub completed: Timestamp,
+    /// `true` if a write was in progress (invoked but not yet acknowledged
+    /// by a majority) when the read started.
+    pub in_progress: bool,
+}
+
+/// History observer recording, for every reader, the writer's progress at
+/// the moment the read was invoked.
+///
+/// This is the sound counterpart of the paper's footnote-7 "assertions that
+/// read remote state": regularity relates the value a read returns to the
+/// writes that completed *before the read started*, which is not a function
+/// of a single state — the observer carries exactly that piece of history,
+/// and the checker folds it into the explored state.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct RegularityObserver {
+    setting: StorageSetting,
+    snapshots: Vec<Option<WriteSnapshot>>,
+}
+
+impl RegularityObserver {
+    /// Creates the observer for a setting (no read invoked yet).
+    pub fn new(setting: StorageSetting) -> Self {
+        RegularityObserver {
+            setting,
+            snapshots: vec![None; setting.readers],
+        }
+    }
+
+    /// Returns the snapshot recorded for reader `index`, if its read has been
+    /// invoked.
+    pub fn snapshot(&self, index: usize) -> Option<WriteSnapshot> {
+        self.snapshots.get(index).copied().flatten()
+    }
+}
+
+impl Observer<StorageState, StorageMessage> for RegularityObserver {
+    fn update(
+        &self,
+        _spec: &ProtocolSpec<StorageState, StorageMessage>,
+        pre: &GlobalState<StorageState, StorageMessage>,
+        instance: &TransitionInstance<StorageMessage>,
+        post: &GlobalState<StorageState, StorageMessage>,
+    ) -> Self {
+        let Some(reader_index) = self.setting.reader_index(instance.process) else {
+            return self.clone();
+        };
+        let was_idle = pre.local(instance.process).as_reader().phase == ReaderPhase::Idle;
+        let now_reading = post.local(instance.process).as_reader().phase == ReaderPhase::Reading;
+        if !(was_idle && now_reading) {
+            return self.clone();
+        }
+        // The read was just invoked: record the writer's progress.
+        let writer = post.local(self.setting.writer()).as_writer();
+        let mut next = self.clone();
+        next.snapshots[reader_index] = Some(WriteSnapshot {
+            completed: writer.writes_done,
+            in_progress: writer.writing,
+        });
+        next
+    }
+}
+
+/// The **regularity** property of the paper: "a read operation returns a
+/// value not older than the one written by the latest preceding write
+/// operation". Concretely, a completed read must return a timestamp at least
+/// as large as the number of writes that had completed when the read was
+/// invoked (and the returned value must be the one written with that
+/// timestamp).
+pub fn regularity_property(
+    setting: StorageSetting,
+) -> Invariant<StorageState, StorageMessage, RegularityObserver> {
+    read_property(setting, "regularity", false)
+}
+
+/// The deliberately wrong specification used for debugging ("wrong
+/// regularity"): a read that completes after a write was *invoked* must
+/// return that write's value even if the two operations are concurrent.
+/// Regular storage does not guarantee this, so the checker finds a
+/// counterexample.
+pub fn wrong_regularity_property(
+    setting: StorageSetting,
+) -> Invariant<StorageState, StorageMessage, RegularityObserver> {
+    read_property(setting, "wrong-regularity", true)
+}
+
+fn read_property(
+    setting: StorageSetting,
+    name: &str,
+    count_in_progress: bool,
+) -> Invariant<StorageState, StorageMessage, RegularityObserver> {
+    Invariant::new(
+        name.to_string(),
+        move |state: &GlobalState<StorageState, StorageMessage>, observer: &RegularityObserver| {
+            for r in 0..setting.readers {
+                let reader = state.local(setting.reader(r)).as_reader();
+                if reader.phase != ReaderPhase::Done {
+                    continue;
+                }
+                let Some((ts, value)) = reader.result else {
+                    return Err(format!("reader {r} completed without a result"));
+                };
+                if ts > 0 && value != ts {
+                    return Err(format!(
+                        "integrity violated: reader {r} returned value {value} for timestamp {ts}"
+                    ));
+                }
+                let Some(snapshot) = observer.snapshot(r) else {
+                    return Err(format!(
+                        "reader {r} completed a read that was never observed as invoked"
+                    ));
+                };
+                let mut required = snapshot.completed;
+                if count_in_progress && snapshot.in_progress {
+                    required += 1;
+                }
+                if ts < required {
+                    return Err(format!(
+                        "reader {r} returned timestamp {ts} but {required} write(s) \
+                         {} before the read started",
+                        if count_in_progress {
+                            "had completed or were in progress"
+                        } else {
+                            "had completed"
+                        }
+                    ));
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::quorum_model;
+    use mp_checker::PropertyStatus;
+
+    fn setting() -> StorageSetting {
+        StorageSetting::new(3, 1)
+    }
+
+    #[test]
+    fn observer_records_read_invocation() {
+        let setting = setting();
+        let spec = quorum_model(setting);
+        let mut pre = spec.initial_state();
+        // Pretend one write completed and another is running.
+        if let StorageState::Writer(w) = pre.local_mut(setting.writer()) {
+            w.writes_done = 1;
+            w.writing = true;
+        }
+        let mut post = pre.clone();
+        if let StorageState::Reader(r) = post.local_mut(setting.reader(0)) {
+            r.phase = ReaderPhase::Reading;
+        }
+        let invoke_id = spec.transition_by_name("R_INVOKE_0").unwrap();
+        let instance =
+            TransitionInstance::new(invoke_id, setting.reader(0), Vec::new());
+        let observer = RegularityObserver::new(setting);
+        assert_eq!(observer.snapshot(0), None);
+        let updated = observer.update(&spec, &pre, &instance, &post);
+        let snap = updated.snapshot(0).unwrap();
+        assert_eq!(snap.completed, 1);
+        assert!(snap.in_progress);
+    }
+
+    #[test]
+    fn observer_ignores_non_reader_transitions() {
+        let setting = setting();
+        let spec = quorum_model(setting);
+        let state = spec.initial_state();
+        let write_id = spec.transition_by_name("W_INVOKE").unwrap();
+        let instance = TransitionInstance::new(write_id, setting.writer(), Vec::new());
+        let observer = RegularityObserver::new(setting);
+        let updated = observer.update(&spec, &state, &instance, &state);
+        assert_eq!(updated, observer);
+    }
+
+    #[test]
+    fn stale_read_after_completed_write_is_flagged() {
+        let setting = setting();
+        let spec = quorum_model(setting);
+        let mut state = spec.initial_state();
+        if let StorageState::Reader(r) = state.local_mut(setting.reader(0)) {
+            r.phase = ReaderPhase::Done;
+            r.result = Some((0, 0));
+        }
+        let mut observer = RegularityObserver::new(setting);
+        observer.snapshots[0] = Some(WriteSnapshot {
+            completed: 1,
+            in_progress: false,
+        });
+        let prop = regularity_property(setting);
+        match prop.evaluate(&state, &observer) {
+            PropertyStatus::Violated(reason) => assert!(reason.contains("timestamp 0")),
+            PropertyStatus::Holds => panic!("expected a violation"),
+        }
+    }
+
+    #[test]
+    fn fresh_read_satisfies_regularity_but_not_wrong_regularity() {
+        let setting = setting();
+        let spec = quorum_model(setting);
+        let mut state = spec.initial_state();
+        if let StorageState::Reader(r) = state.local_mut(setting.reader(0)) {
+            r.phase = ReaderPhase::Done;
+            r.result = Some((0, 0));
+        }
+        let mut observer = RegularityObserver::new(setting);
+        // No write completed, but one was in progress when the read started.
+        observer.snapshots[0] = Some(WriteSnapshot {
+            completed: 0,
+            in_progress: true,
+        });
+        assert!(regularity_property(setting).evaluate(&state, &observer).holds());
+        assert!(!wrong_regularity_property(setting)
+            .evaluate(&state, &observer)
+            .holds());
+    }
+
+    #[test]
+    fn value_integrity_is_checked() {
+        let setting = setting();
+        let spec = quorum_model(setting);
+        let mut state = spec.initial_state();
+        if let StorageState::Reader(r) = state.local_mut(setting.reader(0)) {
+            r.phase = ReaderPhase::Done;
+            r.result = Some((2, 1));
+        }
+        let mut observer = RegularityObserver::new(setting);
+        observer.snapshots[0] = Some(WriteSnapshot {
+            completed: 2,
+            in_progress: false,
+        });
+        let prop = regularity_property(setting);
+        match prop.evaluate(&state, &observer) {
+            PropertyStatus::Violated(reason) => assert!(reason.contains("integrity")),
+            PropertyStatus::Holds => panic!("expected a violation"),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The single-message regular storage model (Table I "No quorum" columns).
+
+use mp_model::ProtocolSpec;
+
+use super::model::{
+    add_base_object_transitions, add_reader_transitions, add_writer_transitions,
+    declare_processes,
+};
+use super::types::{StorageMessage, StorageSetting, StorageState};
+
+/// Builds the single-message-transition model of the regular storage
+/// protocol: the writer buffers acknowledgements and the readers buffer
+/// responses one message at a time.
+pub fn single_message_model(
+    setting: StorageSetting,
+) -> ProtocolSpec<StorageState, StorageMessage> {
+    let mut builder = declare_processes(setting);
+    add_writer_transitions(&mut builder, setting, false);
+    add_base_object_transitions(&mut builder, setting);
+    add_reader_transitions(&mut builder, setting, false);
+    builder
+        .build()
+        .expect("the storage single-message model is structurally valid")
+        .renamed(format!("regular-storage{setting}-single"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::quorum_model;
+    use mp_model::StateGraph;
+
+    #[test]
+    fn single_message_model_has_no_quorum_transitions() {
+        let setting = StorageSetting::new(3, 1);
+        let spec = single_message_model(setting);
+        for (_, t) in spec.transitions() {
+            assert!(!t.is_quorum(), "`{}` must not be a quorum transition", t.name());
+        }
+        assert_eq!(spec.num_transitions(), quorum_model(setting).num_transitions());
+    }
+
+    #[test]
+    fn single_message_state_space_is_larger() {
+        let setting = StorageSetting::with_writes(2, 1, 1);
+        let q = quorum_model(setting);
+        let s = single_message_model(setting);
+        let gq = StateGraph::build(&q, 1_000_000).unwrap();
+        let gs = StateGraph::build(&s, 1_000_000).unwrap();
+        assert!(
+            gs.num_states() > gq.num_states(),
+            "single-message {} vs quorum {}",
+            gs.num_states(),
+            gq.num_states()
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Fast debugging: find the bug in "Faulty Paxos" (learners that do not
+//! compare the values received from the acceptors) and print the
+//! counterexample, comparing how many states each search strategy needed.
+//!
+//! Run with: `cargo run --release --example debugging_faulty_paxos`
+
+use mp_basset::checker::{Checker, CheckerConfig};
+use mp_basset::protocols::paxos::{consensus_property, quorum_model, PaxosSetting, PaxosVariant};
+
+fn main() {
+    let setting = PaxosSetting::new(2, 3, 1);
+    let spec = quorum_model(setting, PaxosVariant::FaultyLearner);
+    println!(
+        "Faulty Paxos {setting}: the learner accepts any majority of ACCEPT messages\n\
+         without comparing ballots/values (paper, Section V-A, fault injection)\n"
+    );
+
+    let strategies: [(&str, CheckerConfig); 3] = [
+        ("stateful BFS (shortest counterexample)", CheckerConfig::stateful_bfs()),
+        ("stateful DFS + SPOR", CheckerConfig::stateful_dfs()),
+        ("stateless DFS + DPOR", CheckerConfig::stateless(true)),
+    ];
+
+    let mut shortest: Option<usize> = None;
+    for (label, config) in strategies {
+        let checker = Checker::new(&spec, consensus_property(setting));
+        let checker = if matches!(config.strategy, mp_basset::checker::SearchStrategy::StatefulDfs) {
+            checker.spor()
+        } else {
+            checker
+        };
+        let report = checker.config(config).run();
+        let cx = report
+            .verdict
+            .counterexample()
+            .expect("the faulty learner must violate consensus");
+        println!(
+            "{label:<40} {:>7} states, {:>8} transitions, CE of {} steps, {}",
+            report.stats.states,
+            report.stats.transitions_executed,
+            cx.len(),
+            format!("{:.1?}", report.stats.elapsed),
+        );
+        shortest = Some(shortest.map_or(cx.len(), |s: usize| s.min(cx.len())));
+    }
+
+    // Print the shortest counterexample in full (from BFS).
+    let report = Checker::new(&spec, consensus_property(setting))
+        .config(CheckerConfig::stateful_bfs())
+        .run();
+    let cx = report.verdict.counterexample().unwrap();
+    println!("\nthe bug, step by step ({} steps):", cx.len());
+    for (i, step) in cx.steps.iter().enumerate() {
+        println!("  {:>2}. {step}", i + 1);
+    }
+    println!("reason: {}", cx.reason);
+    if let Some(s) = shortest {
+        assert!(cx.len() <= s, "BFS must report a shortest counterexample");
+    }
+}

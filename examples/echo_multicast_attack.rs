@@ -1,0 +1,43 @@
+//! Byzantine equivocation against Echo Multicast: within the fault
+//! threshold agreement is verified, beyond it the model checker produces the
+//! attack as a counterexample.
+//!
+//! Run with: `cargo run --release --example echo_multicast_attack`
+
+use mp_basset::checker::{Checker, CheckerConfig};
+use mp_basset::protocols::echo_multicast::{agreement_property, quorum_model, MulticastSetting};
+
+fn check(setting: MulticastSetting) {
+    println!(
+        "Echo Multicast {setting}: {} receivers ({} Byzantine), tolerated f = {}, echo quorum = {}",
+        setting.num_receivers(),
+        setting.byzantine_receivers,
+        setting.tolerated_faults(),
+        setting.echo_quorum()
+    );
+    let spec = quorum_model(setting);
+    let report = Checker::new(&spec, agreement_property(setting))
+        .config(CheckerConfig::stateful_bfs())
+        .run();
+    println!("  {report}");
+    match report.verdict.counterexample() {
+        None => println!("  agreement holds: the equivocating initiator cannot assemble two echo certificates\n"),
+        Some(cx) => {
+            println!("  agreement broken — the attack, step by step:");
+            for (i, step) in cx.steps.iter().enumerate() {
+                println!("    {:>2}. {step}", i + 1);
+            }
+            println!("  reason: {}\n", cx.reason);
+        }
+    }
+}
+
+fn main() {
+    // Within the threshold (one Byzantine receiver out of four): verified.
+    check(MulticastSetting::new(3, 0, 1, 1));
+    // Quorum equals all receivers: the attacker cannot even commit once.
+    check(MulticastSetting::new(2, 1, 0, 1));
+    // Beyond the threshold (two Byzantine receivers, f = 1): the checker
+    // reconstructs the equivocation attack as a counterexample.
+    check(MulticastSetting::new(2, 1, 2, 1));
+}

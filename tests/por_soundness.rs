@@ -1,0 +1,142 @@
+//! Integration test for the soundness of the reduction strategies on the
+//! evaluation protocols: every engine/reduction combination must produce the
+//! same verdict as the unreduced stateful search, for both correct and
+//! faulty variants.
+
+use mp_basset::checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer};
+use mp_basset::model::{LocalState, Message, ProtocolSpec};
+use mp_basset::protocols::echo_multicast::{
+    agreement_property, quorum_model as multicast, MulticastSetting,
+};
+use mp_basset::protocols::paxos::{
+    consensus_property, quorum_model as paxos, PaxosSetting, PaxosVariant,
+};
+use mp_basset::protocols::storage::{
+    quorum_model as storage, regularity_property, wrong_regularity_property, RegularityObserver,
+    StorageSetting,
+};
+use mp_basset::refine::SplitStrategy;
+
+/// Runs every engine × reduction combination and checks that the verdicts
+/// agree with the unreduced stateful ground truth.
+fn verdicts_agree<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    property: impl Fn() -> Invariant<S, M, O>,
+    observer: O,
+    expect_violation: bool,
+) where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let configs = [
+        ("dfs-unreduced", CheckerConfig::stateful_dfs(), false),
+        ("dfs-spor", CheckerConfig::stateful_dfs(), true),
+        ("bfs-unreduced", CheckerConfig::stateful_bfs(), false),
+        ("bfs-spor", CheckerConfig::stateful_bfs(), true),
+        ("parallel-spor", CheckerConfig::parallel_bfs(2), true),
+    ];
+    for (label, config, spor) in configs {
+        let checker = Checker::with_observer(spec, property(), observer.clone()).config(config);
+        let checker = if spor { checker.spor() } else { checker };
+        let report = checker.run();
+        assert_eq!(
+            report.verdict.is_violated(),
+            expect_violation,
+            "{label} disagrees on {}: {report}",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn paxos_verdicts_agree_across_engines() {
+    let setting = PaxosSetting::new(2, 2, 1);
+    verdicts_agree(
+        &paxos(setting, PaxosVariant::Correct),
+        || consensus_property(setting),
+        NullObserver,
+        false,
+    );
+    let faulty_setting = PaxosSetting::new(2, 3, 1);
+    verdicts_agree(
+        &paxos(faulty_setting, PaxosVariant::FaultyLearner),
+        || consensus_property(faulty_setting),
+        NullObserver,
+        true,
+    );
+}
+
+#[test]
+fn multicast_verdicts_agree_across_engines() {
+    let safe = MulticastSetting::new(2, 1, 0, 1);
+    verdicts_agree(&multicast(safe), || agreement_property(safe), NullObserver, false);
+    let broken = MulticastSetting::new(2, 1, 2, 1);
+    verdicts_agree(&multicast(broken), || agreement_property(broken), NullObserver, true);
+}
+
+#[test]
+fn storage_verdicts_agree_across_engines() {
+    let setting = StorageSetting::new(2, 1);
+    verdicts_agree(
+        &storage(setting),
+        || regularity_property(setting),
+        RegularityObserver::new(setting),
+        false,
+    );
+    verdicts_agree(
+        &storage(setting),
+        || wrong_regularity_property(setting),
+        RegularityObserver::new(setting),
+        true,
+    );
+}
+
+#[test]
+fn refined_models_keep_the_same_verdicts_under_spor() {
+    let setting = MulticastSetting::new(2, 1, 2, 1);
+    let base = multicast(setting);
+    for strategy in SplitStrategy::ALL {
+        let split = strategy.apply(&base).unwrap();
+        let report = Checker::new(&split, agreement_property(setting)).spor().run();
+        assert!(
+            report.verdict.is_violated(),
+            "{} must still expose the attack: {report}",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn spor_never_explores_more_states_than_unreduced_dfs() {
+    let setting = PaxosSetting::new(1, 3, 1);
+    let spec = paxos(setting, PaxosVariant::Correct);
+    let unreduced = Checker::new(&spec, consensus_property(setting)).run();
+    let reduced = Checker::new(&spec, consensus_property(setting)).spor().run();
+    assert!(unreduced.verdict.is_verified());
+    assert!(reduced.verdict.is_verified());
+    assert!(
+        reduced.stats.states <= unreduced.stats.states,
+        "SPOR explored {} states, unreduced {}",
+        reduced.stats.states,
+        unreduced.stats.states
+    );
+}
+
+#[test]
+fn dpor_stateless_agrees_on_small_instances() {
+    // Stateless search revisits states, so keep the instance tiny.
+    let setting = PaxosSetting::new(1, 2, 1);
+    let spec = paxos(setting, PaxosVariant::Correct);
+    let report = Checker::new(&spec, consensus_property(setting))
+        .config(CheckerConfig::stateless(true))
+        .run();
+    assert!(report.verdict.is_verified(), "{report}");
+
+    let broken = MulticastSetting::new(2, 1, 2, 1);
+    let spec = multicast(broken);
+    let report = Checker::new(&spec, agreement_property(broken))
+        .config(CheckerConfig::stateless(true))
+        .run();
+    assert!(report.verdict.is_violated(), "{report}");
+}

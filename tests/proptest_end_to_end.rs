@@ -1,0 +1,48 @@
+//! Property-based end-to-end tests: on randomly generated instances of the
+//! parametric quorum-collection protocol, (1) quorum-split refinement always
+//! preserves the state graph, and (2) SPOR always agrees with the unreduced
+//! search and never explores more states.
+
+use proptest::prelude::*;
+
+use mp_basset::checker::Checker;
+use mp_basset::protocols::sweep::{collect_model, collect_soundness_property, CollectSetting};
+use mp_basset::refine::{check_refinement, SplitStrategy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Quorum-split (and the combined strategy) of the collection protocol
+    /// is always a transition refinement (Theorem 2).
+    #[test]
+    fn splits_preserve_state_graph(voters in 2usize..5, quorum in 1usize..4, collectors in 1usize..3) {
+        prop_assume!(quorum <= voters);
+        let setting = CollectSetting::new(voters, quorum, collectors);
+        let base = collect_model(setting, true);
+        for strategy in SplitStrategy::ALL {
+            let split = strategy.apply(&base).unwrap();
+            let check = check_refinement(&base, &split, 500_000).unwrap();
+            prop_assert!(
+                check.equivalent,
+                "{} broke the state graph for {setting:?}",
+                strategy.label()
+            );
+        }
+    }
+
+    /// SPOR agrees with the unreduced search on the soundness property and
+    /// explores at most as many states.
+    #[test]
+    fn spor_is_sound_and_never_larger(voters in 2usize..5, quorum in 1usize..4, collectors in 1usize..3) {
+        prop_assume!(quorum <= voters);
+        let setting = CollectSetting::new(voters, quorum, collectors);
+        for quorum_style in [true, false] {
+            let spec = collect_model(setting, quorum_style);
+            let unreduced = Checker::new(&spec, collect_soundness_property(setting)).run();
+            let reduced = Checker::new(&spec, collect_soundness_property(setting)).spor().run();
+            prop_assert!(unreduced.verdict.is_verified());
+            prop_assert!(reduced.verdict.is_verified());
+            prop_assert!(reduced.stats.states <= unreduced.stats.states);
+        }
+    }
+}

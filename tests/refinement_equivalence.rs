@@ -1,0 +1,61 @@
+//! Integration test for Theorem 2: the refinement strategies applied to the
+//! *actual evaluation protocols* generate exactly the same state graph as
+//! the unsplit quorum models.
+
+use mp_basset::protocols::echo_multicast::{quorum_model as multicast, MulticastSetting};
+use mp_basset::protocols::paxos::{quorum_model as paxos, PaxosSetting, PaxosVariant};
+use mp_basset::protocols::storage::{quorum_model as storage, StorageSetting};
+use mp_basset::refine::{assert_refinement, check_refinement, SplitStrategy};
+
+const MAX_STATES: usize = 400_000;
+
+#[test]
+fn paxos_splits_preserve_the_state_graph() {
+    let base = paxos(PaxosSetting::new(1, 3, 1), PaxosVariant::Correct);
+    for strategy in SplitStrategy::ALL {
+        let split = strategy.apply(&base).unwrap();
+        assert_refinement(&base, &split, MAX_STATES);
+    }
+}
+
+#[test]
+fn faulty_paxos_splits_preserve_the_state_graph() {
+    let base = paxos(PaxosSetting::new(2, 2, 1), PaxosVariant::FaultyLearner);
+    let split = SplitStrategy::CombinedSplit.apply(&base).unwrap();
+    assert_refinement(&base, &split, MAX_STATES);
+}
+
+#[test]
+fn multicast_splits_preserve_the_state_graph() {
+    let base = multicast(MulticastSetting::new(2, 1, 0, 1));
+    for strategy in SplitStrategy::ALL {
+        let split = strategy.apply(&base).unwrap();
+        assert_refinement(&base, &split, MAX_STATES);
+    }
+}
+
+#[test]
+fn multicast_with_byzantine_receivers_splits_preserve_the_state_graph() {
+    let base = multicast(MulticastSetting::new(2, 0, 1, 1));
+    let split = SplitStrategy::CombinedSplit.apply(&base).unwrap();
+    assert_refinement(&base, &split, MAX_STATES);
+}
+
+#[test]
+fn storage_splits_preserve_the_state_graph() {
+    let base = storage(StorageSetting::new(3, 1));
+    for strategy in SplitStrategy::ALL {
+        let split = strategy.apply(&base).unwrap();
+        assert_refinement(&base, &split, MAX_STATES);
+    }
+}
+
+#[test]
+fn split_models_report_identical_sizes() {
+    let base = storage(StorageSetting::new(2, 1));
+    let split = SplitStrategy::CombinedSplit.apply(&base).unwrap();
+    let check = check_refinement(&base, &split, MAX_STATES).unwrap();
+    assert!(check.equivalent);
+    assert_eq!(check.original_states, check.refined_states);
+    assert_eq!(check.original_edges, check.refined_edges);
+}
