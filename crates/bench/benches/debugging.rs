@@ -1,46 +1,55 @@
-//! Criterion benchmark for the debugging experiments: time to the first
+//! Benchmark for the debugging experiments: time to the first
 //! counterexample in the faulty protocol variants under SPOR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::micro::Group;
 use mp_bench::run_spor;
 use mp_checker::NullObserver;
-use mp_protocols::echo_multicast::{agreement_property, quorum_model as mc_quorum, MulticastSetting};
-use mp_protocols::paxos::{consensus_property, quorum_model as paxos_quorum, PaxosSetting, PaxosVariant};
+use mp_protocols::echo_multicast::{
+    agreement_property, quorum_model as mc_quorum, MulticastSetting,
+};
+use mp_protocols::paxos::{
+    consensus_property, quorum_model as paxos_quorum, PaxosSetting, PaxosVariant,
+};
 use mp_protocols::storage::{
     quorum_model as st_quorum, wrong_regularity_property, RegularityObserver, StorageSetting,
 };
 
-fn bench_debugging(c: &mut Criterion) {
-    let mut group = c.benchmark_group("debugging/first-counterexample");
+fn main() {
+    let mut group = Group::new("debugging/first-counterexample");
     group.sample_size(10);
 
     let paxos_setting = PaxosSetting::new(2, 3, 1);
     let paxos = paxos_quorum(paxos_setting, PaxosVariant::FaultyLearner);
-    group.bench_function(BenchmarkId::from_parameter("faulty paxos (2,3,1)"), |b| {
-        b.iter(|| run_spor(&paxos, consensus_property(paxos_setting), NullObserver, true))
+    group.bench("faulty paxos (2,3,1)", || {
+        run_spor(
+            &paxos,
+            consensus_property(paxos_setting),
+            NullObserver,
+            true,
+        )
     });
 
     let mc_setting = MulticastSetting::new(2, 1, 2, 1);
     let multicast = mc_quorum(mc_setting);
-    group.bench_function(BenchmarkId::from_parameter("wrong agreement (2,1,2,1)"), |b| {
-        b.iter(|| run_spor(&multicast, agreement_property(mc_setting), NullObserver, true))
+    group.bench("wrong agreement (2,1,2,1)", || {
+        run_spor(
+            &multicast,
+            agreement_property(mc_setting),
+            NullObserver,
+            true,
+        )
     });
 
     let st_setting = StorageSetting::new(3, 1);
     let storage = st_quorum(st_setting);
-    group.bench_function(BenchmarkId::from_parameter("wrong regularity (3,1)"), |b| {
-        b.iter(|| {
-            run_spor(
-                &storage,
-                wrong_regularity_property(st_setting),
-                RegularityObserver::new(st_setting),
-                true,
-            )
-        })
+    group.bench("wrong regularity (3,1)", || {
+        run_spor(
+            &storage,
+            wrong_regularity_property(st_setting),
+            RegularityObserver::new(st_setting),
+            true,
+        )
     });
 
     group.finish();
 }
-
-criterion_group!(benches, bench_debugging);
-criterion_main!(benches);

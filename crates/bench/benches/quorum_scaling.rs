@@ -1,27 +1,76 @@
-//! Criterion benchmark for the Section II-C analysis: building the full
-//! state graph of the quorum-collection protocol, quorum vs single-message
-//! style, as the quorum size grows.
+//! Benchmark for the Section II-C analysis: building the full state graph
+//! of the quorum-collection protocol, quorum vs single-message style, as
+//! the quorum size grows — plus a visited-store backend comparison showing
+//! what the `mp-store` subsystem buys on the same sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::micro::Group;
+use mp_checker::{Checker, CheckerConfig, StoreConfig};
 use mp_model::StateGraph;
-use mp_protocols::sweep::{collect_model, CollectSetting};
+use mp_protocols::sweep::{collect_model, collect_soundness_property, CollectSetting};
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("quorum_scaling/collect(4 voters)");
+fn bench_scaling() {
+    let mut group = Group::new("quorum_scaling/collect(4 voters)");
     group.sample_size(10);
     for quorum in 1..=4usize {
         let setting = CollectSetting::new(4, quorum, 1);
         let q_model = collect_model(setting, true);
         let s_model = collect_model(setting, false);
-        group.bench_function(BenchmarkId::new("quorum-model", quorum), |b| {
-            b.iter(|| StateGraph::build(&q_model, 10_000_000).unwrap().num_states())
+        group.bench(format!("quorum-model/{quorum}"), || {
+            StateGraph::build(&q_model, 10_000_000)
+                .unwrap()
+                .num_states()
         });
-        group.bench_function(BenchmarkId::new("single-message-model", quorum), |b| {
-            b.iter(|| StateGraph::build(&s_model, 10_000_000).unwrap().num_states())
+        group.bench(format!("single-message-model/{quorum}"), || {
+            StateGraph::build(&s_model, 10_000_000)
+                .unwrap()
+                .num_states()
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);
+/// The same configuration verified with each visited-store backend. The
+/// timings show the (small) cost of lock-striping in a single-threaded
+/// search; the printed byte counts show the hash-compaction savings.
+fn bench_store_backends() {
+    let setting = CollectSetting::new(4, 2, 1);
+    let model = collect_model(setting, false);
+    let backends = [
+        ("exact", StoreConfig::Exact),
+        ("sharded", StoreConfig::sharded()),
+        ("fingerprint-48", StoreConfig::fingerprint(48)),
+    ];
+
+    let mut group = Group::new("quorum_scaling/store-backends(collect 4v q2, single-message)");
+    group.sample_size(10);
+    // Keep the last report of each timed run so the stats table below does
+    // not need extra verification runs.
+    let mut last_reports = Vec::new();
+    for (label, store) in backends {
+        let last = std::cell::RefCell::new(None);
+        group.bench(label, || {
+            let report = Checker::new(&model, collect_soundness_property(setting))
+                .config(CheckerConfig::stateful_dfs().with_store(store))
+                .run();
+            assert!(report.verdict.is_verified());
+            *last.borrow_mut() = Some(report);
+        });
+        last_reports.push((label, last.into_inner().expect("bench ran at least once")));
+    }
+    group.finish();
+
+    for (label, report) in last_reports {
+        println!(
+            "  {label:<16} {:>9} states, store ~{:>8} KiB, {:>9} store hits",
+            report.stats.states,
+            report.stats.store_bytes / 1024,
+            report.stats.store_hits
+        );
+    }
+    println!();
+}
+
+fn main() {
+    bench_scaling();
+    bench_store_backends();
+}

@@ -1,35 +1,34 @@
-//! Criterion benchmark for the refinement machinery itself: how long the
-//! splits take to compute and how long the Theorem-2 validation (state-graph
-//! equality) takes on a small Paxos instance.
+//! Benchmark for the refinement machinery itself: how long the splits take
+//! to compute and how long the Theorem-2 validation (state-graph equality)
+//! takes on a small Paxos instance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::micro::Group;
 use mp_protocols::paxos::{quorum_model, PaxosSetting, PaxosVariant};
 use mp_refine::{check_refinement, SplitStrategy};
 
-fn bench_refinement(c: &mut Criterion) {
+fn main() {
     let setting = PaxosSetting::new(1, 3, 1);
     let base = quorum_model(setting, PaxosVariant::Correct);
 
-    let mut group = c.benchmark_group("refinement/split-computation");
-    for strategy in [SplitStrategy::ReplySplit, SplitStrategy::QuorumSplit, SplitStrategy::CombinedSplit] {
-        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
-            b.iter(|| strategy.apply(&base).unwrap().num_transitions())
+    let mut group = Group::new("refinement/split-computation");
+    for strategy in [
+        SplitStrategy::ReplySplit,
+        SplitStrategy::QuorumSplit,
+        SplitStrategy::CombinedSplit,
+    ] {
+        group.bench(strategy.label(), || {
+            strategy.apply(&base).unwrap().num_transitions()
         });
     }
     group.finish();
 
     let split = SplitStrategy::CombinedSplit.apply(&base).unwrap();
-    let mut group = c.benchmark_group("refinement/theorem2-validation");
+    let mut group = Group::new("refinement/theorem2-validation");
     group.sample_size(10);
-    group.bench_function("paxos(1,3,1) combined-split", |b| {
-        b.iter(|| {
-            let check = check_refinement(&base, &split, 1_000_000).unwrap();
-            assert!(check.equivalent);
-            check.original_states
-        })
+    group.bench("paxos(1,3,1) combined-split", || {
+        let check = check_refinement(&base, &split, 1_000_000).unwrap();
+        assert!(check.equivalent);
+        check.original_states
     });
     group.finish();
 }
-
-criterion_group!(benches, bench_refinement);
-criterion_main!(benches);

@@ -1,9 +1,9 @@
-//! Criterion benchmark mirroring Table I (quorum semantics) at
-//! bench-friendly scale: for each protocol, verification time of the
-//! single-message model vs the quorum model under SPOR, plus the stateless
-//! DPOR baseline on the single-message model.
+//! Benchmark mirroring Table I (quorum semantics) at bench-friendly scale:
+//! for each protocol, verification time of the single-message model vs the
+//! quorum model under SPOR, plus the stateless DPOR baseline on the
+//! single-message model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::micro::Group;
 use mp_bench::{run_spor, run_stateless};
 use mp_checker::NullObserver;
 use mp_protocols::echo_multicast::{
@@ -19,68 +19,70 @@ use mp_protocols::storage::{
     RegularityObserver, StorageSetting,
 };
 
-fn bench_paxos(c: &mut Criterion) {
+fn bench_paxos() {
     let setting = PaxosSetting::new(1, 3, 1);
     let single = paxos_single(setting, PaxosVariant::Correct);
     let quorum = paxos_quorum(setting, PaxosVariant::Correct);
-    let mut group = c.benchmark_group("table_i/paxos(1,3,1)");
+    let mut group = Group::new("table_i/paxos(1,3,1)");
     group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("no-quorum DPOR (stateless)"), |b| {
-        b.iter(|| run_stateless(&single, consensus_property(setting), true))
+    group.bench("no-quorum DPOR (stateless)", || {
+        run_stateless(&single, consensus_property(setting), true)
     });
-    group.bench_function(BenchmarkId::from_parameter("no-quorum SPOR"), |b| {
-        b.iter(|| run_spor(&single, consensus_property(setting), NullObserver, false))
+    group.bench("no-quorum SPOR", || {
+        run_spor(&single, consensus_property(setting), NullObserver, false)
     });
-    group.bench_function(BenchmarkId::from_parameter("quorum SPOR"), |b| {
-        b.iter(|| run_spor(&quorum, consensus_property(setting), NullObserver, false))
+    group.bench("quorum SPOR", || {
+        run_spor(&quorum, consensus_property(setting), NullObserver, false)
     });
     group.finish();
 }
 
-fn bench_multicast(c: &mut Criterion) {
-    for setting in [MulticastSetting::new(3, 0, 1, 1), MulticastSetting::new(2, 1, 0, 1)] {
+fn bench_multicast() {
+    for setting in [
+        MulticastSetting::new(3, 0, 1, 1),
+        MulticastSetting::new(2, 1, 0, 1),
+    ] {
         let single = mc_single(setting);
         let quorum = mc_quorum(setting);
-        let mut group = c.benchmark_group(format!("table_i/multicast{setting}"));
+        let mut group = Group::new(format!("table_i/multicast{setting}"));
         group.sample_size(10);
-        group.bench_function(BenchmarkId::from_parameter("no-quorum SPOR"), |b| {
-            b.iter(|| run_spor(&single, agreement_property(setting), NullObserver, false))
+        group.bench("no-quorum SPOR", || {
+            run_spor(&single, agreement_property(setting), NullObserver, false)
         });
-        group.bench_function(BenchmarkId::from_parameter("quorum SPOR"), |b| {
-            b.iter(|| run_spor(&quorum, agreement_property(setting), NullObserver, false))
+        group.bench("quorum SPOR", || {
+            run_spor(&quorum, agreement_property(setting), NullObserver, false)
         });
         group.finish();
     }
 }
 
-fn bench_storage(c: &mut Criterion) {
+fn bench_storage() {
     let setting = StorageSetting::new(3, 1);
     let single = st_single(setting);
     let quorum = st_quorum(setting);
-    let mut group = c.benchmark_group("table_i/storage(3,1)");
+    let mut group = Group::new("table_i/storage(3,1)");
     group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("no-quorum SPOR"), |b| {
-        b.iter(|| {
-            run_spor(
-                &single,
-                regularity_property(setting),
-                RegularityObserver::new(setting),
-                false,
-            )
-        })
+    group.bench("no-quorum SPOR", || {
+        run_spor(
+            &single,
+            regularity_property(setting),
+            RegularityObserver::new(setting),
+            false,
+        )
     });
-    group.bench_function(BenchmarkId::from_parameter("quorum SPOR"), |b| {
-        b.iter(|| {
-            run_spor(
-                &quorum,
-                regularity_property(setting),
-                RegularityObserver::new(setting),
-                false,
-            )
-        })
+    group.bench("quorum SPOR", || {
+        run_spor(
+            &quorum,
+            regularity_property(setting),
+            RegularityObserver::new(setting),
+            false,
+        )
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_paxos, bench_multicast, bench_storage);
-criterion_main!(benches);
+fn main() {
+    bench_paxos();
+    bench_multicast();
+    bench_storage();
+}

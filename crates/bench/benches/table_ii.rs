@@ -1,64 +1,69 @@
-//! Criterion benchmark mirroring Table II (transition refinement): SPOR
-//! verification time of each protocol under the four split strategies.
+//! Benchmark mirroring Table II (transition refinement): SPOR verification
+//! time of each protocol under the four split strategies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_bench::micro::Group;
 use mp_bench::run_spor;
 use mp_checker::NullObserver;
-use mp_protocols::echo_multicast::{agreement_property, quorum_model as mc_quorum, MulticastSetting};
-use mp_protocols::paxos::{consensus_property, quorum_model as paxos_quorum, PaxosSetting, PaxosVariant};
+use mp_protocols::echo_multicast::{
+    agreement_property, quorum_model as mc_quorum, MulticastSetting,
+};
+use mp_protocols::paxos::{
+    consensus_property, quorum_model as paxos_quorum, PaxosSetting, PaxosVariant,
+};
 use mp_protocols::storage::{
     quorum_model as st_quorum, regularity_property, RegularityObserver, StorageSetting,
 };
 use mp_refine::SplitStrategy;
 
-fn bench_paxos_splits(c: &mut Criterion) {
+fn bench_paxos_splits() {
     let setting = PaxosSetting::new(1, 3, 1);
     let base = paxos_quorum(setting, PaxosVariant::Correct);
-    let mut group = c.benchmark_group("table_ii/paxos(1,3,1)");
+    let mut group = Group::new("table_ii/paxos(1,3,1)");
     group.sample_size(10);
     for strategy in SplitStrategy::ALL {
         let split = strategy.apply(&base).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
-            b.iter(|| run_spor(&split, consensus_property(setting), NullObserver, false))
+        group.bench(strategy.label(), || {
+            run_spor(&split, consensus_property(setting), NullObserver, false)
         });
     }
     group.finish();
 }
 
-fn bench_multicast_splits(c: &mut Criterion) {
+fn bench_multicast_splits() {
     let setting = MulticastSetting::new(3, 0, 1, 1);
     let base = mc_quorum(setting);
-    let mut group = c.benchmark_group("table_ii/multicast(3,0,1,1)");
+    let mut group = Group::new("table_ii/multicast(3,0,1,1)");
     group.sample_size(10);
     for strategy in SplitStrategy::ALL {
         let split = strategy.apply(&base).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
-            b.iter(|| run_spor(&split, agreement_property(setting), NullObserver, false))
+        group.bench(strategy.label(), || {
+            run_spor(&split, agreement_property(setting), NullObserver, false)
         });
     }
     group.finish();
 }
 
-fn bench_storage_splits(c: &mut Criterion) {
+fn bench_storage_splits() {
     let setting = StorageSetting::new(3, 1);
     let base = st_quorum(setting);
-    let mut group = c.benchmark_group("table_ii/storage(3,1)");
+    let mut group = Group::new("table_ii/storage(3,1)");
     group.sample_size(10);
     for strategy in SplitStrategy::ALL {
         let split = strategy.apply(&base).unwrap();
-        group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
-            b.iter(|| {
-                run_spor(
-                    &split,
-                    regularity_property(setting),
-                    RegularityObserver::new(setting),
-                    false,
-                )
-            })
+        group.bench(strategy.label(), || {
+            run_spor(
+                &split,
+                regularity_property(setting),
+                RegularityObserver::new(setting),
+                false,
+            )
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_paxos_splits, bench_multicast_splits, bench_storage_splits);
-criterion_main!(benches);
+fn main() {
+    bench_paxos_splits();
+    bench_multicast_splits();
+    bench_storage_splits();
+}

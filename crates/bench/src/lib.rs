@@ -1,18 +1,24 @@
-//! # mp-bench — Criterion benchmarks for the DSN 2011 evaluation
+//! # mp-bench — micro-benchmarks for the DSN 2011 evaluation
 //!
 //! The benchmarks mirror the harness experiments at bench-friendly scale:
 //!
 //! * `table_i` — quorum vs single-message models under SPOR/unreduced search
 //!   (Table I);
 //! * `table_ii` — unsplit vs reply-/quorum-/combined-split models (Table II);
-//! * `quorum_scaling` — the Section II-C state-space inflation sweep;
+//! * `quorum_scaling` — the Section II-C state-space inflation sweep, plus a
+//!   visited-store backend comparison (exact vs sharded vs fingerprint);
 //! * `refinement_overhead` — cost of performing the splits themselves and of
 //!   validating them against Theorem 2;
 //! * `debugging` — time to the first counterexample in the faulty variants.
 //!
-//! The crate itself only exports small helpers shared by the benches.
+//! The benches are plain `harness = false` binaries built on the
+//! dependency-free [`micro`] timing harness (this container has no network
+//! access, so Criterion is not available). The crate itself only exports
+//! small helpers shared by the benches.
 
 #![forbid(unsafe_code)]
+
+pub mod micro;
 
 use mp_checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer, RunReport};
 use mp_model::{LocalState, Message, ProtocolSpec};

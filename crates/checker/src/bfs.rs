@@ -12,8 +12,9 @@
 //! terminate); for safety it falls back to full expansion whenever it
 //! re-encounters a state that is still in the frontier of the same level.
 
-use std::collections::HashMap;
 use std::time::Instant;
+
+use mp_store::StateStoreBackend;
 
 use mp_model::{
     enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
@@ -51,7 +52,9 @@ where
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
 
-    let mut index: HashMap<(GlobalState<S, M>, O), usize> = HashMap::new();
+    // Membership goes through the pluggable store; `nodes`/`states` keep
+    // the parent pointers and frontier states needed to rebuild paths.
+    let store = config.store.build::<(GlobalState<S, M>, O)>();
     let mut nodes: Vec<Node<M>> = Vec::new();
     let mut states: Vec<(GlobalState<S, M>, O)> = Vec::new();
 
@@ -70,6 +73,7 @@ where
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
         stats.elapsed = start.elapsed();
+        stats.record_store(store.name(), store.stats());
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -78,7 +82,7 @@ where
         };
     }
 
-    index.insert((initial.clone(), initial_observer.clone()), 0);
+    store.insert((initial.clone(), initial_observer.clone()));
     nodes.push(Node {
         parent: None,
         incoming: None,
@@ -101,6 +105,7 @@ where
             let all = enabled_instances(spec, &state);
             if config.check_deadlocks && all.is_empty() {
                 stats.elapsed = start.elapsed();
+                stats.record_store(store.name(), store.stats());
                 let path = rebuild_path(&nodes, node_idx);
                 let cx = Counterexample::new(
                     spec,
@@ -125,7 +130,7 @@ where
                 let next_observer = observer.update(spec, &state, &instance, &next_state);
                 stats.transitions_executed += 1;
                 let key = (next_state, next_observer);
-                if index.contains_key(&key) {
+                if !store.insert_ref(&key) {
                     stats.revisits += 1;
                     continue;
                 }
@@ -138,8 +143,8 @@ where
                     path.push(instance);
                     stats.states += 1;
                     stats.elapsed = start.elapsed();
-                    let cx =
-                        Counterexample::new(spec, property.name(), reason, &path, &next_state);
+                    stats.record_store(store.name(), store.stats());
+                    let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
                     return RunReport {
                         verdict: Verdict::Violated(Box::new(cx)),
                         stats,
@@ -149,6 +154,7 @@ where
 
                 if states.len() >= config.max_states {
                     stats.elapsed = start.elapsed();
+                    stats.record_store(store.name(), store.stats());
                     return RunReport {
                         verdict: Verdict::LimitReached {
                             what: format!("state limit of {}", config.max_states),
@@ -160,6 +166,7 @@ where
                 if let Some(limit) = config.time_limit {
                     if start.elapsed() > limit {
                         stats.elapsed = start.elapsed();
+                        stats.record_store(store.name(), store.stats());
                         return RunReport {
                             verdict: Verdict::LimitReached {
                                 what: format!("time limit of {limit:?}"),
@@ -171,7 +178,6 @@ where
                 }
 
                 let new_index = states.len();
-                index.insert((next_state.clone(), next_observer.clone()), new_index);
                 states.push((next_state, next_observer));
                 nodes.push(Node {
                     parent: Some(node_idx),
@@ -185,6 +191,7 @@ where
     }
 
     stats.elapsed = start.elapsed();
+    stats.record_store(store.name(), store.stats());
     RunReport {
         verdict: Verdict::Verified,
         stats,

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use mp_store::StoreConfig;
+
 use crate::{Counterexample, ExplorationStats};
 
 /// Which search engine to use.
@@ -65,6 +67,13 @@ pub struct CheckerConfig {
     /// Optional wall-clock budget; the run stops with a limit verdict when
     /// it is exceeded.
     pub time_limit: Option<Duration>,
+    /// Which visited-state backend the stateful engines use (`mp-store`).
+    /// The parallel engine upgrades [`StoreConfig::Exact`] to the sharded
+    /// store so workers never serialise on a global visited-set lock; the
+    /// stateless engine ignores this field. Selecting a fingerprint store
+    /// makes `Verified` verdicts probabilistic — see the `mp-store` crate
+    /// docs for the soundness contract.
+    pub store: StoreConfig,
 }
 
 impl Default for CheckerConfig {
@@ -76,6 +85,7 @@ impl Default for CheckerConfig {
             check_deadlocks: false,
             cycle_proviso: true,
             time_limit: None,
+            store: StoreConfig::Exact,
         }
     }
 }
@@ -131,6 +141,12 @@ impl CheckerConfig {
     /// Enables or disables deadlock checking (builder style).
     pub fn with_deadlock_check(mut self, check: bool) -> Self {
         self.check_deadlocks = check;
+        self
+    }
+
+    /// Selects the visited-state backend (builder style).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = store;
         self
     }
 }
@@ -209,6 +225,7 @@ mod tests {
         assert!(c.cycle_proviso);
         assert!(!c.check_deadlocks);
         assert!(c.time_limit.is_none());
+        assert_eq!(c.store, StoreConfig::Exact);
     }
 
     #[test]
@@ -217,12 +234,14 @@ mod tests {
             .with_max_states(10)
             .with_max_depth(20)
             .with_time_limit(Duration::from_secs(1))
-            .with_deadlock_check(true);
+            .with_deadlock_check(true)
+            .with_store(StoreConfig::fingerprint(32));
         assert_eq!(c.strategy, SearchStrategy::Stateless { dpor: true });
         assert_eq!(c.max_states, 10);
         assert_eq!(c.max_depth, 20);
         assert!(c.check_deadlocks);
         assert_eq!(c.time_limit, Some(Duration::from_secs(1)));
+        assert_eq!(c.store, StoreConfig::fingerprint(32));
     }
 
     #[test]

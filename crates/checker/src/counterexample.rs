@@ -118,7 +118,9 @@ impl fmt::Display for Counterexample {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mp_model::{Envelope, Kind, Outcome, ProcessId, ProtocolSpec, TransitionId, TransitionSpec};
+    use mp_model::{
+        Envelope, Kind, Outcome, ProcessId, ProtocolSpec, TransitionId, TransitionSpec,
+    };
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Ping;

@@ -2,15 +2,22 @@
 //!
 //! This is the workhorse engine of the reproduction (the analogue of
 //! MP-Basset's stateful search inside JPF). It stores every visited
-//! `(state, observer)` pair, asks the configured [`Reducer`] which enabled
+//! `(state, observer)` pair in the backend selected by
+//! [`CheckerConfig::store`], asks the configured [`Reducer`] which enabled
 //! instances to explore in each state, checks the invariant in every state,
 //! and applies the **stack (cycle) proviso**: if a reduced expansion produces
 //! a successor that is still on the DFS stack, the state is re-expanded fully
 //! so that no transition is ignored forever (the "ignoring problem" of
 //! partial-order reduction).
+//!
+//! The `on_stack` set used by the proviso is always exact (it is bounded by
+//! the search depth), so with a fingerprint store only the *visited* set is
+//! probabilistic, never the proviso.
 
 use std::collections::HashSet;
 use std::time::Instant;
+
+use mp_store::StateStoreBackend;
 
 use mp_model::{
     enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
@@ -20,7 +27,7 @@ use mp_por::Reducer;
 
 use crate::{
     CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
-    RunReport, StateStore, Verdict,
+    RunReport, Verdict,
 };
 
 struct Frame<S, M: Ord, O> {
@@ -53,7 +60,7 @@ where
     let mut stats = ExplorationStats::new();
     let strategy = format!("stateful-dfs+{}", reducer.name());
 
-    let mut store: StateStore<(GlobalState<S, M>, O)> = StateStore::new();
+    let store = config.store.build::<(GlobalState<S, M>, O)>();
     let mut on_stack: HashSet<(GlobalState<S, M>, O)> = HashSet::new();
     let mut stack: Vec<Frame<S, M, O>> = Vec::new();
 
@@ -64,6 +71,7 @@ where
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
         stats.elapsed = start.elapsed();
+        stats.record_store(store.name(), store.stats());
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -87,6 +95,7 @@ where
     );
     if config.check_deadlocks && first_frame.explore.is_empty() && first_frame.pruned.is_empty() {
         stats.elapsed = start.elapsed();
+        stats.record_store(store.name(), store.stats());
         let cx = Counterexample::new(
             spec,
             property.name(),
@@ -116,7 +125,9 @@ where
         let instance = top.explore[top.next].clone();
         top.next += 1;
         let next_state = execute_enabled(spec, &top.state, &instance);
-        let next_observer = top.observer.update(spec, &top.state, &instance, &next_state);
+        let next_observer = top
+            .observer
+            .update(spec, &top.state, &instance, &next_state);
         stats.transitions_executed += 1;
 
         let key = (next_state, next_observer);
@@ -130,7 +141,10 @@ where
             stats.proviso_expansions += 1;
         }
 
-        if store.contains(&key) {
+        // A single insert doubles as the membership test (unified hit
+        // accounting: a duplicate is a store hit = one revisit); the
+        // by-reference form clones the key only when it is actually new.
+        if !store.insert_ref(&key) {
             stats.revisits += 1;
             continue;
         }
@@ -139,13 +153,12 @@ where
 
         // Property check on the newly discovered state.
         if let PropertyStatus::Violated(reason) = property.evaluate(&next_state, &next_observer) {
-            let mut path: Vec<TransitionInstance<M>> = stack
-                .iter()
-                .filter_map(|f| f.incoming.clone())
-                .collect();
+            let mut path: Vec<TransitionInstance<M>> =
+                stack.iter().filter_map(|f| f.incoming.clone()).collect();
             path.push(instance);
             stats.states += 1;
             stats.elapsed = start.elapsed();
+            stats.record_store(store.name(), store.stats());
             let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
             return RunReport {
                 verdict: Verdict::Violated(Box::new(cx)),
@@ -154,8 +167,9 @@ where
             };
         }
 
-        if store.len() >= config.max_states {
+        if store.len() > config.max_states {
             stats.elapsed = start.elapsed();
+            stats.record_store(store.name(), store.stats());
             return RunReport {
                 verdict: Verdict::LimitReached {
                     what: format!("state limit of {}", config.max_states),
@@ -167,6 +181,7 @@ where
         if let Some(limit) = config.time_limit {
             if start.elapsed() > limit {
                 stats.elapsed = start.elapsed();
+                stats.record_store(store.name(), store.stats());
                 return RunReport {
                     verdict: Verdict::LimitReached {
                         what: format!("time limit of {limit:?}"),
@@ -177,7 +192,6 @@ where
             }
         }
 
-        store.insert((next_state.clone(), next_observer.clone()));
         on_stack.insert((next_state.clone(), next_observer.clone()));
         stats.states += 1;
         stats.expansions += 1;
@@ -193,12 +207,11 @@ where
         );
 
         if config.check_deadlocks && frame.explore.is_empty() && frame.pruned.is_empty() {
-            let mut path: Vec<TransitionInstance<M>> = stack
-                .iter()
-                .filter_map(|f| f.incoming.clone())
-                .collect();
+            let mut path: Vec<TransitionInstance<M>> =
+                stack.iter().filter_map(|f| f.incoming.clone()).collect();
             path.push(instance);
             stats.elapsed = start.elapsed();
+            stats.record_store(store.name(), store.stats());
             let cx = Counterexample::new(
                 spec,
                 property.name(),
@@ -217,6 +230,7 @@ where
     }
 
     stats.elapsed = start.elapsed();
+    stats.record_store(store.name(), store.stats());
     RunReport {
         verdict: Verdict::Verified,
         stats,
@@ -337,6 +351,32 @@ mod tests {
     }
 
     #[test]
+    fn all_store_backends_agree_on_the_state_count() {
+        use mp_store::StoreConfig;
+        let spec = independent(3, 2);
+        for store in [
+            StoreConfig::Exact,
+            StoreConfig::sharded(),
+            StoreConfig::fingerprint(64),
+        ] {
+            let report = run_stateful_dfs(
+                &spec,
+                &Invariant::always_true("true"),
+                &NullObserver,
+                &NoReduction,
+                &CheckerConfig::default().with_store(store),
+            );
+            assert!(report.verdict.is_verified(), "{store} failed");
+            assert_eq!(report.stats.states, 27, "{store} state count");
+            assert_eq!(
+                report.stats.store_hits, report.stats.revisits,
+                "{store} hits"
+            );
+            assert!(report.stats.store_bytes > 0, "{store} bytes");
+        }
+    }
+
+    #[test]
     fn violation_is_reported_with_path() {
         let spec = independent(2, 3);
         let property: Invariant<u8, Tok, NullObserver> =
@@ -355,7 +395,12 @@ mod tests {
             &CheckerConfig::default(),
         );
         let cx = report.verdict.counterexample().expect("violation expected");
-        assert_eq!(cx.len(), 3, "shortest possible path has 3 steps; DFS found {}", cx.len());
+        assert_eq!(
+            cx.len(),
+            3,
+            "shortest possible path has 3 steps; DFS found {}",
+            cx.len()
+        );
         assert!(cx.reason.contains("reached 3"));
     }
 
@@ -363,7 +408,9 @@ mod tests {
     fn initial_state_violation_gives_empty_counterexample() {
         let spec = independent(1, 1);
         let property: Invariant<u8, Tok, NullObserver> =
-            Invariant::new("never", |_: &GlobalState<u8, Tok>, _| Err("init is bad".into()));
+            Invariant::new("never", |_: &GlobalState<u8, Tok>, _| {
+                Err("init is bad".into())
+            });
         let report = run_stateful_dfs(
             &spec,
             &property,
@@ -373,6 +420,8 @@ mod tests {
         );
         let cx = report.verdict.counterexample().unwrap();
         assert!(cx.is_empty());
+        // Store stats are recorded even on the initial-state early return.
+        assert_eq!(report.stats.store_backend, "exact");
     }
 
     #[test]

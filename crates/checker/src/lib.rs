@@ -15,6 +15,16 @@
 //! * **parallel BFS** — an extension exploiting the natural parallelism of
 //!   protocol-level models.
 //!
+//! The stateful engines store visited `(state, observer)` pairs in a
+//! pluggable backend from the `mp-store` crate, selected by
+//! [`CheckerConfig::store`]: exact, lock-striped sharded (for the parallel
+//! engine), or hash-compaction fingerprints. **The fingerprint backend
+//! trades a bounded omission probability for order-of-magnitude memory
+//! savings** — a `Verified` verdict becomes probabilistic while
+//! counterexamples stay exact; see the `mp-store` crate-level documentation
+//! for the precise soundness contract before using it on certification
+//! runs.
+//!
 //! Properties are state invariants (the class MP-Basset supports), evaluated
 //! over the global state and an optional [`Observer`] history variable — the
 //! sound counterpart of the paper's "assertions that peek at remote state".
@@ -79,7 +89,6 @@ pub mod parallel;
 pub mod property;
 pub mod stateless;
 pub mod stats;
-pub mod store;
 
 pub use checker::Checker;
 pub use config::{CheckerConfig, RunReport, SearchStrategy, Verdict};
@@ -87,7 +96,9 @@ pub use counterexample::{Counterexample, CounterexampleStep};
 pub use observer::{NullObserver, Observer, TransitionCountObserver};
 pub use property::{all_of, Invariant, PropertyStatus};
 pub use stats::ExplorationStats;
-pub use store::StateStore;
+// Visited-state storage lives in the `mp-store` subsystem; the most-used
+// names are re-exported here so engine callers need only one import.
+pub use mp_store::{StateStore, StateStoreBackend, StoreConfig, StoreStats};
 
 pub use bfs::run_stateful_bfs;
 pub use dfs::run_stateful_dfs;

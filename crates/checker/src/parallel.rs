@@ -3,21 +3,24 @@
 //! The paper's engines are single-threaded (a JPF limitation); this engine
 //! is an extension showing that the protocol-level models of `mp-model`
 //! parallelise naturally: each BFS level is partitioned across worker
-//! threads, the visited set is sharded by state hash behind `parking_lot`
-//! mutexes, and the next frontier is collected through crossbeam channels.
+//! threads and the visited set is a shared `mp-store` backend. The store is
+//! selected by [`CheckerConfig::store`], with one twist: the plain exact
+//! store would serialise every worker on its single mutex, so
+//! [`StoreConfig::for_parallel`](mp_store::StoreConfig::for_parallel)
+//! upgrades it to the lock-striped sharded store — there is **no global
+//! mutex on the visited set**. A fingerprint store can be selected
+//! explicitly for large runs (probabilistic `Verified`; see the `mp-store`
+//! docs).
 //!
 //! The engine checks invariants and counts states; it does not reconstruct
 //! counterexample *paths* (the violating state is reported instead), so the
 //! sequential engines remain the right tool for debugging runs.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashSet;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use mp_store::StateStoreBackend;
 
 use mp_model::{
     enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
@@ -28,31 +31,6 @@ use crate::{
     CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
     RunReport, Verdict,
 };
-
-const SHARDS: usize = 64;
-
-struct ShardedStore<K> {
-    shards: Vec<Mutex<HashSet<K>>>,
-}
-
-impl<K: Eq + Hash> ShardedStore<K> {
-    fn new() -> Self {
-        ShardedStore {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
-        }
-    }
-
-    fn insert(&self, key: K) -> bool {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        let shard = (hasher.finish() as usize) % SHARDS;
-        self.shards[shard].lock().insert(key)
-    }
-
-    fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
-    }
-}
 
 /// Runs a parallel breadth-first search over `threads` workers
 /// (0 = available parallelism).
@@ -83,9 +61,15 @@ where
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
 
+    let store = config
+        .store
+        .for_parallel()
+        .build::<(GlobalState<S, M>, O)>();
+
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
         stats.elapsed = start.elapsed();
+        stats.record_store(store.name(), store.stats());
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -94,7 +78,6 @@ where
         };
     }
 
-    let store: ShardedStore<(GlobalState<S, M>, O)> = ShardedStore::new();
     store.insert((initial.clone(), initial_observer.clone()));
 
     let violation: Mutex<Option<Counterexample>> = Mutex::new(None);
@@ -108,66 +91,78 @@ where
 
     while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
         depth += 1;
-        let (next_tx, next_rx) = channel::unbounded::<(GlobalState<S, M>, O)>();
-        let chunk_size = frontier.len().div_ceil(threads);
+        let chunk_size = frontier.len().div_ceil(threads).max(1);
 
-        crossbeam::scope(|scope| {
-            for chunk in frontier.chunks(chunk_size.max(1)) {
-                let next_tx = next_tx.clone();
-                let store = &store;
-                let violation = &violation;
-                let stop = &stop;
-                let transitions_executed = &transitions_executed;
-                let reduced_states = &reduced_states;
-                let expansions = &expansions;
-                scope.spawn(move |_| {
-                    for (state, observer) in chunk {
-                        if stop.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        expansions.fetch_add(1, Ordering::Relaxed);
-                        let all = enabled_instances(spec, state);
-                        let reduction = reducer.reduce(spec, state, all);
-                        if reduction.reduced {
-                            reduced_states.fetch_add(1, Ordering::Relaxed);
-                        }
-                        for instance in reduction.explore {
-                            let next_state = execute_enabled(spec, state, &instance);
-                            let next_observer =
-                                observer.update(spec, state, &instance, &next_state);
-                            transitions_executed.fetch_add(1, Ordering::Relaxed);
-                            if let PropertyStatus::Violated(reason) =
-                                property.evaluate(&next_state, &next_observer)
-                            {
-                                let cx = Counterexample::new(
-                                    spec,
-                                    property.name(),
-                                    format!("{reason} (path not tracked by the parallel engine)"),
-                                    &[],
-                                    &next_state,
-                                );
-                                *violation.lock() = Some(cx);
-                                stop.store(true, Ordering::Relaxed);
-                                return;
+        // Each worker explores its slice of the frontier and returns the
+        // successor states it was first to insert; join collects them into
+        // the next frontier. The visited set is the shared lock-striped
+        // store — workers only contend per shard, never on a global lock.
+        let next_frontier: Vec<(GlobalState<S, M>, O)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = frontier
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    let store = &store;
+                    let violation = &violation;
+                    let stop = &stop;
+                    let transitions_executed = &transitions_executed;
+                    let reduced_states = &reduced_states;
+                    let expansions = &expansions;
+                    scope.spawn(move || {
+                        let mut discovered = Vec::new();
+                        for (state, observer) in chunk {
+                            if stop.load(Ordering::Relaxed) {
+                                return discovered;
                             }
-                            let key = (next_state, next_observer);
-                            if store.insert(key.clone()) {
-                                let _ = next_tx.send(key);
+                            expansions.fetch_add(1, Ordering::Relaxed);
+                            let all = enabled_instances(spec, state);
+                            let reduction = reducer.reduce(spec, state, all);
+                            if reduction.reduced {
+                                reduced_states.fetch_add(1, Ordering::Relaxed);
+                            }
+                            for instance in reduction.explore {
+                                let next_state = execute_enabled(spec, state, &instance);
+                                let next_observer =
+                                    observer.update(spec, state, &instance, &next_state);
+                                transitions_executed.fetch_add(1, Ordering::Relaxed);
+                                if let PropertyStatus::Violated(reason) =
+                                    property.evaluate(&next_state, &next_observer)
+                                {
+                                    let cx = Counterexample::new(
+                                        spec,
+                                        property.name(),
+                                        format!(
+                                            "{reason} (path not tracked by the parallel engine)"
+                                        ),
+                                        &[],
+                                        &next_state,
+                                    );
+                                    *violation.lock().expect("violation lock poisoned") = Some(cx);
+                                    stop.store(true, Ordering::Relaxed);
+                                    return discovered;
+                                }
+                                let key = (next_state, next_observer);
+                                if store.insert_ref(&key) {
+                                    discovered.push(key);
+                                }
                             }
                         }
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        drop(next_tx);
+                        discovered
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
 
-        frontier = next_rx.into_iter().collect();
+        frontier = next_frontier;
 
         if store.len() >= config.max_states {
             stats.states = store.len();
             stats.elapsed = start.elapsed();
             stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
+            stats.record_store(store.name(), store.stats());
             return RunReport {
                 verdict: Verdict::LimitReached {
                     what: format!("state limit of {}", config.max_states),
@@ -180,6 +175,7 @@ where
             if start.elapsed() > limit {
                 stats.states = store.len();
                 stats.elapsed = start.elapsed();
+                stats.record_store(store.name(), store.stats());
                 return RunReport {
                     verdict: Verdict::LimitReached {
                         what: format!("time limit of {limit:?}"),
@@ -197,8 +193,9 @@ where
     stats.reduced_states = reduced_states.load(Ordering::Relaxed);
     stats.max_depth = depth;
     stats.elapsed = start.elapsed();
+    stats.record_store(store.name(), store.stats());
 
-    let verdict = match violation.into_inner() {
+    let verdict = match violation.into_inner().expect("violation lock poisoned") {
         Some(cx) => Verdict::Violated(Box::new(cx)),
         None => Verdict::Verified,
     };
@@ -215,6 +212,7 @@ mod tests {
     use crate::NullObserver;
     use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
     use mp_por::{NoReduction, SporReducer};
+    use mp_store::StoreConfig;
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tok;
@@ -256,6 +254,8 @@ mod tests {
         );
         assert!(report.verdict.is_verified());
         assert_eq!(report.stats.states, 27);
+        // The exact default is upgraded to the lock-striped store.
+        assert_eq!(report.stats.store_backend, "sharded");
     }
 
     #[test]
@@ -318,5 +318,36 @@ mod tests {
         );
         assert!(report.verdict.is_verified());
         assert_eq!(report.stats.states, 4);
+    }
+
+    #[test]
+    fn fingerprint_store_agrees_and_uses_less_memory() {
+        let spec = independent(4, 2);
+        let exact = run_parallel_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            2,
+            &CheckerConfig::parallel_bfs(2),
+        );
+        let fp = run_parallel_bfs(
+            &spec,
+            &Invariant::always_true("true"),
+            &NullObserver,
+            &NoReduction,
+            2,
+            &CheckerConfig::parallel_bfs(2).with_store(StoreConfig::fingerprint(48)),
+        );
+        assert!(exact.verdict.is_verified());
+        assert!(fp.verdict.is_verified());
+        assert_eq!(fp.stats.states, exact.stats.states);
+        assert_eq!(fp.stats.store_backend, "fingerprint");
+        assert!(
+            fp.stats.store_bytes < exact.stats.store_bytes,
+            "fingerprints ({}) must be smaller than full keys ({})",
+            fp.stats.store_bytes,
+            exact.stats.store_bytes
+        );
     }
 }

@@ -124,18 +124,22 @@ mod tests {
     type St = GlobalState<u32, String>;
 
     fn no_big(limit: u32) -> Invariant<u32, String, NullObserver> {
-        Invariant::new(format!("no-local-above-{limit}"), move |s: &St, _| {
-            match s.locals.iter().find(|l| **l > limit) {
-                Some(l) => Err(format!("local state {l} exceeds {limit}")),
-                None => Ok(()),
-            }
+        Invariant::new(format!("no-local-above-{limit}"), move |s: &St, _| match s
+            .locals
+            .iter()
+            .find(|l| **l > limit)
+        {
+            Some(l) => Err(format!("local state {l} exceeds {limit}")),
+            None => Ok(()),
         })
     }
 
     #[test]
     fn invariant_holds_and_violates() {
         let inv = no_big(10);
-        assert!(inv.evaluate(&GlobalState::new(vec![1, 2]), &NullObserver).holds());
+        assert!(inv
+            .evaluate(&GlobalState::new(vec![1, 2]), &NullObserver)
+            .holds());
         let status = inv.evaluate(&GlobalState::new(vec![1, 20]), &NullObserver);
         match status {
             PropertyStatus::Violated(reason) => assert!(reason.contains("20")),

@@ -38,7 +38,10 @@ struct Frame<S, M: Ord, O> {
 
 impl<S, M: Ord, O> Frame<S, M, O> {
     fn pick(&self) -> Option<usize> {
-        self.backtrack.iter().find(|i| !self.done.contains(i)).copied()
+        self.backtrack
+            .iter()
+            .find(|i| !self.done.contains(i))
+            .copied()
     }
 
     fn add_backtrack_for_process(&mut self, process: ProcessId) {
@@ -82,6 +85,10 @@ where
 {
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
+    // The stateless engine keeps no visited set by design (required for
+    // DPOR soundness); record that explicitly so reports distinguish "no
+    // store" from "store stats missing".
+    stats.store_backend = "none".to_string();
     let strategy = if dpor {
         "stateless+dpor".to_string()
     } else {
@@ -138,10 +145,9 @@ where
         let (next_state, next_observer, sent_to) = {
             let frame = &stack[top_index];
             let next_state = execute_enabled(spec, &frame.state, &instance);
-            let next_observer =
-                frame
-                    .observer
-                    .update(spec, &frame.state, &instance, &next_state);
+            let next_observer = frame
+                .observer
+                .update(spec, &frame.state, &instance, &next_state);
             // Recipients of messages sent by this step (effects are pure, so
             // re-applying is safe); used by the DPOR causality tracking.
             let outcome = spec

@@ -9,6 +9,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use mp_store::StoreStats;
+
 /// Counters collected during one model-checking run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ExplorationStats {
@@ -32,6 +34,16 @@ pub struct ExplorationStats {
     pub max_depth: usize,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Name of the visited-state backend used ("exact", "sharded",
+    /// "fingerprint", or "none" for the stateless engine).
+    pub store_backend: String,
+    /// Membership queries that found the state already stored, as counted
+    /// uniformly by the backend (`mp-store` unified hit accounting). For
+    /// the stateful engines this equals [`ExplorationStats::revisits`].
+    pub store_hits: usize,
+    /// Approximate peak heap footprint of the visited-state store in
+    /// bytes. This is the number the fingerprint backend shrinks.
+    pub store_bytes: usize,
 }
 
 impl ExplorationStats {
@@ -58,6 +70,14 @@ impl ExplorationStats {
             self.reduced_states as f64 / self.expansions as f64
         }
     }
+
+    /// Copies the backend's counters into this record (called by every
+    /// stateful engine just before it returns).
+    pub fn record_store(&mut self, name: &str, store: StoreStats) {
+        self.store_backend = name.to_string();
+        self.store_hits = store.hits;
+        self.store_bytes = store.approx_bytes;
+    }
 }
 
 impl fmt::Display for ExplorationStats {
@@ -71,7 +91,17 @@ impl fmt::Display for ExplorationStats {
             self.states_per_second(),
             self.reduction_ratio() * 100.0,
             self.max_depth
-        )
+        )?;
+        if !self.store_backend.is_empty() && self.store_backend != "none" {
+            write!(
+                f,
+                " [{} store: ~{} KiB, {} hits]",
+                self.store_backend,
+                self.store_bytes / 1024,
+                self.store_hits
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -111,5 +141,24 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("42 states"));
         assert!(text.contains("100 transitions"));
+    }
+
+    #[test]
+    fn display_mentions_store_when_recorded() {
+        let mut s = ExplorationStats::new();
+        s.record_store(
+            "fingerprint",
+            StoreStats {
+                entries: 10,
+                hits: 4,
+                misses: 10,
+                approx_bytes: 2048,
+            },
+        );
+        assert_eq!(s.store_hits, 4);
+        assert_eq!(s.store_bytes, 2048);
+        let text = s.to_string();
+        assert!(text.contains("fingerprint store"));
+        assert!(text.contains("4 hits"));
     }
 }

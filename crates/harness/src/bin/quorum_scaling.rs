@@ -3,8 +3,11 @@
 //!
 //! Usage: `cargo run --release -p mp-harness --bin quorum_scaling [--voters N]`
 
-use mp_harness::scaling::{collect_sweep, paxos_sweep, render_sweep};
+use mp_harness::scaling::{
+    collect_sweep, paxos_sweep, render_store_sweep, render_sweep, store_backend_sweep,
+};
 use mp_harness::{render_table, Budget};
+use mp_protocols::sweep::CollectSetting;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,4 +27,15 @@ fn main() {
     println!("Paxos with growing acceptor sets (1 proposer, 1 learner, SPOR):");
     let rows = paxos_sweep(3, &Budget::default());
     print!("{}", render_table("Paxos acceptor sweep", &rows));
+    println!();
+    println!(
+        "Visited-store backends on the single-message collect model ({voters} voters, quorum 2):"
+    );
+    println!("(fingerprint verdicts are probabilistic; see the mp-store docs)");
+    let points = store_backend_sweep(
+        CollectSetting::new(voters, 2.min(voters), 1),
+        false,
+        &Budget::default(),
+    );
+    print!("{}", render_store_sweep(&points));
 }

@@ -12,7 +12,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
-    let budget = if full { Budget::unbounded() } else { Budget::default() };
+    let budget = if full {
+        Budget::unbounded()
+    } else {
+        Budget::default()
+    };
 
     eprintln!(
         "running Table I ({} mode); cells marked with '>' hit the per-cell budget",
@@ -22,6 +26,9 @@ fn main() {
     if csv {
         print!("{}", render_csv(&rows));
     } else {
-        print!("{}", render_table("Table I — quorum semantics results", &rows));
+        print!(
+            "{}",
+            render_table("Table I — quorum semantics results", &rows)
+        );
     }
 }

@@ -9,7 +9,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
-    let budget = if full { Budget::unbounded() } else { Budget::default() };
+    let budget = if full {
+        Budget::unbounded()
+    } else {
+        Budget::default()
+    };
 
     eprintln!(
         "running Table II ({} mode); cells marked with '>' hit the per-cell budget",

@@ -7,8 +7,12 @@
 //! is used so that the reported counterexamples are shortest ones.
 
 use mp_checker::{Checker, CheckerConfig, NullObserver, Verdict};
-use mp_protocols::echo_multicast::{agreement_property, quorum_model as multicast_quorum, MulticastSetting};
-use mp_protocols::paxos::{consensus_property, quorum_model as paxos_quorum, PaxosSetting, PaxosVariant};
+use mp_protocols::echo_multicast::{
+    agreement_property, quorum_model as multicast_quorum, MulticastSetting,
+};
+use mp_protocols::paxos::{
+    consensus_property, quorum_model as paxos_quorum, PaxosSetting, PaxosVariant,
+};
 use mp_protocols::storage::{
     quorum_model as storage_quorum, wrong_regularity_property, RegularityObserver, StorageSetting,
 };
@@ -43,7 +47,12 @@ where
     Measurement {
         protocol: protocol.to_string(),
         property: property.to_string(),
-        strategy: if spor { "SPOR (BFS)" } else { "unreduced (BFS)" }.to_string(),
+        strategy: if spor {
+            "SPOR (BFS)"
+        } else {
+            "unreduced (BFS)"
+        }
+        .to_string(),
         states: report.stats.states,
         transitions: report.stats.transitions_executed,
         time: report.stats.elapsed,

@@ -36,3 +36,6 @@ pub mod table2;
 
 pub use report::{render_csv, render_table, Measurement};
 pub use runner::{Budget, CellStrategy};
+// Visited-store selection is part of the experiment surface: a `Budget`
+// carries a `StoreConfig`, re-exported here so binaries need one import.
+pub use mp_store::StoreConfig;

@@ -115,7 +115,13 @@ pub fn render_table(title: &str, rows: &[Measurement]) -> String {
                     let marker = if m.completed { "" } else { ">" };
                     out.push_str(&format!(
                         " | {:^col_width$}",
-                        format!("{}{} / {} / {}", marker, m.states, m.time_label(), m.verdict)
+                        format!(
+                            "{}{} / {} / {}",
+                            marker,
+                            m.states,
+                            m.time_label(),
+                            m.verdict
+                        )
                     ));
                 }
                 None => out.push_str(&format!(" | {:^col_width$}", "-")),

@@ -5,6 +5,7 @@ use std::time::Duration;
 use mp_checker::{Checker, CheckerConfig, Invariant, Observer, Verdict};
 use mp_model::{LocalState, Message, ProtocolSpec};
 use mp_por::SeedHeuristic;
+use mp_store::StoreConfig;
 
 use crate::report::Measurement;
 
@@ -17,6 +18,10 @@ pub struct Budget {
     pub max_states: usize,
     /// Wall-clock budget per cell.
     pub time_limit: Option<Duration>,
+    /// Visited-store backend used by the stateful cells (`mp-store`). The
+    /// exact store is the default; a fingerprint store lets paper-scale
+    /// sweeps fit in memory at the price of a probabilistic `Verified`.
+    pub store: StoreConfig,
 }
 
 impl Default for Budget {
@@ -24,6 +29,7 @@ impl Default for Budget {
         Budget {
             max_states: 150_000,
             time_limit: Some(Duration::from_secs(30)),
+            store: StoreConfig::Exact,
         }
     }
 }
@@ -34,6 +40,7 @@ impl Budget {
         Budget {
             max_states: usize::MAX / 2,
             time_limit: None,
+            ..Self::default()
         }
     }
 
@@ -42,12 +49,21 @@ impl Budget {
         Budget {
             max_states: 20_000,
             time_limit: Some(Duration::from_secs(10)),
+            ..Self::default()
         }
     }
 
-    fn apply(&self, mut config: CheckerConfig) -> CheckerConfig {
+    /// Selects the visited-store backend (builder style).
+    pub fn with_store(mut self, store: StoreConfig) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Applies the budget's limits and store choice to a configuration.
+    pub fn apply(&self, mut config: CheckerConfig) -> CheckerConfig {
         config.max_states = self.max_states;
         config.time_limit = self.time_limit;
+        config.store = self.store;
         config
     }
 }
@@ -83,6 +99,7 @@ impl CellStrategy {
 
 /// Runs one experiment cell: a protocol + property + observer under a
 /// strategy and budget, returning a [`Measurement`] row.
+#[allow(clippy::too_many_arguments)] // an experiment cell genuinely has this many axes
 pub fn run_cell<S, M, O>(
     protocol_label: &str,
     property_label: &str,
@@ -100,18 +117,16 @@ where
 {
     let checker = Checker::with_observer(spec, property, observer);
     let checker = match strategy {
-        CellStrategy::UnreducedStateful => {
-            checker.unreduced().config(budget.apply(CheckerConfig::stateful_dfs()))
-        }
-        CellStrategy::SporStateful => {
-            checker.spor().config(budget.apply(CheckerConfig::stateful_dfs()))
-        }
+        CellStrategy::UnreducedStateful => checker
+            .unreduced()
+            .config(budget.apply(CheckerConfig::stateful_dfs())),
+        CellStrategy::SporStateful => checker
+            .spor()
+            .config(budget.apply(CheckerConfig::stateful_dfs())),
         CellStrategy::SporWithHeuristic(h) => checker
             .spor_with_heuristic(h)
             .config(budget.apply(CheckerConfig::stateful_dfs())),
-        CellStrategy::DporStateless => {
-            checker.config(budget.apply(CheckerConfig::stateless(true)))
-        }
+        CellStrategy::DporStateless => checker.config(budget.apply(CheckerConfig::stateless(true))),
         CellStrategy::UnreducedStateless => {
             checker.config(budget.apply(CheckerConfig::stateless(false)))
         }
@@ -171,6 +186,7 @@ mod tests {
         let tiny = Budget {
             max_states: 10,
             time_limit: None,
+            ..Budget::default()
         };
         let m = run_cell(
             "collect",
@@ -184,6 +200,34 @@ mod tests {
         );
         assert!(!m.completed);
         assert!(m.verdict.contains("bounded"));
+    }
+
+    #[test]
+    fn budget_store_choice_reaches_the_engine() {
+        let setting = CollectSetting::new(3, 2, 1);
+        let spec = collect_model(setting, true);
+        let exact = run_cell(
+            "collect(3,2,1)",
+            "soundness",
+            false,
+            &spec,
+            collect_soundness_property(setting),
+            NullObserver,
+            CellStrategy::SporStateful,
+            &Budget::small(),
+        );
+        let fp = run_cell(
+            "collect(3,2,1)",
+            "soundness",
+            false,
+            &spec,
+            collect_soundness_property(setting),
+            NullObserver,
+            CellStrategy::SporStateful,
+            &Budget::small().with_store(mp_store::StoreConfig::fingerprint(48)),
+        );
+        assert_eq!(exact.verdict, fp.verdict);
+        assert_eq!(exact.states, fp.states);
     }
 
     #[test]

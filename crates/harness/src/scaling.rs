@@ -9,10 +9,13 @@
 //!   [`mp_protocols::sweep`], sweeping the quorum size, and
 //! * Paxos with a growing number of acceptors (hence a growing majority).
 
-use mp_checker::NullObserver;
+use mp_checker::{Checker, CheckerConfig, NullObserver};
 use mp_model::StateGraph;
-use mp_protocols::paxos::{consensus_property, quorum_model, single_message_model, PaxosSetting, PaxosVariant};
-use mp_protocols::sweep::{collect_model, CollectSetting};
+use mp_protocols::paxos::{
+    consensus_property, quorum_model, single_message_model, PaxosSetting, PaxosVariant,
+};
+use mp_protocols::sweep::{collect_model, collect_soundness_property, CollectSetting};
+use mp_store::StoreConfig;
 
 use crate::runner::run_cell;
 use crate::{Budget, CellStrategy, Measurement};
@@ -92,11 +95,71 @@ pub fn paxos_sweep(max_acceptors: usize, budget: &Budget) -> Vec<Measurement> {
     rows
 }
 
+/// One row of the visited-store backend comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorePoint {
+    /// Backend label ("exact", "sharded(64)", "fingerprint(48-bit)").
+    pub backend: String,
+    /// States explored.
+    pub states: usize,
+    /// Approximate peak bytes held by the visited-state store.
+    pub store_bytes: usize,
+    /// Verdict string of the run.
+    pub verdict: String,
+}
+
+/// Verifies one quorum-scaling configuration of the collection protocol
+/// with each `mp-store` backend under stateful DFS, so the memory savings
+/// of hash compaction are measurable on the same workload. All backends
+/// must report the same verdict (the fingerprint verdict is probabilistic
+/// in theory, exact in practice at these state counts).
+pub fn store_backend_sweep(
+    setting: CollectSetting,
+    quorum_style: bool,
+    budget: &Budget,
+) -> Vec<StorePoint> {
+    let spec = collect_model(setting, quorum_style);
+    [
+        StoreConfig::Exact,
+        StoreConfig::sharded(),
+        StoreConfig::fingerprint(48),
+    ]
+    .into_iter()
+    .map(|store| {
+        let report = Checker::new(&spec, collect_soundness_property(setting))
+            .config(
+                budget
+                    .with_store(store)
+                    .apply(CheckerConfig::stateful_dfs()),
+            )
+            .run();
+        StorePoint {
+            backend: store.to_string(),
+            states: report.stats.states,
+            store_bytes: report.stats.store_bytes,
+            verdict: report.verdict.to_string(),
+        }
+    })
+    .collect()
+}
+
+/// Renders the store comparison as a small text table.
+pub fn render_store_sweep(points: &[StorePoint]) -> String {
+    let mut out = String::from("backend              |    states | store bytes | verdict\n");
+    out.push_str("---------------------+-----------+-------------+---------\n");
+    for p in points {
+        out.push_str(&format!(
+            "{:<20} | {:>9} | {:>11} | {}\n",
+            p.backend, p.states, p.store_bytes, p.verdict
+        ));
+    }
+    out
+}
+
 /// Renders the collect sweep as a small text table.
 pub fn render_sweep(points: &[ScalingPoint]) -> String {
-    let mut out = String::from(
-        "quorum size | quorum-model states | single-message states | inflation\n",
-    );
+    let mut out =
+        String::from("quorum size | quorum-model states | single-message states | inflation\n");
     out.push_str("------------+---------------------+-----------------------+----------\n");
     for p in points {
         out.push_str(&format!(
@@ -126,6 +189,22 @@ mod tests {
         let rendered = render_sweep(&points);
         assert!(rendered.contains("inflation"));
         assert_eq!(rendered.lines().count(), 2 + points.len());
+    }
+
+    #[test]
+    fn store_sweep_saves_memory_without_changing_the_verdict() {
+        let points = store_backend_sweep(CollectSetting::new(3, 2, 1), false, &Budget::small());
+        assert_eq!(points.len(), 3);
+        let exact = &points[0];
+        let fingerprint = &points[2];
+        assert!(points.iter().all(|p| p.verdict == exact.verdict));
+        assert!(points.iter().all(|p| p.states == exact.states));
+        assert!(
+            fingerprint.store_bytes < exact.store_bytes,
+            "hash compaction must shrink the store: {points:?}"
+        );
+        let rendered = render_store_sweep(&points);
+        assert!(rendered.contains("fingerprint"));
     }
 
     #[test]

@@ -24,8 +24,8 @@ use mp_protocols::storage::{
     wrong_regularity_property, RegularityObserver, StorageSetting,
 };
 
-use crate::{Budget, CellStrategy, Measurement};
 use crate::runner::run_cell;
+use crate::{Budget, CellStrategy, Measurement};
 
 /// The Paxos settings used in the default (bounded) and `--full` runs. The
 /// paper's Paxos (2,3,1) is tractable but long; the bounded default uses

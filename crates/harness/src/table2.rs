@@ -7,7 +7,9 @@
 //! inter-dependent, so refinement cannot help DPOR.
 
 use mp_checker::NullObserver;
-use mp_protocols::echo_multicast::{agreement_property, quorum_model as multicast_quorum, MulticastSetting};
+use mp_protocols::echo_multicast::{
+    agreement_property, quorum_model as multicast_quorum, MulticastSetting,
+};
 use mp_protocols::paxos::{consensus_property, quorum_model as paxos_quorum, PaxosVariant};
 use mp_protocols::storage::{
     quorum_model as storage_quorum, regularity_property, wrong_regularity_property,

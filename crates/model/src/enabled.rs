@@ -41,7 +41,11 @@ pub struct TransitionInstance<M> {
 
 impl<M: Message> TransitionInstance<M> {
     /// Creates an instance, canonicalising the envelope order.
-    pub fn new(transition: TransitionId, process: ProcessId, mut envelopes: Vec<Envelope<M>>) -> Self {
+    pub fn new(
+        transition: TransitionId,
+        process: ProcessId,
+        mut envelopes: Vec<Envelope<M>>,
+    ) -> Self {
         envelopes.sort();
         TransitionInstance {
             transition,
@@ -252,7 +256,7 @@ fn enumerate_quorum_instances<S: LocalState, M: Message>(
 }
 
 /// Enumerates all `size`-element combinations of `items`, preserving order.
-fn combinations<'a, T>(items: &'a [T], size: usize) -> Vec<Vec<&'a T>> {
+fn combinations<T>(items: &[T], size: usize) -> Vec<Vec<&T>> {
     let mut out = Vec::new();
     if size == 0 || size > items.len() {
         if size == 0 {
@@ -417,7 +421,10 @@ mod tests {
     #[test]
     fn guard_filters_instances() {
         let mut b = ProtocolSpec::builder("guarded");
-        b = b.process("collector", 0u32).process("v1", 0).process("v2", 0);
+        b = b
+            .process("collector", 0u32)
+            .process("v1", 0)
+            .process("v2", 0);
         b = b.transition(
             TransitionSpec::builder("COLLECT", p(0))
                 .quorum_input("VOTE", QuorumSpec::Exact(2))

@@ -9,9 +9,7 @@
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use crate::{
-    successors, GlobalState, LocalState, Message, ModelError, ProtocolSpec, TransitionId,
-};
+use crate::{successors, GlobalState, LocalState, Message, ModelError, ProtocolSpec, TransitionId};
 
 /// An explicit state graph with states interned as dense indices.
 #[derive(Clone, Debug)]

@@ -170,10 +170,7 @@ mod tests {
             Envelope::new(ProcessId(3), TestMsg::A(1)),
             Envelope::new(ProcessId(0), TestMsg::B),
         ];
-        assert_eq!(
-            senders(&xs),
-            vec![ProcessId(0), ProcessId(1), ProcessId(3)]
-        );
+        assert_eq!(senders(&xs), vec![ProcessId(0), ProcessId(1), ProcessId(3)]);
     }
 
     #[test]

@@ -130,7 +130,7 @@ impl<T: Ord> Multiset<T> {
     pub fn iter_occurrences(&self) -> impl Iterator<Item = &T> {
         self.elems
             .iter()
-            .flat_map(|(k, v)| std::iter::repeat(k).take(*v))
+            .flat_map(|(k, v)| std::iter::repeat_n(k, *v))
     }
 
     /// Removes all elements.

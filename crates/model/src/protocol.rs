@@ -11,8 +11,8 @@ use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
 use crate::{
-    GlobalState, InputSpec, LocalState, Message, ModelError, ProcessId, QuorumSpec,
-    TransitionId, TransitionSpec,
+    GlobalState, InputSpec, LocalState, Message, ModelError, ProcessId, QuorumSpec, TransitionId,
+    TransitionSpec,
 };
 
 /// A complete protocol model.
@@ -428,9 +428,7 @@ mod tests {
         assert_eq!(replaced.num_transitions(), 2);
         assert_eq!(replaced.num_processes(), 2);
         assert_eq!(replaced.initial_state().locals, vec![0, 1]);
-        assert!(proto
-            .with_transitions(vec![internal("x", 7)])
-            .is_err());
+        assert!(proto.with_transitions(vec![internal("x", 7)]).is_err());
     }
 
     #[test]

@@ -97,9 +97,7 @@ pub fn is_deadlock<S: LocalState, M: Message>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{
-        Envelope, Kind, Outcome, ProcessId, QuorumSpec, TransitionId, TransitionSpec,
-    };
+    use crate::{Envelope, Kind, Outcome, ProcessId, QuorumSpec, TransitionId, TransitionSpec};
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     enum Msg {
@@ -132,11 +130,7 @@ mod tests {
                     .internal()
                     .guard(|l, _| *l == 0)
                     .sends(&["REQ"])
-                    .effect(|_, _| {
-                        Outcome::new(1)
-                            .send(p(1), Msg::Req)
-                            .send(p(2), Msg::Req)
-                    })
+                    .effect(|_, _| Outcome::new(1).send(p(1), Msg::Req).send(p(2), Msg::Req))
                     .build(),
             )
             .transition(

@@ -655,7 +655,10 @@ mod tests {
             .effect(|l, _| Outcome::new(*l))
             .build();
         assert_eq!(t.exact_quorum_size(), Some(1));
-        assert!(!t.is_exact_quorum(), "is_exact_quorum refers to quorum inputs only");
+        assert!(
+            !t.is_exact_quorum(),
+            "is_exact_quorum refers to quorum inputs only"
+        );
     }
 
     #[test]
@@ -684,8 +687,10 @@ mod tests {
             .quorum_input("STRING", QuorumSpec::Exact(2))
             .effect(|l, _| Outcome::new(*l))
             .build();
-        let restricted =
-            t.restricted_copy("collect_12", [ProcessId(1), ProcessId(2)].into_iter().collect());
+        let restricted = t.restricted_copy(
+            "collect_12",
+            [ProcessId(1), ProcessId(2)].into_iter().collect(),
+        );
         assert_eq!(restricted.name(), "collect_12");
         assert!(restricted.may_receive_from(ProcessId(1)));
         assert!(!restricted.may_receive_from(ProcessId(3)));
@@ -709,10 +714,7 @@ mod tests {
         let reply = RecipientSet::SendersOfInput;
         assert_eq!(reply.resolve(None, 4), None);
         let senders: BTreeSet<ProcessId> = [ProcessId(2)].into_iter().collect();
-        assert_eq!(
-            reply.resolve(Some(&senders), 4),
-            Some(senders.clone())
-        );
+        assert_eq!(reply.resolve(Some(&senders), 4), Some(senders.clone()));
         assert!(reply.may_send_to(ProcessId(2), Some(&senders)));
         assert!(!reply.may_send_to(ProcessId(1), Some(&senders)));
     }
@@ -742,8 +744,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "has no effect")]
     fn builder_without_effect_panics() {
-        let _: TransitionSpec<S, M> =
-            TransitionSpec::builder("broken", ProcessId(0)).internal().build();
+        let _: TransitionSpec<S, M> = TransitionSpec::builder("broken", ProcessId(0))
+            .internal()
+            .build();
     }
 
     #[test]

@@ -207,10 +207,7 @@ mod tests {
         let spec = proto();
         let collect = spec.transition(TransitionId(4));
         let split = collect.restricted_copy("COLLECT_12", [p(1), p(2)].into_iter().collect());
-        let mut transitions: Vec<_> = spec
-            .transitions()
-            .map(|(_, t)| t.clone())
-            .collect();
+        let mut transitions: Vec<_> = spec.transitions().map(|(_, t)| t.clone()).collect();
         transitions[4] = split;
         let split_spec = spec.with_transitions(transitions).unwrap();
         let ce = CanEnable::compute(&split_spec);
@@ -233,14 +230,20 @@ mod tests {
         transitions[4] = split;
         let split_spec = spec.with_transitions(transitions).unwrap();
         let after = CanEnable::compute(&split_spec).num_pairs();
-        assert!(after < before, "refinement must shrink the can-enable relation");
+        assert!(
+            after < before,
+            "refinement must shrink the can-enable relation"
+        );
     }
 
     #[test]
     fn potential_enabler_detection() {
         let spec = proto();
         for t in spec.transition_ids() {
-            assert!(has_potential_enabler(&spec, t), "{t} should have an enabler");
+            assert!(
+                has_potential_enabler(&spec, t),
+                "{t} should have an enabler"
+            );
         }
         // A transition waiting for a kind nobody sends has no enabler.
         let orphan: TransitionSpec<u8, Msg> = TransitionSpec::builder("ORPHAN", p(0))

@@ -75,9 +75,8 @@ pub fn happens_before<M: Message>(steps: &[ExecutedStep<M>], earlier: usize, lat
         if reachable[idx] {
             continue;
         }
-        let depends_on_reachable = (earlier..idx).any(|prev| {
-            reachable[prev] && step_dependent(&steps[prev], &steps[idx])
-        });
+        let depends_on_reachable =
+            (earlier..idx).any(|prev| reachable[prev] && step_dependent(&steps[prev], &steps[idx]));
         if depends_on_reachable {
             reachable[idx] = true;
         }

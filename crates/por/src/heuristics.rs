@@ -47,7 +47,10 @@ impl SeedHeuristic {
         independence: &IndependenceRelation,
         enabled: &[TransitionId],
     ) -> TransitionId {
-        assert!(!enabled.is_empty(), "cannot choose a seed among no transitions");
+        assert!(
+            !enabled.is_empty(),
+            "cannot choose a seed among no transitions"
+        );
         match self {
             SeedHeuristic::OppositeTransaction => *enabled
                 .iter()
@@ -66,10 +69,9 @@ impl SeedHeuristic {
                 .iter()
                 .min_by_key(|t| (spec.transition(**t).annotations().priority, t.index()))
                 .expect("non-empty"),
-            SeedHeuristic::FirstEnabled => *enabled
-                .iter()
-                .min_by_key(|t| t.index())
-                .expect("non-empty"),
+            SeedHeuristic::FirstEnabled => {
+                *enabled.iter().min_by_key(|t| t.index()).expect("non-empty")
+            }
             SeedHeuristic::FewestDependents => *enabled
                 .iter()
                 .min_by_key(|t| (independence.dependents_of(**t).len(), t.index()))
@@ -168,7 +170,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(SeedHeuristic::OppositeTransaction.name(), "opposite-transaction");
+        assert_eq!(
+            SeedHeuristic::OppositeTransaction.name(),
+            "opposite-transaction"
+        );
         assert_eq!(SeedHeuristic::Transaction.name(), "transaction");
         assert_eq!(SeedHeuristic::FirstEnabled.name(), "first-enabled");
         assert_eq!(SeedHeuristic::FewestDependents.name(), "fewest-dependents");

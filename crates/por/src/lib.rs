@@ -37,6 +37,8 @@ pub use dpor::{
     happens_before, instances_dependent, latest_racing_step, step_dependent, ExecutedStep,
 };
 pub use heuristics::SeedHeuristic;
-pub use independence::{can_communicate, may_emit_kind, transitions_dependent, IndependenceRelation};
+pub use independence::{
+    can_communicate, may_emit_kind, transitions_dependent, IndependenceRelation,
+};
 pub use reducer::{NoReduction, Reducer, Reduction, SporReducer};
 pub use stubborn::{StubbornSet, StubbornSets};

@@ -106,8 +106,7 @@ impl<S: LocalState, M: Message> Reducer<S, M> for SporReducer {
                 reduced: false,
             };
         }
-        let mut enabled: Vec<TransitionId> =
-            instances.iter().map(|i| i.transition).collect();
+        let mut enabled: Vec<TransitionId> = instances.iter().map(|i| i.transition).collect();
         enabled.sort_unstable();
         enabled.dedup();
         match self.sets.compute(spec, &enabled) {
@@ -189,7 +188,10 @@ mod tests {
         );
         assert_eq!(red.explore.len(), instances.len());
         assert!(!red.reduced);
-        assert_eq!(<NoReduction as Reducer<u8, Tok>>::name(&NoReduction), "unreduced");
+        assert_eq!(
+            <NoReduction as Reducer<u8, Tok>>::name(&NoReduction),
+            "unreduced"
+        );
     }
 
     #[test]
@@ -200,7 +202,11 @@ mod tests {
         assert_eq!(instances.len(), 2);
         let reducer = SporReducer::new(&spec);
         let red = reducer.reduce(&spec, &state, instances);
-        assert_eq!(red.explore.len(), 1, "Figure 4(a): one representative order suffices");
+        assert_eq!(
+            red.explore.len(),
+            1,
+            "Figure 4(a): one representative order suffices"
+        );
         assert!(red.reduced);
         assert_eq!(<SporReducer as Reducer<u8, Tok>>::name(&reducer), "spor");
     }

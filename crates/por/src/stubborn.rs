@@ -126,9 +126,7 @@ impl StubbornSets {
                 .copied()
                 .filter(|t| self.visible[t.index()])
                 .collect();
-            if !visible_enabled.is_empty()
-                && visible_enabled.iter().any(|t| !explore.contains(t))
-            {
+            if !visible_enabled.is_empty() && visible_enabled.iter().any(|t| !explore.contains(t)) {
                 for t in visible_enabled {
                     self.close(t, &enabled_set, &mut work);
                 }

@@ -46,7 +46,9 @@ mod tests {
         // Table I row: Echo Multicast (3,0,1,1) — verified.
         let setting = MulticastSetting::new(3, 0, 1, 1);
         let spec = quorum_model(setting);
-        let report = Checker::new(&spec, agreement_property(setting)).spor().run();
+        let report = Checker::new(&spec, agreement_property(setting))
+            .spor()
+            .run();
         assert!(report.verdict.is_verified(), "{}", report);
     }
 
@@ -56,7 +58,9 @@ mod tests {
         // initiator cannot gather a full quorum for either value).
         let setting = MulticastSetting::new(2, 1, 0, 1);
         let spec = quorum_model(setting);
-        let report = Checker::new(&spec, agreement_property(setting)).spor().run();
+        let report = Checker::new(&spec, agreement_property(setting))
+            .spor()
+            .run();
         assert!(report.verdict.is_verified(), "{}", report);
     }
 
@@ -73,7 +77,10 @@ mod tests {
             .run();
         assert!(report.verdict.is_violated(), "{}", report);
         let cx = report.verdict.counterexample().unwrap();
-        assert!(cx.len() >= 6, "the attack needs init, echoes, two commits and two deliveries");
+        assert!(
+            cx.len() >= 6,
+            "the attack needs init, echoes, two commits and two deliveries"
+        );
     }
 
     #[test]

@@ -56,11 +56,7 @@ pub(crate) fn declare_processes(
 
 /// Returns `true` if every envelope is an `ECHO` for the given initiator and
 /// value — the echo-certificate check of the commit transition.
-fn all_echoes_for(
-    msgs: &[Envelope<MulticastMessage>],
-    initiator: ProcessId,
-    value: Value,
-) -> bool {
+fn all_echoes_for(msgs: &[Envelope<MulticastMessage>], initiator: ProcessId, value: Value) -> bool {
     msgs.iter().all(|m| {
         matches!(
             m.payload,
@@ -110,10 +106,12 @@ pub(crate) fn add_initiator_transitions(
             builder.add_transition(
                 TransitionSpec::builder(format!("COMMIT_{i}"), me)
                     .quorum_input("ECHO", QuorumSpec::Exact(quorum_size))
-                    .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                        local.as_honest_initiator().phase == InitiatorPhase::Sent
-                            && all_echoes_for(msgs, me, value)
-                    })
+                    .guard(
+                        move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                            local.as_honest_initiator().phase == InitiatorPhase::Sent
+                                && all_echoes_for(msgs, me, value)
+                        },
+                    )
                     .sends(&["COMMIT"])
                     .sends_to(receivers_commit.clone())
                     .priority(PRIORITY_MIDDLE)
@@ -134,30 +132,34 @@ pub(crate) fn add_initiator_transitions(
             builder.add_transition(
                 TransitionSpec::builder(format!("COMMIT_{i}"), me)
                     .single_input("ECHO")
-                    .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                        local.as_honest_initiator().phase == InitiatorPhase::Sent
-                            && all_echoes_for(msgs, me, value)
-                    })
+                    .guard(
+                        move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                            local.as_honest_initiator().phase == InitiatorPhase::Sent
+                                && all_echoes_for(msgs, me, value)
+                        },
+                    )
                     .sends(&["COMMIT"])
                     .sends_to(receivers_commit.clone())
                     .priority(PRIORITY_MIDDLE)
-                    .effect(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                        let mut s = local.as_honest_initiator().clone();
-                        s.echo_buffer.insert((msgs[0].sender, value));
-                        if s.echo_buffer.len() >= quorum_size {
-                            s.phase = InitiatorPhase::Committed;
-                            s.echo_buffer.clear();
-                            Outcome::new(MulticastState::HonestInitiator(s)).broadcast(
-                                receivers_commit.clone(),
-                                MulticastMessage::Commit {
-                                    initiator: me,
-                                    value,
-                                },
-                            )
-                        } else {
-                            Outcome::new(MulticastState::HonestInitiator(s))
-                        }
-                    })
+                    .effect(
+                        move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                            let mut s = local.as_honest_initiator().clone();
+                            s.echo_buffer.insert((msgs[0].sender, value));
+                            if s.echo_buffer.len() >= quorum_size {
+                                s.phase = InitiatorPhase::Committed;
+                                s.echo_buffer.clear();
+                                Outcome::new(MulticastState::HonestInitiator(s)).broadcast(
+                                    receivers_commit.clone(),
+                                    MulticastMessage::Commit {
+                                        initiator: me,
+                                        value,
+                                    },
+                                )
+                            } else {
+                                Outcome::new(MulticastState::HonestInitiator(s))
+                            }
+                        },
+                    )
                     .build(),
             );
         }
@@ -223,15 +225,17 @@ pub(crate) fn add_initiator_transitions(
                 builder.add_transition(
                     TransitionSpec::builder(format!("BYZ_COMMIT_{label}_{b}"), me)
                         .quorum_input("ECHO", QuorumSpec::Exact(quorum_size))
-                        .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                            let s = local.as_byzantine_initiator();
-                            let not_yet = if is_first {
-                                !s.committed_first
-                            } else {
-                                !s.committed_second
-                            };
-                            s.sent && not_yet && all_echoes_for(msgs, me, value)
-                        })
+                        .guard(
+                            move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                                let s = local.as_byzantine_initiator();
+                                let not_yet = if is_first {
+                                    !s.committed_first
+                                } else {
+                                    !s.committed_second
+                                };
+                                s.sent && not_yet && all_echoes_for(msgs, me, value)
+                            },
+                        )
                         .sends(&["COMMIT"])
                         .sends_to(targets.clone())
                         .priority(PRIORITY_MIDDLE)
@@ -257,43 +261,44 @@ pub(crate) fn add_initiator_transitions(
                 builder.add_transition(
                     TransitionSpec::builder(format!("BYZ_COMMIT_{label}_{b}"), me)
                         .single_input("ECHO")
-                        .guard(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                            let s = local.as_byzantine_initiator();
-                            let not_yet = if is_first {
-                                !s.committed_first
-                            } else {
-                                !s.committed_second
-                            };
-                            s.sent && not_yet && all_echoes_for(msgs, me, value)
-                        })
+                        .guard(
+                            move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                                let s = local.as_byzantine_initiator();
+                                let not_yet = if is_first {
+                                    !s.committed_first
+                                } else {
+                                    !s.committed_second
+                                };
+                                s.sent && not_yet && all_echoes_for(msgs, me, value)
+                            },
+                        )
                         .sends(&["COMMIT"])
                         .sends_to(targets.clone())
                         .priority(PRIORITY_MIDDLE)
-                        .effect(move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                            let mut s = local.as_byzantine_initiator().clone();
-                            s.echo_buffer.insert((msgs[0].sender, value));
-                            let votes = s
-                                .echo_buffer
-                                .iter()
-                                .filter(|(_, v)| *v == value)
-                                .count();
-                            if votes >= quorum_size {
-                                if is_first {
-                                    s.committed_first = true;
+                        .effect(
+                            move |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                                let mut s = local.as_byzantine_initiator().clone();
+                                s.echo_buffer.insert((msgs[0].sender, value));
+                                let votes =
+                                    s.echo_buffer.iter().filter(|(_, v)| *v == value).count();
+                                if votes >= quorum_size {
+                                    if is_first {
+                                        s.committed_first = true;
+                                    } else {
+                                        s.committed_second = true;
+                                    }
+                                    Outcome::new(MulticastState::ByzantineInitiator(s)).broadcast(
+                                        targets_effect.clone(),
+                                        MulticastMessage::Commit {
+                                            initiator: me,
+                                            value,
+                                        },
+                                    )
                                 } else {
-                                    s.committed_second = true;
+                                    Outcome::new(MulticastState::ByzantineInitiator(s))
                                 }
-                                Outcome::new(MulticastState::ByzantineInitiator(s)).broadcast(
-                                    targets_effect.clone(),
-                                    MulticastMessage::Commit {
-                                        initiator: me,
-                                        value,
-                                    },
-                                )
-                            } else {
-                                Outcome::new(MulticastState::ByzantineInitiator(s))
-                            }
-                        })
+                            },
+                        )
                         .build(),
                 );
             }
@@ -314,22 +319,22 @@ pub(crate) fn add_receiver_transitions(
                 .reply()
                 .sends(&["ECHO"])
                 .priority(PRIORITY_MIDDLE)
-                .effect(|local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                    let mut s = local.as_honest_receiver().clone();
-                    let MulticastMessage::Init { initiator, value } = msgs[0].payload else {
-                        return Outcome::new(local.clone());
-                    };
-                    if s.echoed.contains_key(&initiator) {
-                        // An honest receiver echoes at most one value per
-                        // initiator; duplicates and equivocations are dropped.
-                        return Outcome::new(MulticastState::HonestReceiver(s));
-                    }
-                    s.echoed.insert(initiator, value);
-                    Outcome::new(MulticastState::HonestReceiver(s)).send(
-                        msgs[0].sender,
-                        MulticastMessage::Echo { initiator, value },
-                    )
-                })
+                .effect(
+                    |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                        let mut s = local.as_honest_receiver().clone();
+                        let MulticastMessage::Init { initiator, value } = msgs[0].payload else {
+                            return Outcome::new(local.clone());
+                        };
+                        if s.echoed.contains_key(&initiator) {
+                            // An honest receiver echoes at most one value per
+                            // initiator; duplicates and equivocations are dropped.
+                            return Outcome::new(MulticastState::HonestReceiver(s));
+                        }
+                        s.echoed.insert(initiator, value);
+                        Outcome::new(MulticastState::HonestReceiver(s))
+                            .send(msgs[0].sender, MulticastMessage::Echo { initiator, value })
+                    },
+                )
                 .build(),
         );
 
@@ -339,14 +344,16 @@ pub(crate) fn add_receiver_transitions(
                 .sends_nothing()
                 .visible()
                 .priority(PRIORITY_FINISH)
-                .effect(|local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                    let mut s = local.as_honest_receiver().clone();
-                    let MulticastMessage::Commit { initiator, value } = msgs[0].payload else {
-                        return Outcome::new(local.clone());
-                    };
-                    s.delivered.entry(initiator).or_insert(value);
-                    Outcome::new(MulticastState::HonestReceiver(s))
-                })
+                .effect(
+                    |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                        let mut s = local.as_honest_receiver().clone();
+                        let MulticastMessage::Commit { initiator, value } = msgs[0].payload else {
+                            return Outcome::new(local.clone());
+                        };
+                        s.delivered.entry(initiator).or_insert(value);
+                        Outcome::new(MulticastState::HonestReceiver(s))
+                    },
+                )
                 .build(),
         );
     }
@@ -361,15 +368,15 @@ pub(crate) fn add_receiver_transitions(
                 .reply()
                 .sends(&["ECHO"])
                 .priority(PRIORITY_MIDDLE)
-                .effect(|local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
-                    let MulticastMessage::Init { initiator, value } = msgs[0].payload else {
-                        return Outcome::new(local.clone());
-                    };
-                    Outcome::new(local.clone()).send(
-                        msgs[0].sender,
-                        MulticastMessage::Echo { initiator, value },
-                    )
-                })
+                .effect(
+                    |local: &MulticastState, msgs: &[Envelope<MulticastMessage>]| {
+                        let MulticastMessage::Init { initiator, value } = msgs[0].payload else {
+                            return Outcome::new(local.clone());
+                        };
+                        Outcome::new(local.clone())
+                            .send(msgs[0].sender, MulticastMessage::Echo { initiator, value })
+                    },
+                )
                 .build(),
         );
     }
@@ -402,18 +409,21 @@ mod tests {
     fn echo_transitions_are_replies_and_deliver_is_visible() {
         let setting = MulticastSetting::new(2, 1, 1, 1);
         let spec = quorum_model(setting);
-        assert!(spec
-            .transition(spec.transition_by_name("ECHO_0").unwrap())
-            .annotations()
-            .is_reply);
-        assert!(spec
-            .transition(spec.transition_by_name("BYZ_ECHO_0").unwrap())
-            .annotations()
-            .is_reply);
-        assert!(spec
-            .transition(spec.transition_by_name("DELIVER_0").unwrap())
-            .annotations()
-            .is_visible);
+        assert!(
+            spec.transition(spec.transition_by_name("ECHO_0").unwrap())
+                .annotations()
+                .is_reply
+        );
+        assert!(
+            spec.transition(spec.transition_by_name("BYZ_ECHO_0").unwrap())
+                .annotations()
+                .is_reply
+        );
+        assert!(
+            spec.transition(spec.transition_by_name("DELIVER_0").unwrap())
+                .annotations()
+                .is_visible
+        );
     }
 
     #[test]
@@ -421,15 +431,39 @@ mod tests {
         let p0 = ProcessId(0);
         let p9 = ProcessId(9);
         let good = vec![
-            Envelope::new(ProcessId(2), MulticastMessage::Echo { initiator: p0, value: 1 }),
-            Envelope::new(ProcessId(3), MulticastMessage::Echo { initiator: p0, value: 1 }),
+            Envelope::new(
+                ProcessId(2),
+                MulticastMessage::Echo {
+                    initiator: p0,
+                    value: 1,
+                },
+            ),
+            Envelope::new(
+                ProcessId(3),
+                MulticastMessage::Echo {
+                    initiator: p0,
+                    value: 1,
+                },
+            ),
         ];
         assert!(all_echoes_for(&good, p0, 1));
         assert!(!all_echoes_for(&good, p0, 2));
         assert!(!all_echoes_for(&good, p9, 1));
         let mixed = vec![
-            Envelope::new(ProcessId(2), MulticastMessage::Echo { initiator: p0, value: 1 }),
-            Envelope::new(ProcessId(3), MulticastMessage::Init { initiator: p0, value: 1 }),
+            Envelope::new(
+                ProcessId(2),
+                MulticastMessage::Echo {
+                    initiator: p0,
+                    value: 1,
+                },
+            ),
+            Envelope::new(
+                ProcessId(3),
+                MulticastMessage::Init {
+                    initiator: p0,
+                    value: 1,
+                },
+            ),
         ];
         assert!(!all_echoes_for(&mixed, p0, 1));
     }

@@ -31,7 +31,11 @@ mod tests {
         let setting = MulticastSetting::new(2, 1, 0, 1);
         let spec = single_message_model(setting);
         for (_, t) in spec.transitions() {
-            assert!(!t.is_quorum(), "`{}` must not be a quorum transition", t.name());
+            assert!(
+                !t.is_quorum(),
+                "`{}` must not be a quorum transition",
+                t.name()
+            );
         }
     }
 

@@ -366,9 +366,30 @@ mod tests {
     #[test]
     fn message_kinds() {
         let p = ProcessId(0);
-        assert_eq!(MulticastMessage::Init { initiator: p, value: 1 }.kind(), "INIT");
-        assert_eq!(MulticastMessage::Echo { initiator: p, value: 1 }.kind(), "ECHO");
-        assert_eq!(MulticastMessage::Commit { initiator: p, value: 1 }.kind(), "COMMIT");
+        assert_eq!(
+            MulticastMessage::Init {
+                initiator: p,
+                value: 1
+            }
+            .kind(),
+            "INIT"
+        );
+        assert_eq!(
+            MulticastMessage::Echo {
+                initiator: p,
+                value: 1
+            }
+            .kind(),
+            "ECHO"
+        );
+        assert_eq!(
+            MulticastMessage::Commit {
+                initiator: p,
+                value: 1
+            }
+            .kind(),
+            "COMMIT"
+        );
     }
 
     #[test]

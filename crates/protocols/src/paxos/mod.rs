@@ -50,7 +50,9 @@ mod tests {
         // One proposer cannot conflict with anyone: quick sanity check.
         let setting = PaxosSetting::new(1, 3, 1);
         let spec = quorum_model(setting, PaxosVariant::Correct);
-        let report = Checker::new(&spec, consensus_property(setting)).spor().run();
+        let report = Checker::new(&spec, consensus_property(setting))
+            .spor()
+            .run();
         assert!(report.verdict.is_verified(), "{}", report);
         assert!(report.stats.states > 10);
     }
@@ -59,7 +61,9 @@ mod tests {
     fn two_proposer_paxos_verifies_consensus_with_spor() {
         let setting = PaxosSetting::new(2, 2, 1);
         let spec = quorum_model(setting, PaxosVariant::Correct);
-        let report = Checker::new(&spec, consensus_property(setting)).spor().run();
+        let report = Checker::new(&spec, consensus_property(setting))
+            .spor()
+            .run();
         assert!(report.verdict.is_verified(), "{}", report);
     }
 
@@ -98,8 +102,12 @@ mod tests {
         let setting = PaxosSetting::new(1, 3, 1);
         let quorum = quorum_model(setting, PaxosVariant::Correct);
         let single = single_message_model(setting, PaxosVariant::Correct);
-        let report_q = Checker::new(&quorum, consensus_property(setting)).spor().run();
-        let report_s = Checker::new(&single, consensus_property(setting)).spor().run();
+        let report_q = Checker::new(&quorum, consensus_property(setting))
+            .spor()
+            .run();
+        let report_s = Checker::new(&single, consensus_property(setting))
+            .spor()
+            .run();
         assert!(report_q.verdict.is_verified());
         assert!(report_s.verdict.is_verified());
         assert!(

@@ -17,7 +17,10 @@ pub(crate) const PRIORITY_MIDDLE: i32 = 5;
 pub(crate) const PRIORITY_FINISH: i32 = -10;
 
 /// Builds the quorum-transition model of Paxos for a setting and variant.
-pub fn quorum_model(setting: PaxosSetting, variant: PaxosVariant) -> ProtocolSpec<PaxosState, PaxosMessage> {
+pub fn quorum_model(
+    setting: PaxosSetting,
+    variant: PaxosVariant,
+) -> ProtocolSpec<PaxosState, PaxosMessage> {
     let mut builder = declare_processes(setting);
     add_proposer_transitions(&mut builder, setting, true);
     add_acceptor_transitions(&mut builder, setting);
@@ -27,7 +30,9 @@ pub fn quorum_model(setting: PaxosSetting, variant: PaxosVariant) -> ProtocolSpe
         .expect("the Paxos quorum model is structurally valid")
 }
 
-pub(crate) fn declare_processes(setting: PaxosSetting) -> ProtocolBuilder<PaxosState, PaxosMessage> {
+pub(crate) fn declare_processes(
+    setting: PaxosSetting,
+) -> ProtocolBuilder<PaxosState, PaxosMessage> {
     let mut builder = ProtocolSpec::builder(format!("paxos{setting}"));
     for i in 0..setting.proposers {
         builder = builder.process(
@@ -81,9 +86,7 @@ pub(crate) fn add_proposer_transitions(
         builder.add_transition(
             TransitionSpec::builder(format!("READ_{i}"), me)
                 .internal()
-                .guard(|local: &PaxosState, _| {
-                    local.as_proposer().phase == ProposerPhase::Idle
-                })
+                .guard(|local: &PaxosState, _| local.as_proposer().phase == ProposerPhase::Idle)
                 .sends(&["READ"])
                 .sends_to(acceptors_for_start.clone())
                 .priority(PRIORITY_START)
@@ -289,7 +292,9 @@ pub(crate) fn add_learner_transitions(
                         let PaxosMessage::Accept { ballot, value } = msgs[0].payload else {
                             return Outcome::new(local.clone());
                         };
-                        learner.accept_buffer.insert((msgs[0].sender, ballot, value));
+                        learner
+                            .accept_buffer
+                            .insert((msgs[0].sender, ballot, value));
                         match variant {
                             PaxosVariant::Correct => {
                                 // Count distinct senders per (ballot, value).
@@ -337,7 +342,10 @@ mod tests {
     fn choose_write_value_prefers_highest_ballot() {
         assert_eq!(choose_write_value([None, None].into_iter(), 7), 7);
         assert_eq!(
-            choose_write_value([Some((1, 4)), None, Some((3, 9)), Some((2, 5))].into_iter(), 7),
+            choose_write_value(
+                [Some((1, 4)), None, Some((3, 9)), Some((2, 5))].into_iter(),
+                7
+            ),
             9
         );
         assert_eq!(choose_write_value(std::iter::empty(), 3), 3);

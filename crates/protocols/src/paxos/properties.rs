@@ -14,7 +14,14 @@ pub fn values_learned(
 ) -> BTreeSet<Value> {
     let mut values = BTreeSet::new();
     for k in 0..setting.learners {
-        values.extend(state.local(setting.learner(k)).as_learner().learned.iter().copied());
+        values.extend(
+            state
+                .local(setting.learner(k))
+                .as_learner()
+                .learned
+                .iter()
+                .copied(),
+        );
     }
     values
 }
@@ -30,24 +37,28 @@ pub fn values_learned(
 pub fn consensus_property(
     setting: PaxosSetting,
 ) -> Invariant<PaxosState, PaxosMessage, NullObserver> {
-    Invariant::new("consensus", move |state: &GlobalState<PaxosState, PaxosMessage>, _| {
-        let learned = values_learned(setting, state);
-        if learned.len() > 1 {
-            return Err(format!(
-                "agreement violated: learners learned {} distinct values {:?}",
-                learned.len(),
-                learned
-            ));
-        }
-        let proposed: BTreeSet<Value> =
-            (0..setting.proposers).map(|i| setting.value_of(i)).collect();
-        if let Some(bad) = learned.iter().find(|v| !proposed.contains(v)) {
-            return Err(format!(
-                "validity violated: learned value {bad} was never proposed"
-            ));
-        }
-        Ok(())
-    })
+    Invariant::new(
+        "consensus",
+        move |state: &GlobalState<PaxosState, PaxosMessage>, _| {
+            let learned = values_learned(setting, state);
+            if learned.len() > 1 {
+                return Err(format!(
+                    "agreement violated: learners learned {} distinct values {:?}",
+                    learned.len(),
+                    learned
+                ));
+            }
+            let proposed: BTreeSet<Value> = (0..setting.proposers)
+                .map(|i| setting.value_of(i))
+                .collect();
+            if let Some(bad) = learned.iter().find(|v| !proposed.contains(v)) {
+                return Err(format!(
+                    "validity violated: learned value {bad} was never proposed"
+                ));
+            }
+            Ok(())
+        },
+    )
 }
 
 #[cfg(test)]

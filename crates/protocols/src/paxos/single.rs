@@ -10,8 +10,7 @@
 use mp_model::ProtocolSpec;
 
 use super::model::{
-    add_acceptor_transitions, add_learner_transitions, add_proposer_transitions,
-    declare_processes,
+    add_acceptor_transitions, add_learner_transitions, add_proposer_transitions, declare_processes,
 };
 use super::types::{PaxosMessage, PaxosSetting, PaxosState, PaxosVariant};
 

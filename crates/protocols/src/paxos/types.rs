@@ -102,7 +102,11 @@ impl PaxosSetting {
 
 impl fmt::Display for PaxosSetting {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({},{},{})", self.proposers, self.acceptors, self.learners)
+        write!(
+            f,
+            "({},{},{})",
+            self.proposers, self.acceptors, self.learners
+        )
     }
 }
 

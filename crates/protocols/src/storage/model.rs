@@ -1,8 +1,6 @@
 //! The quorum-transition regular storage model (ABD-style single writer).
 
-use mp_model::{
-    Envelope, Outcome, ProtocolBuilder, ProtocolSpec, QuorumSpec, TransitionSpec,
-};
+use mp_model::{Envelope, Outcome, ProtocolBuilder, ProtocolSpec, QuorumSpec, TransitionSpec};
 
 use super::types::{
     BaseObjectState, ReaderPhase, ReaderState, StorageMessage, StorageSetting, StorageState,
@@ -238,19 +236,21 @@ pub(crate) fn add_reader_transitions(
                     .sends_nothing()
                     .visible()
                     .priority(PRIORITY_FINISH)
-                    .effect(move |local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
-                        let mut s = local.as_reader().clone();
-                        let StorageMessage::ReadResp { ts, value } = msgs[0].payload else {
-                            return Outcome::new(local.clone());
-                        };
-                        s.resp_buffer.insert((msgs[0].sender, ts, value));
-                        if s.resp_buffer.len() >= majority {
-                            s.result = s.resp_buffer.iter().map(|(_, t, v)| (*t, *v)).max();
-                            s.resp_buffer.clear();
-                            s.phase = ReaderPhase::Done;
-                        }
-                        Outcome::new(StorageState::Reader(s))
-                    })
+                    .effect(
+                        move |local: &StorageState, msgs: &[Envelope<StorageMessage>]| {
+                            let mut s = local.as_reader().clone();
+                            let StorageMessage::ReadResp { ts, value } = msgs[0].payload else {
+                                return Outcome::new(local.clone());
+                            };
+                            s.resp_buffer.insert((msgs[0].sender, ts, value));
+                            if s.resp_buffer.len() >= majority {
+                                s.result = s.resp_buffer.iter().map(|(_, t, v)| (*t, *v)).max();
+                                s.resp_buffer.clear();
+                                s.phase = ReaderPhase::Done;
+                            }
+                            Outcome::new(StorageState::Reader(s))
+                        },
+                    )
                     .build(),
             );
         }
@@ -285,14 +285,16 @@ mod tests {
     fn base_object_transitions_are_replies() {
         let setting = StorageSetting::new(3, 1);
         let spec = quorum_model(setting);
-        assert!(spec
-            .transition(spec.transition_by_name("B_WRITE_0").unwrap())
-            .annotations()
-            .is_reply);
-        assert!(spec
-            .transition(spec.transition_by_name("B_READ_2").unwrap())
-            .annotations()
-            .is_reply);
+        assert!(
+            spec.transition(spec.transition_by_name("B_WRITE_0").unwrap())
+                .annotations()
+                .is_reply
+        );
+        assert!(
+            spec.transition(spec.transition_by_name("B_READ_2").unwrap())
+                .annotations()
+                .is_reply
+        );
     }
 
     #[test]

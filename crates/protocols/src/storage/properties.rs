@@ -3,9 +3,7 @@
 use mp_checker::{Invariant, Observer};
 use mp_model::{GlobalState, ProtocolSpec, TransitionInstance};
 
-use super::types::{
-    ReaderPhase, StorageMessage, StorageSetting, StorageState, Timestamp,
-};
+use super::types::{ReaderPhase, StorageMessage, StorageSetting, StorageState, Timestamp};
 
 /// What the writer was doing when a read was invoked.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -169,8 +167,7 @@ mod tests {
             r.phase = ReaderPhase::Reading;
         }
         let invoke_id = spec.transition_by_name("R_INVOKE_0").unwrap();
-        let instance =
-            TransitionInstance::new(invoke_id, setting.reader(0), Vec::new());
+        let instance = TransitionInstance::new(invoke_id, setting.reader(0), Vec::new());
         let observer = RegularityObserver::new(setting);
         assert_eq!(observer.snapshot(0), None);
         let updated = observer.update(&spec, &pre, &instance, &post);
@@ -227,7 +224,9 @@ mod tests {
             completed: 0,
             in_progress: true,
         });
-        assert!(regularity_property(setting).evaluate(&state, &observer).holds());
+        assert!(regularity_property(setting)
+            .evaluate(&state, &observer)
+            .holds());
         assert!(!wrong_regularity_property(setting)
             .evaluate(&state, &observer)
             .holds());

@@ -3,17 +3,14 @@
 use mp_model::ProtocolSpec;
 
 use super::model::{
-    add_base_object_transitions, add_reader_transitions, add_writer_transitions,
-    declare_processes,
+    add_base_object_transitions, add_reader_transitions, add_writer_transitions, declare_processes,
 };
 use super::types::{StorageMessage, StorageSetting, StorageState};
 
 /// Builds the single-message-transition model of the regular storage
 /// protocol: the writer buffers acknowledgements and the readers buffer
 /// responses one message at a time.
-pub fn single_message_model(
-    setting: StorageSetting,
-) -> ProtocolSpec<StorageState, StorageMessage> {
+pub fn single_message_model(setting: StorageSetting) -> ProtocolSpec<StorageState, StorageMessage> {
     let mut builder = declare_processes(setting);
     add_writer_transitions(&mut builder, setting, false);
     add_base_object_transitions(&mut builder, setting);
@@ -35,9 +32,16 @@ mod tests {
         let setting = StorageSetting::new(3, 1);
         let spec = single_message_model(setting);
         for (_, t) in spec.transitions() {
-            assert!(!t.is_quorum(), "`{}` must not be a quorum transition", t.name());
+            assert!(
+                !t.is_quorum(),
+                "`{}` must not be a quorum transition",
+                t.name()
+            );
         }
-        assert_eq!(spec.num_transitions(), quorum_model(setting).num_transitions());
+        assert_eq!(
+            spec.num_transitions(),
+            quorum_model(setting).num_transitions()
+        );
     }
 
     #[test]

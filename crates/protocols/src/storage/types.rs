@@ -84,7 +84,9 @@ impl StorageSetting {
 
     /// All base object ids.
     pub fn base_object_ids(&self) -> Vec<ProcessId> {
-        (0..self.base_objects).map(|i| self.base_object(i)).collect()
+        (0..self.base_objects)
+            .map(|i| self.base_object(i))
+            .collect()
     }
 
     /// All reader ids.
@@ -272,7 +274,10 @@ mod tests {
         assert_eq!(StorageMessage::Write { ts: 1, value: 1 }.kind(), "WRITE");
         assert_eq!(StorageMessage::WriteAck { ts: 1 }.kind(), "WRITE_ACK");
         assert_eq!(StorageMessage::ReadReq.kind(), "READ_REQ");
-        assert_eq!(StorageMessage::ReadResp { ts: 0, value: 0 }.kind(), "READ_RESP");
+        assert_eq!(
+            StorageMessage::ReadResp { ts: 0, value: 0 }.kind(),
+            "READ_RESP"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl CollectSetting {
     /// Panics if the quorum is zero or larger than the number of voters, or
     /// if there are no collectors.
     pub fn new(voters: usize, quorum: usize, collectors: usize) -> Self {
-        assert!(quorum > 0 && quorum <= voters, "quorum must be in 1..=voters");
+        assert!(
+            quorum > 0 && quorum <= voters,
+            "quorum must be in 1..=voters"
+        );
         assert!(collectors > 0, "at least one collector is required");
         CollectSetting {
             voters,
@@ -107,7 +110,9 @@ pub fn collect_model(setting: CollectSetting, quorum: bool) -> ProtocolSpec<Coll
         builder = builder.process(format!("voter{i}"), CollectState::Voter(false));
     }
 
-    let collectors: Vec<ProcessId> = (0..setting.collectors).map(|i| setting.collector(i)).collect();
+    let collectors: Vec<ProcessId> = (0..setting.collectors)
+        .map(|i| setting.collector(i))
+        .collect();
     for i in 0..setting.voters {
         let me = setting.voter(i);
         let collectors_for_vote = collectors.clone();
@@ -177,7 +182,9 @@ pub fn collect_model(setting: CollectSetting, quorum: bool) -> ProtocolSpec<Coll
         }
     }
 
-    builder.build().expect("the collection protocol is structurally valid")
+    builder
+        .build()
+        .expect("the collection protocol is structurally valid")
 }
 
 /// A trivial invariant for pure state-space measurement runs over the

@@ -77,7 +77,10 @@ pub fn is_reply_transition<S: LocalState, M: Message>(t: &TransitionSpec<S, M>) 
             t.annotations().recipients,
             RecipientSet::SendersOfInput | RecipientSet::None
         )
-        && matches!(t.input(), InputSpec::Single { .. } | InputSpec::Quorum { .. })
+        && matches!(
+            t.input(),
+            InputSpec::Single { .. } | InputSpec::Quorum { .. }
+        )
 }
 
 #[cfg(test)]

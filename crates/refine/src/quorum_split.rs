@@ -11,8 +11,7 @@
 use std::collections::BTreeSet;
 
 use mp_model::{
-    InputSpec, LocalState, Message, ModelError, ProcessId, ProtocolSpec, QuorumSpec,
-    TransitionSpec,
+    InputSpec, LocalState, Message, ModelError, ProcessId, ProtocolSpec, QuorumSpec, TransitionSpec,
 };
 
 use crate::candidate_senders;
@@ -55,8 +54,7 @@ pub fn quorum_split_transition<S: LocalState, M: Message>(
     for (id, t) in spec.transitions() {
         if id == target_id {
             for quorum in subsets_of_size(&senders, quorum_size) {
-                let suffix: Vec<String> =
-                    quorum.iter().map(|p| p.index().to_string()).collect();
+                let suffix: Vec<String> = quorum.iter().map(|p| p.index().to_string()).collect();
                 let name = format!("{}__{}", t.name(), suffix.join("_"));
                 new_transitions.push(t.restricted_copy(name, quorum));
             }
@@ -83,8 +81,7 @@ pub fn quorum_split_all<S: LocalState, M: Message>(
             t.allowed_senders().is_none()
                 && !t.annotations().is_reply
                 && exact_quorum_size(t).map(|q| q >= 2).unwrap_or(false)
-                && candidate_senders(spec, *id).len()
-                    > exact_quorum_size(t).unwrap_or(usize::MAX)
+                && candidate_senders(spec, *id).len() > exact_quorum_size(t).unwrap_or(usize::MAX)
         })
         .map(|(_, t)| t.name().to_string())
         .collect();
@@ -248,10 +245,7 @@ mod tests {
     #[test]
     fn exact_quorum_size_helper() {
         let spec = collector();
-        assert_eq!(
-            exact_quorum_size(spec.transition(TransitionId(3))),
-            Some(2)
-        );
+        assert_eq!(exact_quorum_size(spec.transition(TransitionId(3))), Some(2));
         assert_eq!(exact_quorum_size(spec.transition(TransitionId(0))), None);
     }
 }

@@ -58,8 +58,7 @@ pub fn reply_split_transition<S: LocalState, M: Message>(
     for (id, t) in spec.transitions() {
         if id == target_id {
             for peer_set in subsets_of_size(&peers, quorum_size) {
-                let suffix: Vec<String> =
-                    peer_set.iter().map(|p| p.index().to_string()).collect();
+                let suffix: Vec<String> = peer_set.iter().map(|p| p.index().to_string()).collect();
                 let name = format!("{}_{}", t.name(), suffix.join("_"));
                 new_transitions.push(t.restricted_copy(name, peer_set));
             }
@@ -157,7 +156,10 @@ mod tests {
         let names = split.transition_names().join(",");
         assert!(names.contains("READ_ACC_0"));
         assert!(names.contains("READ_ACC_1"));
-        assert!(!names.contains("READ_ACC_2"), "the acceptor is not its own peer");
+        assert!(
+            !names.contains("READ_ACC_2"),
+            "the acceptor is not its own peer"
+        );
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The backend trait and its statistics record.
+
+use std::fmt;
+
+/// A snapshot of one backend's counters.
+///
+/// All backends use the unified accounting scheme: every membership query —
+/// an [`StateStoreBackend::insert`] *or* a [`StateStoreBackend::contains`] —
+/// counts as a **hit** when the key was already present and as a **miss**
+/// otherwise. `hits + misses` therefore equals the total number of queries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of distinct entries currently stored.
+    pub entries: usize,
+    /// Queries that found the key already present.
+    pub hits: usize,
+    /// Queries that did not find the key.
+    pub misses: usize,
+    /// Approximate heap footprint of the stored entries, in bytes. This is
+    /// the number the engines report as "peak state-storage bytes"; it
+    /// covers the store's own tables, not frontier queues or DFS stacks.
+    pub approx_bytes: usize,
+}
+
+impl StoreStats {
+    /// Total number of membership queries answered.
+    pub fn queries(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of queries that were hits (0 if no queries were made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.queries() as f64
+        }
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} entries (~{} KiB), {} hits / {} queries",
+            self.entries,
+            self.approx_bytes / 1024,
+            self.hits,
+            self.queries()
+        )
+    }
+}
+
+/// A visited-state set that search engines insert into and query.
+///
+/// All methods take `&self`: backends use interior mutability so that the
+/// parallel engine can share one store across worker threads (all provided
+/// backends are `Send + Sync`; the sequential engines simply pay one
+/// uncontended lock per operation on the exact backend).
+pub trait StateStoreBackend<K> {
+    /// Inserts a key; returns `true` if it was new. Counts a hit when the
+    /// key was already present, a miss otherwise.
+    fn insert(&self, key: K) -> bool;
+
+    /// Like [`StateStoreBackend::insert`], but borrows the key and only
+    /// clones it when it is actually new — the fast path for search
+    /// engines, where most generated edges lead to already-visited states
+    /// and protocol-state keys are expensive to clone. The fingerprint
+    /// backend never clones at all. Backends override the default (which
+    /// clones unconditionally) when they can do better.
+    fn insert_ref(&self, key: &K) -> bool
+    where
+        K: Clone,
+    {
+        self.insert(key.clone())
+    }
+
+    /// Returns `true` if the key is present. Counts a hit when found, a
+    /// miss otherwise — the same accounting as [`StateStoreBackend::insert`].
+    fn contains(&self, key: &K) -> bool;
+
+    /// Number of distinct entries stored.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if nothing has been stored yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the counters.
+    fn stats(&self) -> StoreStats;
+
+    /// Short backend name ("exact", "sharded", "fingerprint").
+    fn name(&self) -> &'static str;
+}
+
+/// Approximate byte footprint of a hash table with `capacity` slots of
+/// `entry_size`-byte entries (hashbrown stores one control byte per slot).
+pub(crate) fn table_bytes(capacity: usize, entry_size: usize) -> usize {
+    capacity * (entry_size + 1) + std::mem::size_of::<std::collections::HashSet<u64>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_accessors() {
+        let s = StoreStats {
+            entries: 10,
+            hits: 3,
+            misses: 9,
+            approx_bytes: 4096,
+        };
+        assert_eq!(s.queries(), 12);
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+        assert!(s.to_string().contains("10 entries"));
+        assert_eq!(StoreStats::default().hit_rate(), 0.0);
+    }
+}

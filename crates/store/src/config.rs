@@ -1,0 +1,162 @@
+//! Backend selection.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::{ExactStore, FingerprintStore, ShardedStore, StateStoreBackend, StoreStats};
+
+/// Default stripe count of the sharded backends.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// Default fingerprint width: keeps the omission probability below 1e-6 up
+/// to ~23 thousand stored states and below 2% up to ~3 million; widen
+/// toward 64 bits for larger sweeps (see the crate docs).
+pub const DEFAULT_FINGERPRINT_BITS: u32 = 48;
+
+/// Which visited-state backend a run should use.
+///
+/// Carried by `CheckerConfig` in `mp-checker`; `Copy` so configurations
+/// stay cheap to pass around.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StoreConfig {
+    /// Exact full-key storage behind a single lock (the default).
+    #[default]
+    Exact,
+    /// Exact full-key storage, lock-striped for concurrent inserts.
+    Sharded {
+        /// Stripe count (rounded up to a power of two).
+        shards: usize,
+    },
+    /// Hash compaction: only a `bits`-wide fingerprint per state is kept.
+    /// `Verified` verdicts become probabilistic; see the `mp-store` crate
+    /// docs for the soundness contract.
+    Fingerprint {
+        /// Fingerprint width in bits (clamped to `8..=64`).
+        bits: u32,
+        /// Stripe count (rounded up to a power of two).
+        shards: usize,
+    },
+}
+
+impl StoreConfig {
+    /// The sharded backend with the default stripe count.
+    pub fn sharded() -> Self {
+        StoreConfig::Sharded {
+            shards: DEFAULT_SHARDS,
+        }
+    }
+
+    /// The fingerprint backend with the given width and a single stripe —
+    /// the compact layout for the sequential engines (per-shard tables
+    /// carry a fixed overhead that defeats compaction on small runs).
+    /// [`StoreConfig::for_parallel`] widens it for concurrent use.
+    pub fn fingerprint(bits: u32) -> Self {
+        StoreConfig::Fingerprint { bits, shards: 1 }
+    }
+
+    /// The configuration the parallel engine actually uses: a single-lock
+    /// store would serialise every worker on one mutex, so the exact store
+    /// and single-stripe fingerprint stores are upgraded to their
+    /// lock-striped equivalents; explicitly-striped choices pass through.
+    pub fn for_parallel(&self) -> StoreConfig {
+        match *self {
+            StoreConfig::Exact => StoreConfig::sharded(),
+            StoreConfig::Fingerprint { bits, shards: 1 } => StoreConfig::Fingerprint {
+                bits,
+                shards: DEFAULT_SHARDS,
+            },
+            other => other,
+        }
+    }
+
+    /// Returns `true` if the backend stores full keys (no omissions).
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, StoreConfig::Fingerprint { .. })
+    }
+
+    /// Builds the backend for key type `K`.
+    pub fn build<K: Eq + Hash>(&self) -> StoreImpl<K> {
+        match *self {
+            StoreConfig::Exact => StoreImpl::Exact(ExactStore::new()),
+            StoreConfig::Sharded { shards } => StoreImpl::Sharded(ShardedStore::new(shards)),
+            StoreConfig::Fingerprint { bits, shards } => {
+                StoreImpl::Fingerprint(FingerprintStore::new(bits, shards))
+            }
+        }
+    }
+}
+
+impl fmt::Display for StoreConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreConfig::Exact => write!(f, "exact"),
+            StoreConfig::Sharded { shards } => write!(f, "sharded({shards})"),
+            StoreConfig::Fingerprint { bits, .. } => write!(f, "fingerprint({bits}-bit)"),
+        }
+    }
+}
+
+/// A backend built from a [`StoreConfig`] (enum dispatch, so engines stay
+/// generic-friendly without trait objects).
+#[derive(Debug)]
+pub enum StoreImpl<K> {
+    /// See [`ExactStore`].
+    Exact(ExactStore<K>),
+    /// See [`ShardedStore`].
+    Sharded(ShardedStore<K>),
+    /// See [`FingerprintStore`].
+    Fingerprint(FingerprintStore<K>),
+}
+
+impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
+    fn insert(&self, key: K) -> bool {
+        match self {
+            StoreImpl::Exact(s) => s.insert(key),
+            StoreImpl::Sharded(s) => s.insert(key),
+            StoreImpl::Fingerprint(s) => s.insert(key),
+        }
+    }
+
+    fn insert_ref(&self, key: &K) -> bool
+    where
+        K: Clone,
+    {
+        match self {
+            StoreImpl::Exact(s) => s.insert_ref(key),
+            StoreImpl::Sharded(s) => s.insert_ref(key),
+            StoreImpl::Fingerprint(s) => s.insert_ref(key),
+        }
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        match self {
+            StoreImpl::Exact(s) => s.contains(key),
+            StoreImpl::Sharded(s) => s.contains(key),
+            StoreImpl::Fingerprint(s) => s.contains(key),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            StoreImpl::Exact(s) => StateStoreBackend::len(s),
+            StoreImpl::Sharded(s) => StateStoreBackend::len(s),
+            StoreImpl::Fingerprint(s) => StateStoreBackend::<K>::len(s),
+        }
+    }
+
+    fn stats(&self) -> StoreStats {
+        match self {
+            StoreImpl::Exact(s) => s.stats(),
+            StoreImpl::Sharded(s) => s.stats(),
+            StoreImpl::Fingerprint(s) => StateStoreBackend::<K>::stats(s),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            StoreImpl::Exact(s) => StateStoreBackend::name(s),
+            StoreImpl::Sharded(s) => StateStoreBackend::name(s),
+            StoreImpl::Fingerprint(s) => StateStoreBackend::<K>::name(s),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The exact `HashSet` backend and the legacy `StateStore` wrapper.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::backend::{table_bytes, StateStoreBackend, StoreStats};
+
+/// The exact visited-state set: a single `HashSet` of full keys behind one
+/// mutex. Sound and exact; the lock is uncontended in the sequential
+/// engines. For parallel search prefer [`crate::ShardedStore`].
+#[derive(Debug, Default)]
+pub struct ExactStore<K> {
+    seen: Mutex<HashSet<K>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<K: Eq + Hash> ExactStore<K> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ExactStore {
+            seen: Mutex::new(HashSet::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates a store with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ExactStore {
+            seen: Mutex::new(HashSet::with_capacity(capacity)),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    fn record(&self, present: bool) {
+        if present {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<K: Eq + Hash> StateStoreBackend<K> for ExactStore<K> {
+    fn insert(&self, key: K) -> bool {
+        let new = self.seen.lock().expect("store poisoned").insert(key);
+        self.record(!new);
+        new
+    }
+
+    fn insert_ref(&self, key: &K) -> bool
+    where
+        K: Clone,
+    {
+        let mut seen = self.seen.lock().expect("store poisoned");
+        let new = if seen.contains(key) {
+            false
+        } else {
+            seen.insert(key.clone())
+        };
+        drop(seen);
+        self.record(!new);
+        new
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        let present = self.seen.lock().expect("store poisoned").contains(key);
+        self.record(present);
+        present
+    }
+
+    fn len(&self) -> usize {
+        self.seen.lock().expect("store poisoned").len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let seen = self.seen.lock().expect("store poisoned");
+        StoreStats {
+            entries: seen.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            approx_bytes: table_bytes(seen.capacity(), size_of::<K>()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+/// A set of visited states with insertion statistics (legacy `&mut` API).
+///
+/// This is the original `mp_checker::StateStore` type, migrated here and
+/// re-implemented on top of [`ExactStore`]. It keeps the `&mut self`
+/// signatures for existing callers but follows the subsystem's unified hit
+/// accounting: **`contains` now counts a hit when the key is found** (it
+/// previously did not), so statistics agree with every
+/// [`StateStoreBackend`] implementation.
+#[derive(Debug, Default)]
+pub struct StateStore<K> {
+    inner: ExactStore<K>,
+}
+
+impl<K: Eq + Hash> StateStore<K> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        StateStore {
+            inner: ExactStore::new(),
+        }
+    }
+
+    /// Creates a store with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        StateStore {
+            inner: ExactStore::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts a state; returns `true` if it was new.
+    pub fn insert(&mut self, key: K) -> bool {
+        StateStoreBackend::insert(&self.inner, key)
+    }
+
+    /// Returns `true` if the state has been seen before. Counts a hit when
+    /// found (unified accounting).
+    pub fn contains(&self, key: &K) -> bool {
+        StateStoreBackend::contains(&self.inner, key)
+    }
+
+    /// Number of distinct states stored.
+    pub fn len(&self) -> usize {
+        StateStoreBackend::len(&self.inner)
+    }
+
+    /// Returns `true` if nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        StateStoreBackend::is_empty(&self.inner)
+    }
+
+    /// Number of queries that found the state already present.
+    pub fn hits(&self) -> usize {
+        self.inner.stats().hits
+    }
+
+    /// Snapshot of the full counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut store = StateStore::new();
+        assert!(store.is_empty());
+        assert!(store.insert(1u32));
+        assert!(store.insert(2));
+        assert!(!store.insert(1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.hits(), 1);
+        assert!(store.contains(&2));
+        assert!(!store.contains(&3));
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut store = StateStore::with_capacity(100);
+        assert!(store.insert("a"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.hits(), 0);
+        assert!(store.stats().approx_bytes > 0);
+    }
+
+    #[test]
+    fn contains_counts_as_hit_when_found() {
+        // Unified accounting: a successful `contains` is a hit, a failed
+        // one is a miss (this changed when the store moved to `mp-store`).
+        let mut store = StateStore::new();
+        store.insert(5u8);
+        assert!(store.contains(&5));
+        assert!(!store.contains(&6));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.stats().misses, 2);
+    }
+}

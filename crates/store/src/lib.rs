@@ -1,0 +1,248 @@
+//! # mp-store — pluggable visited-state storage for stateful search
+//!
+//! The paper (DSN 2011, Section V-B) observes that the benefit of stateful
+//! search "becomes significant with large state spaces" — which makes the
+//! visited-state set the memory- and contention-critical data structure of
+//! the whole checker. This crate turns it into a first-class subsystem: the
+//! search engines of `mp-checker` program against the
+//! [`StateStoreBackend`] trait and a [`StoreConfig`] selects one of three
+//! backends at run time:
+//!
+//! * [`ExactStore`] — a plain `HashSet` of full `(state, observer)` keys.
+//!   Sound and exact; the default for the sequential engines.
+//! * [`ShardedStore`] — the same exact semantics, but lock-striped across N
+//!   shards selected by the top bits of the key hash. Concurrent inserters
+//!   only contend when they land on the same shard, so the parallel BFS
+//!   engine scales without a global mutex on the visited set.
+//! * [`FingerprintStore`] — **hash compaction** (Holzmann-style bitstate
+//!   cousin): instead of the full key only a w-bit fingerprint of its hash
+//!   is stored. Memory per visited state drops from the full key size
+//!   (hundreds of bytes for protocol states) to a few bytes, at the price
+//!   of a bounded *omission* probability (see below).
+//!
+//! ## Soundness caveat of hash compaction
+//!
+//! With fingerprints, two distinct states whose hashes collide in the
+//! stored w bits are indistinguishable: the second one is treated as
+//! *already visited* and its successors are never explored. Consequently:
+//!
+//! * a **`Verified` verdict is probabilistic** — with `n` stored states and
+//!   w-bit fingerprints, the probability that at least one state was
+//!   wrongly omitted is approximately `1 − exp(−n² / 2^(w+1))`
+//!   (birthday bound; see [`FingerprintStore::omission_probability`]);
+//! * a **counterexample remains exact** — every reported violation is a
+//!   real reachable state, because states on the path are re-executed from
+//!   the initial state and properties are evaluated on full states, never
+//!   on fingerprints.
+//!
+//! Pick the width against the expected state count: at the default of 48
+//! bits the bound stays below 1e-6 up to ~23 thousand stored states and
+//! below 2% up to ~3 million; beyond that it degrades quickly (at 23
+//! million states it is ~0.6, i.e. `Verified` means little). Check
+//! [`FingerprintStore::omission_probability`] after a run, widen toward 64
+//! bits for larger sweeps, and use an exact backend for certification
+//! runs.
+//!
+//! ## Hit accounting
+//!
+//! All backends count every membership query uniformly: a query (either
+//! [`StateStoreBackend::insert`] finding the key present, or
+//! [`StateStoreBackend::contains`] returning `true`) is a **hit**, any
+//! other query is a **miss**. `ExplorationStats` in `mp-checker` reports
+//! these numbers the same way for every engine.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod backend;
+mod config;
+mod exact;
+mod fingerprint;
+mod sharded;
+
+pub use backend::{StateStoreBackend, StoreStats};
+pub use config::{StoreConfig, StoreImpl, DEFAULT_FINGERPRINT_BITS, DEFAULT_SHARDS};
+pub use exact::{ExactStore, StateStore};
+pub use fingerprint::FingerprintStore;
+pub use sharded::ShardedStore;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic pseudo-random key stream (SplitMix64).
+    fn keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_backends_agree_on_small_inputs() {
+        // 256 keys with duplicates: every backend must report the same
+        // sequence of insert results (64-bit fingerprints of u64 keys are
+        // collision-free on this input).
+        let mut input = keys(256, 7);
+        input.extend(keys(256, 7));
+        let configs = [
+            StoreConfig::Exact,
+            StoreConfig::sharded(),
+            StoreConfig::Sharded { shards: 4 },
+            StoreConfig::fingerprint(64),
+        ];
+        let expected: Vec<bool> = {
+            let exact = StoreConfig::Exact.build::<u64>();
+            input.iter().map(|k| exact.insert(*k)).collect()
+        };
+        for config in configs {
+            let store = config.build::<u64>();
+            let got: Vec<bool> = input.iter().map(|k| store.insert(*k)).collect();
+            assert_eq!(got, expected, "{config} disagrees with exact");
+            assert_eq!(store.len(), 256, "{config} has the wrong cardinality");
+            assert_eq!(store.stats().hits, 256, "{config} miscounts hits");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_are_exact_under_contention() {
+        // 8 threads insert overlapping slices; afterwards the store must
+        // contain exactly the union, and hits+misses must equal the total
+        // number of insert calls.
+        let input = keys(10_000, 99);
+        for config in [StoreConfig::sharded(), StoreConfig::Sharded { shards: 2 }] {
+            let store = config.build::<u64>();
+            std::thread::scope(|scope| {
+                for t in 0..8 {
+                    let store = &store;
+                    let chunk = &input[t * 1000..(t * 1000 + 3000).min(input.len())];
+                    scope.spawn(move || {
+                        for k in chunk {
+                            store.insert(*k);
+                        }
+                    });
+                }
+            });
+            let unique: std::collections::HashSet<u64> = input.iter().copied().collect();
+            assert_eq!(store.len(), unique.len());
+            let stats = store.stats();
+            assert_eq!(stats.entries, store.len());
+            assert_eq!(stats.hits + stats.misses, 8 * 3000);
+            // Every inserted key must be present.
+            for k in &input {
+                assert!(store.contains(k), "{config} lost a key");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_store_uses_less_memory_than_exact() {
+        // Keys are large (simulating protocol states); the fingerprint
+        // store must report far fewer bytes.
+        let big_keys: Vec<[u64; 16]> = keys(2_000, 5).into_iter().map(|k| [k; 16]).collect();
+        let exact = StoreConfig::Exact.build::<[u64; 16]>();
+        let fp = StoreConfig::fingerprint(48).build::<[u64; 16]>();
+        for k in &big_keys {
+            exact.insert(*k);
+            fp.insert(*k);
+        }
+        assert_eq!(exact.len(), 2_000);
+        assert_eq!(fp.len(), 2_000, "48-bit fingerprints must not collide here");
+        let exact_bytes = exact.stats().approx_bytes;
+        let fp_bytes = fp.stats().approx_bytes;
+        assert!(
+            fp_bytes * 4 < exact_bytes,
+            "fingerprints ({fp_bytes}B) should be ≥4x smaller than exact ({exact_bytes}B)"
+        );
+    }
+
+    #[test]
+    fn narrow_fingerprints_collide_and_wide_ones_do_not() {
+        // An 8-bit fingerprint can hold at most 256 distinct values.
+        let store = FingerprintStore::<u64>::new(8, 4);
+        for k in keys(4_096, 3) {
+            store.insert(k);
+        }
+        assert!(store.len() <= 256);
+        assert!(store.omission_probability() > 0.99);
+
+        let wide = FingerprintStore::<u64>::new(64, 4);
+        for k in keys(4_096, 3) {
+            wide.insert(k);
+        }
+        assert_eq!(wide.len(), 4_096);
+        assert!(wide.omission_probability() < 1e-6);
+    }
+
+    #[test]
+    fn contains_counts_hits_uniformly() {
+        for config in [
+            StoreConfig::Exact,
+            StoreConfig::sharded(),
+            StoreConfig::fingerprint(64),
+        ] {
+            let store = config.build::<u64>();
+            assert!(!store.contains(&1)); // miss
+            assert!(store.insert(1)); // miss
+            assert!(store.contains(&1)); // hit
+            assert!(!store.insert(1)); // hit
+            let stats = store.stats();
+            assert_eq!(stats.hits, 2, "{config}");
+            assert_eq!(stats.misses, 2, "{config}");
+        }
+    }
+
+    #[test]
+    fn insert_ref_matches_insert_semantics_and_accounting() {
+        let input = keys(512, 21);
+        for config in [
+            StoreConfig::Exact,
+            StoreConfig::sharded(),
+            StoreConfig::fingerprint(64),
+        ] {
+            let by_value = config.build::<u64>();
+            let by_ref = config.build::<u64>();
+            for k in input.iter().chain(input.iter()) {
+                assert_eq!(by_value.insert(*k), by_ref.insert_ref(k), "{config}");
+            }
+            assert_eq!(by_value.len(), by_ref.len(), "{config}");
+            assert_eq!(by_value.stats().hits, by_ref.stats().hits, "{config}");
+            assert_eq!(by_value.stats().misses, by_ref.stats().misses, "{config}");
+        }
+    }
+
+    #[test]
+    fn config_labels_and_parallel_upgrade() {
+        assert_eq!(StoreConfig::Exact.to_string(), "exact");
+        assert_eq!(
+            StoreConfig::sharded().to_string(),
+            format!("sharded({DEFAULT_SHARDS})")
+        );
+        assert_eq!(
+            StoreConfig::fingerprint(32).to_string(),
+            "fingerprint(32-bit)"
+        );
+        // The parallel engine silently upgrades single-lock stores.
+        assert_eq!(StoreConfig::Exact.for_parallel(), StoreConfig::sharded());
+        assert_eq!(
+            StoreConfig::fingerprint(40).for_parallel(),
+            StoreConfig::Fingerprint {
+                bits: 40,
+                shards: DEFAULT_SHARDS
+            }
+        );
+        let striped = StoreConfig::Fingerprint {
+            bits: 40,
+            shards: 8,
+        };
+        assert_eq!(striped.for_parallel(), striped);
+        assert!(StoreConfig::Exact.is_exact());
+        assert!(!StoreConfig::fingerprint(32).is_exact());
+    }
+}

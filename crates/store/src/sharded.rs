@@ -1,0 +1,173 @@
+//! The lock-striped concurrent backend.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+use std::mem::size_of;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::backend::{table_bytes, StateStoreBackend, StoreStats};
+
+/// An exact visited-state set striped across N shards.
+///
+/// The shard is selected by the top bits of the key's 64-bit hash (the
+/// "hash prefix"), so concurrent inserters only contend when they land on
+/// the same shard. With the default of 64 shards and a handful of worker
+/// threads, contention on any single mutex is negligible and the parallel
+/// BFS engine inserts without a global lock on the visited set.
+///
+/// Semantics are identical to [`crate::ExactStore`]: full keys are stored,
+/// no omissions are possible.
+#[derive(Debug)]
+pub struct ShardedStore<K> {
+    shards: Vec<Mutex<HashSet<K>>>,
+    shard_bits: u32,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+pub(crate) fn hash64<K: Hash>(key: &K) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl<K: Eq + Hash> ShardedStore<K> {
+    /// Creates a store with `shards` stripes (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
+        ShardedStore {
+            shards: (0..shards).map(|_| Mutex::new(HashSet::new())).collect(),
+            shard_bits: shards.trailing_zeros(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashSet<K>> {
+        // Top bits of the hash: the low bits keep their entropy for the
+        // in-shard hash table.
+        let index = if self.shard_bits == 0 {
+            0
+        } else {
+            (hash64(key) >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[index]
+    }
+
+    fn record(&self, present: bool) {
+        if present {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<K: Eq + Hash> StateStoreBackend<K> for ShardedStore<K> {
+    fn insert(&self, key: K) -> bool {
+        let new = self.shard(&key).lock().expect("shard poisoned").insert(key);
+        self.record(!new);
+        new
+    }
+
+    fn insert_ref(&self, key: &K) -> bool
+    where
+        K: Clone,
+    {
+        let mut shard = self.shard(key).lock().expect("shard poisoned");
+        let new = if shard.contains(key) {
+            false
+        } else {
+            shard.insert(key.clone())
+        };
+        drop(shard);
+        self.record(!new);
+        new
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        let present = self
+            .shard(key)
+            .lock()
+            .expect("shard poisoned")
+            .contains(key);
+        self.record(present);
+        present
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").len())
+            .sum()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut entries = 0;
+        let mut approx_bytes = 0;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            entries += shard.len();
+            approx_bytes += table_bytes(shard.capacity(), size_of::<K>());
+        }
+        StoreStats {
+            entries,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            approx_bytes,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_is_a_power_of_two() {
+        assert_eq!(ShardedStore::<u64>::new(0).shard_count(), 1);
+        assert_eq!(ShardedStore::<u64>::new(1).shard_count(), 1);
+        assert_eq!(ShardedStore::<u64>::new(3).shard_count(), 4);
+        assert_eq!(ShardedStore::<u64>::new(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn single_shard_behaves_like_exact() {
+        let store = ShardedStore::new(1);
+        assert!(store.insert(1u32));
+        assert!(!store.insert(1));
+        assert!(store.contains(&1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats().hits, 2);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let store = ShardedStore::new(16);
+        for k in 0u64..1_000 {
+            store.insert(k);
+        }
+        assert_eq!(store.len(), 1_000);
+        let populated = store
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(
+            populated > 8,
+            "hash prefix must spread keys, got {populated} shards"
+        );
+    }
+}

@@ -16,7 +16,10 @@ fn main() {
     );
 
     let strategies: [(&str, CheckerConfig); 3] = [
-        ("stateful BFS (shortest counterexample)", CheckerConfig::stateful_bfs()),
+        (
+            "stateful BFS (shortest counterexample)",
+            CheckerConfig::stateful_bfs(),
+        ),
         ("stateful DFS + SPOR", CheckerConfig::stateful_dfs()),
         ("stateless DFS + DPOR", CheckerConfig::stateless(true)),
     ];
@@ -24,7 +27,10 @@ fn main() {
     let mut shortest: Option<usize> = None;
     for (label, config) in strategies {
         let checker = Checker::new(&spec, consensus_property(setting));
-        let checker = if matches!(config.strategy, mp_basset::checker::SearchStrategy::StatefulDfs) {
+        let checker = if matches!(
+            config.strategy,
+            mp_basset::checker::SearchStrategy::StatefulDfs
+        ) {
             checker.spor()
         } else {
             checker
@@ -35,11 +41,11 @@ fn main() {
             .counterexample()
             .expect("the faulty learner must violate consensus");
         println!(
-            "{label:<40} {:>7} states, {:>8} transitions, CE of {} steps, {}",
+            "{label:<40} {:>7} states, {:>8} transitions, CE of {} steps, {:.1?}",
             report.stats.states,
             report.stats.transitions_executed,
             cx.len(),
-            format!("{:.1?}", report.stats.elapsed),
+            report.stats.elapsed,
         );
         shortest = Some(shortest.map_or(cx.len(), |s: usize| s.min(cx.len())));
     }

@@ -21,7 +21,9 @@ fn check(setting: MulticastSetting) {
         .run();
     println!("  {report}");
     match report.verdict.counterexample() {
-        None => println!("  agreement holds: the equivocating initiator cannot assemble two echo certificates\n"),
+        None => println!(
+            "  agreement holds: the equivocating initiator cannot assemble two echo certificates\n"
+        ),
         Some(cx) => {
             println!("  agreement broken — the attack, step by step:");
             for (i, step) in cx.steps.iter().enumerate() {

@@ -20,8 +20,13 @@ fn main() {
     } else {
         PaxosSetting::new(2, 2, 1)
     };
-    println!("Paxos {setting}: {} proposers, {} acceptors, {} learner(s); majority = {}\n",
-        setting.proposers, setting.acceptors, setting.learners, setting.majority());
+    println!(
+        "Paxos {setting}: {} proposers, {} acceptors, {} learner(s); majority = {}\n",
+        setting.proposers,
+        setting.acceptors,
+        setting.learners,
+        setting.majority()
+    );
 
     // Table I, columns 2-3: single-message vs quorum model under SPOR.
     let single = single_message_model(setting, PaxosVariant::Correct);

@@ -63,9 +63,7 @@ fn coordinator_workers_protocol() -> ProtocolSpec<Phase, Msg> {
                 .single_input("REQUEST")
                 .reply()
                 .sends(&["ACK"])
-                .effect(move |_, msgs| {
-                    Outcome::new(1).send(msgs[0].sender, Msg::Ack(i as u8))
-                })
+                .effect(move |_, msgs| Outcome::new(1).send(msgs[0].sender, Msg::Ack(i as u8)))
                 .build(),
         );
     }
@@ -104,8 +102,12 @@ fn main() {
         },
     );
 
-    println!("protocol: {} ({} processes, {} transitions)\n",
-        spec.name(), spec.num_processes(), spec.num_transitions());
+    println!(
+        "protocol: {} ({} processes, {} transitions)\n",
+        spec.name(),
+        spec.num_processes(),
+        spec.num_transitions()
+    );
 
     let unreduced = Checker::new(&spec, property.clone()).run();
     println!("unreduced search:  {unreduced}");

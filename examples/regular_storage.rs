@@ -14,7 +14,10 @@ fn main() {
     let setting = StorageSetting::new(3, 1);
     println!(
         "Regular storage {setting}: {} base objects, {} reader(s), {} writes, majority = {}\n",
-        setting.base_objects, setting.readers, setting.writes, setting.majority()
+        setting.base_objects,
+        setting.readers,
+        setting.writes,
+        setting.majority()
     );
     let spec = quorum_model(setting);
 

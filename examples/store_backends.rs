@@ -1,0 +1,43 @@
+//! Compare the visited-store backends on the same verification run, under
+//! both the sequential DFS engine and the parallel BFS engine.
+//!
+//! The fingerprint backend stores ~9 bytes per state instead of the full
+//! `(state, observer)` key; its `verified` verdict is probabilistic (see
+//! the `mp-store` crate docs), while counterexamples stay exact.
+//!
+//! Run with: `cargo run --release --example store_backends`
+
+use mp_basset::checker::{Checker, CheckerConfig, StoreConfig};
+use mp_basset::protocols::paxos::{consensus_property, quorum_model, PaxosSetting, PaxosVariant};
+
+fn main() {
+    let setting = PaxosSetting::new(1, 3, 1);
+    let spec = quorum_model(setting, PaxosVariant::Correct);
+    let backends = [
+        StoreConfig::Exact,
+        StoreConfig::sharded(),
+        StoreConfig::fingerprint(48),
+    ];
+
+    for (engine_label, config) in [
+        ("stateful DFS", CheckerConfig::stateful_dfs()),
+        ("parallel BFS", CheckerConfig::parallel_bfs(0)),
+    ] {
+        println!("Paxos {setting}, consensus, {engine_label}:");
+        for store in backends {
+            let report = Checker::new(&spec, consensus_property(setting))
+                .spor()
+                .config(config.clone().with_store(store))
+                .run();
+            println!(
+                "  requested {:<20} used {:<12} {:>6} states, ~{:>5} KiB store, {}",
+                store.to_string(),
+                report.stats.store_backend,
+                report.stats.states,
+                report.stats.store_bytes / 1024,
+                report.verdict
+            );
+        }
+        println!();
+    }
+}

@@ -9,6 +9,8 @@
 //!   quorum transitions (the paper's MP language analogue);
 //! * [`por`] (`mp-por`) — static (stubborn-set / MP-LPOR style) and dynamic
 //!   partial-order reduction;
+//! * [`store`] (`mp-store`) — pluggable visited-state backends: exact,
+//!   sharded lock-striped concurrent, and hash-compaction fingerprints;
 //! * [`checker`] (`mp-checker`) — stateful/stateless/parallel explicit-state
 //!   search engines, invariants, observers and counterexamples;
 //! * [`refine`] (`mp-refine`) — quorum-split, reply-split and combined-split
@@ -29,6 +31,7 @@ pub use mp_model as model;
 pub use mp_por as por;
 pub use mp_protocols as protocols;
 pub use mp_refine as refine;
+pub use mp_store as store;
 
 #[cfg(test)]
 mod tests {

@@ -75,7 +75,10 @@ fn section_ii_c_inflation_grows_with_quorum_size() {
 #[test]
 fn debugging_experiments_find_all_bugs() {
     let rows = debugging_experiments(&Budget::default());
-    assert!(rows.iter().all(|r| r.verdict.starts_with("CE")), "{rows:#?}");
+    assert!(
+        rows.iter().all(|r| r.verdict.starts_with("CE")),
+        "{rows:#?}"
+    );
 }
 
 #[test]

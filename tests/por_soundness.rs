@@ -70,9 +70,19 @@ fn paxos_verdicts_agree_across_engines() {
 #[test]
 fn multicast_verdicts_agree_across_engines() {
     let safe = MulticastSetting::new(2, 1, 0, 1);
-    verdicts_agree(&multicast(safe), || agreement_property(safe), NullObserver, false);
+    verdicts_agree(
+        &multicast(safe),
+        || agreement_property(safe),
+        NullObserver,
+        false,
+    );
     let broken = MulticastSetting::new(2, 1, 2, 1);
-    verdicts_agree(&multicast(broken), || agreement_property(broken), NullObserver, true);
+    verdicts_agree(
+        &multicast(broken),
+        || agreement_property(broken),
+        NullObserver,
+        true,
+    );
 }
 
 #[test]
@@ -98,7 +108,9 @@ fn refined_models_keep_the_same_verdicts_under_spor() {
     let base = multicast(setting);
     for strategy in SplitStrategy::ALL {
         let split = strategy.apply(&base).unwrap();
-        let report = Checker::new(&split, agreement_property(setting)).spor().run();
+        let report = Checker::new(&split, agreement_property(setting))
+            .spor()
+            .run();
         assert!(
             report.verdict.is_violated(),
             "{} must still expose the attack: {report}",
@@ -112,7 +124,9 @@ fn spor_never_explores_more_states_than_unreduced_dfs() {
     let setting = PaxosSetting::new(1, 3, 1);
     let spec = paxos(setting, PaxosVariant::Correct);
     let unreduced = Checker::new(&spec, consensus_property(setting)).run();
-    let reduced = Checker::new(&spec, consensus_property(setting)).spor().run();
+    let reduced = Checker::new(&spec, consensus_property(setting))
+        .spor()
+        .run();
     assert!(unreduced.verdict.is_verified());
     assert!(reduced.verdict.is_verified());
     assert!(

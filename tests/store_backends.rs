@@ -1,0 +1,124 @@
+//! Integration test for the `mp-store` subsystem: every visited-store
+//! backend must return the identical verdict (and, at these state counts,
+//! identical state counts) on the tier-1 evaluation models, across the
+//! stateful engines; and hash compaction must measurably shrink the store
+//! on a quorum-scaling configuration.
+
+use mp_basset::checker::{Checker, CheckerConfig, StoreConfig};
+use mp_basset::harness::scaling::store_backend_sweep;
+use mp_basset::harness::Budget;
+use mp_basset::protocols::echo_multicast::{
+    agreement_property, quorum_model as multicast, MulticastSetting,
+};
+use mp_basset::protocols::paxos::{
+    consensus_property, quorum_model as paxos, PaxosSetting, PaxosVariant,
+};
+use mp_basset::protocols::sweep::CollectSetting;
+
+const BACKENDS: [StoreConfig; 3] = [
+    StoreConfig::Exact,
+    StoreConfig::Sharded { shards: 64 },
+    StoreConfig::Fingerprint {
+        bits: 48,
+        shards: 1,
+    },
+];
+
+fn engines() -> [CheckerConfig; 3] {
+    [
+        CheckerConfig::stateful_dfs(),
+        CheckerConfig::stateful_bfs(),
+        CheckerConfig::parallel_bfs(2),
+    ]
+}
+
+#[test]
+fn all_backends_verify_correct_paxos_identically() {
+    let setting = PaxosSetting::new(1, 2, 1);
+    let spec = paxos(setting, PaxosVariant::Correct);
+    for engine in engines() {
+        let mut states = None;
+        for store in BACKENDS {
+            let report = Checker::new(&spec, consensus_property(setting))
+                .spor()
+                .config(engine.clone().with_store(store))
+                .run();
+            assert!(
+                report.verdict.is_verified(),
+                "paxos must verify under {} with {store}",
+                report.strategy
+            );
+            let expected = *states.get_or_insert(report.stats.states);
+            assert_eq!(
+                report.stats.states, expected,
+                "state count differs under {} with {store}",
+                report.strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn all_backends_find_the_paxos_bug() {
+    let setting = PaxosSetting::new(2, 3, 1);
+    let spec = paxos(setting, PaxosVariant::FaultyLearner);
+    for engine in engines() {
+        for store in BACKENDS {
+            let report = Checker::new(&spec, consensus_property(setting))
+                .spor()
+                .config(engine.clone().with_store(store))
+                .run();
+            assert!(
+                report.verdict.is_violated(),
+                "the injected bug must be found under {} with {store}",
+                report.strategy
+            );
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_on_echo_multicast() {
+    // A correct setting (verified) and the wrong-agreement setting
+    // (violated), both from the paper's evaluation.
+    for (setting, expect_violation) in [
+        (MulticastSetting::new(3, 0, 1, 1), false),
+        (MulticastSetting::new(2, 1, 2, 1), true),
+    ] {
+        let spec = multicast(setting);
+        for engine in engines() {
+            for store in BACKENDS {
+                let report = Checker::new(&spec, agreement_property(setting))
+                    .spor()
+                    .config(engine.clone().with_store(store))
+                    .run();
+                assert_eq!(
+                    report.verdict.is_violated(),
+                    expect_violation,
+                    "multicast{setting} under {} with {store}",
+                    report.strategy
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fingerprints_shrink_the_store_on_the_quorum_scaling_run() {
+    // The acceptance configuration: a quorum-scaling sweep point verified
+    // with every backend; the fingerprint store must complete it with the
+    // same verdict and measurably lower peak state-storage bytes.
+    let points = store_backend_sweep(CollectSetting::new(4, 2, 1), false, &Budget::small());
+    let exact = &points[0];
+    let fingerprint = &points[2];
+    assert_eq!(exact.backend, "exact");
+    assert_eq!(fingerprint.backend, "fingerprint(48-bit)");
+    assert_eq!(exact.verdict, fingerprint.verdict);
+    assert_eq!(exact.states, fingerprint.states);
+    assert!(
+        fingerprint.store_bytes * 2 < exact.store_bytes,
+        "fingerprint store ({} B) must be well under the exact store ({} B)",
+        fingerprint.store_bytes,
+        exact.store_bytes
+    );
+}
