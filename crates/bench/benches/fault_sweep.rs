@@ -1,0 +1,82 @@
+//! Benchmark for the generic fault-injection subsystem: cost of wrapping a
+//! protocol (injection is cheap) and of exploring fault-augmented state
+//! spaces as the budget grows, plus the store-backend comparison on a
+//! faulty workload.
+
+use mp_bench::micro::Group;
+use mp_checker::{Checker, CheckerConfig, StoreConfig};
+use mp_faults::{inject, FaultBudget};
+use mp_protocols::paxos::{
+    faulty_consensus_property, faulty_quorum_model, quorum_model, PaxosSetting, PaxosVariant,
+};
+
+fn bench_budget_growth() {
+    let setting = PaxosSetting::new(1, 2, 1);
+    let budgets = [
+        ("none", FaultBudget::none()),
+        ("crash1", FaultBudget::none().crashes(1)),
+        ("drop1", FaultBudget::none().drops(1)),
+        ("dup1", FaultBudget::none().dups(1)),
+        ("crash1+drop1", FaultBudget::none().crashes(1).drops(1)),
+        ("corrupt2", FaultBudget::none().corruptions(2)),
+    ];
+    let mut group = Group::new("fault_sweep/paxos(1,2,1) budget growth (SPOR, exact store)");
+    group.sample_size(10);
+    for (label, budget) in budgets {
+        let spec = faulty_quorum_model(setting, PaxosVariant::Correct, budget);
+        group.bench(label, || {
+            Checker::new(&spec, faulty_consensus_property(setting))
+                .spor()
+                .config(CheckerConfig::stateful_dfs())
+                .run()
+                .stats
+                .states
+        });
+    }
+    group.finish();
+}
+
+fn bench_injection_overhead() {
+    let setting = PaxosSetting::new(2, 3, 1);
+    let base = quorum_model(setting, PaxosVariant::Correct);
+    let mut group = Group::new("fault_sweep/injection overhead (paxos 2,3,1)");
+    group.sample_size(20);
+    group.bench("inject crash1+drop2+dup1", || {
+        inject(&base, FaultBudget::none().crashes(1).drops(2).dups(1))
+            .unwrap()
+            .num_transitions()
+    });
+    group.finish();
+}
+
+fn bench_store_backends_on_faulty_workload() {
+    let setting = PaxosSetting::new(1, 2, 1);
+    let spec = faulty_quorum_model(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().crashes(1).drops(1),
+    );
+    let mut group = Group::new("fault_sweep/store backends (paxos crash1+drop1)");
+    group.sample_size(10);
+    for (label, store) in [
+        ("exact", StoreConfig::Exact),
+        ("sharded", StoreConfig::sharded()),
+        ("fingerprint-48", StoreConfig::fingerprint(48)),
+    ] {
+        group.bench(label, || {
+            let report = Checker::new(&spec, faulty_consensus_property(setting))
+                .spor()
+                .config(CheckerConfig::stateful_dfs().with_store(store))
+                .run();
+            assert!(report.verdict.is_verified());
+            report.stats.store_bytes
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    bench_budget_growth();
+    bench_injection_overhead();
+    bench_store_backends_on_faulty_workload();
+}

@@ -158,7 +158,12 @@ where
         };
         stats.transitions_executed += 1;
 
-        executed.push(ExecutedStep::new(instance.clone(), sent_to));
+        let is_environment = spec
+            .transition(instance.transition)
+            .annotations()
+            .is_environment;
+        executed
+            .push(ExecutedStep::new(instance.clone(), sent_to).with_environment(is_environment));
         if dpor {
             let latest = executed.len() - 1;
             if let Some(racing) = latest_racing_step(&executed, latest) {

@@ -1,0 +1,124 @@
+//! Fault budgets.
+
+use std::fmt;
+
+/// How many faults of each class the environment may inject in one run.
+///
+/// The budget is a *global* resource: it bounds the total number of faults
+/// across all processes and channels, mirroring the `f`-of-`n` fault
+/// assumptions of the protocols themselves ("at most `f` crashes"). Each
+/// injected fault permanently consumes one unit, so every path of the
+/// fault-augmented model performs at most `max_crashes + max_drops +
+/// max_dups + max_corruptions` environment steps — exhausted budgets prune
+/// the search, which is what keeps fault-augmented state spaces finite.
+///
+/// # Examples
+///
+/// ```
+/// use mp_faults::FaultBudget;
+///
+/// let budget = FaultBudget::none().crashes(1).drops(2);
+/// assert_eq!(budget.max_crashes, 1);
+/// assert_eq!(budget.max_drops, 2);
+/// assert!(!budget.is_zero());
+/// assert_eq!(budget.to_string(), "crashes=1,drops=2");
+/// assert!(FaultBudget::none().is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct FaultBudget {
+    /// Maximum number of crash-stop faults (processes that halt forever).
+    pub max_crashes: u32,
+    /// Maximum number of messages the environment may drop.
+    pub max_drops: u32,
+    /// Maximum number of messages the environment may duplicate.
+    pub max_dups: u32,
+    /// Maximum number of messages the environment may mutate (Byzantine
+    /// corruption; requires a mutator, see `FaultInjector::mutator`).
+    pub max_corruptions: u32,
+}
+
+impl FaultBudget {
+    /// The empty budget: no faults at all. Injecting with this budget
+    /// yields a model bisimilar to the base protocol.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Sets the crash budget (builder style).
+    pub fn crashes(mut self, n: u32) -> Self {
+        self.max_crashes = n;
+        self
+    }
+
+    /// Sets the message-loss budget (builder style).
+    pub fn drops(mut self, n: u32) -> Self {
+        self.max_drops = n;
+        self
+    }
+
+    /// Sets the duplication budget (builder style).
+    pub fn dups(mut self, n: u32) -> Self {
+        self.max_dups = n;
+        self
+    }
+
+    /// Sets the corruption budget (builder style).
+    pub fn corruptions(mut self, n: u32) -> Self {
+        self.max_corruptions = n;
+        self
+    }
+
+    /// Returns `true` if no fault of any class is allowed.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Total number of faults the environment may inject.
+    pub fn total(&self) -> u32 {
+        self.max_crashes + self.max_drops + self.max_dups + self.max_corruptions
+    }
+}
+
+impl fmt::Display for FaultBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        let mut part = |f: &mut fmt::Formatter<'_>, label: &str, n: u32| -> fmt::Result {
+            if n > 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                first = false;
+                write!(f, "{label}={n}")?;
+            }
+            Ok(())
+        };
+        part(f, "crashes", self.max_crashes)?;
+        part(f, "drops", self.max_drops)?;
+        part(f, "dups", self.max_dups)?;
+        part(f, "corruptions", self.max_corruptions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_and_labels() {
+        let b = FaultBudget::none().crashes(2).dups(1).corruptions(3);
+        assert_eq!(b.max_crashes, 2);
+        assert_eq!(b.max_drops, 0);
+        assert_eq!(b.total(), 6);
+        assert_eq!(b.to_string(), "crashes=2,dups=1,corruptions=3");
+    }
+
+    #[test]
+    fn zero_budget_displays_as_none() {
+        assert_eq!(FaultBudget::none().to_string(), "none");
+        assert!(FaultBudget::none().is_zero());
+        assert!(!FaultBudget::none().drops(1).is_zero());
+    }
+}

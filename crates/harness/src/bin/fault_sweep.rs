@@ -1,0 +1,79 @@
+//! Sweeps fault budgets over the evaluation protocols with the generic
+//! fault-injection layer (`mp-faults`), checks that every store backend
+//! agrees on every cell and that the all-zero budget reproduces the seed
+//! models exactly, and writes the machine-readable results to
+//! `BENCH_fault_sweep.json`.
+//!
+//! Usage: `cargo run --release -p mp-harness --bin fault_sweep
+//! [--full] [--json PATH]`
+
+use std::time::Duration;
+
+use mp_harness::fault_sweep::{
+    backend_disagreements, fault_sweep, fault_sweep_json, render_fault_sweep,
+    zero_budget_seed_checks,
+};
+use mp_harness::Budget;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fault_sweep.json".to_string());
+
+    let run_budget = if full {
+        Budget::unbounded()
+    } else {
+        Budget {
+            max_states: 500_000,
+            time_limit: Some(Duration::from_secs(60)),
+            ..Budget::default()
+        }
+    };
+
+    println!("Generic fault injection: budget sweep over the evaluation protocols");
+    println!("(crash-stop / message loss / duplication / Byzantine corruption)\n");
+
+    let cells = fault_sweep(&run_budget);
+    print!("{}", render_fault_sweep(&cells));
+    println!();
+
+    let disagreements = backend_disagreements(&cells);
+    if disagreements.is_empty() {
+        println!("store-backend agreement: OK (every backend reports the same verdict per cell)");
+    } else {
+        for cell in &disagreements {
+            eprintln!(
+                "BACKEND DISAGREEMENT: {} / {} / {} / {}: {}",
+                cell.protocol, cell.budget, cell.strategy, cell.backend, cell.verdict
+            );
+        }
+        std::process::exit(1);
+    }
+
+    println!("\nall-zero budget vs seed models:");
+    let mut seed_ok = true;
+    for check in zero_budget_seed_checks(&run_budget) {
+        println!(
+            "  {:<28} [{:<9}] base {:>7} states, zero-budget {:>7} states  {}",
+            check.protocol,
+            check.strategy,
+            check.base_states,
+            check.faulted_states,
+            if check.matches() { "==" } else { "MISMATCH" }
+        );
+        seed_ok &= check.matches();
+    }
+    if !seed_ok {
+        eprintln!("zero-budget injection failed to reproduce the seed state counts");
+        std::process::exit(1);
+    }
+
+    std::fs::write(&json_path, fault_sweep_json(&cells))
+        .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+    println!("\nwrote {} cells to {json_path}", cells.len());
+}

@@ -1,12 +1,17 @@
 //! Reproduces the Section II-C analysis: how much larger single-message
 //! models are than quorum models, as a function of the quorum size.
 //!
-//! Usage: `cargo run --release -p mp-harness --bin quorum_scaling [--voters N]`
+//! Usage: `cargo run --release -p mp-harness --bin quorum_scaling
+//! [--voters N] [--json PATH]`
+//!
+//! With `--json`, the Paxos acceptor sweep is additionally written as a
+//! JSON array (default path `BENCH_quorum_scaling.json`) so the bench
+//! trajectory is machine-readable.
 
 use mp_harness::scaling::{
     collect_sweep, paxos_sweep, render_store_sweep, render_sweep, store_backend_sweep,
 };
-use mp_harness::{render_table, Budget};
+use mp_harness::{render_json, render_table, Budget};
 use mp_protocols::sweep::CollectSetting;
 
 fn main() {
@@ -17,6 +22,12 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(4usize);
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|p| !p.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_quorum_scaling.json".to_string())
+    });
 
     println!("Section II-C: state-space inflation of single-message models");
     println!();
@@ -28,6 +39,12 @@ fn main() {
     let rows = paxos_sweep(3, &Budget::default());
     print!("{}", render_table("Paxos acceptor sweep", &rows));
     println!();
+    if let Some(path) = &json_path {
+        std::fs::write(path, render_json(&rows))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {} rows to {path}", rows.len());
+        println!();
+    }
     println!(
         "Visited-store backends on the single-message collect model ({voters} voters, quorum 2):"
     );

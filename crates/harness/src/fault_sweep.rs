@@ -1,0 +1,404 @@
+//! Budgeted fault-injection sweeps across the evaluation protocols.
+//!
+//! The generic fault layer (`mp-faults`) turns every protocol of the
+//! evaluation into a *family* of fault workloads. This experiment sweeps a
+//! grid of [`FaultBudget`]s over Paxos, Echo Multicast and regular storage,
+//! with SPOR on and off and with every visited-store backend, reporting
+//! verdict, states, store bytes and wall time per cell. Two invariants are
+//! machine-checked by the `fault_sweep` binary (and the integration tests):
+//!
+//! * all store backends agree on the verdict of every cell, and
+//! * the all-zero budget reproduces the seed models' state counts exactly.
+
+use std::time::Duration;
+
+use mp_checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer};
+use mp_faults::FaultBudget;
+use mp_model::{LocalState, Message, ProtocolSpec};
+use mp_protocols::echo_multicast::{
+    agreement_property, faulty_agreement_property, faulty_quorum_model as faulty_multicast,
+    quorum_model as multicast, MulticastSetting,
+};
+use mp_protocols::paxos::{
+    consensus_property, faulty_consensus_property, faulty_quorum_model as faulty_paxos,
+    quorum_model as paxos, PaxosSetting, PaxosVariant,
+};
+use mp_protocols::storage::{
+    faulty_quorum_model as faulty_storage, faulty_regularity_observer, faulty_regularity_property,
+    quorum_model as storage, regularity_property, RegularityObserver, StorageSetting,
+};
+use mp_store::StoreConfig;
+
+use crate::Budget;
+
+/// One cell of the fault sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultCell {
+    /// Protocol and setting, e.g. "Paxos (1,2,1)".
+    pub protocol: String,
+    /// The fault budget label, e.g. "crashes=1,drops=1" or "none".
+    pub budget: String,
+    /// "SPOR" or "unreduced" (both stateful DFS).
+    pub strategy: String,
+    /// Visited-store backend label.
+    pub backend: String,
+    /// Verdict string of the run.
+    pub verdict: String,
+    /// States stored.
+    pub states: usize,
+    /// Transitions executed.
+    pub transitions: usize,
+    /// Approximate peak bytes held by the visited-state store.
+    pub store_bytes: usize,
+    /// Wall-clock time of the run.
+    pub time: Duration,
+}
+
+/// The visited-store backends every cell is run with.
+pub fn sweep_backends() -> Vec<StoreConfig> {
+    vec![
+        StoreConfig::Exact,
+        StoreConfig::sharded(),
+        StoreConfig::fingerprint(48),
+    ]
+}
+
+/// The default budget grid: no faults, one fault of each class alone, and
+/// one mixed budget.
+pub fn budget_grid() -> Vec<FaultBudget> {
+    vec![
+        FaultBudget::none(),
+        FaultBudget::none().crashes(1),
+        FaultBudget::none().drops(1),
+        FaultBudget::none().dups(1),
+        FaultBudget::none().crashes(1).drops(1),
+    ]
+}
+
+fn run_cells<S, M, O>(
+    protocol: &str,
+    budget_label: &str,
+    spec: &ProtocolSpec<S, M>,
+    property: Invariant<S, M, O>,
+    observer: O,
+    run_budget: &Budget,
+    out: &mut Vec<FaultCell>,
+) where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    for spor in [false, true] {
+        for store in sweep_backends() {
+            let mut config = CheckerConfig::stateful_dfs();
+            config.max_states = run_budget.max_states;
+            config.time_limit = run_budget.time_limit;
+            config.store = store;
+            let checker =
+                Checker::with_observer(spec, property.clone(), observer.clone()).config(config);
+            let checker = if spor { checker.spor() } else { checker };
+            let report = checker.run();
+            out.push(FaultCell {
+                protocol: protocol.to_string(),
+                budget: budget_label.to_string(),
+                strategy: if spor { "SPOR" } else { "unreduced" }.to_string(),
+                backend: store.to_string(),
+                verdict: report.verdict.to_string(),
+                states: report.stats.states,
+                transitions: report.stats.transitions_executed,
+                store_bytes: report.stats.store_bytes,
+                time: report.stats.elapsed,
+            });
+        }
+    }
+}
+
+/// Runs the full fault sweep: each protocol under every budget of the grid
+/// (plus a corruption budget for Paxos, which has a Byzantine mutator),
+/// SPOR on/off, every store backend.
+pub fn fault_sweep(run_budget: &Budget) -> Vec<FaultCell> {
+    let mut cells = Vec::new();
+
+    let paxos_setting = PaxosSetting::new(1, 2, 1);
+    let paxos_label = format!("Paxos {paxos_setting}");
+    let mut paxos_budgets = budget_grid();
+    paxos_budgets.push(FaultBudget::none().corruptions(2));
+    for budget in paxos_budgets {
+        let spec = faulty_paxos(paxos_setting, PaxosVariant::Correct, budget);
+        run_cells(
+            &paxos_label,
+            &budget.to_string(),
+            &spec,
+            faulty_consensus_property(paxos_setting),
+            NullObserver,
+            run_budget,
+            &mut cells,
+        );
+    }
+
+    let multicast_setting = MulticastSetting::new(2, 1, 0, 1);
+    let multicast_label = format!("Echo Multicast {multicast_setting}");
+    for budget in budget_grid() {
+        let spec = faulty_multicast(multicast_setting, budget);
+        run_cells(
+            &multicast_label,
+            &budget.to_string(),
+            &spec,
+            faulty_agreement_property(multicast_setting),
+            NullObserver,
+            run_budget,
+            &mut cells,
+        );
+    }
+
+    let storage_setting = StorageSetting::new(2, 1);
+    let storage_label = format!("Regular storage {storage_setting}");
+    for budget in budget_grid() {
+        let spec = faulty_storage(storage_setting, budget);
+        run_cells(
+            &storage_label,
+            &budget.to_string(),
+            &spec,
+            faulty_regularity_property(storage_setting),
+            faulty_regularity_observer(storage_setting),
+            run_budget,
+            &mut cells,
+        );
+    }
+
+    cells
+}
+
+/// A seed-consistency check row: state counts of the base model vs the
+/// all-zero-budget fault-augmented model under the same strategy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeedCheck {
+    /// Protocol label.
+    pub protocol: String,
+    /// "SPOR" or "unreduced".
+    pub strategy: String,
+    /// States of the seed (base) model.
+    pub base_states: usize,
+    /// States of the zero-budget fault-augmented model.
+    pub faulted_states: usize,
+}
+
+impl SeedCheck {
+    /// `true` if the zero budget reproduced the seed exactly.
+    pub fn matches(&self) -> bool {
+        self.base_states == self.faulted_states
+    }
+}
+
+/// Verifies that injecting an all-zero budget reproduces the seed models'
+/// state counts exactly, under both the unreduced and the SPOR search.
+pub fn zero_budget_seed_checks(run_budget: &Budget) -> Vec<SeedCheck> {
+    #[allow(clippy::too_many_arguments)] // one spec/property/observer triple per side
+    fn pair<S, M, O, FS, FM, FO2>(
+        protocol: &str,
+        base_spec: &ProtocolSpec<S, M>,
+        base_property: impl Fn() -> Invariant<S, M, O>,
+        base_observer: impl Fn() -> O,
+        faulted_spec: &ProtocolSpec<FS, FM>,
+        faulted_property: impl Fn() -> Invariant<FS, FM, FO2>,
+        faulted_observer: impl Fn() -> FO2,
+        run_budget: &Budget,
+        out: &mut Vec<SeedCheck>,
+    ) where
+        S: LocalState,
+        M: Message,
+        O: Observer<S, M>,
+        FS: LocalState,
+        FM: Message,
+        FO2: Observer<FS, FM>,
+    {
+        for spor in [false, true] {
+            let config = run_budget.apply(CheckerConfig::stateful_dfs());
+            let base = Checker::with_observer(base_spec, base_property(), base_observer())
+                .config(config.clone());
+            let base = if spor { base.spor() } else { base };
+            let faulted =
+                Checker::with_observer(faulted_spec, faulted_property(), faulted_observer())
+                    .config(config);
+            let faulted = if spor { faulted.spor() } else { faulted };
+            out.push(SeedCheck {
+                protocol: protocol.to_string(),
+                strategy: if spor { "SPOR" } else { "unreduced" }.to_string(),
+                base_states: base.run().stats.states,
+                faulted_states: faulted.run().stats.states,
+            });
+        }
+    }
+
+    let mut checks = Vec::new();
+
+    let paxos_setting = PaxosSetting::new(1, 2, 1);
+    pair(
+        &format!("Paxos {paxos_setting}"),
+        &paxos(paxos_setting, PaxosVariant::Correct),
+        || consensus_property(paxos_setting),
+        || NullObserver,
+        &faulty_paxos(paxos_setting, PaxosVariant::Correct, FaultBudget::none()),
+        || faulty_consensus_property(paxos_setting),
+        || NullObserver,
+        run_budget,
+        &mut checks,
+    );
+
+    let multicast_setting = MulticastSetting::new(2, 1, 0, 1);
+    pair(
+        &format!("Echo Multicast {multicast_setting}"),
+        &multicast(multicast_setting),
+        || agreement_property(multicast_setting),
+        || NullObserver,
+        &faulty_multicast(multicast_setting, FaultBudget::none()),
+        || faulty_agreement_property(multicast_setting),
+        || NullObserver,
+        run_budget,
+        &mut checks,
+    );
+
+    let storage_setting = StorageSetting::new(2, 1);
+    pair(
+        &format!("Regular storage {storage_setting}"),
+        &storage(storage_setting),
+        || regularity_property(storage_setting),
+        || RegularityObserver::new(storage_setting),
+        &faulty_storage(storage_setting, FaultBudget::none()),
+        || faulty_regularity_property(storage_setting),
+        || faulty_regularity_observer(storage_setting),
+        run_budget,
+        &mut checks,
+    );
+
+    checks
+}
+
+/// Asserts backend agreement: within each (protocol, budget, strategy)
+/// group, every store backend must report the same verdict and state
+/// count. Returns the offending cells, empty when all agree.
+pub fn backend_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
+    let mut bad = Vec::new();
+    for cell in cells {
+        let reference = cells
+            .iter()
+            .find(|c| {
+                c.protocol == cell.protocol
+                    && c.budget == cell.budget
+                    && c.strategy == cell.strategy
+            })
+            .expect("the group contains at least the cell itself");
+        if cell.verdict != reference.verdict || cell.states != reference.states {
+            bad.push(cell);
+        }
+    }
+    bad
+}
+
+/// Renders the sweep as an aligned text table.
+pub fn render_fault_sweep(cells: &[FaultCell]) -> String {
+    let mut out = String::from(
+        "protocol                  | budget              | strategy  | backend             |   states | store KiB | time     | verdict\n",
+    );
+    out.push_str(
+        "--------------------------+---------------------+-----------+---------------------+----------+-----------+----------+--------\n",
+    );
+    for c in cells {
+        out.push_str(&format!(
+            "{:<25} | {:<19} | {:<9} | {:<19} | {:>8} | {:>9} | {:>8} | {}\n",
+            c.protocol,
+            c.budget,
+            c.strategy,
+            c.backend,
+            c.states,
+            c.store_bytes / 1024,
+            format!("{:.1?}", c.time),
+            c.verdict
+        ));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialises the sweep as a JSON array (the `BENCH_fault_sweep.json`
+/// payload) so external tooling can track the bench trajectory.
+pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
+    let mut out = String::from("[\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"protocol\":\"{}\",\"budget\":\"{}\",\"strategy\":\"{}\",\"backend\":\"{}\",\
+             \"verdict\":\"{}\",\"states\":{},\"transitions\":{},\"store_bytes\":{},\"time_ms\":{}}}{}\n",
+            json_escape(&c.protocol),
+            json_escape(&c.budget),
+            json_escape(&c.strategy),
+            json_escape(&c.backend),
+            json_escape(&c.verdict),
+            c.states,
+            c.transitions,
+            c.store_bytes,
+            c.time.as_millis(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_budget() -> Budget {
+        Budget {
+            max_states: 50_000,
+            time_limit: Some(Duration::from_secs(20)),
+            ..Budget::default()
+        }
+    }
+
+    #[test]
+    fn zero_budget_reproduces_seed_state_counts() {
+        for check in zero_budget_seed_checks(&tiny_budget()) {
+            assert!(
+                check.matches(),
+                "{} [{}]: base {} vs faulted {}",
+                check.protocol,
+                check.strategy,
+                check.base_states,
+                check.faulted_states
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_backends_agree_on_a_small_grid() {
+        // One protocol, two budgets, to keep the unit test fast; the full
+        // grid is exercised by the binary and the integration tests.
+        let run_budget = tiny_budget();
+        let setting = PaxosSetting::new(1, 2, 1);
+        let mut cells = Vec::new();
+        for budget in [FaultBudget::none(), FaultBudget::none().drops(1)] {
+            let spec = faulty_paxos(setting, PaxosVariant::Correct, budget);
+            run_cells(
+                "Paxos",
+                &budget.to_string(),
+                &spec,
+                faulty_consensus_property(setting),
+                NullObserver,
+                &run_budget,
+                &mut cells,
+            );
+        }
+        assert_eq!(cells.len(), 2 * 2 * 3);
+        assert!(backend_disagreements(&cells).is_empty());
+        assert!(cells.iter().all(|c| c.verdict == "verified"));
+        let json = fault_sweep_json(&cells);
+        assert!(json.starts_with("[\n"));
+        assert_eq!(json.matches("\"protocol\"").count(), cells.len());
+        let table = render_fault_sweep(&cells);
+        assert!(table.contains("fingerprint"));
+    }
+}

@@ -11,6 +11,8 @@
 //!   single-message models as a function of the quorum size;
 //! * [`debugging`] — the "fast debugging" experiments: resources needed to
 //!   find the first counterexample in the faulty variants;
+//! * [`fault_sweep`] — budgeted generic fault injection (`mp-faults`) swept
+//!   over the evaluation protocols, with machine-readable JSON output;
 //! * [`heuristics`] — the seed-heuristic comparison discussed in Section V-B.
 //!
 //! Every experiment produces [`Measurement`] rows which the binaries print
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 pub mod debugging;
+pub mod fault_sweep;
 pub mod heuristics;
 pub mod report;
 pub mod runner;
@@ -34,7 +37,7 @@ pub mod scaling;
 pub mod table1;
 pub mod table2;
 
-pub use report::{render_csv, render_table, Measurement};
+pub use report::{render_csv, render_json, render_table, Measurement};
 pub use runner::{Budget, CellStrategy};
 // Visited-store selection is part of the experiment surface: a `Budget`
 // carries a `StoreConfig`, re-exported here so binaries need one import.

@@ -132,6 +132,33 @@ pub fn render_table(title: &str, rows: &[Measurement]) -> String {
     out
 }
 
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders measurements as a JSON array (for the `BENCH_*.json` files the
+/// binaries can emit so the bench trajectory is machine-readable).
+pub fn render_json(rows: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"protocol\":\"{}\",\"property\":\"{}\",\"strategy\":\"{}\",\"states\":{},\
+             \"transitions\":{},\"time_ms\":{},\"verdict\":\"{}\",\"completed\":{}}}{}\n",
+            json_escape(&m.protocol),
+            json_escape(&m.property),
+            json_escape(&m.strategy),
+            m.states,
+            m.transitions,
+            m.time.as_millis(),
+            json_escape(&m.verdict),
+            m.completed,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
 /// Renders measurements as CSV (one row per measurement).
 pub fn render_csv(rows: &[Measurement]) -> String {
     let mut out =
@@ -196,6 +223,19 @@ mod tests {
         assert!(table.contains("100"));
         // The storage row has no DPOR cell: rendered as '-'.
         assert!(table.contains('-'));
+    }
+
+    #[test]
+    fn json_is_an_array_of_objects() {
+        let rows = vec![sample("p1", "s1", 10), sample("p2", "s2", 20)];
+        let json = render_json(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert_eq!(json.matches("\"protocol\"").count(), 2);
+        assert!(json.contains("\"states\":10"));
+        assert!(json.contains("\"time_ms\":1500"));
+        // Exactly one separating comma between the two objects.
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 
     #[test]

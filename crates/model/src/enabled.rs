@@ -155,6 +155,11 @@ fn enabled_instances_of_into<S: LocalState, M: Message>(
     out: &mut Vec<TransitionInstance<M>>,
 ) {
     let t = spec.transition(transition);
+    if !spec.admits(state, t) {
+        // A global enable filter (e.g. an exhausted fault budget in
+        // `mp-faults`) vetoes the transition in this state.
+        return;
+    }
     let process = t.process();
     let local = state.local(process);
     match t.input() {

@@ -87,7 +87,7 @@ pub use graph::StateGraph;
 pub use ids::{ProcessId, TransitionId};
 pub use message::{Envelope, Kind, Message};
 pub use multiset::Multiset;
-pub use protocol::{ProtocolBuilder, ProtocolSpec};
+pub use protocol::{EnableFilter, ProtocolBuilder, ProtocolSpec};
 pub use semantics::{execute, execute_enabled, is_deadlock, successors};
 pub use state::{GlobalState, LocalState};
 pub use transition::{

@@ -9,23 +9,44 @@
 
 use std::collections::{BTreeSet, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{
     GlobalState, InputSpec, LocalState, Message, ModelError, ProcessId, QuorumSpec, TransitionId,
     TransitionSpec,
 };
 
+/// A global enable filter: a state-dependent admission predicate consulted
+/// before a transition's instances are enumerated.
+///
+/// Ordinary guards only see the local state of the executing process; an
+/// enable filter sees the whole [`GlobalState`] and can therefore express
+/// *global* side conditions — the motivating use is the fault budget of
+/// `mp-faults`, where an environment transition is admissible only while the
+/// system-wide number of crashes/drops/duplications/corruptions is below its
+/// budget. The filter must be **monotone against itself**: it may depend on
+/// state components that only its own (environment) transitions modify, and
+/// `mp-por` keeps SPOR/DPOR sound by treating environment transitions as
+/// mutually dependent.
+///
+/// The filter receives the transition *spec* (not its id) so that it stays
+/// valid across [`ProtocolSpec::with_transitions`] (refinement renumbers
+/// ids but preserves names and annotations).
+pub type EnableFilter<S, M> =
+    Arc<dyn Fn(&GlobalState<S, M>, &TransitionSpec<S, M>) -> bool + Send + Sync>;
+
 /// A complete protocol model.
 ///
 /// Build one with [`ProtocolBuilder`]; the builder validates the model on
 /// [`ProtocolBuilder::build`].
 #[derive(Clone)]
-pub struct ProtocolSpec<S, M> {
+pub struct ProtocolSpec<S, M: Ord> {
     name: String,
     process_names: Vec<String>,
     initial_locals: Vec<S>,
     transitions: Vec<TransitionSpec<S, M>>,
     transitions_by_process: Vec<Vec<TransitionId>>,
+    enable_filter: Option<EnableFilter<S, M>>,
 }
 
 impl<S: LocalState, M: Message> ProtocolSpec<S, M> {
@@ -129,7 +150,38 @@ impl<S: LocalState, M: Message> ProtocolSpec<S, M> {
         for t in transitions {
             builder = builder.transition(t);
         }
-        builder.build()
+        let mut spec = builder.build()?;
+        // The enable filter is keyed on transition specs, not ids, so it
+        // survives refinement's renumbering unchanged.
+        spec.enable_filter = self.enable_filter.clone();
+        Ok(spec)
+    }
+
+    /// Installs a global [`EnableFilter`] (builder style). The filter is
+    /// consulted by [`enabled_instances`](crate::enabled_instances) before a
+    /// transition's instances are enumerated; returning `false` makes the
+    /// transition disabled in that state.
+    pub fn with_enable_filter<F>(mut self, filter: F) -> Self
+    where
+        F: Fn(&GlobalState<S, M>, &TransitionSpec<S, M>) -> bool + Send + Sync + 'static,
+    {
+        self.enable_filter = Some(Arc::new(filter));
+        self
+    }
+
+    /// Returns the installed enable filter, if any.
+    pub fn enable_filter(&self) -> Option<&EnableFilter<S, M>> {
+        self.enable_filter.as_ref()
+    }
+
+    /// Returns `true` if `transition` passes the enable filter in `state`
+    /// (trivially `true` when no filter is installed). Guards and channel
+    /// contents are judged separately by the enabledness enumeration.
+    pub fn admits(&self, state: &GlobalState<S, M>, transition: &TransitionSpec<S, M>) -> bool {
+        match &self.enable_filter {
+            Some(filter) => filter(state, transition),
+            None => true,
+        }
     }
 
     /// Returns a copy of this protocol with a different name (used by the
@@ -146,12 +198,13 @@ impl<S: LocalState, M: Message> ProtocolSpec<S, M> {
     }
 }
 
-impl<S, M> fmt::Debug for ProtocolSpec<S, M> {
+impl<S, M: Ord> fmt::Debug for ProtocolSpec<S, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ProtocolSpec")
             .field("name", &self.name)
             .field("processes", &self.process_names)
             .field("num_transitions", &self.transitions.len())
+            .field("enable_filter", &self.enable_filter.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -314,6 +367,7 @@ impl<S: LocalState, M: Message> ProtocolBuilder<S, M> {
             initial_locals: self.initial_locals,
             transitions: self.transitions,
             transitions_by_process,
+            enable_filter: None,
         })
     }
 }

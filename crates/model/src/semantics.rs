@@ -50,6 +50,9 @@ pub fn execute<S: LocalState, M: Message>(
     for (recipient, message) in outcome.sends {
         next.channels.send(process, recipient, message);
     }
+    for (sender, message) in outcome.reinjects {
+        next.channels.send(sender, process, message);
+    }
     Ok(next)
 }
 

@@ -232,6 +232,14 @@ pub struct Annotations {
     pub reads_local: bool,
     /// `true` if the effect writes the local state (`isWrite()`).
     pub writes_local: bool,
+    /// `true` if this is an **environment transition**: it models the
+    /// environment (crash, message loss/duplication/corruption from
+    /// `mp-faults`) rather than the protocol. Environment transitions share
+    /// a global fault budget, so `mp-por` treats any two of them as
+    /// mutually dependent and assumes one may enable any transition of its
+    /// own process (it can rewrite that process's channels and local
+    /// bookkeeping arbitrarily).
+    pub is_environment: bool,
 }
 
 impl Default for Annotations {
@@ -244,6 +252,7 @@ impl Default for Annotations {
             is_visible: false,
             reads_local: true,
             writes_local: true,
+            is_environment: false,
         }
     }
 }
@@ -266,6 +275,13 @@ pub struct Outcome<S, M> {
     pub next_local: S,
     /// Messages sent by the transition, as `(recipient, payload)` pairs.
     pub sends: Vec<(ProcessId, M)>,
+    /// Messages placed back into the incoming channels of the *executing*
+    /// process, as `(original sender, payload)` pairs. Ordinary protocol
+    /// transitions never use this; it exists for *environment* transitions
+    /// (fault injection, `mp-faults`) that duplicate or mutate a pending
+    /// message while preserving who appears to have sent it — the sender
+    /// identity matters because quorum transitions count distinct senders.
+    pub reinjects: Vec<(ProcessId, M)>,
 }
 
 impl<S, M> Outcome<S, M> {
@@ -274,6 +290,7 @@ impl<S, M> Outcome<S, M> {
         Outcome {
             next_local,
             sends: Vec::new(),
+            reinjects: Vec::new(),
         }
     }
 
@@ -291,6 +308,14 @@ impl<S, M> Outcome<S, M> {
         for recipient in to {
             self.sends.push((recipient, message.clone()));
         }
+        self
+    }
+
+    /// Places a message back into the incoming channels of the executing
+    /// process, attributed to `sender` (builder style). See
+    /// [`Outcome::reinjects`].
+    pub fn reinject(mut self, sender: ProcessId, message: M) -> Self {
+        self.reinjects.push((sender, message));
         self
     }
 }
@@ -574,6 +599,13 @@ impl<S: LocalState, M: Message> TransitionBuilder<S, M> {
     /// Declares whether the effect writes the local state (defaults to true).
     pub fn writes_local(mut self, writes: bool) -> Self {
         self.annotations.writes_local = writes;
+        self
+    }
+
+    /// Marks the transition as an environment transition (fault injection);
+    /// see [`Annotations::is_environment`].
+    pub fn environment(mut self) -> Self {
+        self.annotations.is_environment = true;
         self
     }
 

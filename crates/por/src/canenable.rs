@@ -49,6 +49,15 @@ impl CanEnable {
                 {
                     can_enable = true;
                 }
+                // (3) `a` is an environment transition of `b`'s process: it
+                // may rewrite that process's incoming channels (duplication
+                // and corruption reinject messages under the *original*
+                // sender, which the communication test in (1) cannot see)
+                // and its fault bookkeeping, so conservatively it can enable
+                // any co-located transition.
+                if a.process() == b.process() && a.annotations().is_environment {
+                    can_enable = true;
+                }
                 if can_enable {
                     enablers[b_id.index()].push(a_id);
                     enabled_by[a_id.index()].push(b_id);

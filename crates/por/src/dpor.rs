@@ -27,12 +27,29 @@ pub struct ExecutedStep<M> {
     pub instance: TransitionInstance<M>,
     /// The processes that received messages sent by this step.
     pub sent_to: Vec<ProcessId>,
+    /// `true` if the executed transition is an environment transition
+    /// (fault injection). Environment steps of different processes share
+    /// the global fault budget, so they race with each other even without
+    /// a message between them; see [`step_dependent`].
+    pub is_environment: bool,
 }
 
 impl<M: Message> ExecutedStep<M> {
-    /// Creates an executed step record.
+    /// Creates an executed step record (protocol step; use
+    /// [`ExecutedStep::with_environment`] for fault-injection steps).
     pub fn new(instance: TransitionInstance<M>, sent_to: Vec<ProcessId>) -> Self {
-        ExecutedStep { instance, sent_to }
+        ExecutedStep {
+            instance,
+            sent_to,
+            is_environment: false,
+        }
+    }
+
+    /// Flags whether this step executed an environment transition
+    /// (builder style).
+    pub fn with_environment(mut self, is_environment: bool) -> Self {
+        self.is_environment = is_environment;
+        self
     }
 
     /// The process that executed the step.
@@ -90,6 +107,11 @@ pub fn happens_before<M: Message>(steps: &[ExecutedStep<M>], earlier: usize, lat
 /// any later step of `p`).
 pub fn step_dependent<M: Message>(a: &ExecutedStep<M>, b: &ExecutedStep<M>) -> bool {
     if instances_dependent(&a.instance, &b.instance) {
+        return true;
+    }
+    // Environment steps share the global fault budget: each can disable
+    // the other by exhausting it, so their orders are never equivalent.
+    if a.is_environment && b.is_environment {
         return true;
     }
     a.sent_to.contains(&b.process()) || b.sent_to.contains(&a.process())

@@ -5,7 +5,7 @@
 //! heuristic*: prefer transitions that start a new instance of the protocol
 //! (e.g. `READ` in Paxos) or at least do not terminate an ongoing one,
 //! encoded through the `priority()` annotation of Table IV. The transaction
-//! heuristic of Bhattacharya et al. (reference [5] of the paper) prefers the
+//! heuristic of Bhattacharya et al. (reference \[5\] of the paper) prefers the
 //! opposite; both are provided so the harness can compare them, plus two
 //! protocol-agnostic fallbacks.
 
@@ -23,7 +23,7 @@ pub enum SeedHeuristic {
     #[default]
     OppositeTransaction,
     /// Prefer the enabled transition with the *lowest* `priority`
-    /// annotation: the transaction heuristic of [5], which prefers finishing
+    /// annotation: the transaction heuristic of \[5\], which prefers finishing
     /// the ongoing instance.
     Transaction,
     /// Pick the first enabled transition in declaration order (a baseline

@@ -135,11 +135,23 @@ pub fn may_emit_kind<S: LocalState, M: Message>(a: &TransitionSpec<S, M>, kind: 
 }
 
 /// The underlying pairwise test used by [`IndependenceRelation::compute`].
+///
+/// Besides the two protocol rules (same process; possible communication),
+/// a third rule covers **environment transitions** (fault injection,
+/// `mp-faults`): any two environment transitions are dependent, even across
+/// processes. They draw on a shared global fault budget enforced through
+/// the spec's enable filter, so executing one can *disable* the other — a
+/// relationship invisible to the channel-based communication test. Without
+/// this rule a stubborn set could postpone an environment transition past
+/// the point where the budget that admitted it is spent.
 pub fn transitions_dependent<S: LocalState, M: Message>(
     a: &TransitionSpec<S, M>,
     b: &TransitionSpec<S, M>,
 ) -> bool {
     if a.process() == b.process() {
+        return true;
+    }
+    if a.annotations().is_environment && b.annotations().is_environment {
         return true;
     }
     can_communicate(a, b) || can_communicate(b, a)

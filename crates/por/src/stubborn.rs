@@ -18,7 +18,7 @@
 //!    reachability-preservation guarantee listed in the paper's appendix.
 //!
 //! The computation works on transition *ids*; the checker maps the chosen
-//! ids back to the concrete [`TransitionInstance`]s it enumerated.
+//! ids back to the concrete [`TransitionInstance`](mp_model::TransitionInstance)s it enumerated.
 
 use std::collections::BTreeSet;
 

@@ -1,0 +1,61 @@
+//! Budgeted fault injection for the Echo Multicast models.
+//!
+//! Echo Multicast already models *Byzantine participants* explicitly
+//! (equivocating initiators, colluding receivers); `mp-faults` adds the
+//! orthogonal *environment* faults — crash-stop, message loss and
+//! duplication — so a single budget answers questions like "does agreement
+//! survive a crashed receiver on top of `b` Byzantine ones?".
+
+use mp_checker::{Invariant, NullObserver};
+use mp_faults::{inject, lift_invariant, FaultBudget, FaultLocal};
+use mp_model::ProtocolSpec;
+
+use super::model::quorum_model;
+use super::properties::agreement_property;
+use super::types::{MulticastMessage, MulticastSetting, MulticastState};
+
+/// The quorum-transition Echo Multicast model wrapped with a fault budget.
+/// No mutator is installed: Byzantine behaviour is already part of the
+/// protocol model itself, the budget covers the benign environment faults.
+pub fn faulty_quorum_model(
+    setting: MulticastSetting,
+    budget: FaultBudget,
+) -> ProtocolSpec<FaultLocal<MulticastState>, MulticastMessage> {
+    inject(&quorum_model(setting), budget)
+        .expect("a valid multicast model stays valid under fault injection")
+}
+
+/// The agreement property lifted to the fault-augmented state space.
+pub fn faulty_agreement_property(
+    setting: MulticastSetting,
+) -> Invariant<FaultLocal<MulticastState>, MulticastMessage, NullObserver> {
+    lift_invariant(agreement_property(setting))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_checker::Checker;
+
+    #[test]
+    fn agreement_survives_loss_in_a_safe_setting() {
+        let setting = MulticastSetting::new(2, 1, 0, 1);
+        let spec = faulty_quorum_model(setting, FaultBudget::none().drops(1));
+        let report = Checker::new(&spec, faulty_agreement_property(setting))
+            .spor()
+            .run();
+        assert!(report.verdict.is_verified(), "{report}");
+    }
+
+    #[test]
+    fn over_threshold_attack_still_found_under_faults() {
+        // The wrong-agreement configuration keeps its counterexample when
+        // the environment may additionally duplicate a message.
+        let setting = MulticastSetting::new(2, 1, 2, 1);
+        let spec = faulty_quorum_model(setting, FaultBudget::none().dups(1));
+        let report = Checker::new(&spec, faulty_agreement_property(setting))
+            .spor()
+            .run();
+        assert!(report.verdict.is_violated(), "{report}");
+    }
+}

@@ -23,11 +23,13 @@
 //! threshold ([`MulticastSetting::exceeds_threshold`]); agreement is then
 //! violated and the checker returns a counterexample.
 
+mod faults;
 mod model;
 mod properties;
 mod single;
 mod types;
 
+pub use faults::{faulty_agreement_property, faulty_quorum_model};
 pub use model::quorum_model;
 pub use properties::{agreement_property, deliveries_per_initiator};
 pub use single::single_message_model;

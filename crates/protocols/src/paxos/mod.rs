@@ -26,11 +26,15 @@
 //! all interleavings subsumes crashes because a crashed process is simply
 //! one that takes no further steps.
 
+mod faults;
 mod model;
 mod properties;
 mod single;
 mod types;
 
+pub use faults::{
+    faulty_consensus_property, faulty_quorum_model, value_mutator, CORRUPT_VALUE_OFFSET,
+};
 pub use model::quorum_model;
 pub use properties::{consensus_property, values_learned};
 pub use single::single_message_model;

@@ -1,0 +1,62 @@
+//! Budgeted fault injection for the regular-storage models.
+//!
+//! The register is designed for crash faults of a minority of base
+//! objects; the generic fault layer lets the checker confirm that design
+//! point (regularity holds with one crashed base object) and explore
+//! beyond it. The regularity property reads a history observer, so this
+//! module also wires up the lifted observer.
+
+use mp_checker::Invariant;
+use mp_faults::{inject, lift_observed_invariant, FaultBudget, FaultLocal, LiftedObserver};
+use mp_model::ProtocolSpec;
+
+use super::model::quorum_model;
+use super::properties::{regularity_property, RegularityObserver};
+use super::types::{StorageMessage, StorageSetting, StorageState};
+
+/// The quorum-transition regular-storage model wrapped with a fault budget.
+pub fn faulty_quorum_model(
+    setting: StorageSetting,
+    budget: FaultBudget,
+) -> ProtocolSpec<FaultLocal<StorageState>, StorageMessage> {
+    inject(&quorum_model(setting), budget)
+        .expect("a valid storage model stays valid under fault injection")
+}
+
+/// The regularity history observer lifted to the fault-augmented model.
+pub fn faulty_regularity_observer(
+    setting: StorageSetting,
+) -> LiftedObserver<StorageState, StorageMessage, RegularityObserver> {
+    LiftedObserver::new(quorum_model(setting), RegularityObserver::new(setting))
+}
+
+/// The regularity property lifted to the fault-augmented state space.
+pub fn faulty_regularity_property(
+    setting: StorageSetting,
+) -> Invariant<
+    FaultLocal<StorageState>,
+    StorageMessage,
+    LiftedObserver<StorageState, StorageMessage, RegularityObserver>,
+> {
+    lift_observed_invariant(regularity_property(setting))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_checker::Checker;
+
+    #[test]
+    fn regularity_survives_one_base_object_crash() {
+        let setting = StorageSetting::new(2, 1);
+        let spec = faulty_quorum_model(setting, FaultBudget::none().crashes(1));
+        let report = Checker::with_observer(
+            &spec,
+            faulty_regularity_property(setting),
+            faulty_regularity_observer(setting),
+        )
+        .spor()
+        .run();
+        assert!(report.verdict.is_verified(), "{report}");
+    }
+}

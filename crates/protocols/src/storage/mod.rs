@@ -19,11 +19,13 @@
 //! return it — which regular storage does not guarantee, so the checker
 //! produces a counterexample.
 
+mod faults;
 mod model;
 mod properties;
 mod single;
 mod types;
 
+pub use faults::{faulty_quorum_model, faulty_regularity_observer, faulty_regularity_property};
 pub use model::quorum_model;
 pub use properties::{
     regularity_property, wrong_regularity_property, RegularityObserver, WriteSnapshot,

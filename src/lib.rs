@@ -15,6 +15,8 @@
 //!   search engines, invariants, observers and counterexamples;
 //! * [`refine`] (`mp-refine`) — quorum-split, reply-split and combined-split
 //!   transition refinement (Theorems 1–2);
+//! * [`faults`] (`mp-faults`) — generic, budgeted fault injection (crash /
+//!   loss / duplication / Byzantine corruption) wrapping any protocol;
 //! * [`protocols`] (`mp-protocols`) — Paxos, Echo Multicast and regular
 //!   storage models, with quorum/single-message variants and injected bugs;
 //! * [`harness`] (`mp-harness`) — the Table I / Table II / Section II-C
@@ -26,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub use mp_checker as checker;
+pub use mp_faults as faults;
 pub use mp_harness as harness;
 pub use mp_model as model;
 pub use mp_por as por;

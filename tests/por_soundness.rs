@@ -4,13 +4,16 @@
 //! faulty variants.
 
 use mp_basset::checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer};
+use mp_basset::faults::FaultBudget;
 use mp_basset::model::{LocalState, Message, ProtocolSpec};
+use mp_basset::por::{IndependenceRelation, StubbornSets};
 use mp_basset::protocols::echo_multicast::{
     agreement_property, quorum_model as multicast, MulticastSetting,
 };
 use mp_basset::protocols::paxos::{
     consensus_property, quorum_model as paxos, PaxosSetting, PaxosVariant,
 };
+use mp_basset::protocols::paxos::{faulty_consensus_property, faulty_quorum_model};
 use mp_basset::protocols::storage::{
     quorum_model as storage, regularity_property, wrong_regularity_property, RegularityObserver,
     StorageSetting,
@@ -135,6 +138,128 @@ fn spor_never_explores_more_states_than_unreduced_dfs() {
         reduced.stats.states,
         unreduced.stats.states
     );
+}
+
+#[test]
+fn environment_transitions_are_pairwise_dependent() {
+    // The explicit independence rule for fault injection: any two
+    // environment transitions are dependent, even across processes — they
+    // share the global fault budget, so one can disable the other. Without
+    // this, SPOR could postpone a fault past the point where the budget
+    // that admitted it is spent.
+    let setting = PaxosSetting::new(1, 2, 1);
+    let spec = faulty_quorum_model(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().crashes(1).drops(1).dups(1),
+    );
+    let rel = IndependenceRelation::compute(&spec);
+    let environment: Vec<_> = spec
+        .transitions()
+        .filter(|(_, t)| t.annotations().is_environment)
+        .map(|(id, _)| id)
+        .collect();
+    assert!(
+        environment.len() >= 6,
+        "crash per process + message faults expected, got {}",
+        environment.len()
+    );
+    for &a in &environment {
+        for &b in &environment {
+            assert!(
+                rel.dependent(a, b),
+                "environment transitions {} and {} must be dependent",
+                spec.transition(a).name(),
+                spec.transition(b).name()
+            );
+        }
+    }
+    // And the can-enable relation knows an environment transition may
+    // enable any co-located transition (duplication/corruption reinject
+    // messages under the original sender).
+    let sets = StubbornSets::new(&spec);
+    for &e in &environment {
+        let process = spec.transition(e).process();
+        for co in spec.transitions_of(process) {
+            if *co == e {
+                continue;
+            }
+            assert!(
+                sets.can_enable().enablers_of(*co).contains(&e),
+                "{} must count as a potential enabler of {}",
+                spec.transition(e).name(),
+                spec.transition(*co).name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_augmented_verdicts_agree_across_engines() {
+    let setting = PaxosSetting::new(1, 2, 1);
+    // Benign faults: safety holds; Byzantine corruption: validity breaks.
+    let benign = faulty_quorum_model(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().crashes(1).drops(1),
+    );
+    verdicts_agree(
+        &benign,
+        || faulty_consensus_property(setting),
+        NullObserver,
+        false,
+    );
+    let byzantine = faulty_quorum_model(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().corruptions(2),
+    );
+    verdicts_agree(
+        &byzantine,
+        || faulty_consensus_property(setting),
+        NullObserver,
+        true,
+    );
+}
+
+#[test]
+fn spor_on_fault_augmented_models_never_explores_more_states() {
+    let setting = PaxosSetting::new(1, 2, 1);
+    let spec = faulty_quorum_model(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().crashes(1).dups(1),
+    );
+    let unreduced = Checker::new(&spec, faulty_consensus_property(setting)).run();
+    let reduced = Checker::new(&spec, faulty_consensus_property(setting))
+        .spor()
+        .run();
+    assert!(unreduced.verdict.is_verified());
+    assert!(reduced.verdict.is_verified());
+    assert!(reduced.stats.states <= unreduced.stats.states);
+}
+
+#[test]
+fn dpor_stateless_agrees_on_fault_augmented_models() {
+    // The stateless DPOR engine tracks environment steps through the
+    // executed-step dependence; it must find the corruption bug and verify
+    // the benign-budget model like the stateful engines do.
+    let setting = PaxosSetting::new(1, 2, 1);
+    let benign = faulty_quorum_model(setting, PaxosVariant::Correct, FaultBudget::none().drops(1));
+    let report = Checker::new(&benign, faulty_consensus_property(setting))
+        .config(CheckerConfig::stateless(true))
+        .run();
+    assert!(report.verdict.is_verified(), "{report}");
+
+    let byzantine = faulty_quorum_model(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().corruptions(2),
+    );
+    let report = Checker::new(&byzantine, faulty_consensus_property(setting))
+        .config(CheckerConfig::stateless(true))
+        .run();
+    assert!(report.verdict.is_violated(), "{report}");
 }
 
 #[test]
