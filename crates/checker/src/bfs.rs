@@ -23,8 +23,8 @@ use mp_model::{
 use mp_por::Reducer;
 
 use crate::{
-    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
-    RunReport, Verdict,
+    liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
+    Property, PropertyStatus, RunReport, Verdict,
 };
 
 struct Node<M> {
@@ -33,9 +33,15 @@ struct Node<M> {
 }
 
 /// Runs a stateful breadth-first search and returns the report.
+///
+/// Dispatches on the property class: safety properties run the level-by-level
+/// search below. Liveness properties need a cycle-capable search — a
+/// breadth-first frontier has no stack to detect lassos against — so they
+/// are routed to the fairness-aware liveness DFS of [`crate::liveness`]
+/// (the report's strategy label says so).
 pub fn run_stateful_bfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
-    property: &Invariant<S, M, O>,
+    property: &Property<S, M, O>,
     initial_observer: &O,
     reducer: &dyn Reducer<S, M>,
     config: &CheckerConfig,
@@ -45,6 +51,12 @@ where
     M: Message,
     O: Observer<S, M>,
 {
+    if property.is_liveness() {
+        return run_liveness_dfs(spec, property, initial_observer, reducer, config);
+    }
+    let property = property
+        .as_safety()
+        .expect("a non-liveness property is a safety invariant");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
     let strategy = format!("stateful-bfs+{}", reducer.name());
@@ -202,7 +214,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NullObserver;
+    use crate::{Invariant, NullObserver};
     use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
     use mp_por::{NoReduction, SporReducer};
 
@@ -242,7 +254,7 @@ mod tests {
         let spec = independent(3, 2);
         let bfs = run_stateful_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::stateful_bfs(),
@@ -264,7 +276,7 @@ mod tests {
             });
         let report = run_stateful_bfs(
             &spec,
-            &property,
+            &property.into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::stateful_bfs(),
@@ -279,7 +291,7 @@ mod tests {
         let reducer = SporReducer::new(&spec);
         let report = run_stateful_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &reducer,
             &CheckerConfig::stateful_bfs(),
@@ -293,7 +305,7 @@ mod tests {
         let spec = independent(3, 3);
         let report = run_stateful_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::stateful_bfs().with_max_states(4),
@@ -306,7 +318,7 @@ mod tests {
         let spec = independent(1, 1);
         let report = run_stateful_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::stateful_bfs().with_deadlock_check(true),

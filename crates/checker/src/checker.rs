@@ -12,7 +12,7 @@ use mp_por::{NoReduction, Reducer, SeedHeuristic, SporReducer};
 
 use crate::{
     bfs::run_stateful_bfs, dfs::run_stateful_dfs, parallel::run_parallel_bfs,
-    stateless::run_stateless, CheckerConfig, Invariant, NullObserver, Observer, RunReport,
+    stateless::run_stateless, CheckerConfig, NullObserver, Observer, Property, RunReport,
     SearchStrategy,
 };
 
@@ -51,7 +51,7 @@ use crate::{
 /// ```
 pub struct Checker<'a, S, M: Ord, O = NullObserver> {
     spec: &'a ProtocolSpec<S, M>,
-    property: Invariant<S, M, O>,
+    property: Property<S, M, O>,
     initial_observer: O,
     reducer: Arc<dyn Reducer<S, M>>,
     config: CheckerConfig,
@@ -63,11 +63,18 @@ where
     M: Message,
 {
     /// Creates a checker with the trivial observer, no reduction and the
-    /// default configuration (stateful DFS).
-    pub fn new(spec: &'a ProtocolSpec<S, M>, property: Invariant<S, M, NullObserver>) -> Self {
+    /// default configuration (stateful DFS). Accepts an [`Invariant`]
+    /// (converted to a safety property) or any [`Property`] — safety,
+    /// termination or leads-to.
+    ///
+    /// [`Invariant`]: crate::Invariant
+    pub fn new(
+        spec: &'a ProtocolSpec<S, M>,
+        property: impl Into<Property<S, M, NullObserver>>,
+    ) -> Self {
         Checker {
             spec,
-            property,
+            property: property.into(),
             initial_observer: NullObserver,
             reducer: Arc::new(NoReduction),
             config: CheckerConfig::default(),
@@ -81,15 +88,17 @@ where
     M: Message,
     O: Observer<S, M>,
 {
-    /// Creates a checker with an explicit observer initial value.
+    /// Creates a checker with an explicit observer initial value. Accepts an
+    /// [`Invariant`](crate::Invariant) (converted to a safety property) or
+    /// any [`Property`].
     pub fn with_observer(
         spec: &'a ProtocolSpec<S, M>,
-        property: Invariant<S, M, O>,
+        property: impl Into<Property<S, M, O>>,
         initial_observer: O,
     ) -> Self {
         Checker {
             spec,
-            property,
+            property: property.into(),
             initial_observer,
             reducer: Arc::new(NoReduction),
             config: CheckerConfig::default(),
@@ -172,6 +181,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Invariant;
     use mp_model::{GlobalState, Kind, Outcome, ProcessId, TransitionSpec};
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]

@@ -62,7 +62,10 @@ pub struct CheckerConfig {
     pub check_deadlocks: bool,
     /// Apply the stack (cycle) proviso: if a reduced expansion closes a
     /// cycle back into the DFS stack, re-expand the state fully. Needed for
-    /// soundness of invariant checking on cyclic state graphs.
+    /// soundness of invariant checking on cyclic state graphs. The liveness
+    /// search ([`crate::liveness`]) ignores this flag and applies the
+    /// proviso unconditionally — reduced cycles are exactly what would hide
+    /// a lasso.
     pub cycle_proviso: bool,
     /// Optional wall-clock budget; the run stops with a limit verdict when
     /// it is exceeded.

@@ -1,9 +1,17 @@
-//! Counterexamples.
+//! Counterexamples: finite violating paths and liveness **lassos**.
 //!
 //! "A counterexample is a path that violates the property" (paper, Section
 //! II-A). When the search finds a violating state it reconstructs the path
 //! from the initial state and reports the sequence of executed transitions,
 //! the violating state and the reason returned by the property.
+//!
+//! Liveness properties (termination, leads-to) are violated by *maximal
+//! executions*, not single states; their counterexamples are lassos: a
+//! finite **stem** from the initial state followed by a **cycle** the system
+//! can repeat forever without discharging the outstanding obligation. A
+//! lasso with an empty cycle denotes a maximal finite execution — the system
+//! deadlocks (quiesces) with the obligation still pending and stutters in
+//! that final state forever.
 
 use std::fmt;
 
@@ -50,16 +58,28 @@ impl fmt::Display for CounterexampleStep {
 }
 
 /// A property-violating execution: the path from the initial state and the
-/// violating state itself.
+/// violating state itself. Liveness violations additionally carry a
+/// [`cycle`](Counterexample::cycle) — see the module docs on lassos.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Counterexample {
     /// Name of the violated property.
     pub property: String,
     /// Explanation returned by the property check.
     pub reason: String,
-    /// The executed steps, in order.
+    /// The executed steps, in order. For a lasso this is the **stem**: the
+    /// path from the initial state to the cycle entry (or to the premature
+    /// quiescent state when `cycle` is empty).
     pub steps: Vec<CounterexampleStep>,
-    /// A rendering of the violating global state.
+    /// The steps of the repeatable cycle of a lasso, in order; executing
+    /// them from the violating state returns to it. Empty for safety
+    /// counterexamples and for deadlock-style liveness counterexamples
+    /// (the system stutters in the final state).
+    pub cycle: Vec<CounterexampleStep>,
+    /// `true` for liveness counterexamples (a lasso: stem + cycle, or stem +
+    /// stutter when `cycle` is empty).
+    pub is_lasso: bool,
+    /// A rendering of the violating global state: the first violating state
+    /// for safety, the cycle-entry (or quiescent) state for lassos.
     pub violating_state: String,
 }
 
@@ -80,32 +100,85 @@ impl Counterexample {
                 .iter()
                 .map(|i| CounterexampleStep::from_instance(spec, i))
                 .collect(),
+            cycle: Vec::new(),
+            is_lasso: false,
             violating_state: format!("{violating_state:#?}"),
         }
     }
 
-    /// Length of the counterexample path (number of transitions).
-    pub fn len(&self) -> usize {
-        self.steps.len()
+    /// Builds a lasso counterexample: `stem` leads from the initial state to
+    /// `entry_state`, and `cycle` (possibly empty, meaning the execution
+    /// ends and stutters there) returns to it.
+    pub fn lasso<S: LocalState, M: Message>(
+        spec: &ProtocolSpec<S, M>,
+        property: impl Into<String>,
+        reason: impl Into<String>,
+        stem: &[TransitionInstance<M>],
+        cycle: &[TransitionInstance<M>],
+        entry_state: &GlobalState<S, M>,
+    ) -> Self {
+        Counterexample {
+            property: property.into(),
+            reason: reason.into(),
+            steps: stem
+                .iter()
+                .map(|i| CounterexampleStep::from_instance(spec, i))
+                .collect(),
+            cycle: cycle
+                .iter()
+                .map(|i| CounterexampleStep::from_instance(spec, i))
+                .collect(),
+            is_lasso: true,
+            violating_state: format!("{entry_state:#?}"),
+        }
     }
 
-    /// Returns `true` if the violation occurs already in the initial state.
+    /// Length of the counterexample (number of transitions: stem plus, for
+    /// lassos, one unrolling of the cycle).
+    pub fn len(&self) -> usize {
+        self.steps.len() + self.cycle.len()
+    }
+
+    /// Returns `true` if the violation occurs already in the initial state
+    /// (safety) or the initial state itself is the quiescent/looping state
+    /// of a stem-less lasso.
     pub fn is_empty(&self) -> bool {
-        self.steps.is_empty()
+        self.steps.is_empty() && self.cycle.is_empty()
     }
 }
 
 impl fmt::Display for Counterexample {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "counterexample to `{}` ({} steps): {}",
-            self.property,
-            self.steps.len(),
-            self.reason
-        )?;
+        if self.is_lasso {
+            writeln!(
+                f,
+                "lasso counterexample to `{}` ({} stem + {} cycle steps): {}",
+                self.property,
+                self.steps.len(),
+                self.cycle.len(),
+                self.reason
+            )?;
+        } else {
+            writeln!(
+                f,
+                "counterexample to `{}` ({} steps): {}",
+                self.property,
+                self.steps.len(),
+                self.reason
+            )?;
+        }
         for (i, step) in self.steps.iter().enumerate() {
             writeln!(f, "  {:>3}. {}", i + 1, step)?;
+        }
+        if self.is_lasso {
+            if self.cycle.is_empty() {
+                writeln!(f, "  ... execution ends here (stutters forever)")?;
+            } else {
+                writeln!(f, "  cycle (repeats forever):")?;
+                for (i, step) in self.cycle.iter().enumerate() {
+                    writeln!(f, "  {:>3}. {}", self.steps.len() + i + 1, step)?;
+                }
+            }
         }
         writeln!(f, "violating state:")?;
         for line in self.violating_state.lines() {
@@ -197,5 +270,45 @@ mod tests {
         let cx = Counterexample::new(&spec, "inv", "bad init", &[], &state);
         assert!(cx.is_empty());
         assert_eq!(cx.len(), 0);
+        assert!(!cx.is_lasso);
+    }
+
+    #[test]
+    fn lasso_display_shows_stem_and_cycle() {
+        let spec = spec();
+        let stem = vec![TransitionInstance::new(
+            TransitionId(0),
+            ProcessId(0),
+            Vec::new(),
+        )];
+        let cycle = vec![TransitionInstance::new(
+            TransitionId(1),
+            ProcessId(1),
+            vec![Envelope::new(ProcessId(0), Ping)],
+        )];
+        let state = spec.initial_state();
+        let cx = Counterexample::lasso(&spec, "termination", "fair cycle", &stem, &cycle, &state);
+        assert!(cx.is_lasso);
+        assert_eq!(cx.len(), 2);
+        let text = cx.to_string();
+        assert!(text.contains("lasso counterexample"));
+        assert!(text.contains("cycle (repeats forever)"));
+        assert!(text.contains("RECV"));
+    }
+
+    #[test]
+    fn deadlock_lasso_has_empty_cycle() {
+        let spec = spec();
+        let stem = vec![TransitionInstance::new(
+            TransitionId(0),
+            ProcessId(0),
+            Vec::new(),
+        )];
+        let state = spec.initial_state();
+        let cx = Counterexample::lasso(&spec, "termination", "stuck", &stem, &[], &state);
+        assert!(cx.is_lasso);
+        assert!(cx.cycle.is_empty());
+        assert_eq!(cx.len(), 1);
+        assert!(cx.to_string().contains("stutters forever"));
     }
 }

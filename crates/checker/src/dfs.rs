@@ -26,8 +26,8 @@ use mp_model::{
 use mp_por::Reducer;
 
 use crate::{
-    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
-    RunReport, Verdict,
+    liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
+    Property, PropertyStatus, RunReport, Verdict,
 };
 
 struct Frame<S, M: Ord, O> {
@@ -44,9 +44,15 @@ struct Frame<S, M: Ord, O> {
 }
 
 /// Runs a stateful depth-first search and returns the report.
+///
+/// Dispatches on the property class: safety properties run the invariant
+/// search below (unchanged semantics and state counts); liveness properties
+/// (termination / leads-to) run the fairness-aware lasso search of
+/// [`crate::liveness`], which this engine's on-stack cycle detector was
+/// built for.
 pub fn run_stateful_dfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
-    property: &Invariant<S, M, O>,
+    property: &Property<S, M, O>,
     initial_observer: &O,
     reducer: &dyn Reducer<S, M>,
     config: &CheckerConfig,
@@ -56,6 +62,12 @@ where
     M: Message,
     O: Observer<S, M>,
 {
+    if property.is_liveness() {
+        return run_liveness_dfs(spec, property, initial_observer, reducer, config);
+    }
+    let property = property
+        .as_safety()
+        .expect("a non-liveness property is a safety invariant");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
     let strategy = format!("stateful-dfs+{}", reducer.name());
@@ -253,23 +265,16 @@ where
     O: Observer<S, M>,
 {
     let all = enabled_instances(spec, &state);
-    let reduction = reducer.reduce(spec, &state, all.clone());
+    let reduction = reducer.reduce(spec, &state, all);
     if reduction.reduced {
         stats.reduced_states += 1;
     }
-    let pruned: Vec<TransitionInstance<M>> = if reduction.reduced {
-        all.into_iter()
-            .filter(|i| !reduction.explore.contains(i))
-            .collect()
-    } else {
-        Vec::new()
-    };
     Frame {
         state,
         observer,
         incoming,
         explore: reduction.explore,
-        pruned,
+        pruned: reduction.pruned,
         next: 0,
         reduced: reduction.reduced,
     }
@@ -278,7 +283,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NullObserver;
+    use crate::{Invariant, NullObserver};
     use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
     use mp_por::{NoReduction, SporReducer};
 
@@ -320,7 +325,7 @@ mod tests {
         let spec = independent(3, 2);
         let report = run_stateful_dfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::default(),
@@ -335,7 +340,7 @@ mod tests {
         let reducer = SporReducer::new(&spec);
         let report = run_stateful_dfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &reducer,
             &CheckerConfig::default(),
@@ -361,7 +366,7 @@ mod tests {
         ] {
             let report = run_stateful_dfs(
                 &spec,
-                &Invariant::always_true("true"),
+                &Invariant::always_true("true").into(),
                 &NullObserver,
                 &NoReduction,
                 &CheckerConfig::default().with_store(store),
@@ -389,7 +394,7 @@ mod tests {
             });
         let report = run_stateful_dfs(
             &spec,
-            &property,
+            &property.into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::default(),
@@ -413,7 +418,7 @@ mod tests {
             });
         let report = run_stateful_dfs(
             &spec,
-            &property,
+            &property.into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::default(),
@@ -429,7 +434,7 @@ mod tests {
         let spec = independent(3, 3);
         let report = run_stateful_dfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::default().with_max_states(5),
@@ -443,7 +448,7 @@ mod tests {
         let spec = independent(1, 1);
         let report = run_stateful_dfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             &CheckerConfig::default().with_deadlock_check(true),
@@ -490,7 +495,7 @@ mod tests {
         let reducer = SporReducer::new(&spec);
         let report = run_stateful_dfs(
             &spec,
-            &property,
+            &property.into(),
             &NullObserver,
             &reducer,
             &CheckerConfig::default(),

@@ -25,9 +25,19 @@
 //! for the precise soundness contract before using it on certification
 //! runs.
 //!
-//! Properties are state invariants (the class MP-Basset supports), evaluated
-//! over the global state and an optional [`Observer`] history variable — the
-//! sound counterpart of the paper's "assertions that peek at remote state".
+//! Properties come in three classes ([`Property`]): **safety** invariants
+//! (the class MP-Basset supports), evaluated over the global state and an
+//! optional [`Observer`] history variable — the sound counterpart of the
+//! paper's "assertions that peek at remote state" — plus two **liveness**
+//! classes, **termination** (every fair maximal execution reaches a
+//! quiescent/goal state) and **leads-to** (`p ⇝ q`). Liveness properties
+//! carry a [`Fairness`] policy that by default exempts environment (fault)
+//! transitions — a crash is never "unfairly required" to happen — and their
+//! counterexamples are **lassos** (stem + repeatable cycle, or stem +
+//! stutter for premature quiescence); see the [`liveness`] module. Every
+//! engine dispatches on the property class, so the same protocol, fault
+//! configuration and reducer answer both "can this go wrong?" and "does
+//! this always finish?".
 //!
 //! ```
 //! use mp_checker::{Checker, CheckerConfig, Invariant};
@@ -84,6 +94,7 @@ pub mod checker;
 pub mod config;
 pub mod counterexample;
 pub mod dfs;
+pub mod liveness;
 pub mod observer;
 pub mod parallel;
 pub mod property;
@@ -93,8 +104,11 @@ pub mod stats;
 pub use checker::Checker;
 pub use config::{CheckerConfig, RunReport, SearchStrategy, Verdict};
 pub use counterexample::{Counterexample, CounterexampleStep};
+pub use liveness::{run_liveness_dfs, run_stateless_liveness};
 pub use observer::{NullObserver, Observer, TransitionCountObserver};
-pub use property::{all_of, Invariant, PropertyStatus};
+pub use property::{
+    all_of, Fairness, Invariant, Property, PropertyClass, PropertyStatus, StatePredicate,
+};
 pub use stats::ExplorationStats;
 // Visited-state storage lives in the `mp-store` subsystem; the most-used
 // names are re-exported here so engine callers need only one import.

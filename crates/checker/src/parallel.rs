@@ -28,15 +28,21 @@ use mp_model::{
 use mp_por::Reducer;
 
 use crate::{
-    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
-    RunReport, Verdict,
+    liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
+    Property, PropertyStatus, RunReport, Verdict,
 };
 
 /// Runs a parallel breadth-first search over `threads` workers
 /// (0 = available parallelism).
+///
+/// Dispatches on the property class: safety properties run the parallel
+/// level-synchronous search below. Liveness properties need a cycle-capable
+/// search, which a level-synchronous frontier cannot provide, so they are
+/// routed to the (sequential) fairness-aware liveness DFS of
+/// [`crate::liveness`] — the report's strategy label says so.
 pub fn run_parallel_bfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
-    property: &Invariant<S, M, O>,
+    property: &Property<S, M, O>,
     initial_observer: &O,
     reducer: &dyn Reducer<S, M>,
     threads: usize,
@@ -47,6 +53,12 @@ where
     M: Message,
     O: Observer<S, M>,
 {
+    if property.is_liveness() {
+        return run_liveness_dfs(spec, property, initial_observer, reducer, config);
+    }
+    let property = property
+        .as_safety()
+        .expect("a non-liveness property is a safety invariant");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
     let threads = if threads == 0 {
@@ -209,7 +221,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NullObserver;
+    use crate::{Invariant, NullObserver};
     use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
     use mp_por::{NoReduction, SporReducer};
     use mp_store::StoreConfig;
@@ -246,7 +258,7 @@ mod tests {
         let spec = independent(3, 2);
         let report = run_parallel_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             2,
@@ -271,7 +283,7 @@ mod tests {
             });
         let report = run_parallel_bfs(
             &spec,
-            &property,
+            &property.into(),
             &NullObserver,
             &NoReduction,
             2,
@@ -286,7 +298,7 @@ mod tests {
         let reducer = SporReducer::new(&spec);
         let unreduced = run_parallel_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             2,
@@ -294,7 +306,7 @@ mod tests {
         );
         let reduced = run_parallel_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &reducer,
             2,
@@ -310,7 +322,7 @@ mod tests {
         let spec = independent(2, 1);
         let report = run_parallel_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             0,
@@ -325,7 +337,7 @@ mod tests {
         let spec = independent(4, 2);
         let exact = run_parallel_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             2,
@@ -333,7 +345,7 @@ mod tests {
         );
         let fp = run_parallel_bfs(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
             2,

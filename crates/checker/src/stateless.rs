@@ -24,8 +24,8 @@ use mp_model::{
 use mp_por::{latest_racing_step, ExecutedStep};
 
 use crate::{
-    CheckerConfig, Counterexample, ExplorationStats, Invariant, Observer, PropertyStatus,
-    RunReport, Verdict,
+    liveness::run_stateless_liveness, CheckerConfig, Counterexample, ExplorationStats, Observer,
+    Property, PropertyStatus, RunReport, Verdict,
 };
 
 struct Frame<S, M: Ord, O> {
@@ -71,9 +71,15 @@ impl<S, M: Ord, O> Frame<S, M, O> {
 
 /// Runs a stateless depth-first search, with Flanagan–Godefroid DPOR when
 /// `dpor` is `true`.
+///
+/// Dispatches on the property class: safety properties run the stateless
+/// search below. Liveness properties run the on-path lasso search of
+/// [`crate::liveness`]; DPOR's backtrack sets track safety races only, so
+/// for liveness the ignoring proviso forces the documented fallback to full
+/// expansion there.
 pub fn run_stateless<S, M, O>(
     spec: &ProtocolSpec<S, M>,
-    property: &Invariant<S, M, O>,
+    property: &Property<S, M, O>,
     initial_observer: &O,
     dpor: bool,
     config: &CheckerConfig,
@@ -83,6 +89,12 @@ where
     M: Message,
     O: Observer<S, M>,
 {
+    if property.is_liveness() {
+        return run_stateless_liveness(spec, property, initial_observer, dpor, config);
+    }
+    let property = property
+        .as_safety()
+        .expect("a non-liveness property is a safety invariant");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
     // The stateless engine keeps no visited set by design (required for
@@ -158,12 +170,12 @@ where
         };
         stats.transitions_executed += 1;
 
-        let is_environment = spec
-            .transition(instance.transition)
-            .annotations()
-            .is_environment;
-        executed
-            .push(ExecutedStep::new(instance.clone(), sent_to).with_environment(is_environment));
+        let annotations = spec.transition(instance.transition).annotations();
+        executed.push(
+            ExecutedStep::new(instance.clone(), sent_to)
+                .with_environment(annotations.is_environment)
+                .with_environment_class(annotations.environment_class),
+        );
         if dpor {
             let latest = executed.len() - 1;
             if let Some(racing) = latest_racing_step(&executed, latest) {
@@ -284,7 +296,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::NullObserver;
+    use crate::{Invariant, NullObserver};
     use mp_model::{Kind, Outcome, ProcessId, ProtocolSpec, TransitionSpec};
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -365,7 +377,7 @@ mod tests {
         let spec = independent(2, 2);
         let report = run_stateless(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             false,
             &CheckerConfig::stateless(false),
@@ -379,14 +391,14 @@ mod tests {
         let spec = independent(3, 2);
         let full = run_stateless(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             false,
             &CheckerConfig::stateless(false),
         );
         let dpor = run_stateless(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             true,
             &CheckerConfig::stateless(true),
@@ -417,7 +429,7 @@ mod tests {
             });
         let report = run_stateless(
             &spec,
-            &property,
+            &property.into(),
             &NullObserver,
             true,
             &CheckerConfig::stateless(true),
@@ -440,14 +452,15 @@ mod tests {
         // instead verify both orders are covered by the full search and the
         // same verdict is produced by DPOR for a final-state property.
         let spec = independent(2, 1);
-        let property: Invariant<u8, Msg, NullObserver> =
+        let property: Property<u8, Msg, NullObserver> =
             Invariant::new("both-done", |s: &GlobalState<u8, Msg>, _| {
                 if s.locals.iter().all(|l| *l == 1) {
                     Err("both finished".into())
                 } else {
                     Ok(())
                 }
-            });
+            })
+            .into();
         let full = run_stateless(
             &spec,
             &property,
@@ -483,7 +496,7 @@ mod tests {
             .unwrap();
         let report = run_stateless(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             false,
             &CheckerConfig::stateless(false).with_max_depth(50),
@@ -496,7 +509,7 @@ mod tests {
         let spec = independent(3, 3);
         let report = run_stateless(
             &spec,
-            &Invariant::always_true("true"),
+            &Invariant::always_true("true").into(),
             &NullObserver,
             false,
             &CheckerConfig::stateless(false).with_max_states(10),

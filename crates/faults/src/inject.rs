@@ -12,6 +12,14 @@ use crate::{corruptions_used, crashes_used, drops_used, dups_used, FaultBudget, 
 
 /// Name prefix of crash environment transitions (`FAULT_CRASH@p1`).
 pub const CRASH_PREFIX: &str = "FAULT_CRASH@";
+/// Budget class of crash transitions ([`Annotations::environment_class`](mp_model::Annotations)).
+pub const CRASH_CLASS: Kind = "crash";
+/// Budget class of message-loss transitions.
+pub const DROP_CLASS: Kind = "drop";
+/// Budget class of duplication transitions.
+pub const DUP_CLASS: Kind = "dup";
+/// Budget class of corruption transitions.
+pub const CORRUPT_CLASS: Kind = "corrupt";
 /// Name prefix of message-loss environment transitions (`FAULT_DROP_ACK@p0`).
 pub const DROP_PREFIX: &str = "FAULT_DROP_";
 /// Name prefix of duplication environment transitions (`FAULT_DUP_ACK@p0`).
@@ -306,7 +314,7 @@ fn crash_transition<S: LocalState, M: Message>(p: ProcessId) -> TransitionSpec<F
         .guard(|local: &FaultLocal<S>, _| !local.crashed)
         .sends_nothing()
         .priority(-100)
-        .environment()
+        .environment_class(CRASH_CLASS)
         .effect(|local: &FaultLocal<S>, _| {
             let mut next = local.clone();
             next.crashed = true;
@@ -323,7 +331,7 @@ fn drop_transition<S: LocalState, M: Message>(
         .single_input(kind)
         .sends_nothing()
         .priority(-100)
-        .environment()
+        .environment_class(DROP_CLASS)
         .effect(|local: &FaultLocal<S>, _| {
             let mut next = local.clone();
             next.drops += 1;
@@ -341,7 +349,7 @@ fn dup_transition<S: LocalState, M: Message>(
         .sends(&[kind])
         .sends_to([p])
         .priority(-100)
-        .environment()
+        .environment_class(DUP_CLASS)
         .effect(|local: &FaultLocal<S>, msgs: &[Envelope<M>]| {
             let env = &msgs[0];
             let mut next = local.clone();
@@ -367,7 +375,7 @@ fn corrupt_transition<S: LocalState, M: Message>(
         // the victim process itself.
         .sends_to([p])
         .priority(-100)
-        .environment()
+        .environment_class(CORRUPT_CLASS)
         .guard(move |_: &FaultLocal<S>, msgs| guard_mutator(&msgs[0]).len() > variant)
         .effect(move |local: &FaultLocal<S>, msgs| {
             let env = &msgs[0];

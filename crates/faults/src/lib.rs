@@ -79,7 +79,8 @@ mod local;
 
 pub use budget::FaultBudget;
 pub use inject::{
-    inject, FaultInjector, Mutator, CORRUPT_PREFIX, CRASH_PREFIX, DROP_PREFIX, DUP_PREFIX,
+    inject, FaultInjector, Mutator, CORRUPT_CLASS, CORRUPT_PREFIX, CRASH_CLASS, CRASH_PREFIX,
+    DROP_CLASS, DROP_PREFIX, DUP_CLASS, DUP_PREFIX,
 };
-pub use lift::{lift_invariant, lift_observed_invariant, LiftedObserver};
+pub use lift::{lift_invariant, lift_observed_invariant, lift_property, LiftedObserver};
 pub use local::{corruptions_used, crashes_used, drops_used, dups_used, project_state, FaultLocal};

@@ -2,16 +2,25 @@
 //!
 //! A fault-augmented state is the base state plus fault bookkeeping; the
 //! properties of interest ("no two learners disagree") are stated over the
-//! base state. The helpers here evaluate a base [`Invariant`] (and, for
-//! history properties, a base [`Observer`]) on the projection that forgets
-//! the bookkeeping, so every existing property works unchanged under fault
-//! injection.
+//! base state. The helpers here evaluate a base [`Invariant`] or
+//! [`Property`] (and, for history properties, a base [`Observer`]) on the
+//! projection that forgets the bookkeeping, so every existing property —
+//! safety *and* liveness — works unchanged under fault injection.
+//!
+//! Liveness interacts with fault injection through **fairness**: the
+//! injected environment transitions are [`Annotations::is_environment`]
+//! (mp_model::Annotations), which the default
+//! [`Fairness::WeakProtocol`](mp_checker::Fairness) policy of a lifted
+//! liveness property exempts — an execution on which no fault happens is
+//! fair, so a crash is never "unfairly required", while an execution that
+//! spends its crash budget and then starves the protocol *is* a legitimate
+//! counterexample (e.g. Paxos with a crashed majority).
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use mp_checker::{Invariant, NullObserver, Observer, PropertyStatus};
+use mp_checker::{Invariant, NullObserver, Observer, Property, PropertyStatus};
 use mp_model::{GlobalState, LocalState, Message, ProtocolSpec, TransitionInstance};
 
 use crate::{project_state, FaultLocal};
@@ -31,6 +40,17 @@ pub fn lift_invariant<S: LocalState, M: Message>(
             PropertyStatus::Violated(reason) => Err(reason),
         },
     )
+}
+
+/// Lifts any observer-free [`Property`] — safety, termination or leads-to —
+/// to the fault-augmented state space by evaluating its predicates on the
+/// projected base state. The property class, name and fairness policy are
+/// preserved; for liveness this is what lets the same property answer
+/// "does Paxos still terminate?" under any [`FaultBudget`](crate::FaultBudget).
+pub fn lift_property<S: LocalState, M: Message>(
+    property: Property<S, M, NullObserver>,
+) -> Property<FaultLocal<S>, M, NullObserver> {
+    property.on_projected_state(project_state)
 }
 
 /// A base observer running inside a fault-augmented exploration.
@@ -202,6 +222,40 @@ mod tests {
         });
         let report = Checker::new(&faulty, lift_invariant(never_2)).run();
         assert!(report.verdict.is_violated(), "{report}");
+    }
+
+    #[test]
+    fn lifted_liveness_property_sees_the_projected_state() {
+        use mp_checker::Property;
+        let spec = counter();
+        // Termination on the base model: the counter always reaches 3.
+        let terminates =
+            Property::termination("reaches-3", |s: &GlobalState<u8, Tick>, _| s.locals[0] == 3);
+        let base = Checker::new(&spec, terminates.clone()).run();
+        assert!(base.verdict.is_verified(), "{base}");
+
+        // Under a crash budget the environment may stop the counter early;
+        // the crash is fairness-exempt, so an execution without the crash is
+        // fair — but the crashed execution quiesces before the goal, a
+        // legitimate fair counterexample.
+        let faulty = inject(&spec, FaultBudget::none().crashes(1)).unwrap();
+        let report = Checker::new(&faulty, lift_property(terminates.clone())).run();
+        let cx = report
+            .verdict
+            .counterexample()
+            .expect("crash blocks the goal");
+        assert!(cx.is_lasso);
+        assert!(
+            cx.steps
+                .iter()
+                .any(|s| s.transition.contains("FAULT_CRASH")),
+            "the lasso stem must show the crash: {cx}"
+        );
+
+        // Zero budget: structurally the seed, termination verified again.
+        let zero = inject(&spec, FaultBudget::none()).unwrap();
+        let report = Checker::new(&zero, lift_property(terminates)).run();
+        assert!(report.verdict.is_verified(), "{report}");
     }
 
     #[test]

@@ -1,14 +1,24 @@
 //! Reproduces the debugging experiments: resources needed to find the first
 //! counterexample in the faulty protocol variants.
 //!
-//! Usage: `cargo run --release -p mp-harness --bin debugging`
+//! Usage: `cargo run --release -p mp-harness --bin debugging [--json [PATH]]`
+//!
+//! `--json` writes the rows as a JSON array (default `BENCH_debugging.json`)
+//! so every harness binary emits machine-readable results.
 
-use mp_harness::{debugging::debugging_experiments, render_table, Budget};
+use mp_harness::{
+    debugging::debugging_experiments, json_output_path, render_table, write_json_rows, Budget,
+};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = json_output_path(&args, "BENCH_debugging.json");
     let rows = debugging_experiments(&Budget::default());
     print!(
         "{}",
         render_table("Debugging: first counterexample in faulty variants", &rows)
     );
+    if let Some(path) = json_path {
+        write_json_rows(&path, &rows);
+    }
 }

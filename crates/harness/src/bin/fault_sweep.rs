@@ -5,28 +5,39 @@
 //! `BENCH_fault_sweep.json`.
 //!
 //! Usage: `cargo run --release -p mp-harness --bin fault_sweep
-//! [--full] [--json PATH]`
+//! [--full | --smoke] [--json PATH]`
+//!
+//! `--smoke` runs a reduced budget matrix (no faults, one crash, one drop)
+//! under tight per-cell limits — the per-PR CI smoke test that uploads
+//! `BENCH_fault_sweep.json` as a workflow artifact so verdict (safety *and*
+//! liveness) and perf regressions are visible per change.
 
 use std::time::Duration;
 
+use mp_faults::FaultBudget;
 use mp_harness::fault_sweep::{
-    backend_disagreements, fault_sweep, fault_sweep_json, render_fault_sweep,
+    backend_disagreements, fault_sweep, fault_sweep_grid, fault_sweep_json, render_fault_sweep,
     zero_budget_seed_checks,
 };
-use mp_harness::Budget;
+use mp_harness::{json_output_path, Budget};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // This binary always writes its JSON; `--json PATH` only overrides the
+    // destination (shared flag convention of the harness binaries).
+    let json_path = json_output_path(&args, "BENCH_fault_sweep.json")
         .unwrap_or_else(|| "BENCH_fault_sweep.json".to_string());
 
     let run_budget = if full {
         Budget::unbounded()
+    } else if smoke {
+        Budget {
+            max_states: 100_000,
+            time_limit: Some(Duration::from_secs(20)),
+            ..Budget::default()
+        }
     } else {
         Budget {
             max_states: 500_000,
@@ -38,7 +49,16 @@ fn main() {
     println!("Generic fault injection: budget sweep over the evaluation protocols");
     println!("(crash-stop / message loss / duplication / Byzantine corruption)\n");
 
-    let cells = fault_sweep(&run_budget);
+    let cells = if smoke {
+        let budgets = vec![
+            FaultBudget::none(),
+            FaultBudget::none().crashes(1),
+            FaultBudget::none().drops(1),
+        ];
+        fault_sweep_grid(&run_budget, &budgets, false)
+    } else {
+        fault_sweep(&run_budget)
+    };
     print!("{}", render_fault_sweep(&cells));
     println!();
 

@@ -11,7 +11,7 @@
 use mp_harness::scaling::{
     collect_sweep, paxos_sweep, render_store_sweep, render_sweep, store_backend_sweep,
 };
-use mp_harness::{render_json, render_table, Budget};
+use mp_harness::{json_output_path, render_table, write_json_rows, Budget};
 use mp_protocols::sweep::CollectSetting;
 
 fn main() {
@@ -22,12 +22,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(4usize);
-    let json_path = args.iter().position(|a| a == "--json").map(|i| {
-        args.get(i + 1)
-            .filter(|p| !p.starts_with("--"))
-            .cloned()
-            .unwrap_or_else(|| "BENCH_quorum_scaling.json".to_string())
-    });
+    let json_path = json_output_path(&args, "BENCH_quorum_scaling.json");
 
     println!("Section II-C: state-space inflation of single-message models");
     println!();
@@ -40,9 +35,7 @@ fn main() {
     print!("{}", render_table("Paxos acceptor sweep", &rows));
     println!();
     if let Some(path) = &json_path {
-        std::fs::write(path, render_json(&rows))
-            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        println!("wrote {} rows to {path}", rows.len());
+        write_json_rows(path, &rows);
         println!();
     }
     println!(

@@ -1,17 +1,24 @@
 //! Reproduces Table I ("quorum semantics results") of the DSN 2011 paper.
 //!
-//! Usage: `cargo run --release -p mp-harness --bin table_i [--full] [--csv]`
+//! Usage: `cargo run --release -p mp-harness --bin table_i
+//! [--full] [--csv] [--json [PATH]]`
+//!
+//! `--json` writes the rows as a JSON array (default `BENCH_table_i.json`)
+//! so every harness binary emits machine-readable results.
 //!
 //! By default the run is bounded (smaller Paxos setting, per-cell state and
 //! time budgets) so it completes in minutes; `--full` switches to the
 //! paper-scale settings and removes the budgets.
 
-use mp_harness::{render_csv, render_table, table1::table_i, Budget};
+use mp_harness::{
+    json_output_path, render_csv, render_table, table1::table_i, write_json_rows, Budget,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
+    let json_path = json_output_path(&args, "BENCH_table_i.json");
     let budget = if full {
         Budget::unbounded()
     } else {
@@ -30,5 +37,8 @@ fn main() {
             "{}",
             render_table("Table I — quorum semantics results", &rows)
         );
+    }
+    if let Some(path) = json_path {
+        write_json_rows(&path, &rows);
     }
 }

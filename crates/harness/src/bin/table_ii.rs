@@ -1,14 +1,21 @@
 //! Reproduces Table II ("transition refinement in action") of the DSN 2011
 //! paper.
 //!
-//! Usage: `cargo run --release -p mp-harness --bin table_ii [--full] [--csv]`
+//! Usage: `cargo run --release -p mp-harness --bin table_ii
+//! [--full] [--csv] [--json [PATH]]`
+//!
+//! `--json` writes the rows as a JSON array (default `BENCH_table_ii.json`)
+//! so every harness binary emits machine-readable results.
 
-use mp_harness::{render_csv, render_table, table2::table_ii, Budget};
+use mp_harness::{
+    json_output_path, render_csv, render_table, table2::table_ii, write_json_rows, Budget,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
+    let json_path = json_output_path(&args, "BENCH_table_ii.json");
     let budget = if full {
         Budget::unbounded()
     } else {
@@ -27,5 +34,8 @@ fn main() {
             "{}",
             render_table("Table II — transition refinement in action", &rows)
         );
+    }
+    if let Some(path) = json_path {
+        write_json_rows(&path, &rows);
     }
 }

@@ -4,28 +4,34 @@
 //! evaluation into a *family* of fault workloads. This experiment sweeps a
 //! grid of [`FaultBudget`]s over Paxos, Echo Multicast and regular storage,
 //! with SPOR on and off and with every visited-store backend, reporting
-//! verdict, states, store bytes and wall time per cell. Two invariants are
-//! machine-checked by the `fault_sweep` binary (and the integration tests):
+//! verdict, states, store bytes and wall time per cell — plus a **liveness
+//! column**: for every cell the protocol's termination property (Paxos
+//! "some value eventually learned", multicast delivery, read completion)
+//! is checked under the same budget and strategy, and the verdict
+//! (`verified`, or a fair-cycle/quiescence lasso) is recorded alongside the
+//! safety verdict. Two invariants are machine-checked by the `fault_sweep`
+//! binary (and the integration tests):
 //!
 //! * all store backends agree on the verdict of every cell, and
 //! * the all-zero budget reproduces the seed models' state counts exactly.
 
 use std::time::Duration;
 
-use mp_checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer};
+use mp_checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer, Property};
 use mp_faults::FaultBudget;
 use mp_model::{LocalState, Message, ProtocolSpec};
 use mp_protocols::echo_multicast::{
-    agreement_property, faulty_agreement_property, faulty_quorum_model as faulty_multicast,
-    quorum_model as multicast, MulticastSetting,
+    agreement_property, faulty_agreement_property, faulty_delivery_termination_property,
+    faulty_quorum_model as faulty_multicast, quorum_model as multicast, MulticastSetting,
 };
 use mp_protocols::paxos::{
     consensus_property, faulty_consensus_property, faulty_quorum_model as faulty_paxos,
-    quorum_model as paxos, PaxosSetting, PaxosVariant,
+    faulty_termination_property, quorum_model as paxos, PaxosSetting, PaxosVariant,
 };
 use mp_protocols::storage::{
-    faulty_quorum_model as faulty_storage, faulty_regularity_observer, faulty_regularity_property,
-    quorum_model as storage, regularity_property, RegularityObserver, StorageSetting,
+    faulty_quorum_model as faulty_storage, faulty_read_completion_property,
+    faulty_regularity_observer, faulty_regularity_property, quorum_model as storage,
+    regularity_property, RegularityObserver, StorageSetting,
 };
 use mp_store::StoreConfig;
 
@@ -42,9 +48,13 @@ pub struct FaultCell {
     pub strategy: String,
     /// Visited-store backend label.
     pub backend: String,
-    /// Verdict string of the run.
+    /// Verdict string of the safety (invariant) run.
     pub verdict: String,
-    /// States stored.
+    /// Verdict string of the liveness (termination) run under the same
+    /// budget and strategy: `"verified"`, or a lasso description such as
+    /// `"fair lasso (4 stem + 0 cycle steps)"`.
+    pub liveness: String,
+    /// States stored by the safety run.
     pub states: usize,
     /// Transitions executed.
     pub transitions: usize,
@@ -75,11 +85,25 @@ pub fn budget_grid() -> Vec<FaultBudget> {
     ]
 }
 
+/// Renders a liveness verdict for the sweep's liveness column.
+fn liveness_label(report: &mp_checker::RunReport) -> String {
+    match &report.verdict {
+        mp_checker::Verdict::Violated(cx) if cx.is_lasso => format!(
+            "fair lasso ({} stem + {} cycle steps)",
+            cx.steps.len(),
+            cx.cycle.len()
+        ),
+        verdict => verdict.to_string(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // a sweep cell genuinely has this many axes
 fn run_cells<S, M, O>(
     protocol: &str,
     budget_label: &str,
     spec: &ProtocolSpec<S, M>,
     property: Invariant<S, M, O>,
+    liveness: &Property<S, M, NullObserver>,
     observer: O,
     run_budget: &Budget,
     out: &mut Vec<FaultCell>,
@@ -89,6 +113,18 @@ fn run_cells<S, M, O>(
     O: Observer<S, M>,
 {
     for spor in [false, true] {
+        // The liveness verdict is backend-independent (the lasso search
+        // runs on the exact store): one run per strategy, recorded in
+        // every backend row of the group.
+        let liveness_verdict = {
+            let mut config = CheckerConfig::stateful_dfs();
+            config.max_states = run_budget.max_states;
+            config.time_limit = run_budget.time_limit;
+            let checker =
+                Checker::with_observer(spec, liveness.clone(), NullObserver).config(config);
+            let checker = if spor { checker.spor() } else { checker };
+            liveness_label(&checker.run())
+        };
         for store in sweep_backends() {
             let mut config = CheckerConfig::stateful_dfs();
             config.max_states = run_budget.max_states;
@@ -104,6 +140,7 @@ fn run_cells<S, M, O>(
                 strategy: if spor { "SPOR" } else { "unreduced" }.to_string(),
                 backend: store.to_string(),
                 verdict: report.verdict.to_string(),
+                liveness: liveness_verdict.clone(),
                 states: report.stats.states,
                 transitions: report.stats.transitions_executed,
                 store_bytes: report.stats.store_bytes,
@@ -117,12 +154,26 @@ fn run_cells<S, M, O>(
 /// (plus a corruption budget for Paxos, which has a Byzantine mutator),
 /// SPOR on/off, every store backend.
 pub fn fault_sweep(run_budget: &Budget) -> Vec<FaultCell> {
+    fault_sweep_grid(run_budget, &budget_grid(), true)
+}
+
+/// Runs the fault sweep over an explicit budget grid. `with_corruption`
+/// additionally appends the Byzantine-corruption budget to the Paxos rows.
+/// The `fault_sweep` binary's `--smoke` mode uses this with a reduced grid
+/// so CI can watch the verdict/liveness trajectory per PR.
+pub fn fault_sweep_grid(
+    run_budget: &Budget,
+    budgets: &[FaultBudget],
+    with_corruption: bool,
+) -> Vec<FaultCell> {
     let mut cells = Vec::new();
 
     let paxos_setting = PaxosSetting::new(1, 2, 1);
     let paxos_label = format!("Paxos {paxos_setting}");
-    let mut paxos_budgets = budget_grid();
-    paxos_budgets.push(FaultBudget::none().corruptions(2));
+    let mut paxos_budgets = budgets.to_vec();
+    if with_corruption {
+        paxos_budgets.push(FaultBudget::none().corruptions(2));
+    }
     for budget in paxos_budgets {
         let spec = faulty_paxos(paxos_setting, PaxosVariant::Correct, budget);
         run_cells(
@@ -130,6 +181,7 @@ pub fn fault_sweep(run_budget: &Budget) -> Vec<FaultCell> {
             &budget.to_string(),
             &spec,
             faulty_consensus_property(paxos_setting),
+            &faulty_termination_property(paxos_setting),
             NullObserver,
             run_budget,
             &mut cells,
@@ -138,13 +190,14 @@ pub fn fault_sweep(run_budget: &Budget) -> Vec<FaultCell> {
 
     let multicast_setting = MulticastSetting::new(2, 1, 0, 1);
     let multicast_label = format!("Echo Multicast {multicast_setting}");
-    for budget in budget_grid() {
-        let spec = faulty_multicast(multicast_setting, budget);
+    for budget in budgets {
+        let spec = faulty_multicast(multicast_setting, *budget);
         run_cells(
             &multicast_label,
             &budget.to_string(),
             &spec,
             faulty_agreement_property(multicast_setting),
+            &faulty_delivery_termination_property(multicast_setting),
             NullObserver,
             run_budget,
             &mut cells,
@@ -153,13 +206,14 @@ pub fn fault_sweep(run_budget: &Budget) -> Vec<FaultCell> {
 
     let storage_setting = StorageSetting::new(2, 1);
     let storage_label = format!("Regular storage {storage_setting}");
-    for budget in budget_grid() {
-        let spec = faulty_storage(storage_setting, budget);
+    for budget in budgets {
+        let spec = faulty_storage(storage_setting, *budget);
         run_cells(
             &storage_label,
             &budget.to_string(),
             &spec,
             faulty_regularity_property(storage_setting),
+            &faulty_read_completion_property(storage_setting),
             faulty_regularity_observer(storage_setting),
             run_budget,
             &mut cells,
@@ -288,6 +342,9 @@ pub fn backend_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
                     && c.strategy == cell.strategy
             })
             .expect("the group contains at least the cell itself");
+        // The liveness verdict is computed once per strategy (it is
+        // backend-independent by construction), so only the safety verdict
+        // and state count can disagree across backends.
         if cell.verdict != reference.verdict || cell.states != reference.states {
             bad.push(cell);
         }
@@ -298,14 +355,14 @@ pub fn backend_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
 /// Renders the sweep as an aligned text table.
 pub fn render_fault_sweep(cells: &[FaultCell]) -> String {
     let mut out = String::from(
-        "protocol                  | budget              | strategy  | backend             |   states | store KiB | time     | verdict\n",
+        "protocol                  | budget              | strategy  | backend             |   states | store KiB | time     | verdict              | liveness\n",
     );
     out.push_str(
-        "--------------------------+---------------------+-----------+---------------------+----------+-----------+----------+--------\n",
+        "--------------------------+---------------------+-----------+---------------------+----------+-----------+----------+----------------------+---------\n",
     );
     for c in cells {
         out.push_str(&format!(
-            "{:<25} | {:<19} | {:<9} | {:<19} | {:>8} | {:>9} | {:>8} | {}\n",
+            "{:<25} | {:<19} | {:<9} | {:<19} | {:>8} | {:>9} | {:>8} | {:<20} | {}\n",
             c.protocol,
             c.budget,
             c.strategy,
@@ -313,7 +370,8 @@ pub fn render_fault_sweep(cells: &[FaultCell]) -> String {
             c.states,
             c.store_bytes / 1024,
             format!("{:.1?}", c.time),
-            c.verdict
+            c.verdict,
+            c.liveness
         ));
     }
     out
@@ -330,12 +388,14 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"protocol\":\"{}\",\"budget\":\"{}\",\"strategy\":\"{}\",\"backend\":\"{}\",\
-             \"verdict\":\"{}\",\"states\":{},\"transitions\":{},\"store_bytes\":{},\"time_ms\":{}}}{}\n",
+             \"verdict\":\"{}\",\"liveness\":\"{}\",\"states\":{},\"transitions\":{},\
+             \"store_bytes\":{},\"time_ms\":{}}}{}\n",
             json_escape(&c.protocol),
             json_escape(&c.budget),
             json_escape(&c.strategy),
             json_escape(&c.backend),
             json_escape(&c.verdict),
+            json_escape(&c.liveness),
             c.states,
             c.transitions,
             c.store_bytes,
@@ -387,6 +447,7 @@ mod tests {
                 &budget.to_string(),
                 &spec,
                 faulty_consensus_property(setting),
+                &faulty_termination_property(setting),
                 NullObserver,
                 &run_budget,
                 &mut cells,
@@ -395,10 +456,22 @@ mod tests {
         assert_eq!(cells.len(), 2 * 2 * 3);
         assert!(backend_disagreements(&cells).is_empty());
         assert!(cells.iter().all(|c| c.verdict == "verified"));
+        // The liveness column: zero-budget Paxos terminates; a single lost
+        // message can strand a quorum, a fair quiescent lasso.
+        assert!(cells
+            .iter()
+            .filter(|c| c.budget == "none")
+            .all(|c| c.liveness == "verified"));
+        assert!(cells
+            .iter()
+            .filter(|c| c.budget != "none")
+            .all(|c| c.liveness.contains("lasso")));
         let json = fault_sweep_json(&cells);
         assert!(json.starts_with("[\n"));
         assert_eq!(json.matches("\"protocol\"").count(), cells.len());
+        assert_eq!(json.matches("\"liveness\"").count(), cells.len());
         let table = render_fault_sweep(&cells);
         assert!(table.contains("fingerprint"));
+        assert!(table.contains("liveness"));
     }
 }

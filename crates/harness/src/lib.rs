@@ -37,7 +37,9 @@ pub mod scaling;
 pub mod table1;
 pub mod table2;
 
-pub use report::{render_csv, render_json, render_table, Measurement};
+pub use report::{
+    json_output_path, render_csv, render_json, render_table, write_json_rows, Measurement,
+};
 pub use runner::{Budget, CellStrategy};
 // Visited-store selection is part of the experiment surface: a `Budget`
 // carries a `StoreConfig`, re-exported here so binaries need one import.

@@ -159,6 +159,30 @@ pub fn render_json(rows: &[Measurement]) -> String {
     out
 }
 
+/// Parses the shared `--json [PATH]` CLI convention of the harness
+/// binaries: returns `None` when `--json` is absent, `Some(default)` when it
+/// is given without a path (the next argument is another flag or missing),
+/// and `Some(path)` otherwise. Keeping the convention in one place is what
+/// lets every binary emit its `BENCH_*.json`.
+pub fn json_output_path(args: &[String], default: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == "--json")?;
+    match args.get(at + 1) {
+        Some(next) if !next.starts_with("--") => Some(next.clone()),
+        _ => Some(default.to_string()),
+    }
+}
+
+/// Writes measurement rows as a JSON array to `path` and reports the write
+/// on stderr — the shared tail of every binary's `--json` handling.
+///
+/// # Panics
+///
+/// Panics when the file cannot be written; the binaries treat that as fatal.
+pub fn write_json_rows(path: &str, rows: &[Measurement]) {
+    std::fs::write(path, render_json(rows)).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!("wrote {} rows to {path}", rows.len());
+}
+
 /// Renders measurements as CSV (one row per measurement).
 pub fn render_csv(rows: &[Measurement]) -> String {
     let mut out =
@@ -245,6 +269,24 @@ mod tests {
         assert!(csv.starts_with("protocol,"));
         assert_eq!(csv.lines().count(), 2);
         assert!(csv.contains("p1,p,s1,10,20,1500,verified,true"));
+    }
+
+    #[test]
+    fn json_output_path_follows_the_flag_convention() {
+        let to_args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(json_output_path(&to_args(&["bin"]), "d.json"), None);
+        assert_eq!(
+            json_output_path(&to_args(&["bin", "--json"]), "d.json"),
+            Some("d.json".to_string())
+        );
+        assert_eq!(
+            json_output_path(&to_args(&["bin", "--json", "out.json"]), "d.json"),
+            Some("out.json".to_string())
+        );
+        assert_eq!(
+            json_output_path(&to_args(&["bin", "--json", "--full"]), "d.json"),
+            Some("d.json".to_string())
+        );
     }
 
     #[test]

@@ -236,10 +236,21 @@ pub struct Annotations {
     /// environment (crash, message loss/duplication/corruption from
     /// `mp-faults`) rather than the protocol. Environment transitions share
     /// a global fault budget, so `mp-por` treats any two of them as
-    /// mutually dependent and assumes one may enable any transition of its
-    /// own process (it can rewrite that process's channels and local
-    /// bookkeeping arbitrarily).
+    /// mutually dependent (unless their [`Annotations::environment_class`]es
+    /// prove their budgets disjoint) and assumes one may enable any
+    /// transition of its own process (it can rewrite that process's channels
+    /// and local bookkeeping arbitrarily). Liveness checking (`mp-checker`)
+    /// additionally exempts environment transitions from fairness: a crash
+    /// is never *required* to happen.
     pub is_environment: bool,
+    /// The budget class of an environment transition (e.g. `"crash"`,
+    /// `"drop"`). Two environment transitions of *different* classes draw on
+    /// disjoint budget counters, so neither can disable the other by
+    /// exhausting a shared budget; `mp-por` uses this to declare them
+    /// independent when they also pass the ordinary communication test.
+    /// `None` (the default) means "unknown class": conservatively dependent
+    /// on every other environment transition.
+    pub environment_class: Option<Kind>,
 }
 
 impl Default for Annotations {
@@ -253,6 +264,7 @@ impl Default for Annotations {
             reads_local: true,
             writes_local: true,
             is_environment: false,
+            environment_class: None,
         }
     }
 }
@@ -606,6 +618,15 @@ impl<S: LocalState, M: Message> TransitionBuilder<S, M> {
     /// see [`Annotations::is_environment`].
     pub fn environment(mut self) -> Self {
         self.annotations.is_environment = true;
+        self
+    }
+
+    /// Marks the transition as an environment transition of the given budget
+    /// class (implies [`TransitionBuilder::environment`]); see
+    /// [`Annotations::environment_class`].
+    pub fn environment_class(mut self, class: Kind) -> Self {
+        self.annotations.is_environment = true;
+        self.annotations.environment_class = Some(class);
         self
     }
 

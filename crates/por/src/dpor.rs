@@ -17,7 +17,7 @@
 //! applies it to single-message models only; our engine imposes the same
 //! discipline in the harness but the machinery itself is model-agnostic.
 
-use mp_model::{Message, ProcessId, TransitionInstance};
+use mp_model::{Kind, Message, ProcessId, TransitionInstance};
 
 /// One executed step of the current stateless execution, with enough
 /// information to decide races against later steps.
@@ -28,10 +28,16 @@ pub struct ExecutedStep<M> {
     /// The processes that received messages sent by this step.
     pub sent_to: Vec<ProcessId>,
     /// `true` if the executed transition is an environment transition
-    /// (fault injection). Environment steps of different processes share
+    /// (fault injection). Environment steps of the same budget class share
     /// the global fault budget, so they race with each other even without
     /// a message between them; see [`step_dependent`].
     pub is_environment: bool,
+    /// The budget class of an environment step (mirrors
+    /// [`Annotations::environment_class`](mp_model::Annotations)): steps of
+    /// *disjoint* classes draw on disjoint budget counters and do not race
+    /// through the budget. `None` means unknown — conservatively racing
+    /// with every other environment step.
+    pub environment_class: Option<Kind>,
 }
 
 impl<M: Message> ExecutedStep<M> {
@@ -42,6 +48,7 @@ impl<M: Message> ExecutedStep<M> {
             instance,
             sent_to,
             is_environment: false,
+            environment_class: None,
         }
     }
 
@@ -49,6 +56,13 @@ impl<M: Message> ExecutedStep<M> {
     /// (builder style).
     pub fn with_environment(mut self, is_environment: bool) -> Self {
         self.is_environment = is_environment;
+        self
+    }
+
+    /// Records the environment step's budget class (builder style); see
+    /// [`ExecutedStep::environment_class`].
+    pub fn with_environment_class(mut self, class: Option<Kind>) -> Self {
+        self.environment_class = class;
         self
     }
 
@@ -109,10 +123,16 @@ pub fn step_dependent<M: Message>(a: &ExecutedStep<M>, b: &ExecutedStep<M>) -> b
     if instances_dependent(&a.instance, &b.instance) {
         return true;
     }
-    // Environment steps share the global fault budget: each can disable
-    // the other by exhausting it, so their orders are never equivalent.
+    // Environment steps of the same (or unknown) budget class share a fault
+    // budget counter: each can disable the other by exhausting it, so their
+    // orders are never equivalent. Disjoint classes (e.g. a crash and a
+    // duplication with separate budgets) cannot interfere through the
+    // budget and fall through to the message-causality test.
     if a.is_environment && b.is_environment {
-        return true;
+        match (a.environment_class, b.environment_class) {
+            (Some(ca), Some(cb)) if ca != cb => {}
+            _ => return true,
+        }
     }
     a.sent_to.contains(&b.process()) || b.sent_to.contains(&a.process())
 }
@@ -245,6 +265,26 @@ mod tests {
             ExecutedStep::new(receive_instance(2, 2, 1), vec![]),
         ];
         assert_eq!(latest_racing_step(&steps, 2), Some(1));
+    }
+
+    #[test]
+    fn environment_steps_race_by_budget_class() {
+        let crash0 = ExecutedStep::new(internal_instance(0, 0), vec![])
+            .with_environment(true)
+            .with_environment_class(Some("crash"));
+        let crash1 = ExecutedStep::new(internal_instance(1, 1), vec![])
+            .with_environment(true)
+            .with_environment_class(Some("crash"));
+        let dup2 = ExecutedStep::new(internal_instance(2, 2), vec![])
+            .with_environment(true)
+            .with_environment_class(Some("dup"));
+        let unknown3 = ExecutedStep::new(internal_instance(3, 3), vec![]).with_environment(true);
+        // Same class: shared budget, always a race.
+        assert!(step_dependent(&crash0, &crash1));
+        // Disjoint classes, no communication: no race.
+        assert!(!step_dependent(&crash0, &dup2));
+        // Unknown class: conservatively racing.
+        assert!(step_dependent(&crash0, &unknown3));
     }
 
     #[test]

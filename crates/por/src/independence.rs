@@ -138,12 +138,20 @@ pub fn may_emit_kind<S: LocalState, M: Message>(a: &TransitionSpec<S, M>, kind: 
 ///
 /// Besides the two protocol rules (same process; possible communication),
 /// a third rule covers **environment transitions** (fault injection,
-/// `mp-faults`): any two environment transitions are dependent, even across
-/// processes. They draw on a shared global fault budget enforced through
-/// the spec's enable filter, so executing one can *disable* the other — a
-/// relationship invisible to the channel-based communication test. Without
-/// this rule a stubborn set could postpone an environment transition past
-/// the point where the budget that admitted it is spent.
+/// `mp-faults`): two environment transitions of the *same budget class*
+/// (or of unknown class) are dependent, even across processes. They draw
+/// on a shared global fault budget enforced through the spec's enable
+/// filter, so executing one can *disable* the other — a relationship
+/// invisible to the channel-based communication test. Without this rule a
+/// stubborn set could postpone an environment transition past the point
+/// where the budget that admitted it is spent.
+///
+/// Environment transitions of *disjoint* budget classes (e.g. a crash and a
+/// duplication, each with its own
+/// [`Annotations::environment_class`](mp_model::Annotations::environment_class)
+/// counter) cannot disable each other through the budget; for those the
+/// ordinary communication test decides, so a crash at one process and a
+/// message drop at another commute and POR may prune one of the two orders.
 pub fn transitions_dependent<S: LocalState, M: Message>(
     a: &TransitionSpec<S, M>,
     b: &TransitionSpec<S, M>,
@@ -152,7 +160,17 @@ pub fn transitions_dependent<S: LocalState, M: Message>(
         return true;
     }
     if a.annotations().is_environment && b.annotations().is_environment {
-        return true;
+        match (
+            a.annotations().environment_class,
+            b.annotations().environment_class,
+        ) {
+            // Disjoint budget counters: neither can exhaust the other's
+            // budget, so only ordinary communication can make them
+            // dependent (checked below).
+            (Some(ca), Some(cb)) if ca != cb => {}
+            // Same class, or unknown class: conservatively dependent.
+            _ => return true,
+        }
     }
     can_communicate(a, b) || can_communicate(b, a)
 }
@@ -299,6 +317,36 @@ mod tests {
         let to_other = serve1.restricted_copy("SERVE_1_x", [p(2)].into_iter().collect());
         // Restricted to replying to p2, it can no longer send ACK to p0.
         assert!(!transitions_dependent(&to_other, collect));
+    }
+
+    #[test]
+    fn environment_budget_classes_decide_env_env_dependence() {
+        let env = |name: &str, proc: usize, class: Option<Kind>| {
+            let mut b = TransitionSpec::<u8, Msg>::builder(name.to_string(), p(proc))
+                .internal()
+                .sends_nothing()
+                .effect(|l, _| Outcome::new(*l));
+            b = match class {
+                Some(c) => b.environment_class(c),
+                None => b.environment(),
+            };
+            b.build()
+        };
+        let crash0 = env("FAULT_CRASH@p0", 0, Some("crash"));
+        let crash1 = env("FAULT_CRASH@p1", 1, Some("crash"));
+        let dup1 = env("FAULT_DUP@p1", 1, Some("dup"));
+        let dup2 = env("FAULT_DUP@p2", 2, Some("dup"));
+        let unknown2 = env("FAULT_MYSTERY@p2", 2, None);
+        // Same class across processes: shared budget, dependent.
+        assert!(transitions_dependent(&crash0, &crash1));
+        assert!(transitions_dependent(&dup1, &dup2));
+        // Same process: always dependent, whatever the classes.
+        assert!(transitions_dependent(&crash1, &dup1));
+        // Disjoint classes, disjoint processes, no communication: independent.
+        assert!(!transitions_dependent(&crash0, &dup2));
+        // Unknown class stays conservatively dependent on everything.
+        assert!(transitions_dependent(&crash0, &unknown2));
+        assert!(transitions_dependent(&dup1, &unknown2));
     }
 
     #[test]

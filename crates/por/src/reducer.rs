@@ -17,6 +17,15 @@ use crate::{SeedHeuristic, StubbornSets};
 pub struct Reduction<M> {
     /// The instances the search must explore from this state.
     pub explore: Vec<TransitionInstance<M>>,
+    /// The enabled instances the reducer pruned (empty when not reduced).
+    /// The search keeps them at hand for the **cycle/ignoring proviso**: if
+    /// a reduced expansion closes a cycle back into the search stack, the
+    /// state is re-expanded with these instances added back, so no enabled
+    /// transition is postponed around a cycle forever. This is what makes
+    /// stubborn-set reduction sound for cyclic state graphs — and, together
+    /// with the visibility condition, for the liveness properties of
+    /// `mp-checker` (termination / leads-to).
+    pub pruned: Vec<TransitionInstance<M>>,
     /// `true` if some enabled instance was pruned.
     pub reduced: bool,
 }
@@ -52,6 +61,7 @@ impl<S: LocalState, M: Message> Reducer<S, M> for NoReduction {
     ) -> Reduction<M> {
         Reduction {
             explore: instances,
+            pruned: Vec::new(),
             reduced: false,
         }
     }
@@ -103,6 +113,7 @@ impl<S: LocalState, M: Message> Reducer<S, M> for SporReducer {
         if instances.is_empty() {
             return Reduction {
                 explore: instances,
+                pruned: Vec::new(),
                 reduced: false,
             };
         }
@@ -111,17 +122,19 @@ impl<S: LocalState, M: Message> Reducer<S, M> for SporReducer {
         enabled.dedup();
         match self.sets.compute(spec, &enabled) {
             Some(result) => {
-                let explore: Vec<TransitionInstance<M>> = instances
-                    .into_iter()
-                    .filter(|i| result.explore.contains(&i.transition))
-                    .collect();
+                let (explore, pruned): (Vec<TransitionInstance<M>>, Vec<TransitionInstance<M>>) =
+                    instances
+                        .into_iter()
+                        .partition(|i| result.explore.contains(&i.transition));
                 Reduction {
                     reduced: result.reduced,
                     explore,
+                    pruned,
                 }
             }
             None => Reduction {
                 explore: instances,
+                pruned: Vec::new(),
                 reduced: false,
             },
         }
@@ -208,6 +221,11 @@ mod tests {
             "Figure 4(a): one representative order suffices"
         );
         assert!(red.reduced);
+        assert_eq!(
+            red.pruned.len(),
+            1,
+            "the pruned branch must be kept for the cycle proviso"
+        );
         assert_eq!(<SporReducer as Reducer<u8, Tok>>::name(&reducer), "spor");
     }
 

@@ -13,9 +13,21 @@
 //!    in the set add its necessary enabling transitions (the NET relation);
 //! 3. if the resulting enabled subset is a strict reduction and the state
 //!    has enabled *visible* transitions, add all of them and re-close —
-//!    visible transitions are never postponed, which (together with the
-//!    cycle proviso applied by the search in `mp-checker`) gives the
-//!    reachability-preservation guarantee listed in the paper's appendix.
+//!    visible transitions are never postponed past the reduction.
+//!
+//! The stubborn set alone is not enough on cyclic state graphs: a reduced
+//! search could postpone a transition around a cycle forever (the
+//! **ignoring problem**). The searches in `mp-checker` therefore apply the
+//! **cycle proviso** on top of the sets computed here: whenever a reduced
+//! expansion closes a cycle back into the search stack, the state is
+//! re-expanded with the pruned instances (kept in
+//! [`Reduction::pruned`](crate::Reduction)) added back — i.e. the reduction
+//! falls back to full expansion at that state. Visibility (rule 3) plus the
+//! proviso gives the reachability-preservation guarantee listed in the
+//! paper's appendix for invariants, and makes the reduction sound for the
+//! liveness properties (termination / leads-to) of `mp-checker`, whose
+//! lasso counterexamples are exactly cycles the proviso refuses to leave
+//! reduced.
 //!
 //! The computation works on transition *ids*; the checker maps the chosen
 //! ids back to the concrete [`TransitionInstance`](mp_model::TransitionInstance)s it enumerated.

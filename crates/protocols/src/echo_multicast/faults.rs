@@ -6,12 +6,14 @@
 //! duplication — so a single budget answers questions like "does agreement
 //! survive a crashed receiver on top of `b` Byzantine ones?".
 
-use mp_checker::{Invariant, NullObserver};
-use mp_faults::{inject, lift_invariant, FaultBudget, FaultLocal};
+use mp_checker::{Invariant, NullObserver, Property};
+use mp_faults::{inject, lift_invariant, lift_property, FaultBudget, FaultLocal};
 use mp_model::ProtocolSpec;
 
 use super::model::quorum_model;
-use super::properties::agreement_property;
+use super::properties::{
+    agreement_property, committed_leads_to_delivered, delivery_termination_property,
+};
 use super::types::{MulticastMessage, MulticastSetting, MulticastState};
 
 /// The quorum-transition Echo Multicast model wrapped with a fault budget.
@@ -32,6 +34,22 @@ pub fn faulty_agreement_property(
     lift_invariant(agreement_property(setting))
 }
 
+/// The delivery termination property lifted to the fault-augmented state
+/// space: does every fair execution still deliver under the budget?
+pub fn faulty_delivery_termination_property(
+    setting: MulticastSetting,
+) -> Property<FaultLocal<MulticastState>, MulticastMessage, NullObserver> {
+    lift_property(delivery_termination_property(setting))
+}
+
+/// The `committed ⇝ delivered` leads-to property lifted to the
+/// fault-augmented state space.
+pub fn faulty_committed_leads_to_delivered(
+    setting: MulticastSetting,
+) -> Property<FaultLocal<MulticastState>, MulticastMessage, NullObserver> {
+    lift_property(committed_leads_to_delivered(setting))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,6 +63,22 @@ mod tests {
             .spor()
             .run();
         assert!(report.verdict.is_verified(), "{report}");
+    }
+
+    #[test]
+    fn delivery_termination_breaks_under_a_crash_but_not_zero_budget() {
+        let setting = MulticastSetting::new(2, 1, 0, 1);
+        let zero = faulty_quorum_model(setting, FaultBudget::none());
+        let report = Checker::new(&zero, faulty_delivery_termination_property(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
+
+        let crashy = faulty_quorum_model(setting, FaultBudget::none().crashes(1));
+        let report = Checker::new(&crashy, faulty_delivery_termination_property(setting)).run();
+        let cx = report
+            .verdict
+            .counterexample()
+            .expect("a crashed receiver never delivers");
+        assert!(cx.is_lasso);
     }
 
     #[test]

@@ -29,9 +29,15 @@ mod properties;
 mod single;
 mod types;
 
-pub use faults::{faulty_agreement_property, faulty_quorum_model};
+pub use faults::{
+    faulty_agreement_property, faulty_committed_leads_to_delivered,
+    faulty_delivery_termination_property, faulty_quorum_model,
+};
 pub use model::quorum_model;
-pub use properties::{agreement_property, deliveries_per_initiator};
+pub use properties::{
+    agreement_property, all_honest_delivered, committed_leads_to_delivered,
+    deliveries_per_initiator, delivery_termination_property,
+};
 pub use single::single_message_model;
 pub use types::{
     ByzantineInitiatorState, HonestInitiatorState, HonestReceiverState, InitiatorPhase,

@@ -1,11 +1,12 @@
-//! Echo Multicast properties.
+//! Echo Multicast properties: the agreement safety invariant and the
+//! delivery liveness properties.
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use mp_checker::{Invariant, NullObserver};
+use mp_checker::{Invariant, NullObserver, Property};
 use mp_model::{GlobalState, ProcessId};
 
-use super::types::{MulticastMessage, MulticastSetting, MulticastState, Value};
+use super::types::{InitiatorPhase, MulticastMessage, MulticastSetting, MulticastState, Value};
 
 /// Returns, per initiator, the set of distinct values delivered by honest
 /// receivers in `state`.
@@ -44,6 +45,76 @@ pub fn agreement_property(
     )
 }
 
+/// Returns `true` if every honest receiver has delivered a value from every
+/// *honest* initiator (Byzantine initiators are under no obligation to get
+/// their equivocation delivered).
+pub fn all_honest_delivered(
+    setting: MulticastSetting,
+    state: &GlobalState<MulticastState, MulticastMessage>,
+) -> bool {
+    (0..setting.honest_initiators).all(|i| {
+        let initiator = setting.honest_initiator(i);
+        (0..setting.honest_receivers).all(|r| {
+            state
+                .local(setting.honest_receiver(r))
+                .as_honest_receiver()
+                .delivered
+                .contains_key(&initiator)
+        })
+    })
+}
+
+/// The **delivery termination** property: every fair maximal execution ends
+/// with every honest receiver having delivered every honest initiator's
+/// multicast. Holds on the seed models; a crash or a lost `COMMIT` breaks
+/// it with a quiescent lasso.
+pub fn delivery_termination_property(
+    setting: MulticastSetting,
+) -> Property<MulticastState, MulticastMessage, NullObserver> {
+    Property::termination("multicast-delivery", move |state, _| {
+        all_honest_delivered(setting, state)
+    })
+}
+
+/// The **leads-to** property `committed ⇝ delivered`: whenever some honest
+/// initiator has committed its multicast, every honest receiver eventually
+/// delivers it (for all committed honest initiators). Vacuous on executions
+/// where no honest initiator assembles its echo certificate, so it isolates
+/// the commit-to-delivery half of the protocol.
+pub fn committed_leads_to_delivered(
+    setting: MulticastSetting,
+) -> Property<MulticastState, MulticastMessage, NullObserver> {
+    let committed: Vec<usize> = (0..setting.honest_initiators).collect();
+    let trigger_ids = committed.clone();
+    Property::leads_to(
+        "committed-leads-to-delivered",
+        move |state: &GlobalState<MulticastState, MulticastMessage>, _: &NullObserver| {
+            trigger_ids.iter().any(|&i| {
+                state
+                    .local(setting.honest_initiator(i))
+                    .as_honest_initiator()
+                    .phase
+                    == InitiatorPhase::Committed
+            })
+        },
+        move |state: &GlobalState<MulticastState, MulticastMessage>, _: &NullObserver| {
+            committed.iter().all(|&i| {
+                let initiator = setting.honest_initiator(i);
+                let is_committed =
+                    state.local(initiator).as_honest_initiator().phase == InitiatorPhase::Committed;
+                !is_committed
+                    || (0..setting.honest_receivers).all(|r| {
+                        state
+                            .local(setting.honest_receiver(r))
+                            .as_honest_receiver()
+                            .delivered
+                            .contains_key(&initiator)
+                    })
+            })
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +146,17 @@ mod tests {
             PropertyStatus::Holds => panic!("expected a violation"),
         }
         assert_eq!(deliveries_per_initiator(setting, &state)[&byz].len(), 2);
+    }
+
+    #[test]
+    fn seed_multicast_delivers_on_every_fair_execution() {
+        use mp_checker::Checker;
+        let setting = MulticastSetting::new(2, 1, 0, 1);
+        let spec = quorum_model(setting);
+        let report = Checker::new(&spec, delivery_termination_property(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
+        let report = Checker::new(&spec, committed_leads_to_delivered(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
     }
 
     #[test]

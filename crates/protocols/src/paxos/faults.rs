@@ -5,12 +5,12 @@
 //! workloads: "does Paxos still satisfy consensus with one crash and two
 //! dropped messages?" becomes one [`FaultBudget`] away.
 
-use mp_checker::{Invariant, NullObserver};
-use mp_faults::{lift_invariant, FaultBudget, FaultInjector, FaultLocal, Mutator};
+use mp_checker::{Invariant, NullObserver, Property};
+use mp_faults::{lift_invariant, lift_property, FaultBudget, FaultInjector, FaultLocal, Mutator};
 use mp_model::{Envelope, ProtocolSpec};
 
 use super::model::quorum_model;
-use super::properties::consensus_property;
+use super::properties::{accepted_leads_to_learned, consensus_property, termination_property};
 use super::types::{PaxosMessage, PaxosSetting, PaxosState, PaxosVariant};
 
 /// The offset added to corrupted Paxos values. Proposed values are small
@@ -59,6 +59,24 @@ pub fn faulty_consensus_property(
     lift_invariant(consensus_property(setting))
 }
 
+/// The termination property ("some value is eventually learned") lifted to
+/// the fault-augmented state space. Environment transitions are
+/// fairness-exempt, so zero-budget injection verifies exactly like the seed
+/// model, while a crashed majority yields a fair non-terminating lasso.
+pub fn faulty_termination_property(
+    setting: PaxosSetting,
+) -> Property<FaultLocal<PaxosState>, PaxosMessage, NullObserver> {
+    lift_property(termination_property(setting))
+}
+
+/// The `accepted ⇝ learned` leads-to property lifted to the fault-augmented
+/// state space.
+pub fn faulty_accepted_leads_to_learned(
+    setting: PaxosSetting,
+) -> Property<FaultLocal<PaxosState>, PaxosMessage, NullObserver> {
+    lift_property(accepted_leads_to_learned(setting))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +115,38 @@ mod tests {
                 .any(|s| s.to_string().contains("FAULT_CORRUPT")),
             "the counterexample must show the environment lying: {cx}"
         );
+    }
+
+    #[test]
+    fn crashed_majority_yields_a_fair_non_terminating_lasso() {
+        // (1,2,1): the acceptor quorum is 2, so one crashed acceptor already
+        // removes the majority. Safety survives (consensus holds), but
+        // termination does not: the environment can crash an acceptor and
+        // the fair remainder of the run never learns.
+        let setting = PaxosSetting::new(1, 2, 1);
+        let budget = FaultBudget::none().crashes(1);
+        let spec = faulty_quorum_model(setting, PaxosVariant::Correct, budget);
+        let report = Checker::new(&spec, faulty_termination_property(setting))
+            .spor()
+            .run();
+        let cx = report.verdict.counterexample().expect("must violate");
+        assert!(cx.is_lasso, "liveness counterexamples are lassos");
+        assert!(
+            cx.steps
+                .iter()
+                .any(|s| s.transition.starts_with("FAULT_CRASH")),
+            "the stem must contain the crash: {cx}"
+        );
+    }
+
+    #[test]
+    fn termination_holds_with_zero_crash_budget() {
+        let setting = PaxosSetting::new(1, 2, 1);
+        let spec = faulty_quorum_model(setting, PaxosVariant::Correct, FaultBudget::none());
+        let report = Checker::new(&spec, faulty_termination_property(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
+        let report = Checker::new(&spec, faulty_accepted_leads_to_learned(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
     }
 
     #[test]

@@ -33,10 +33,13 @@ mod single;
 mod types;
 
 pub use faults::{
-    faulty_consensus_property, faulty_quorum_model, value_mutator, CORRUPT_VALUE_OFFSET,
+    faulty_accepted_leads_to_learned, faulty_consensus_property, faulty_quorum_model,
+    faulty_termination_property, value_mutator, CORRUPT_VALUE_OFFSET,
 };
 pub use model::quorum_model;
-pub use properties::{consensus_property, values_learned};
+pub use properties::{
+    accepted_leads_to_learned, consensus_property, termination_property, values_learned,
+};
 pub use single::single_message_model;
 pub use types::{
     AcceptorState, LearnerState, PaxosMessage, PaxosSetting, PaxosState, PaxosVariant,

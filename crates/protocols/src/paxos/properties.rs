@@ -1,8 +1,9 @@
-//! Paxos properties.
+//! Paxos properties: the consensus safety invariant and the liveness
+//! properties (termination, leads-to) the fault sweeps ask about.
 
 use std::collections::BTreeSet;
 
-use mp_checker::{Invariant, NullObserver};
+use mp_checker::{Invariant, NullObserver, Property};
 use mp_model::GlobalState;
 
 use super::types::{PaxosMessage, PaxosSetting, PaxosState, Value};
@@ -61,6 +62,46 @@ pub fn consensus_property(
     )
 }
 
+/// The **termination** property of the Paxos experiments: every fair
+/// maximal execution eventually learns some value ("is consensus actually
+/// reached?", not just "is it never violated?"). On the seed model this
+/// holds; under a fault budget it distinguishes budgets the protocol can
+/// ride out from those that kill liveness — a crashed majority of acceptors
+/// yields a fair lasso in which no learner ever learns.
+pub fn termination_property(
+    setting: PaxosSetting,
+) -> Property<PaxosState, PaxosMessage, NullObserver> {
+    Property::termination("paxos-termination", move |state, _| {
+        !values_learned(setting, state).is_empty()
+    })
+}
+
+/// The **leads-to** property `accepted ⇝ learned`: whenever some acceptor
+/// has accepted a value, some learner eventually learns one (on every fair
+/// maximal execution). Sharper than [`termination_property`]: executions on
+/// which no acceptor ever accepts are vacuously fine, so a fault that stops
+/// the protocol *before* phase 2 does not violate it, while a fault that
+/// stops it between acceptance and learning does.
+pub fn accepted_leads_to_learned(
+    setting: PaxosSetting,
+) -> Property<PaxosState, PaxosMessage, NullObserver> {
+    Property::leads_to(
+        "accepted-leads-to-learned",
+        move |state: &GlobalState<PaxosState, PaxosMessage>, _: &NullObserver| {
+            (0..setting.acceptors).any(|i| {
+                state
+                    .local(setting.acceptor(i))
+                    .as_acceptor()
+                    .accepted
+                    .is_some()
+            })
+        },
+        move |state: &GlobalState<PaxosState, PaxosMessage>, _: &NullObserver| {
+            !values_learned(setting, state).is_empty()
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +150,17 @@ mod tests {
             PropertyStatus::Violated(reason) => assert!(reason.contains("agreement")),
             PropertyStatus::Holds => panic!("expected a violation"),
         }
+    }
+
+    #[test]
+    fn seed_paxos_terminates_and_leads_to_learning() {
+        use mp_checker::Checker;
+        let setting = PaxosSetting::new(1, 2, 1);
+        let spec = quorum_model(setting, PaxosVariant::Correct);
+        let report = Checker::new(&spec, termination_property(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
+        let report = Checker::new(&spec, accepted_leads_to_learned(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! beyond it. The regularity property reads a history observer, so this
 //! module also wires up the lifted observer.
 
-use mp_checker::Invariant;
-use mp_faults::{inject, lift_observed_invariant, FaultBudget, FaultLocal, LiftedObserver};
+use mp_checker::{Invariant, NullObserver, Property};
+use mp_faults::{
+    inject, lift_observed_invariant, lift_property, FaultBudget, FaultLocal, LiftedObserver,
+};
 use mp_model::ProtocolSpec;
 
 use super::model::quorum_model;
-use super::properties::{regularity_property, RegularityObserver};
+use super::properties::{
+    read_completion_property, reading_leads_to_done, regularity_property, RegularityObserver,
+};
 use super::types::{StorageMessage, StorageSetting, StorageState};
 
 /// The quorum-transition regular-storage model wrapped with a fault budget.
@@ -41,6 +45,23 @@ pub fn faulty_regularity_property(
     lift_observed_invariant(regularity_property(setting))
 }
 
+/// The read-completion termination property lifted to the fault-augmented
+/// state space: can a read still finish under the budget? A crashed
+/// majority of base objects leaves the reader pending forever.
+pub fn faulty_read_completion_property(
+    setting: StorageSetting,
+) -> Property<FaultLocal<StorageState>, StorageMessage, NullObserver> {
+    lift_property(read_completion_property(setting))
+}
+
+/// The `reading ⇝ done` leads-to property lifted to the fault-augmented
+/// state space.
+pub fn faulty_reading_leads_to_done(
+    setting: StorageSetting,
+) -> Property<FaultLocal<StorageState>, StorageMessage, NullObserver> {
+    lift_property(reading_leads_to_done(setting))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +79,24 @@ mod tests {
         .spor()
         .run();
         assert!(report.verdict.is_verified(), "{report}");
+    }
+
+    #[test]
+    fn read_completion_breaks_under_loss_but_not_zero_budget() {
+        let setting = StorageSetting::new(2, 1);
+        let zero = faulty_quorum_model(setting, FaultBudget::none());
+        let report = Checker::new(&zero, faulty_read_completion_property(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
+
+        // Dropping a single message can starve the majority quorum the read
+        // (or the write before it) is waiting for: the execution quiesces
+        // with the read pending.
+        let lossy = faulty_quorum_model(setting, FaultBudget::none().drops(1));
+        let report = Checker::new(&lossy, faulty_read_completion_property(setting)).run();
+        let cx = report
+            .verdict
+            .counterexample()
+            .expect("a lost reply blocks the read");
+        assert!(cx.is_lasso, "{cx}");
     }
 }

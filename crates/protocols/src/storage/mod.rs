@@ -25,10 +25,14 @@ mod properties;
 mod single;
 mod types;
 
-pub use faults::{faulty_quorum_model, faulty_regularity_observer, faulty_regularity_property};
+pub use faults::{
+    faulty_quorum_model, faulty_read_completion_property, faulty_reading_leads_to_done,
+    faulty_regularity_observer, faulty_regularity_property,
+};
 pub use model::quorum_model;
 pub use properties::{
-    regularity_property, wrong_regularity_property, RegularityObserver, WriteSnapshot,
+    read_completion_property, reading_leads_to_done, regularity_property,
+    wrong_regularity_property, RegularityObserver, WriteSnapshot,
 };
 pub use single::single_message_model;
 pub use types::{

@@ -1,6 +1,7 @@
-//! Regular storage properties and the regularity observer.
+//! Regular storage properties, the regularity observer, and the read
+//! completion liveness properties.
 
-use mp_checker::{Invariant, Observer};
+use mp_checker::{Invariant, NullObserver, Observer, Property};
 use mp_model::{GlobalState, ProtocolSpec, TransitionInstance};
 
 use super::types::{ReaderPhase, StorageMessage, StorageSetting, StorageState, Timestamp};
@@ -142,6 +143,42 @@ fn read_property(
     )
 }
 
+/// The **read completion** termination property: every fair maximal
+/// execution ends with every reader's read completed ([`ReaderPhase::Done`]).
+/// On the seed model the majority of base objects always answers; a crashed
+/// or silenced majority leaves a read pending forever.
+pub fn read_completion_property(
+    setting: StorageSetting,
+) -> Property<StorageState, StorageMessage, NullObserver> {
+    Property::termination(
+        "read-completion",
+        move |state: &GlobalState<StorageState, StorageMessage>, _: &NullObserver| {
+            (0..setting.readers)
+                .all(|r| state.local(setting.reader(r)).as_reader().phase == ReaderPhase::Done)
+        },
+    )
+}
+
+/// The **leads-to** property `reading ⇝ done`: whenever some read is in
+/// progress, every in-progress read eventually completes (on every fair
+/// maximal execution). Vacuous on executions where no read is ever invoked,
+/// isolating the query/response half of the protocol from read invocation.
+pub fn reading_leads_to_done(
+    setting: StorageSetting,
+) -> Property<StorageState, StorageMessage, NullObserver> {
+    Property::leads_to(
+        "reading-leads-to-done",
+        move |state: &GlobalState<StorageState, StorageMessage>, _: &NullObserver| {
+            (0..setting.readers)
+                .any(|r| state.local(setting.reader(r)).as_reader().phase == ReaderPhase::Reading)
+        },
+        move |state: &GlobalState<StorageState, StorageMessage>, _: &NullObserver| {
+            (0..setting.readers)
+                .all(|r| state.local(setting.reader(r)).as_reader().phase != ReaderPhase::Reading)
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +223,17 @@ mod tests {
         let observer = RegularityObserver::new(setting);
         let updated = observer.update(&spec, &state, &instance, &state);
         assert_eq!(updated, observer);
+    }
+
+    #[test]
+    fn seed_storage_reads_always_complete() {
+        use mp_checker::Checker;
+        let setting = StorageSetting::new(2, 1);
+        let spec = quorum_model(setting);
+        let report = Checker::new(&spec, read_completion_property(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
+        let report = Checker::new(&spec, reading_leads_to_done(setting)).run();
+        assert!(report.verdict.is_verified(), "{report}");
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Liveness checking: "does Paxos actually terminate?" — and what a
+//! fairness-aware lasso counterexample looks like when it does not.
+//!
+//! Safety invariants can only say consensus is never *violated*; with the
+//! property refactor the same checker also answers whether consensus is
+//! ever *reached*. A [`Property::termination`] states that every fair
+//! maximal execution reaches a goal state ("some value learned"); a
+//! [`Property::leads_to`] states `p ⇝ q` ("an accepted value is eventually
+//! learned"). The default fairness policy exempts environment transitions,
+//! so a crash is never "unfairly required" to happen — but once the
+//! environment spends its crash budget on an acceptor of the majority, the
+//! fair remainder of the run can never learn, and the checker prints the
+//! **lasso**: the stem including the fatal crash, and the (empty) cycle in
+//! which the system stutters forever.
+//!
+//! Run with: `cargo run --release --example liveness`
+//!
+//! [`Property::termination`]: mp_basset::checker::Property::termination
+//! [`Property::leads_to`]: mp_basset::checker::Property::leads_to
+
+use mp_basset::checker::Checker;
+use mp_basset::faults::FaultBudget;
+use mp_basset::protocols::paxos::{
+    faulty_accepted_leads_to_learned, faulty_quorum_model, faulty_termination_property,
+    PaxosSetting, PaxosVariant,
+};
+
+fn main() {
+    let setting = PaxosSetting::new(1, 2, 1);
+    println!(
+        "Liveness of Paxos {setting}: is a value eventually learned?\n\
+         (termination under fault budgets; environment transitions are\n\
+         fairness-exempt, so faults may — but need not — happen)\n"
+    );
+
+    for (label, budget) in [
+        ("no faults", FaultBudget::none()),
+        ("1 crash", FaultBudget::none().crashes(1)),
+        ("1 dropped message", FaultBudget::none().drops(1)),
+    ] {
+        let spec = faulty_quorum_model(setting, PaxosVariant::Correct, budget);
+        let termination = Checker::new(&spec, faulty_termination_property(setting))
+            .spor()
+            .run();
+        let leads_to = Checker::new(&spec, faulty_accepted_leads_to_learned(setting))
+            .spor()
+            .run();
+        println!(
+            "  {label:<18} termination: {:<28} accepted⇝learned: {}",
+            termination.verdict.to_string(),
+            leads_to.verdict
+        );
+    }
+
+    // Show the actual lasso for the crashed-majority case: the stem ends
+    // with the crash that removes the acceptor majority, after which the
+    // system quiesces without ever learning.
+    let crashy = faulty_quorum_model(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().crashes(1),
+    );
+    let report = Checker::new(&crashy, faulty_termination_property(setting)).run();
+    let cx = report
+        .verdict
+        .counterexample()
+        .expect("a crashed majority breaks termination");
+    assert!(cx.is_lasso);
+    println!("\n{cx}");
+    println!("[{}] {}", report.strategy, report.stats);
+}

@@ -12,7 +12,8 @@
 //! * [`store`] (`mp-store`) — pluggable visited-state backends: exact,
 //!   sharded lock-striped concurrent, and hash-compaction fingerprints;
 //! * [`checker`] (`mp-checker`) — stateful/stateless/parallel explicit-state
-//!   search engines, invariants, observers and counterexamples;
+//!   search engines, safety + liveness (termination / leads-to) properties
+//!   with fairness policies, observers, and path/lasso counterexamples;
 //! * [`refine`] (`mp-refine`) — quorum-split, reply-split and combined-split
 //!   transition refinement (Theorems 1–2);
 //! * [`faults`] (`mp-faults`) — generic, budgeted fault injection (crash /
