@@ -12,15 +12,17 @@
 //! terminate); for safety it falls back to full expansion whenever it
 //! re-encounters a state that is still in the frontier of the same level.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use mp_store::StateStoreBackend;
+use mp_store::{KeyMapper, StateStoreBackend};
 
 use mp_model::{
     enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
     TransitionInstance,
 };
 use mp_por::Reducer;
+use mp_symmetry::Symmetry;
 
 use crate::{
     liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
@@ -32,6 +34,27 @@ struct Node<M> {
     incoming: Option<TransitionInstance<M>>,
 }
 
+/// Builds the canonical-key mapper the BFS engines install into the store
+/// when symmetry reduction is active: concrete keys go in, orbit
+/// representatives are what the backend actually fingerprints.
+pub(crate) fn canonical_mapper<S, M, O>(
+    symmetry: &Arc<dyn Symmetry<S, M, O>>,
+) -> Option<KeyMapper<(GlobalState<S, M>, O)>>
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    if symmetry.is_trivial() {
+        return None;
+    }
+    let symmetry = symmetry.clone();
+    Some(Arc::new(move |key: &(GlobalState<S, M>, O)| {
+        let (state, observer, _) = symmetry.canonicalize(&key.0, &key.1);
+        (state, observer)
+    }))
+}
+
 /// Runs a stateful breadth-first search and returns the report.
 ///
 /// Dispatches on the property class: safety properties run the level-by-level
@@ -39,11 +62,17 @@ struct Node<M> {
 /// breadth-first frontier has no stack to detect lassos against — so they
 /// are routed to the fairness-aware liveness DFS of [`crate::liveness`]
 /// (the report's strategy label says so).
+///
+/// With a non-trivial [`Symmetry`], the visited store canonicalizes every
+/// inserted key to its orbit representative (via the store's canonical-key
+/// wrapper), so only one member per orbit enters the frontier; exploration
+/// and counterexample paths stay concrete.
 pub fn run_stateful_bfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     property: &Property<S, M, O>,
     initial_observer: &O,
     reducer: &dyn Reducer<S, M>,
+    symmetry: &Arc<dyn Symmetry<S, M, O>>,
     config: &CheckerConfig,
 ) -> RunReport
 where
@@ -52,21 +81,25 @@ where
     O: Observer<S, M>,
 {
     if property.is_liveness() {
-        return run_liveness_dfs(spec, property, initial_observer, reducer, config);
+        return run_liveness_dfs(spec, property, initial_observer, reducer, symmetry, config);
     }
     let property = property
         .as_safety()
         .expect("a non-liveness property is a safety invariant");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
-    let strategy = format!("stateful-bfs+{}", reducer.name());
+    let strategy = if symmetry.is_trivial() {
+        format!("stateful-bfs+{}", reducer.name())
+    } else {
+        format!("stateful-bfs+{}+{}", reducer.name(), symmetry.label())
+    };
 
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
 
     // Membership goes through the pluggable store; `nodes`/`states` keep
     // the parent pointers and frontier states needed to rebuild paths.
-    let store = config.store.build::<(GlobalState<S, M>, O)>();
+    let store = config.store.build_canonical(canonical_mapper(symmetry));
     let mut nodes: Vec<Node<M>> = Vec::new();
     let mut states: Vec<(GlobalState<S, M>, O)> = Vec::new();
 
@@ -231,6 +264,10 @@ mod tests {
         ProcessId(i)
     }
 
+    fn no_sym() -> Arc<dyn Symmetry<u8, Tok, NullObserver>> {
+        Arc::new(mp_symmetry::NoSymmetry)
+    }
+
     fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Tok> {
         let mut builder = ProtocolSpec::builder("independent");
         for i in 0..n {
@@ -257,6 +294,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::stateful_bfs(),
         );
         assert!(bfs.verdict.is_verified());
@@ -279,6 +317,7 @@ mod tests {
             &property.into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::stateful_bfs(),
         );
         let cx = report.verdict.counterexample().unwrap();
@@ -294,6 +333,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &reducer,
+            &no_sym(),
             &CheckerConfig::stateful_bfs(),
         );
         assert!(report.verdict.is_verified());
@@ -308,6 +348,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::stateful_bfs().with_max_states(4),
         );
         assert!(matches!(report.verdict, Verdict::LimitReached { .. }));
@@ -321,6 +362,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::stateful_bfs().with_deadlock_check(true),
         );
         assert!(report.verdict.is_violated());

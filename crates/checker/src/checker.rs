@@ -7,8 +7,9 @@
 
 use std::sync::Arc;
 
-use mp_model::{LocalState, Message, ProtocolSpec};
+use mp_model::{LocalState, Message, Permutable, ProtocolSpec};
 use mp_por::{NoReduction, Reducer, SeedHeuristic, SporReducer};
+use mp_symmetry::{NoSymmetry, OrbitReduction, RoleMap, Symmetry, SymmetryGroup};
 
 use crate::{
     bfs::run_stateful_bfs, dfs::run_stateful_dfs, parallel::run_parallel_bfs,
@@ -54,6 +55,7 @@ pub struct Checker<'a, S, M: Ord, O = NullObserver> {
     property: Property<S, M, O>,
     initial_observer: O,
     reducer: Arc<dyn Reducer<S, M>>,
+    symmetry: Arc<dyn Symmetry<S, M, O>>,
     config: CheckerConfig,
 }
 
@@ -77,6 +79,7 @@ where
             property: property.into(),
             initial_observer: NullObserver,
             reducer: Arc::new(NoReduction),
+            symmetry: Arc::new(NoSymmetry),
             config: CheckerConfig::default(),
         }
     }
@@ -101,6 +104,7 @@ where
             property: property.into(),
             initial_observer,
             reducer: Arc::new(NoReduction),
+            symmetry: Arc::new(NoSymmetry),
             config: CheckerConfig::default(),
         }
     }
@@ -136,6 +140,34 @@ where
         self
     }
 
+    /// Installs an explicit symmetry reduction (builder style). Every
+    /// engine then inserts only canonical orbit representatives into its
+    /// visited store; see `mp-symmetry` for the soundness contract.
+    pub fn symmetry(mut self, symmetry: impl Symmetry<S, M, O> + 'static) -> Self {
+        self.symmetry = Arc::new(symmetry);
+        self
+    }
+
+    /// Disables symmetry reduction (builder style; the default).
+    pub fn no_symmetry(mut self) -> Self {
+        self.symmetry = Arc::new(NoSymmetry);
+        self
+    }
+
+    /// Builds and installs the orbit reduction of a role declaration
+    /// (builder style): the candidate permutations are validated against
+    /// the protocol, so an asymmetric model degenerates to the identity
+    /// group and the run is unaffected.
+    pub fn with_role_symmetry(self, roles: &RoleMap) -> Self
+    where
+        S: Permutable,
+        M: Permutable,
+        O: Permutable + Ord,
+    {
+        let group = SymmetryGroup::build(self.spec, roles);
+        self.symmetry(OrbitReduction::new(group))
+    }
+
     /// Replaces the configuration (builder style).
     pub fn config(mut self, config: CheckerConfig) -> Self {
         self.config = config;
@@ -150,6 +182,7 @@ where
                 &self.property,
                 &self.initial_observer,
                 self.reducer.as_ref(),
+                &self.symmetry,
                 &self.config,
             ),
             SearchStrategy::StatefulBfs => run_stateful_bfs(
@@ -157,6 +190,7 @@ where
                 &self.property,
                 &self.initial_observer,
                 self.reducer.as_ref(),
+                &self.symmetry,
                 &self.config,
             ),
             SearchStrategy::Stateless { dpor } => run_stateless(
@@ -164,6 +198,7 @@ where
                 &self.property,
                 &self.initial_observer,
                 dpor,
+                &self.symmetry,
                 &self.config,
             ),
             SearchStrategy::ParallelBfs { threads } => run_parallel_bfs(
@@ -171,6 +206,7 @@ where
                 &self.property,
                 &self.initial_observer,
                 self.reducer.as_ref(),
+                &self.symmetry,
                 threads,
                 &self.config,
             ),

@@ -15,6 +15,7 @@
 //! probabilistic, never the proviso.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mp_store::StateStoreBackend;
@@ -24,6 +25,7 @@ use mp_model::{
     TransitionInstance,
 };
 use mp_por::Reducer;
+use mp_symmetry::Symmetry;
 
 use crate::{
     liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
@@ -33,6 +35,10 @@ use crate::{
 struct Frame<S, M: Ord, O> {
     state: GlobalState<S, M>,
     observer: O,
+    /// The key this frame occupies in the `on_stack` set: the concrete
+    /// `(state, observer)` pair, or its canonical orbit representative when
+    /// symmetry reduction is active.
+    stack_key: (GlobalState<S, M>, O),
     /// Instance that led into this state (None for the initial state).
     incoming: Option<TransitionInstance<M>>,
     /// Instances chosen by the reducer, explored in order.
@@ -50,11 +56,19 @@ struct Frame<S, M: Ord, O> {
 /// (termination / leads-to) run the fairness-aware lasso search of
 /// [`crate::liveness`], which this engine's on-stack cycle detector was
 /// built for.
+///
+/// With a non-trivial [`Symmetry`], exploration stays concrete but the
+/// visited store and the proviso's on-stack set are keyed by canonical
+/// orbit representatives: a successor whose orbit was already visited is
+/// pruned (a symmetric sibling's subtree covers it), and a successor whose
+/// orbit is on the DFS stack closes a cycle *in the quotient graph*, firing
+/// the cycle proviso. Counterexample paths remain fully concrete.
 pub fn run_stateful_dfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     property: &Property<S, M, O>,
     initial_observer: &O,
     reducer: &dyn Reducer<S, M>,
+    symmetry: &Arc<dyn Symmetry<S, M, O>>,
     config: &CheckerConfig,
 ) -> RunReport
 where
@@ -63,16 +77,30 @@ where
     O: Observer<S, M>,
 {
     if property.is_liveness() {
-        return run_liveness_dfs(spec, property, initial_observer, reducer, config);
+        return run_liveness_dfs(spec, property, initial_observer, reducer, symmetry, config);
     }
     let property = property
         .as_safety()
         .expect("a non-liveness property is a safety invariant");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
-    let strategy = format!("stateful-dfs+{}", reducer.name());
+    let trivial = symmetry.is_trivial();
+    let strategy = if trivial {
+        format!("stateful-dfs+{}", reducer.name())
+    } else {
+        format!("stateful-dfs+{}+{}", reducer.name(), symmetry.label())
+    };
 
-    let store = config.store.build::<(GlobalState<S, M>, O)>();
+    // Keys are pre-canonicalized by this engine (the on-stack proviso needs
+    // them too), so the store wrapper stays in passthrough mode.
+    let store = config.store.build_canonical::<(GlobalState<S, M>, O)>(None);
+    let store_label = |trivial: bool, name: &'static str| -> &'static str {
+        if trivial {
+            name
+        } else {
+            mp_store::canonical_label(name)
+        }
+    };
     let mut on_stack: HashSet<(GlobalState<S, M>, O)> = HashSet::new();
     let mut stack: Vec<Frame<S, M, O>> = Vec::new();
 
@@ -83,7 +111,7 @@ where
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
         stats.elapsed = start.elapsed();
-        stats.record_store(store.name(), store.stats());
+        stats.record_store(store_label(trivial, store.name()), store.stats());
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -92,8 +120,16 @@ where
         };
     }
 
-    store.insert((initial.clone(), initial_observer.clone()));
-    on_stack.insert((initial.clone(), initial_observer.clone()));
+    // Validated groups fix the initial state, so its canonical form is
+    // itself; canonicalize anyway so the key discipline has no exceptions.
+    let initial_key = if trivial {
+        (initial.clone(), initial_observer.clone())
+    } else {
+        let (s, o, _) = symmetry.canonicalize(&initial, &initial_observer);
+        (s, o)
+    };
+    store.insert(initial_key.clone());
+    on_stack.insert(initial_key.clone());
     stats.states = 1;
     stats.expansions = 1;
     let first_frame = make_frame(
@@ -103,11 +139,12 @@ where
         config,
         initial,
         initial_observer,
+        initial_key,
         None,
     );
     if config.check_deadlocks && first_frame.explore.is_empty() && first_frame.pruned.is_empty() {
         stats.elapsed = start.elapsed();
-        stats.record_store(store.name(), store.stats());
+        stats.record_store(store_label(trivial, store.name()), store.stats());
         let cx = Counterexample::new(
             spec,
             property.name(),
@@ -130,7 +167,7 @@ where
         if top.next >= top.explore.len() {
             // Frame exhausted.
             let frame = stack.pop().expect("non-empty stack");
-            on_stack.remove(&(frame.state, frame.observer));
+            on_stack.remove(&frame.stack_key);
             continue;
         }
 
@@ -143,11 +180,19 @@ where
         stats.transitions_executed += 1;
 
         let key = (next_state, next_observer);
+        // With symmetry on, membership and the proviso are judged on the
+        // canonical orbit representative; exploration stays concrete.
+        let canon = (!trivial).then(|| {
+            let (s, o, _) = symmetry.canonicalize(&key.0, &key.1);
+            (s, o)
+        });
+        let probe = canon.as_ref().unwrap_or(&key);
 
-        // Cycle proviso: the successor closes a cycle into the DFS stack and
-        // the current state was expanded with a reduced set — re-expand it
-        // fully so no enabled transition is postponed around the cycle.
-        if config.cycle_proviso && top.reduced && on_stack.contains(&key) {
+        // Cycle proviso: the successor closes a cycle into the DFS stack
+        // (exactly, or modulo a symmetry permutation) and the current state
+        // was expanded with a reduced set — re-expand it fully so no enabled
+        // transition is postponed around the cycle.
+        if config.cycle_proviso && top.reduced && on_stack.contains(probe) {
             top.explore.append(&mut top.pruned);
             top.reduced = false;
             stats.proviso_expansions += 1;
@@ -156,11 +201,15 @@ where
         // A single insert doubles as the membership test (unified hit
         // accounting: a duplicate is a store hit = one revisit); the
         // by-reference form clones the key only when it is actually new.
-        if !store.insert_ref(&key) {
+        if !store.insert_ref(probe) {
             stats.revisits += 1;
             continue;
         }
 
+        let stack_key = match canon {
+            Some(c) => c,
+            None => key.clone(),
+        };
         let (next_state, next_observer) = key;
 
         // Property check on the newly discovered state.
@@ -170,7 +219,7 @@ where
             path.push(instance);
             stats.states += 1;
             stats.elapsed = start.elapsed();
-            stats.record_store(store.name(), store.stats());
+            stats.record_store(store_label(trivial, store.name()), store.stats());
             let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
             return RunReport {
                 verdict: Verdict::Violated(Box::new(cx)),
@@ -181,7 +230,7 @@ where
 
         if store.len() > config.max_states {
             stats.elapsed = start.elapsed();
-            stats.record_store(store.name(), store.stats());
+            stats.record_store(store_label(trivial, store.name()), store.stats());
             return RunReport {
                 verdict: Verdict::LimitReached {
                     what: format!("state limit of {}", config.max_states),
@@ -193,7 +242,7 @@ where
         if let Some(limit) = config.time_limit {
             if start.elapsed() > limit {
                 stats.elapsed = start.elapsed();
-                stats.record_store(store.name(), store.stats());
+                stats.record_store(store_label(trivial, store.name()), store.stats());
                 return RunReport {
                     verdict: Verdict::LimitReached {
                         what: format!("time limit of {limit:?}"),
@@ -204,7 +253,7 @@ where
             }
         }
 
-        on_stack.insert((next_state.clone(), next_observer.clone()));
+        on_stack.insert(stack_key.clone());
         stats.states += 1;
         stats.expansions += 1;
 
@@ -215,6 +264,7 @@ where
             config,
             next_state,
             next_observer,
+            stack_key,
             Some(instance.clone()),
         );
 
@@ -223,7 +273,7 @@ where
                 stack.iter().filter_map(|f| f.incoming.clone()).collect();
             path.push(instance);
             stats.elapsed = start.elapsed();
-            stats.record_store(store.name(), store.stats());
+            stats.record_store(store_label(trivial, store.name()), store.stats());
             let cx = Counterexample::new(
                 spec,
                 property.name(),
@@ -242,7 +292,7 @@ where
     }
 
     stats.elapsed = start.elapsed();
-    stats.record_store(store.name(), store.stats());
+    stats.record_store(store_label(trivial, store.name()), store.stats());
     RunReport {
         verdict: Verdict::Verified,
         stats,
@@ -250,6 +300,7 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)] // a DFS frame genuinely has this many parts
 fn make_frame<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     reducer: &dyn Reducer<S, M>,
@@ -257,6 +308,7 @@ fn make_frame<S, M, O>(
     _config: &CheckerConfig,
     state: GlobalState<S, M>,
     observer: O,
+    stack_key: (GlobalState<S, M>, O),
     incoming: Option<TransitionInstance<M>>,
 ) -> Frame<S, M, O>
 where
@@ -272,6 +324,7 @@ where
     Frame {
         state,
         observer,
+        stack_key,
         incoming,
         explore: reduction.explore,
         pruned: reduction.pruned,
@@ -298,6 +351,10 @@ mod tests {
 
     fn p(i: usize) -> ProcessId {
         ProcessId(i)
+    }
+
+    fn no_sym() -> Arc<dyn Symmetry<u8, Tok, NullObserver>> {
+        Arc::new(mp_symmetry::NoSymmetry)
     }
 
     /// `n` independent processes each taking `steps` internal steps.
@@ -328,6 +385,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(report.verdict.is_verified());
@@ -343,6 +401,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &reducer,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(report.verdict.is_verified());
@@ -369,6 +428,7 @@ mod tests {
                 &Invariant::always_true("true").into(),
                 &NullObserver,
                 &NoReduction,
+                &no_sym(),
                 &CheckerConfig::default().with_store(store),
             );
             assert!(report.verdict.is_verified(), "{store} failed");
@@ -397,6 +457,7 @@ mod tests {
             &property.into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         let cx = report.verdict.counterexample().expect("violation expected");
@@ -421,6 +482,7 @@ mod tests {
             &property.into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         let cx = report.verdict.counterexample().unwrap();
@@ -437,6 +499,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default().with_max_states(5),
         );
         assert!(matches!(report.verdict, Verdict::LimitReached { .. }));
@@ -451,6 +514,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default().with_deadlock_check(true),
         );
         assert!(report.verdict.is_violated());
@@ -498,6 +562,7 @@ mod tests {
             &property.into(),
             &NullObserver,
             &reducer,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(

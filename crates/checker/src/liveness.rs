@@ -50,6 +50,7 @@
 //! SCC), so reported counterexamples stay replayable.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use mp_store::StateStoreBackend;
@@ -59,6 +60,7 @@ use mp_model::{
     TransitionInstance,
 };
 use mp_por::Reducer;
+use mp_symmetry::{NoSymmetry, Symmetry};
 
 use crate::{
     CheckerConfig, Counterexample, ExplorationStats, Fairness, Observer, Property, PropertyClass,
@@ -70,6 +72,15 @@ struct Frame<S, M: Ord, O> {
     observer: O,
     /// `true` while a goal state is still owed on this path.
     pending: bool,
+    /// The key this frame occupies in the `on_stack` map: the concrete
+    /// product key, or its canonical orbit representative when symmetry
+    /// reduction is active.
+    stack_key: (GlobalState<S, M>, O, bool),
+    /// Index of the symmetry-group element that canonicalizes this frame's
+    /// concrete state (`0` = identity; always `0` when symmetry is off).
+    /// Cycles that close modulo symmetry compose these to recover the
+    /// concrete closing permutation.
+    elem: usize,
     /// Instance that led into this state (`None` for the initial state).
     incoming: Option<TransitionInstance<M>>,
     /// Every enabled instance in this state (pre-reduction); the fairness
@@ -172,7 +183,10 @@ struct PendingGraph<S, M: Ord, O> {
     nodes: Vec<PendingNode<S, M, O>>,
     enabled: Vec<Vec<TransitionInstance<M>>>,
     edges: Vec<Vec<(usize, TransitionInstance<M>)>>,
-    ids: HashMap<PendingNode<S, M, O>, usize>,
+    /// Node lookup, keyed by the *canonical* `(state, observer)` pair (the
+    /// concrete pair itself when symmetry is off) — cross edges are resolved
+    /// by the same key the visited store uses.
+    ids: HashMap<(GlobalState<S, M>, O), usize>,
 }
 
 impl<S, M, O> PendingGraph<S, M, O>
@@ -194,29 +208,41 @@ where
         &mut self,
         state: &GlobalState<S, M>,
         observer: &O,
+        canonical: (GlobalState<S, M>, O),
         enabled: &[TransitionInstance<M>],
     ) -> usize {
         let id = self.nodes.len();
         let node = std::sync::Arc::new((state.clone(), observer.clone()));
-        self.nodes.push(node.clone());
+        self.nodes.push(node);
         self.enabled.push(enabled.to_vec());
         self.edges.push(Vec::new());
-        self.ids.insert(node, id);
+        self.ids.insert(canonical, id);
         id
     }
 
-    /// Looks up the node of a revisited pending product state. Returns
-    /// `None` when the state has no node — possible only with a
-    /// hash-compaction (fingerprint) store, where a collision can report an
-    /// unseen state as visited; the edge is then silently dropped, which
-    /// keeps the (already documented) probabilistic-`Verified` contract of
-    /// that backend instead of panicking.
-    fn try_id_of(&self, state: &GlobalState<S, M>, observer: &O) -> Option<usize> {
-        self.ids.get(&(state.clone(), observer.clone())).copied()
+    /// Looks up the node of a revisited pending product state by its
+    /// canonical key. Returns `None` when the state has no node — possible
+    /// only with a hash-compaction (fingerprint) store, where a collision
+    /// can report an unseen state as visited; the edge is then silently
+    /// dropped, which keeps the (already documented)
+    /// probabilistic-`Verified` contract of that backend instead of
+    /// panicking.
+    fn try_id_of(&self, canonical: &(GlobalState<S, M>, O)) -> Option<usize> {
+        self.ids.get(canonical).copied()
     }
 
     fn add_edge(&mut self, from: usize, to: usize, instance: TransitionInstance<M>) {
         self.edges[from].push((to, instance));
+    }
+
+    /// Returns `true` if some strongly connected component of the recorded
+    /// subgraph contains an internal edge (i.e. a cycle candidate exists).
+    fn has_cycle_candidate(&self) -> bool {
+        tarjan_sccs(self).into_iter().any(|scc| {
+            let member: HashSet<usize> = scc.iter().copied().collect();
+            scc.iter()
+                .any(|&v| self.edges[v].iter().any(|(w, _)| member.contains(w)))
+        })
     }
 }
 
@@ -488,11 +514,31 @@ where
 /// `(state, observer, obligation)` product states with an on-stack cycle
 /// detector and the cycle/ignoring proviso for reduced expansions. Called by
 /// every stateful engine when the property is a liveness property.
+///
+/// **Symmetry.** With a non-trivial [`Symmetry`], the visited store and the
+/// on-stack map are keyed by canonical orbit representatives while the
+/// exploration stays concrete, so cycles are detected **modulo the group**:
+/// a successor whose canonical product key is on the stack closes a quotient
+/// cycle. When the closing permutation is the identity the concrete cycle
+/// closes exactly and the usual pending/fairness checks apply; otherwise the
+/// cycle is **un-canonicalized** by unrolling the closing element `δ` until
+/// it returns to the identity (`e →A→ δ(e) →δ(A)→ δ²(e) → … → e`, by
+/// equivariance of the transition relation), and the unrolled concrete lasso
+/// is re-executed to validate enabledness, the pending obligation and
+/// fairness before it is reported — reported lassos are always genuine
+/// concrete executions with concrete process ids. The phase-2 SCC backstop
+/// judges fairness on per-node concrete enabled sets, which mix orbit
+/// members under symmetry; to stay exact it therefore *falls back to the
+/// symmetry-free search* whenever the recorded quotient pending subgraph
+/// contains a cycle candidate at all (rare: the evaluation protocols'
+/// fault-augmented models are acyclic in their budget counters, so verified
+/// runs record no pending cycles and never pay the fallback).
 pub fn run_liveness_dfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     property: &Property<S, M, O>,
     initial_observer: &O,
     reducer: &dyn Reducer<S, M>,
+    symmetry: &Arc<dyn Symmetry<S, M, O>>,
     config: &CheckerConfig,
 ) -> RunReport
 where
@@ -503,10 +549,35 @@ where
     debug_assert!(property.is_liveness(), "dispatched on property class");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
-    let strategy = format!("liveness-dfs+{}", reducer.name());
+    let trivial = symmetry.is_trivial();
+    let strategy = if trivial {
+        format!("liveness-dfs+{}", reducer.name())
+    } else {
+        format!("liveness-dfs+{}+{}", reducer.name(), symmetry.label())
+    };
     let fairness = property.fairness();
 
-    let store = config.store.build::<(GlobalState<S, M>, O, bool)>();
+    // Keys are pre-canonicalized by this engine (the on-stack map and the
+    // pending graph need them too), so the wrapper stays in passthrough.
+    let store = config
+        .store
+        .build_canonical::<(GlobalState<S, M>, O, bool)>(None);
+    let store_label = |name: &'static str| -> &'static str {
+        if trivial {
+            name
+        } else {
+            mp_store::canonical_label(name)
+        }
+    };
+    // Canonical product key + canonicalizing element of a concrete state.
+    let canon = |state: &GlobalState<S, M>, observer: &O, pending: bool| {
+        if trivial {
+            ((state.clone(), observer.clone(), pending), 0usize)
+        } else {
+            let (s, o, elem) = symmetry.canonicalize(state, observer);
+            ((s, o, pending), elem)
+        }
+    };
     let mut on_stack: HashMap<(GlobalState<S, M>, O, bool), usize> = HashMap::new();
     let mut stack: Vec<Frame<S, M, O>> = Vec::new();
     // The pending subgraph recorded for the phase-2 SCC backstop (see the
@@ -516,7 +587,7 @@ where
     macro_rules! finish {
         ($verdict:expr) => {{
             stats.elapsed = start.elapsed();
-            stats.record_store(store.name(), store.stats());
+            stats.record_store(store_label(store.name()), store.stats());
             return RunReport {
                 verdict: $verdict,
                 stats,
@@ -528,7 +599,8 @@ where
     let initial = spec.initial_state();
     let observer = initial_observer.clone();
     let pending = property.initial_pending(&initial, &observer);
-    store.insert((initial.clone(), observer.clone(), pending));
+    let (initial_key, initial_elem) = canon(&initial, &observer, pending);
+    store.insert(initial_key.clone());
     stats.states = 1;
 
     let all = enabled_instances(spec, &initial);
@@ -556,14 +628,28 @@ where
     }
 
     stats.expansions = 1;
-    let first_node = pending.then(|| pending_graph.add_node(&initial, &observer, &all));
+    let first_node = pending.then(|| {
+        pending_graph.add_node(
+            &initial,
+            &observer,
+            (initial_key.0.clone(), initial_key.1.clone()),
+            &all,
+        )
+    });
     let first = make_frame(
-        spec, reducer, &mut stats, initial, observer, pending, None, all, first_node,
+        spec,
+        reducer,
+        &mut stats,
+        initial,
+        observer,
+        pending,
+        initial_key,
+        initial_elem,
+        None,
+        all,
+        first_node,
     );
-    on_stack.insert(
-        (first.state.clone(), first.observer.clone(), first.pending),
-        0,
-    );
+    on_stack.insert(first.stack_key.clone(), 0);
     stack.push(first);
 
     while !stack.is_empty() {
@@ -571,7 +657,7 @@ where
         let top_index = stack.len() - 1;
         if stack[top_index].next >= stack[top_index].explore.len() {
             let frame = stack.pop().expect("stack checked non-empty");
-            on_stack.remove(&(frame.state, frame.observer, frame.pending));
+            on_stack.remove(&frame.stack_key);
             continue;
         }
 
@@ -588,10 +674,16 @@ where
         };
         stats.transitions_executed += 1;
         let key = (next_state, next_observer, next_pending);
+        // Membership, the on-stack map and the pending graph are judged on
+        // the canonical orbit key; exploration stays concrete.
+        let canon_pair = (!trivial).then(|| canon(&key.0, &key.1, key.2));
+        let probe = canon_pair.as_ref().map(|(k, _)| k).unwrap_or(&key);
+        let celem = canon_pair.as_ref().map(|(_, e)| *e).unwrap_or(0);
         let top_node = stack[top_index].node;
 
-        if let Some(&entry) = on_stack.get(&key) {
-            // The successor closes a cycle into the DFS stack.
+        if let Some(&entry) = on_stack.get(probe) {
+            // The successor closes a cycle into the DFS stack — exactly, or
+            // modulo a symmetry permutation.
             if let (Some(from), true) = (top_node, key.2) {
                 let to = stack[entry].node.expect("pending frames carry a node");
                 pending_graph.add_edge(from, to, instance.clone());
@@ -610,47 +702,88 @@ where
             }
             // Violating cycle: the obligation is outstanding in every
             // product state of the cycle, and the cycle is fair.
-            if key.2
-                && stack[entry..].iter().all(|f| f.pending)
-                && stack_cycle_is_fair(spec, &stack[entry..], &instance, fairness)
-            {
-                let stem: Vec<TransitionInstance<M>> = stack[..=entry]
-                    .iter()
-                    .filter_map(|f| f.incoming.clone())
-                    .collect();
-                let mut cycle: Vec<TransitionInstance<M>> = stack[entry + 1..]
-                    .iter()
-                    .filter_map(|f| f.incoming.clone())
-                    .collect();
-                cycle.push(instance);
-                let cx = Counterexample::lasso(
-                    spec,
-                    property.name(),
-                    violation_reason(property.class(), false, fairness),
-                    &stem,
-                    &cycle,
-                    &stack[entry].state,
-                );
-                finish!(Verdict::Violated(Box::new(cx)));
+            if key.2 && stack[entry..].iter().all(|f| f.pending) {
+                let entry_elem = stack[entry].elem;
+                if celem == entry_elem {
+                    // The concrete cycle closes exactly (same canonical key
+                    // and same canonicalizing element force state equality).
+                    if stack_cycle_is_fair(spec, &stack[entry..], &instance, fairness) {
+                        let stem: Vec<TransitionInstance<M>> = stack[..=entry]
+                            .iter()
+                            .filter_map(|f| f.incoming.clone())
+                            .collect();
+                        let mut cycle: Vec<TransitionInstance<M>> = stack[entry + 1..]
+                            .iter()
+                            .filter_map(|f| f.incoming.clone())
+                            .collect();
+                        cycle.push(instance);
+                        let cx = Counterexample::lasso(
+                            spec,
+                            property.name(),
+                            violation_reason(property.class(), false, fairness),
+                            &stem,
+                            &cycle,
+                            &stack[entry].state,
+                        );
+                        finish!(Verdict::Violated(Box::new(cx)));
+                    }
+                } else {
+                    // The cycle closes through a non-identity permutation:
+                    // un-canonicalize by unrolling the closing element and
+                    // validate the concrete lasso by re-execution.
+                    let mut segment: Vec<TransitionInstance<M>> = stack[entry + 1..]
+                        .iter()
+                        .filter_map(|f| f.incoming.clone())
+                        .collect();
+                    segment.push(instance.clone());
+                    if let Some(cycle) = unroll_symmetric_cycle(
+                        spec,
+                        property,
+                        symmetry,
+                        fairness,
+                        &stack[entry],
+                        entry_elem,
+                        celem,
+                        &segment,
+                    ) {
+                        let stem: Vec<TransitionInstance<M>> = stack[..=entry]
+                            .iter()
+                            .filter_map(|f| f.incoming.clone())
+                            .collect();
+                        let cx = Counterexample::lasso(
+                            spec,
+                            property.name(),
+                            violation_reason(property.class(), false, fairness),
+                            &stem,
+                            &cycle,
+                            &stack[entry].state,
+                        );
+                        finish!(Verdict::Violated(Box::new(cx)));
+                    }
+                }
             }
             stats.revisits += 1;
             continue;
         }
 
-        if !store.insert_ref(&key) {
+        if !store.insert_ref(probe) {
             // A cross or forward edge; if it stays within the pending
             // subgraph, record it — phase 2 finds the cycles the on-stack
             // detector cannot see from the tree path alone.
             if let (Some(from), true) = (top_node, key.2) {
                 // `None` only under a fingerprint-store collision; see
                 // [`PendingGraph::try_id_of`].
-                if let Some(to) = pending_graph.try_id_of(&key.0, &key.1) {
+                if let Some(to) = pending_graph.try_id_of(&(probe.0.clone(), probe.1.clone())) {
                     pending_graph.add_edge(from, to, instance.clone());
                 }
             }
             stats.revisits += 1;
             continue;
         }
+        let stack_key = match canon_pair {
+            Some((k, _)) => k,
+            None => key.clone(),
+        };
         let (next_state, next_observer, next_pending) = key;
         stats.states += 1;
 
@@ -695,7 +828,14 @@ where
         }
 
         stats.expansions += 1;
-        let node = next_pending.then(|| pending_graph.add_node(&next_state, &next_observer, &all));
+        let node = next_pending.then(|| {
+            pending_graph.add_node(
+                &next_state,
+                &next_observer,
+                (stack_key.0.clone(), stack_key.1.clone()),
+                &all,
+            )
+        });
         if let (Some(from), Some(to)) = (top_node, node) {
             pending_graph.add_edge(from, to, instance.clone());
         }
@@ -706,27 +846,131 @@ where
             next_state,
             next_observer,
             next_pending,
+            stack_key,
+            celem,
             Some(instance),
             all,
             node,
         );
-        on_stack.insert(
-            (frame.state.clone(), frame.observer.clone(), frame.pending),
-            stack.len(),
-        );
+        on_stack.insert(frame.stack_key.clone(), stack.len());
         stack.push(frame);
     }
 
     // Phase 2: the on-stack detector saw no fair violating cycle, but it
     // only examines DFS tree segments — check the strongly connected
     // components of the recorded pending subgraph (see the module docs).
-    if let Some(cx) =
+    if !trivial {
+        // Under symmetry the recorded per-node enabled sets mix orbit
+        // members, so the SCC fairness test is not exact on the quotient;
+        // fall back to the symmetry-free search when (and only when) a
+        // cycle candidate exists at all. The fallback runs inside the
+        // caller's remaining wall-clock budget, and the symmetric pass's
+        // elapsed time is folded back into the returned report.
+        if pending_graph.has_cycle_candidate() {
+            let spent = start.elapsed();
+            let mut exact_config = config.clone();
+            if let Some(limit) = config.time_limit {
+                let Some(remaining) = limit.checked_sub(spent) else {
+                    finish!(Verdict::LimitReached {
+                        what: format!("time limit of {limit:?}"),
+                    });
+                };
+                exact_config.time_limit = Some(remaining);
+            }
+            let exact: Arc<dyn Symmetry<S, M, O>> = Arc::new(NoSymmetry);
+            let mut report = run_liveness_dfs(
+                spec,
+                property,
+                initial_observer,
+                reducer,
+                &exact,
+                &exact_config,
+            );
+            report.stats.elapsed += spent;
+            report.strategy = format!("{strategy} (scc fallback: {})", report.strategy);
+            return report;
+        }
+    } else if let Some(cx) =
         pending_scc_violation(spec, property, initial_observer, &pending_graph, fairness)
     {
         finish!(Verdict::Violated(Box::new(cx)));
     }
 
     finish!(Verdict::Verified)
+}
+
+/// Un-canonicalizes a cycle that closed modulo a non-identity permutation.
+///
+/// The DFS found `e →segment→ f` with `canon(e) = canon(f)` via elements
+/// `g_e(e) = c = g_f(f)`, so `f = δ(e)` with `δ = g_f⁻¹ ∘ g_e`. By
+/// equivariance, repeating the segment with `δ`-powers applied walks
+/// `e → δ(e) → δ²(e) → … → δᵏ(e) = e` where `k` is the order of `δ` — a
+/// genuine concrete cycle. The unrolled instance list is validated by
+/// re-execution (each step enabled, the obligation pending throughout, the
+/// walk returning exactly to the entry product state) and by the weak
+/// fairness test on the concrete enabled sets collected along the way.
+/// Returns the unrolled cycle when it is a real fair violation; `None`
+/// otherwise (including when a structurally-validated but semantically
+/// asymmetric role declaration makes a permuted instance non-executable —
+/// the conservative answer).
+#[allow(clippy::too_many_arguments)] // the cycle context genuinely has this many parts
+fn unroll_symmetric_cycle<S, M, O>(
+    spec: &ProtocolSpec<S, M>,
+    property: &Property<S, M, O>,
+    symmetry: &Arc<dyn Symmetry<S, M, O>>,
+    fairness: Fairness,
+    entry: &Frame<S, M, O>,
+    entry_elem: usize,
+    closing_elem: usize,
+    segment: &[TransitionInstance<M>],
+) -> Option<Vec<TransitionInstance<M>>>
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    // δ = g_f⁻¹ ∘ g_e; its order is bounded by the group order.
+    let delta = symmetry.compose(symmetry.inverse(closing_elem), entry_elem);
+    let mut unrolled: Vec<TransitionInstance<M>> = Vec::new();
+    let mut power = 0usize; // identity
+    loop {
+        for instance in segment {
+            unrolled.push(symmetry.permute_instance(power, instance));
+        }
+        power = symmetry.compose(delta, power);
+        if power == 0 {
+            break;
+        }
+    }
+
+    // Validate the unrolled lasso by concrete re-execution.
+    let mut state = entry.state.clone();
+    let mut observer = entry.observer.clone();
+    let mut enabled_sets: Vec<Vec<TransitionInstance<M>>> = Vec::new();
+    for instance in &unrolled {
+        let enabled = enabled_instances(spec, &state);
+        if !enabled.contains(instance) {
+            return None;
+        }
+        let next_state = execute_enabled(spec, &state, instance);
+        let next_observer = observer.update(spec, &state, instance, &next_state);
+        if !property.step_pending(true, &next_state, &next_observer) {
+            return None;
+        }
+        enabled_sets.push(enabled);
+        state = next_state;
+        observer = next_observer;
+    }
+    if state != entry.state || observer != entry.observer {
+        return None;
+    }
+    let enabled_refs: Vec<&[TransitionInstance<M>]> =
+        enabled_sets.iter().map(|v| v.as_slice()).collect();
+    let executed: Vec<&TransitionInstance<M>> = unrolled.iter().collect();
+    if !cycle_fair(spec, fairness, &enabled_refs, &executed) {
+        return None;
+    }
+    Some(unrolled)
 }
 
 #[allow(clippy::too_many_arguments)] // a product-state frame genuinely has this many parts
@@ -737,6 +981,8 @@ fn make_frame<S, M, O>(
     state: GlobalState<S, M>,
     observer: O,
     pending: bool,
+    stack_key: (GlobalState<S, M>, O, bool),
+    elem: usize,
     incoming: Option<TransitionInstance<M>>,
     all_enabled: Vec<TransitionInstance<M>>,
     node: Option<usize>,
@@ -754,6 +1000,8 @@ where
         state,
         observer,
         pending,
+        stack_key,
+        elem,
         incoming,
         all_enabled,
         explore: reduction.explore,
@@ -988,6 +1236,10 @@ mod tests {
         ProcessId(i)
     }
 
+    fn no_sym() -> Arc<dyn Symmetry<u8, Tok, NullObserver>> {
+        Arc::new(NoSymmetry)
+    }
+
     /// A process counting 0..=steps; terminates at `steps`.
     fn counter(steps: u8) -> ProtocolSpec<u8, Tok> {
         ProtocolSpec::builder("counter")
@@ -1034,6 +1286,7 @@ mod tests {
             &reaches(3),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(report.verdict.is_verified(), "{report}");
@@ -1050,6 +1303,7 @@ mod tests {
             &reaches(5),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         let cx = report.verdict.counterexample().expect("must violate");
@@ -1067,6 +1321,7 @@ mod tests {
             &reaches(5),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         let cx = report.verdict.counterexample().expect("must violate");
@@ -1111,6 +1366,7 @@ mod tests {
             &goal,
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(
@@ -1123,6 +1379,7 @@ mod tests {
             &goal.clone().with_fairness(Fairness::Unfair),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(
@@ -1136,6 +1393,7 @@ mod tests {
             &goal,
             &NullObserver,
             &reducer,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(fair_spor.verdict.is_verified(), "{fair_spor}");
@@ -1155,6 +1413,7 @@ mod tests {
             &prop,
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(report.verdict.is_verified(), "{report}");
@@ -1169,6 +1428,7 @@ mod tests {
             &prop,
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(report.verdict.is_violated(), "{report}");
@@ -1184,6 +1444,7 @@ mod tests {
                     &reaches(goal),
                     &NullObserver,
                     &NoReduction,
+                    &no_sym(),
                     &CheckerConfig::default(),
                 );
                 let stateless = run_stateless_liveness(
@@ -1254,6 +1515,7 @@ mod tests {
             &prop,
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         let cx = stateful
@@ -1283,6 +1545,7 @@ mod tests {
             &prop,
             &NullObserver,
             &reducer,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(spor.verdict.is_violated(), "{spor}");
@@ -1319,6 +1582,7 @@ mod tests {
             &prop,
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default().with_store(StoreConfig::fingerprint(8)),
         );
         assert!(report.verdict.is_verified(), "{report}");
@@ -1333,6 +1597,7 @@ mod tests {
             &reaches(0),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             &CheckerConfig::default(),
         );
         assert!(report.verdict.is_verified());

@@ -35,8 +35,16 @@ pub trait Observer<S: LocalState, M: Message>:
 
 /// The trivial observer: records nothing and costs nothing. Used by every
 /// property that is expressible directly over the global state.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct NullObserver;
+
+// The trivial observer embeds no process ids: symmetry reduction
+// (`mp-symmetry`) canonicalizes it as plain data.
+impl mp_model::Permutable for NullObserver {
+    fn permute(&self, _perm: &mp_model::Permutation) -> Self {
+        NullObserver
+    }
+}
 
 impl<S: LocalState, M: Message> Observer<S, M> for NullObserver {
     fn update(

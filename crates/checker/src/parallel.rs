@@ -17,7 +17,7 @@
 //! sequential engines remain the right tool for debugging runs.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use mp_store::StateStoreBackend;
@@ -26,10 +26,11 @@ use mp_model::{
     enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
 };
 use mp_por::Reducer;
+use mp_symmetry::Symmetry;
 
 use crate::{
-    liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
-    Property, PropertyStatus, RunReport, Verdict,
+    bfs::canonical_mapper, liveness::run_liveness_dfs, CheckerConfig, Counterexample,
+    ExplorationStats, Observer, Property, PropertyStatus, RunReport, Verdict,
 };
 
 /// Runs a parallel breadth-first search over `threads` workers
@@ -40,11 +41,17 @@ use crate::{
 /// search, which a level-synchronous frontier cannot provide, so they are
 /// routed to the (sequential) fairness-aware liveness DFS of
 /// [`crate::liveness`] — the report's strategy label says so.
+///
+/// With a non-trivial [`Symmetry`], the shared visited store canonicalizes
+/// every inserted key to its orbit representative (the canonical-key store
+/// wrapper works on any backend, including the lock-striped ones), so only
+/// one member per orbit enters the next frontier.
 pub fn run_parallel_bfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     property: &Property<S, M, O>,
     initial_observer: &O,
     reducer: &dyn Reducer<S, M>,
+    symmetry: &Arc<dyn Symmetry<S, M, O>>,
     threads: usize,
     config: &CheckerConfig,
 ) -> RunReport
@@ -54,7 +61,7 @@ where
     O: Observer<S, M>,
 {
     if property.is_liveness() {
-        return run_liveness_dfs(spec, property, initial_observer, reducer, config);
+        return run_liveness_dfs(spec, property, initial_observer, reducer, symmetry, config);
     }
     let property = property
         .as_safety()
@@ -68,7 +75,15 @@ where
     } else {
         threads
     };
-    let strategy = format!("parallel-bfs({threads})+{}", reducer.name());
+    let strategy = if symmetry.is_trivial() {
+        format!("parallel-bfs({threads})+{}", reducer.name())
+    } else {
+        format!(
+            "parallel-bfs({threads})+{}+{}",
+            reducer.name(),
+            symmetry.label()
+        )
+    };
 
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
@@ -76,7 +91,7 @@ where
     let store = config
         .store
         .for_parallel()
-        .build::<(GlobalState<S, M>, O)>();
+        .build_canonical(canonical_mapper(symmetry));
 
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
@@ -235,6 +250,10 @@ mod tests {
         }
     }
 
+    fn no_sym() -> Arc<dyn Symmetry<u8, Tok, NullObserver>> {
+        Arc::new(mp_symmetry::NoSymmetry)
+    }
+
     fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Tok> {
         let mut builder = ProtocolSpec::builder("independent");
         for i in 0..n {
@@ -261,6 +280,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             2,
             &CheckerConfig::parallel_bfs(2),
         );
@@ -286,6 +306,7 @@ mod tests {
             &property.into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             2,
             &CheckerConfig::parallel_bfs(2),
         );
@@ -301,6 +322,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             2,
             &CheckerConfig::parallel_bfs(2),
         );
@@ -309,6 +331,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &reducer,
+            &no_sym(),
             2,
             &CheckerConfig::parallel_bfs(2),
         );
@@ -325,6 +348,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             0,
             &CheckerConfig::parallel_bfs(0),
         );
@@ -340,6 +364,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             2,
             &CheckerConfig::parallel_bfs(2),
         );
@@ -348,6 +373,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             &NoReduction,
+            &no_sym(),
             2,
             &CheckerConfig::parallel_bfs(2).with_store(StoreConfig::fingerprint(48)),
         );

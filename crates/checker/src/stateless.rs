@@ -15,6 +15,7 @@
 //! backtrack set.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mp_model::{
@@ -22,6 +23,7 @@ use mp_model::{
     TransitionInstance,
 };
 use mp_por::{latest_racing_step, ExecutedStep};
+use mp_symmetry::Symmetry;
 
 use crate::{
     liveness::run_stateless_liveness, CheckerConfig, Counterexample, ExplorationStats, Observer,
@@ -77,11 +79,26 @@ impl<S, M: Ord, O> Frame<S, M, O> {
 /// [`crate::liveness`]; DPOR's backtrack sets track safety races only, so
 /// for liveness the ignoring proviso forces the documented fallback to full
 /// expansion there.
+///
+/// **Symmetry.** The stateless engine has no visited set, so symmetry
+/// reduction (a visited-*key* canonicalization in the stateful engines)
+/// takes a different form here: the plain (non-DPOR) search cuts a branch
+/// whenever a successor's orbit already appears on the current path — every
+/// violating path has an orbit-repetition-free witness (splice out the
+/// segment between the repetition and map the suffix through the connecting
+/// permutation), so the cut search still finds a violation iff one exists.
+/// DPOR installs backtrack points in ancestors *while exploring the subtree
+/// below them*; cutting that subtree on an orbit match would silently drop
+/// the races recorded inside it, so with `dpor` the symmetry reduction is
+/// ignored (the strategy label says so) — the documented fallback, mirroring
+/// the DPOR/liveness fallback above. The stateless liveness search likewise
+/// runs concretely.
 pub fn run_stateless<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     property: &Property<S, M, O>,
     initial_observer: &O,
     dpor: bool,
+    symmetry: &Arc<dyn Symmetry<S, M, O>>,
     config: &CheckerConfig,
 ) -> RunReport
 where
@@ -90,7 +107,13 @@ where
     O: Observer<S, M>,
 {
     if property.is_liveness() {
-        return run_stateless_liveness(spec, property, initial_observer, dpor, config);
+        let mut report = run_stateless_liveness(spec, property, initial_observer, dpor, config);
+        if !symmetry.is_trivial() {
+            // The on-path lasso search runs concretely; say so instead of
+            // letting an installed reduction look silently effective.
+            report.strategy.push_str(" (symmetry ignored)");
+        }
+        return report;
     }
     let property = property
         .as_safety()
@@ -101,10 +124,13 @@ where
     // DPOR soundness); record that explicitly so reports distinguish "no
     // store" from "store stats missing".
     stats.store_backend = "none".to_string();
-    let strategy = if dpor {
-        "stateless+dpor".to_string()
-    } else {
-        "stateless".to_string()
+    // Orbit-path cutting is sound only without DPOR (see the docs above).
+    let cut_orbits = !symmetry.is_trivial() && !dpor;
+    let strategy = match (dpor, symmetry.is_trivial()) {
+        (true, true) => "stateless+dpor".to_string(),
+        (true, false) => "stateless+dpor (symmetry ignored)".to_string(),
+        (false, true) => "stateless".to_string(),
+        (false, false) => format!("stateless+{}", symmetry.label()),
     };
 
     let initial = spec.initial_state();
@@ -123,8 +149,15 @@ where
 
     let mut stack: Vec<Frame<S, M, O>> = Vec::new();
     let mut executed: Vec<ExecutedStep<M>> = Vec::new();
+    // Canonical orbit keys of the states on the current path, aligned with
+    // `stack`; only maintained when orbit-path cutting is active.
+    let mut path_keys: Vec<(GlobalState<S, M>, O)> = Vec::new();
 
     stack.push(new_frame(spec, initial, initial_observer, dpor, &mut stats));
+    if cut_orbits {
+        let (s, o, _) = symmetry.canonicalize(&stack[0].state, &stack[0].observer);
+        path_keys.push((s, o));
+    }
     if config.check_deadlocks && stack[0].enabled.is_empty() {
         stats.elapsed = start.elapsed();
         let cx = Counterexample::new(
@@ -146,6 +179,9 @@ where
 
         let Some(choice) = stack[top_index].pick() else {
             stack.pop();
+            if cut_orbits {
+                path_keys.pop();
+            }
             if !executed.is_empty() && !stack.is_empty() {
                 executed.pop();
             }
@@ -169,6 +205,20 @@ where
             (next_state, next_observer, sent_to)
         };
         stats.transitions_executed += 1;
+
+        // Orbit-path cut (symmetry, non-DPOR only): a successor whose orbit
+        // already appears on this path has a shorter symmetric witness for
+        // anything reachable below it.
+        let next_key = cut_orbits.then(|| {
+            let (s, o, _) = symmetry.canonicalize(&next_state, &next_observer);
+            (s, o)
+        });
+        if let Some(key) = &next_key {
+            if path_keys.contains(key) {
+                stats.revisits += 1;
+                continue;
+            }
+        }
 
         let annotations = spec.transition(instance.transition).annotations();
         executed.push(
@@ -250,6 +300,9 @@ where
                 strategy,
             };
         }
+        if let Some(key) = next_key {
+            path_keys.push(key);
+        }
         stack.push(frame);
     }
 
@@ -312,6 +365,10 @@ mod tests {
 
     fn p(i: usize) -> ProcessId {
         ProcessId(i)
+    }
+
+    fn no_sym() -> Arc<dyn Symmetry<u8, Msg, NullObserver>> {
+        Arc::new(mp_symmetry::NoSymmetry)
     }
 
     fn independent(n: usize, steps: u8) -> ProtocolSpec<u8, Msg> {
@@ -380,6 +437,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             false,
+            &no_sym(),
             &CheckerConfig::stateless(false),
         );
         assert!(report.verdict.is_verified());
@@ -394,6 +452,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             false,
+            &no_sym(),
             &CheckerConfig::stateless(false),
         );
         let dpor = run_stateless(
@@ -401,6 +460,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             true,
+            &no_sym(),
             &CheckerConfig::stateless(true),
         );
         assert!(full.verdict.is_verified());
@@ -432,6 +492,7 @@ mod tests {
             &property.into(),
             &NullObserver,
             true,
+            &no_sym(),
             &CheckerConfig::stateless(true),
         );
         assert!(
@@ -466,6 +527,7 @@ mod tests {
             &property,
             &NullObserver,
             false,
+            &no_sym(),
             &CheckerConfig::stateless(false),
         );
         let dpor = run_stateless(
@@ -473,6 +535,7 @@ mod tests {
             &property,
             &NullObserver,
             true,
+            &no_sym(),
             &CheckerConfig::stateless(true),
         );
         assert!(full.verdict.is_violated());
@@ -499,6 +562,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             false,
+            &no_sym(),
             &CheckerConfig::stateless(false).with_max_depth(50),
         );
         assert!(matches!(report.verdict, Verdict::LimitReached { .. }));
@@ -512,6 +576,7 @@ mod tests {
             &Invariant::always_true("true").into(),
             &NullObserver,
             false,
+            &no_sym(),
             &CheckerConfig::stateless(false).with_max_states(10),
         );
         assert!(matches!(report.verdict, Verdict::LimitReached { .. }));

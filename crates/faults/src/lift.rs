@@ -98,6 +98,35 @@ impl<S: LocalState, M: Message, O: PartialEq> PartialEq for LiftedObserver<S, M,
 
 impl<S: LocalState, M: Message, O: Eq> Eq for LiftedObserver<S, M, O> {}
 
+impl<S: LocalState, M: Message, O: PartialEq + PartialOrd> PartialOrd for LiftedObserver<S, M, O> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.inner.partial_cmp(&other.inner)
+    }
+}
+
+impl<S: LocalState, M: Message, O: Eq + Ord> Ord for LiftedObserver<S, M, O> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+// Symmetry reduction canonicalizes the whole stored pair, observer
+// included: the wrapped base observer is rewritten, the spec handle is
+// configuration and stays.
+impl<S, M, O> mp_model::Permutable for LiftedObserver<S, M, O>
+where
+    S: LocalState,
+    M: Message,
+    O: mp_model::Permutable,
+{
+    fn permute(&self, perm: &mp_model::Permutation) -> Self {
+        LiftedObserver {
+            base_spec: self.base_spec.clone(),
+            inner: self.inner.permute(perm),
+        }
+    }
+}
+
 impl<S: LocalState, M: Message, O: Hash> Hash for LiftedObserver<S, M, O> {
     fn hash<H: Hasher>(&self, state: &mut H) {
         self.inner.hash(state);

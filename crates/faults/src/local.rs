@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use mp_model::{GlobalState, LocalState, Message};
+use mp_model::{GlobalState, LocalState, Message, Permutable, Permutation};
 
 /// The local state of one process in a fault-augmented model: the protocol
 /// state plus the environment's per-process fault bookkeeping.
@@ -45,6 +45,28 @@ impl<S> FaultLocal<S> {
     /// Total number of message faults injected at this process.
     pub fn message_faults(&self) -> u32 {
         self.drops + self.dups + self.corruptions
+    }
+}
+
+/// Fault bookkeeping permutes *with* the process it targets: when symmetry
+/// reduction (`mp-symmetry`) maps process `i` to `π(i)`, the whole
+/// [`FaultLocal`] record — crashed flag and per-process fault counters —
+/// moves to index `π(i)` as part of
+/// [`GlobalState::permute`](mp_model::GlobalState::permute), so "acceptor 0
+/// crashed" and "acceptor 1 crashed" land in the same orbit. This is where
+/// orbit collapse pays off: a crash budget of `k` over `r` interchangeable
+/// replicas explores one representative per crash *set* instead of one per
+/// crash *sequence*. Only the wrapped protocol state needs rewriting (it may
+/// embed process ids); the counters are plain data.
+impl<S: Permutable> Permutable for FaultLocal<S> {
+    fn permute(&self, perm: &Permutation) -> Self {
+        FaultLocal {
+            inner: self.inner.permute(perm),
+            crashed: self.crashed,
+            drops: self.drops,
+            dups: self.dups,
+            corruptions: self.corruptions,
+        }
     }
 }
 

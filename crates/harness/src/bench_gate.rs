@@ -1,0 +1,419 @@
+//! The CI bench-regression gate.
+//!
+//! The harness binaries write their results as flat JSON arrays
+//! (`BENCH_fault_sweep.json`, `BENCH_quorum_scaling.json`, ...), and the
+//! repository commits a baseline snapshot of each. This module compares a
+//! freshly generated file against its committed baseline and classifies
+//! every difference:
+//!
+//! * **errors** (fail the job): a verdict/liveness *class* change on a
+//!   matched row, a state-count regression beyond the tolerance (default
+//!   10%), a `completed: true` baseline row that no longer completes, or a
+//!   baseline row that disappeared entirely;
+//! * **warnings** (annotate, don't fail): wall-time and store-byte noise,
+//!   and rows that are new in the fresh file (schema growth is deliberate).
+//!
+//! The parser below handles exactly the JSON the harness emits — flat
+//! arrays of flat objects with string / number / boolean values — and
+//! rejects anything else loudly rather than guessing (no external JSON
+//! dependency in this offline workspace).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::fault_sweep::verdict_class;
+
+/// A scalar JSON value of a bench row.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A string field (labels and verdicts).
+    Str(String),
+    /// A numeric field (counts, times, ratios).
+    Num(f64),
+    /// A boolean field (`completed`).
+    Bool(bool),
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Str(s) => write!(f, "{s}"),
+            JsonValue::Num(n) => write!(f, "{n}"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// One bench row: field name to scalar value, in insertion-stable order.
+pub type Row = BTreeMap<String, JsonValue>;
+
+/// Parses a flat JSON array of flat objects (the `BENCH_*.json` format).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem; nested arrays or
+/// objects are rejected.
+pub fn parse_rows(input: &str) -> Result<Vec<Row>, String> {
+    let mut chars = input.char_indices().peekable();
+    let mut rows = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+    fn expect(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+        want: char,
+    ) -> Result<(), String> {
+        skip_ws(chars);
+        match chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((at, c)) => Err(format!("expected `{want}` at byte {at}, found `{c}`")),
+            None => Err(format!("expected `{want}`, found end of input")),
+        }
+    }
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        expect(chars, '"')?;
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((at, other)) => {
+                        return Err(format!("unsupported escape `\\{other}` at byte {at}"))
+                    }
+                    None => return Err("unterminated escape".to_string()),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    expect(&mut chars, '[')?;
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, ']'))) {
+        return Ok(rows);
+    }
+    loop {
+        expect(&mut chars, '{')?;
+        let mut row = Row::new();
+        skip_ws(&mut chars);
+        if !matches!(chars.peek(), Some((_, '}'))) {
+            loop {
+                let key = parse_string(&mut chars)?;
+                expect(&mut chars, ':')?;
+                skip_ws(&mut chars);
+                let value = match chars.peek() {
+                    Some((_, '"')) => JsonValue::Str(parse_string(&mut chars)?),
+                    Some((_, 't')) | Some((_, 'f')) => {
+                        let mut word = String::new();
+                        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic()) {
+                            word.push(chars.next().expect("peeked").1);
+                        }
+                        match word.as_str() {
+                            "true" => JsonValue::Bool(true),
+                            "false" => JsonValue::Bool(false),
+                            other => return Err(format!("unsupported literal `{other}`")),
+                        }
+                    }
+                    Some(&(at, c)) if c == '-' || c.is_ascii_digit() => {
+                        let mut num = String::new();
+                        while matches!(
+                            chars.peek(),
+                            Some((_, c)) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+                        ) {
+                            num.push(chars.next().expect("peeked").1);
+                        }
+                        JsonValue::Num(
+                            num.parse::<f64>()
+                                .map_err(|e| format!("bad number `{num}` at byte {at}: {e}"))?,
+                        )
+                    }
+                    Some(&(at, c)) => {
+                        return Err(format!(
+                            "unsupported value starting with `{c}` at byte {at}"
+                        ))
+                    }
+                    None => return Err("unexpected end of input in object".to_string()),
+                };
+                row.insert(key, value);
+                skip_ws(&mut chars);
+                match chars.next() {
+                    Some((_, ',')) => skip_ws(&mut chars),
+                    Some((_, '}')) => break,
+                    other => {
+                        return Err(format!("expected `,` or `}}` in object, found {other:?}"))
+                    }
+                }
+            }
+        } else {
+            chars.next();
+        }
+        rows.push(row);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, ']')) => return Ok(rows),
+            other => return Err(format!("expected `,` or `]` after object, found {other:?}")),
+        }
+    }
+}
+
+/// Field names whose string values are verdicts (compared by class, and
+/// excluded from the row key).
+const VERDICT_FIELDS: [&str; 4] = ["verdict", "liveness", "sym_verdict", "sym_liveness"];
+
+/// Numeric fields gated with the hard tolerance (regressions fail the
+/// job). State and transition counts are deterministic for the stateful
+/// sweeps that feed the baselines, so a blow-up in either is a real
+/// regression, not noise.
+const GATED_COUNTS: [&str; 3] = ["states", "sym_states", "transitions"];
+
+/// Numeric fields that only warn (wall-time and memory noise).
+const NOISY_FIELDS: [&str; 3] = ["time_ms", "sym_time_ms", "store_bytes"];
+
+/// The identity of a row: every non-verdict string field, in field order.
+pub fn row_key(row: &Row) -> String {
+    row.iter()
+        .filter_map(|(k, v)| match v {
+            JsonValue::Str(s) if !VERDICT_FIELDS.contains(&k.as_str()) => Some(format!("{k}={s}")),
+            _ => None,
+        })
+        .collect::<Vec<_>>()
+        .join(" / ")
+}
+
+/// Outcome of a gate comparison.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// Job-failing findings.
+    pub errors: Vec<String>,
+    /// Annotation-only findings.
+    pub warnings: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when nothing fails the job.
+    pub fn passed(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Compares a fresh bench file against its baseline. `tolerance` is the
+/// allowed relative state-count increase (0.10 = 10%); wall-time and memory
+/// fields only ever warn. Rows are matched by [`row_key`]; duplicate keys
+/// are matched in order of appearance.
+pub fn compare(label: &str, baseline: &[Row], fresh: &[Row], tolerance: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let mut fresh_by_key: BTreeMap<String, Vec<&Row>> = BTreeMap::new();
+    for row in fresh {
+        fresh_by_key.entry(row_key(row)).or_default().push(row);
+    }
+    let mut used: BTreeMap<String, usize> = BTreeMap::new();
+
+    for base_row in baseline {
+        let key = row_key(base_row);
+        let cursor = used.entry(key.clone()).or_insert(0);
+        let Some(fresh_row) = fresh_by_key.get(&key).and_then(|rows| rows.get(*cursor)) else {
+            report
+                .errors
+                .push(format!("{label}: baseline row vanished: {key}"));
+            continue;
+        };
+        *cursor += 1;
+
+        for (field, base_value) in base_row {
+            let Some(fresh_value) = fresh_row.get(field) else {
+                report
+                    .errors
+                    .push(format!("{label}: field `{field}` vanished from {key}"));
+                continue;
+            };
+            match (base_value, fresh_value) {
+                (JsonValue::Str(b), JsonValue::Str(f))
+                    if VERDICT_FIELDS.contains(&field.as_str())
+                        && verdict_class(b) != verdict_class(f) =>
+                {
+                    report.errors.push(format!(
+                        "{label}: {field} changed class on {key}: `{b}` -> `{f}`"
+                    ));
+                }
+                (JsonValue::Num(b), JsonValue::Num(f))
+                    if GATED_COUNTS.contains(&field.as_str()) && *f > *b * (1.0 + tolerance) =>
+                {
+                    report.errors.push(format!(
+                        "{label}: {field} regressed beyond {:.0}% on {key}: {b} -> {f}",
+                        tolerance * 100.0
+                    ));
+                }
+                // A beyond-tolerance *improvement* is good news but leaves a
+                // stale ceiling: later regressions up to the old baseline
+                // would pass unnoticed. Warn so the baseline gets refreshed.
+                (JsonValue::Num(b), JsonValue::Num(f))
+                    if GATED_COUNTS.contains(&field.as_str()) && *f < *b * (1.0 - tolerance) =>
+                {
+                    report.warnings.push(format!(
+                        "{label}: {field} improved beyond {:.0}% on {key}: {b} -> {f} — refresh \
+                         the committed baseline to re-tighten the gate",
+                        tolerance * 100.0
+                    ));
+                }
+                // Wall-time noise: annotate large swings, never fail.
+                (JsonValue::Num(b), JsonValue::Num(f))
+                    if NOISY_FIELDS.contains(&field.as_str()) && *f > (*b + 1.0) * 2.0 =>
+                {
+                    report
+                        .warnings
+                        .push(format!("{label}: {field} drifted on {key}: {b} -> {f}"));
+                }
+                (JsonValue::Bool(true), JsonValue::Bool(false)) if field == "completed" => {
+                    report.errors.push(format!(
+                        "{label}: {key} no longer completes within its budget"
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Fresh rows with keys the baseline never had: fine (schema growth),
+    // but surfaced so the baseline gets refreshed consciously.
+    for (key, rows) in &fresh_by_key {
+        let consumed = used.get(key).copied().unwrap_or(0);
+        if rows.len() > consumed {
+            report.warnings.push(format!(
+                "{label}: {} new row(s) not in the baseline: {key}",
+                rows.len() - consumed
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"[
+  {"protocol":"Paxos (1,2,1)","budget":"none","strategy":"SPOR","backend":"exact","verdict":"verified","liveness":"verified","states":10,"transitions":11,"store_bytes":958,"time_ms":0,"sym_verdict":"verified","sym_liveness":"verified","sym_states":10,"sym_time_ms":0,"state_ratio":1.000},
+  {"protocol":"Paxos (1,2,1)","budget":"crashes=1","strategy":"SPOR","backend":"exact","verdict":"verified","liveness":"fair lasso (7 stem + 0 cycle steps)","states":50,"transitions":84,"store_bytes":3688,"time_ms":2,"sym_verdict":"verified","sym_liveness":"fair lasso (7 stem + 0 cycle steps)","sym_states":30,"sym_time_ms":1,"state_ratio":1.667}
+]"#;
+
+    #[test]
+    fn parses_the_bench_format() {
+        let rows = parse_rows(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("protocol"),
+            Some(&JsonValue::Str("Paxos (1,2,1)".to_string()))
+        );
+        assert_eq!(rows[1].get("states"), Some(&JsonValue::Num(50.0)));
+        assert_eq!(rows[1].get("state_ratio"), Some(&JsonValue::Num(1.667)));
+        assert!(row_key(&rows[0]).contains("budget=none"));
+        assert!(!row_key(&rows[0]).contains("verdict"));
+        assert!(parse_rows("[]").unwrap().is_empty());
+        assert!(parse_rows("{\"oops\":1}").is_err());
+        assert!(
+            parse_rows("[{\"a\":[1]}]").is_err(),
+            "nested arrays rejected"
+        );
+    }
+
+    #[test]
+    fn identical_files_pass() {
+        let rows = parse_rows(SAMPLE).unwrap();
+        let report = compare("sweep", &rows, &rows, 0.10);
+        assert!(report.passed(), "{:?}", report.errors);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn verdict_class_change_fails() {
+        let baseline = parse_rows(SAMPLE).unwrap();
+        let mut fresh = baseline.clone();
+        fresh[0].insert(
+            "verdict".to_string(),
+            JsonValue::Str("counterexample found (3 steps)".to_string()),
+        );
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(!report.passed());
+        assert!(report.errors[0].contains("verdict changed class"));
+
+        // Lasso shape changes within the violated class do NOT fail.
+        let mut fresh = baseline.clone();
+        fresh[1].insert(
+            "liveness".to_string(),
+            JsonValue::Str("fair lasso (9 stem + 2 cycle steps)".to_string()),
+        );
+        assert!(compare("sweep", &baseline, &fresh, 0.10).passed());
+    }
+
+    #[test]
+    fn state_regressions_fail_and_time_noise_warns() {
+        let baseline = parse_rows(SAMPLE).unwrap();
+        let mut fresh = baseline.clone();
+        fresh[1].insert("states".to_string(), JsonValue::Num(56.0)); // +12%
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(!report.passed());
+        assert!(report.errors[0].contains("states regressed"));
+
+        // Within tolerance: fine.
+        let mut fresh = baseline.clone();
+        fresh[1].insert("states".to_string(), JsonValue::Num(54.0)); // +8%
+        assert!(compare("sweep", &baseline, &fresh, 0.10).passed());
+
+        // A big improvement passes but warns: the stale baseline would
+        // mask later regressions until refreshed.
+        let mut fresh = baseline.clone();
+        fresh[1].insert("states".to_string(), JsonValue::Num(30.0)); // -40%
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(report.passed());
+        assert!(report.warnings.iter().any(|w| w.contains("improved")));
+
+        // Time drift: warning only.
+        let mut fresh = baseline.clone();
+        fresh[1].insert("time_ms".to_string(), JsonValue::Num(500.0));
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(report.passed());
+        assert!(report.warnings.iter().any(|w| w.contains("time_ms")));
+    }
+
+    #[test]
+    fn vanished_rows_fail_and_new_rows_warn() {
+        let baseline = parse_rows(SAMPLE).unwrap();
+        let fresh = vec![baseline[0].clone()];
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(!report.passed());
+        assert!(report.errors[0].contains("vanished"));
+
+        let mut extended = baseline.clone();
+        let mut extra = baseline[0].clone();
+        extra.insert("budget".to_string(), JsonValue::Str("drops=1".to_string()));
+        extended.push(extra);
+        let report = compare("sweep", &baseline, &extended, 0.10);
+        assert!(report.passed());
+        assert!(report.warnings.iter().any(|w| w.contains("new row")));
+    }
+
+    #[test]
+    fn duplicate_keys_match_in_order() {
+        // Two baseline rows with the same key but different counts must
+        // match the fresh rows positionally.
+        let baseline =
+            parse_rows(r#"[{"protocol":"p","states":10},{"protocol":"p","states":100}]"#).unwrap();
+        let fresh =
+            parse_rows(r#"[{"protocol":"p","states":10},{"protocol":"p","states":100}]"#).unwrap();
+        assert!(compare("dup", &baseline, &fresh, 0.10).passed());
+        let swapped =
+            parse_rows(r#"[{"protocol":"p","states":200},{"protocol":"p","states":100}]"#).unwrap();
+        assert!(!compare("dup", &baseline, &swapped, 0.10).passed());
+    }
+}

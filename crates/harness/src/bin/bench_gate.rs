@@ -1,0 +1,72 @@
+//! CI bench-regression gate over the committed `BENCH_*.json` baselines.
+//!
+//! Usage: `cargo run --release -p mp-harness --bin bench_gate --
+//! <baseline.json> <fresh.json> [<baseline2.json> <fresh2.json> ...]
+//! [--tolerance 0.10]`
+//!
+//! Compares each fresh file against its committed baseline and exits
+//! non-zero on **verdict-class changes**, **state-count regressions beyond
+//! the tolerance** (default 10%), vanished rows, or budget-completion
+//! regressions. Wall-time/memory drift and rows new in the fresh file are
+//! reported as `::warning::` annotations only. See
+//! `mp_harness::bench_gate` for the exact rules.
+
+use mp_harness::bench_gate::{compare, parse_rows};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.10);
+    let files: Vec<&String> = args.iter().take_while(|a| *a != "--tolerance").collect();
+    if files.is_empty() || !files.len().is_multiple_of(2) {
+        eprintln!(
+            "usage: bench_gate <baseline.json> <fresh.json> [more pairs...] [--tolerance 0.10]"
+        );
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for pair in files.chunks(2) {
+        let (baseline_path, fresh_path) = (pair[0], pair[1]);
+        let label = baseline_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(baseline_path)
+            .trim_end_matches(".json");
+        let read = |path: &str| -> Vec<mp_harness::bench_gate::Row> {
+            let text =
+                std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            parse_rows(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+        };
+        let baseline = read(baseline_path);
+        let fresh = read(fresh_path);
+        let report = compare(label, &baseline, &fresh, tolerance);
+        for warning in &report.warnings {
+            println!("::warning::{warning}");
+        }
+        for error in &report.errors {
+            println!("::error::{error}");
+        }
+        if report.passed() {
+            println!(
+                "{label}: OK ({} baseline rows gated, {} warning(s))",
+                baseline.len(),
+                report.warnings.len()
+            );
+        } else {
+            println!(
+                "{label}: FAILED ({} error(s), {} warning(s))",
+                report.errors.len(),
+                report.warnings.len()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,7 @@ use std::time::Duration;
 use mp_faults::FaultBudget;
 use mp_harness::fault_sweep::{
     backend_disagreements, fault_sweep, fault_sweep_grid, fault_sweep_json, render_fault_sweep,
-    zero_budget_seed_checks,
+    symmetry_disagreements, zero_budget_seed_checks,
 };
 use mp_harness::{json_output_path, Budget};
 
@@ -70,6 +70,34 @@ fn main() {
             eprintln!(
                 "BACKEND DISAGREEMENT: {} / {} / {} / {}: {}",
                 cell.protocol, cell.budget, cell.strategy, cell.backend, cell.verdict
+            );
+        }
+        std::process::exit(1);
+    }
+
+    // Same exit-nonzero convention for the symmetry reduction: the orbit
+    // sweep must agree with the plain sweep on every safety and liveness
+    // verdict and may never explore more states.
+    let sym_disagreements = symmetry_disagreements(&cells);
+    if sym_disagreements.is_empty() {
+        println!(
+            "symmetry agreement: OK (orbit reduction preserves every safety/liveness verdict)"
+        );
+    } else {
+        for cell in &sym_disagreements {
+            eprintln!(
+                "SYMMETRY DISAGREEMENT: {} / {} / {} / {}: safety {} vs {}, liveness {} vs {}, \
+                 states {} vs {}",
+                cell.protocol,
+                cell.budget,
+                cell.strategy,
+                cell.backend,
+                cell.verdict,
+                cell.sym_verdict,
+                cell.liveness,
+                cell.sym_liveness,
+                cell.states,
+                cell.sym_states
             );
         }
         std::process::exit(1);

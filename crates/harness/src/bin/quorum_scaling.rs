@@ -9,7 +9,8 @@
 //! trajectory is machine-readable.
 
 use mp_harness::scaling::{
-    collect_sweep, paxos_sweep, render_store_sweep, render_sweep, store_backend_sweep,
+    collect_sweep, paxos_sweep, paxos_symmetry_sweep, render_store_sweep, render_sweep,
+    render_symmetry_sweep, store_backend_sweep,
 };
 use mp_harness::{json_output_path, render_table, write_json_rows, Budget};
 use mp_protocols::sweep::CollectSetting;
@@ -31,10 +32,22 @@ fn main() {
     print!("{}", render_sweep(&points));
     println!();
     println!("Paxos with growing acceptor sets (1 proposer, 1 learner, SPOR):");
-    let rows = paxos_sweep(3, &Budget::default());
+    let mut rows = paxos_sweep(3, &Budget::default());
     print!("{}", render_table("Paxos acceptor sweep", &rows));
     println!();
+    println!("Symmetry (orbit) reduction on the quorum models — the validated");
+    println!("group is the acceptor+learner role symmetry, order acceptors!:");
+    let (points, sym_rows) = paxos_symmetry_sweep(3, &Budget::default());
+    print!("{}", render_symmetry_sweep(&points));
+    if points.iter().any(|p| !p.verdicts_agree) {
+        eprintln!("SYMMETRY DISAGREEMENT in the acceptor sweep");
+        std::process::exit(1);
+    }
+    println!();
     if let Some(path) = &json_path {
+        // One array: the plain sweep rows plus the symmetry rows (distinct
+        // strategy labels keep the bench-gate keys unique).
+        rows.extend(sym_rows);
         write_json_rows(path, &rows);
         println!();
     }

@@ -12,14 +12,20 @@
 //! safety verdict. Two invariants are machine-checked by the `fault_sweep`
 //! binary (and the integration tests):
 //!
-//! * all store backends agree on the verdict of every cell, and
-//! * the all-zero budget reproduces the seed models' state counts exactly.
+//! * all store backends agree on the verdict of every cell,
+//! * the all-zero budget reproduces the seed models' state counts exactly,
+//!   and
+//! * **symmetry on and off agree** on every safety and liveness verdict
+//!   (each cell is run twice — without and with the protocol's
+//!   `mp-symmetry` role declaration — and the symmetric state count and
+//!   state-count ratio are recorded per cell, so the orbit-collapse
+//!   trajectory lands in `BENCH_fault_sweep.json` alongside the verdicts).
 
 use std::time::Duration;
 
 use mp_checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer, Property};
 use mp_faults::FaultBudget;
-use mp_model::{LocalState, Message, ProtocolSpec};
+use mp_model::{LocalState, Message, Permutable, ProtocolSpec};
 use mp_protocols::echo_multicast::{
     agreement_property, faulty_agreement_property, faulty_delivery_termination_property,
     faulty_quorum_model as faulty_multicast, quorum_model as multicast, MulticastSetting,
@@ -34,6 +40,7 @@ use mp_protocols::storage::{
     regularity_property, RegularityObserver, StorageSetting,
 };
 use mp_store::StoreConfig;
+use mp_symmetry::RoleMap;
 
 use crate::Budget;
 
@@ -62,6 +69,36 @@ pub struct FaultCell {
     pub store_bytes: usize,
     /// Wall-clock time of the run.
     pub time: Duration,
+    /// Verdict string of the safety run with symmetry reduction on.
+    pub sym_verdict: String,
+    /// Verdict string of the liveness run with symmetry reduction on.
+    pub sym_liveness: String,
+    /// States stored by the symmetric safety run (orbit representatives).
+    pub sym_states: usize,
+    /// Wall-clock time of the symmetric safety run.
+    pub sym_time: Duration,
+}
+
+impl FaultCell {
+    /// Orbit-collapse ratio of the cell: plain states per symmetric state
+    /// (1.0 = no collapse; the Paxos crash cells sit near the group order).
+    pub fn state_ratio(&self) -> f64 {
+        self.states as f64 / self.sym_states.max(1) as f64
+    }
+}
+
+/// The comparison class of a verdict string: `"verified"`, `"violated"` or
+/// `"bounded"`. Symmetric and plain runs may legitimately report different
+/// counterexample *shapes* (a different path or lasso of the same orbit),
+/// so agreement is judged on the class, never on the rendered string.
+pub fn verdict_class(verdict: &str) -> &'static str {
+    if verdict.contains("counterexample") || verdict.contains("lasso") {
+        "violated"
+    } else if verdict.contains("verified") {
+        "verified"
+    } else {
+        "bounded"
+    }
 }
 
 /// The visited-store backends every cell is run with.
@@ -102,49 +139,70 @@ fn run_cells<S, M, O>(
     protocol: &str,
     budget_label: &str,
     spec: &ProtocolSpec<S, M>,
+    roles: &RoleMap,
     property: Invariant<S, M, O>,
     liveness: &Property<S, M, NullObserver>,
     observer: O,
     run_budget: &Budget,
     out: &mut Vec<FaultCell>,
 ) where
-    S: LocalState,
-    M: Message,
-    O: Observer<S, M>,
+    S: LocalState + Permutable,
+    M: Message + Permutable,
+    O: Observer<S, M> + Permutable + Ord,
 {
     for spor in [false, true] {
         // The liveness verdict is backend-independent (the lasso search
-        // runs on the exact store): one run per strategy, recorded in
-        // every backend row of the group.
-        let liveness_verdict = {
+        // runs on the exact store): one run per strategy and symmetry
+        // setting, recorded in every backend row of the group.
+        let liveness_verdict = |symmetry: bool| {
             let mut config = CheckerConfig::stateful_dfs();
             config.max_states = run_budget.max_states;
             config.time_limit = run_budget.time_limit;
             let checker =
                 Checker::with_observer(spec, liveness.clone(), NullObserver).config(config);
             let checker = if spor { checker.spor() } else { checker };
+            let checker = if symmetry {
+                checker.with_role_symmetry(roles)
+            } else {
+                checker
+            };
             liveness_label(&checker.run())
         };
+        let liveness_plain = liveness_verdict(false);
+        let liveness_sym = liveness_verdict(true);
         for store in sweep_backends() {
-            let mut config = CheckerConfig::stateful_dfs();
-            config.max_states = run_budget.max_states;
-            config.time_limit = run_budget.time_limit;
-            config.store = store;
-            let checker =
-                Checker::with_observer(spec, property.clone(), observer.clone()).config(config);
-            let checker = if spor { checker.spor() } else { checker };
-            let report = checker.run();
+            let run = |symmetry: bool| {
+                let mut config = CheckerConfig::stateful_dfs();
+                config.max_states = run_budget.max_states;
+                config.time_limit = run_budget.time_limit;
+                config.store = store;
+                let checker =
+                    Checker::with_observer(spec, property.clone(), observer.clone()).config(config);
+                let checker = if spor { checker.spor() } else { checker };
+                let checker = if symmetry {
+                    checker.with_role_symmetry(roles)
+                } else {
+                    checker
+                };
+                checker.run()
+            };
+            let report = run(false);
+            let sym_report = run(true);
             out.push(FaultCell {
                 protocol: protocol.to_string(),
                 budget: budget_label.to_string(),
                 strategy: if spor { "SPOR" } else { "unreduced" }.to_string(),
                 backend: store.to_string(),
                 verdict: report.verdict.to_string(),
-                liveness: liveness_verdict.clone(),
+                liveness: liveness_plain.clone(),
                 states: report.stats.states,
                 transitions: report.stats.transitions_executed,
                 store_bytes: report.stats.store_bytes,
                 time: report.stats.elapsed,
+                sym_verdict: sym_report.verdict.to_string(),
+                sym_liveness: liveness_sym.clone(),
+                sym_states: sym_report.stats.states,
+                sym_time: sym_report.stats.elapsed,
             });
         }
     }
@@ -170,6 +228,7 @@ pub fn fault_sweep_grid(
 
     let paxos_setting = PaxosSetting::new(1, 2, 1);
     let paxos_label = format!("Paxos {paxos_setting}");
+    let paxos_roles = mp_protocols::paxos::symmetry_roles(paxos_setting);
     let mut paxos_budgets = budgets.to_vec();
     if with_corruption {
         paxos_budgets.push(FaultBudget::none().corruptions(2));
@@ -180,6 +239,7 @@ pub fn fault_sweep_grid(
             &paxos_label,
             &budget.to_string(),
             &spec,
+            &paxos_roles,
             faulty_consensus_property(paxos_setting),
             &faulty_termination_property(paxos_setting),
             NullObserver,
@@ -190,12 +250,14 @@ pub fn fault_sweep_grid(
 
     let multicast_setting = MulticastSetting::new(2, 1, 0, 1);
     let multicast_label = format!("Echo Multicast {multicast_setting}");
+    let multicast_roles = mp_protocols::echo_multicast::symmetry_roles(multicast_setting);
     for budget in budgets {
         let spec = faulty_multicast(multicast_setting, *budget);
         run_cells(
             &multicast_label,
             &budget.to_string(),
             &spec,
+            &multicast_roles,
             faulty_agreement_property(multicast_setting),
             &faulty_delivery_termination_property(multicast_setting),
             NullObserver,
@@ -206,12 +268,14 @@ pub fn fault_sweep_grid(
 
     let storage_setting = StorageSetting::new(2, 1);
     let storage_label = format!("Regular storage {storage_setting}");
+    let storage_roles = mp_protocols::storage::symmetry_roles(storage_setting);
     for budget in budgets {
         let spec = faulty_storage(storage_setting, *budget);
         run_cells(
             &storage_label,
             &budget.to_string(),
             &spec,
+            &storage_roles,
             faulty_regularity_property(storage_setting),
             &faulty_read_completion_property(storage_setting),
             faulty_regularity_observer(storage_setting),
@@ -221,6 +285,21 @@ pub fn fault_sweep_grid(
     }
 
     cells
+}
+
+/// Asserts symmetry agreement: within every cell, the symmetric run must
+/// produce the same safety and liveness *verdict class* as the plain run
+/// and must not explore more states. Returns the offending cells, empty
+/// when all agree.
+pub fn symmetry_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
+    cells
+        .iter()
+        .filter(|c| {
+            verdict_class(&c.verdict) != verdict_class(&c.sym_verdict)
+                || verdict_class(&c.liveness) != verdict_class(&c.sym_liveness)
+                || c.sym_states > c.states
+        })
+        .collect()
 }
 
 /// A seed-consistency check row: state counts of the base model vs the
@@ -352,22 +431,25 @@ pub fn backend_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
     bad
 }
 
-/// Renders the sweep as an aligned text table.
+/// Renders the sweep as an aligned text table (with the symmetry on/off
+/// state counts and the orbit-collapse ratio per cell).
 pub fn render_fault_sweep(cells: &[FaultCell]) -> String {
     let mut out = String::from(
-        "protocol                  | budget              | strategy  | backend             |   states | store KiB | time     | verdict              | liveness\n",
+        "protocol                  | budget              | strategy  | backend             |   states | sym stat | ratio | store KiB | time     | verdict              | liveness\n",
     );
     out.push_str(
-        "--------------------------+---------------------+-----------+---------------------+----------+-----------+----------+----------------------+---------\n",
+        "--------------------------+---------------------+-----------+---------------------+----------+----------+-------+-----------+----------+----------------------+---------\n",
     );
     for c in cells {
         out.push_str(&format!(
-            "{:<25} | {:<19} | {:<9} | {:<19} | {:>8} | {:>9} | {:>8} | {:<20} | {}\n",
+            "{:<25} | {:<19} | {:<9} | {:<19} | {:>8} | {:>8} | {:>5.2} | {:>9} | {:>8} | {:<20} | {}\n",
             c.protocol,
             c.budget,
             c.strategy,
             c.backend,
             c.states,
+            c.sym_states,
+            c.state_ratio(),
             c.store_bytes / 1024,
             format!("{:.1?}", c.time),
             c.verdict,
@@ -382,14 +464,16 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Serialises the sweep as a JSON array (the `BENCH_fault_sweep.json`
-/// payload) so external tooling can track the bench trajectory.
+/// payload) so external tooling — including the CI bench-regression gate —
+/// can track the verdict and orbit-collapse trajectory.
 pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
     let mut out = String::from("[\n");
     for (i, c) in cells.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"protocol\":\"{}\",\"budget\":\"{}\",\"strategy\":\"{}\",\"backend\":\"{}\",\
              \"verdict\":\"{}\",\"liveness\":\"{}\",\"states\":{},\"transitions\":{},\
-             \"store_bytes\":{},\"time_ms\":{}}}{}\n",
+             \"store_bytes\":{},\"time_ms\":{},\"sym_verdict\":\"{}\",\"sym_liveness\":\"{}\",\
+             \"sym_states\":{},\"sym_time_ms\":{},\"state_ratio\":{:.3}}}{}\n",
             json_escape(&c.protocol),
             json_escape(&c.budget),
             json_escape(&c.strategy),
@@ -400,6 +484,11 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
             c.transitions,
             c.store_bytes,
             c.time.as_millis(),
+            json_escape(&c.sym_verdict),
+            json_escape(&c.sym_liveness),
+            c.sym_states,
+            c.sym_time.as_millis(),
+            c.state_ratio(),
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
@@ -439,6 +528,7 @@ mod tests {
         // grid is exercised by the binary and the integration tests.
         let run_budget = tiny_budget();
         let setting = PaxosSetting::new(1, 2, 1);
+        let roles = mp_protocols::paxos::symmetry_roles(setting);
         let mut cells = Vec::new();
         for budget in [FaultBudget::none(), FaultBudget::none().drops(1)] {
             let spec = faulty_paxos(setting, PaxosVariant::Correct, budget);
@@ -446,6 +536,7 @@ mod tests {
                 "Paxos",
                 &budget.to_string(),
                 &spec,
+                &roles,
                 faulty_consensus_property(setting),
                 &faulty_termination_property(setting),
                 NullObserver,
@@ -455,23 +546,48 @@ mod tests {
         }
         assert_eq!(cells.len(), 2 * 2 * 3);
         assert!(backend_disagreements(&cells).is_empty());
+        assert!(symmetry_disagreements(&cells).is_empty());
         assert!(cells.iter().all(|c| c.verdict == "verified"));
+        // Symmetry never grows the explored set, and the fault cells (two
+        // interchangeable acceptors) must genuinely collapse orbits.
+        assert!(cells.iter().all(|c| c.sym_states <= c.states));
+        assert!(
+            cells
+                .iter()
+                .filter(|c| c.budget != "none")
+                .all(|c| c.state_ratio() > 1.0),
+            "drop cells must collapse: {cells:?}"
+        );
         // The liveness column: zero-budget Paxos terminates; a single lost
         // message can strand a quorum, a fair quiescent lasso.
         assert!(cells
             .iter()
             .filter(|c| c.budget == "none")
-            .all(|c| c.liveness == "verified"));
+            .all(|c| c.liveness == "verified" && c.sym_liveness == "verified"));
         assert!(cells
             .iter()
             .filter(|c| c.budget != "none")
-            .all(|c| c.liveness.contains("lasso")));
+            .all(|c| c.liveness.contains("lasso") && c.sym_liveness.contains("lasso")));
         let json = fault_sweep_json(&cells);
         assert!(json.starts_with("[\n"));
         assert_eq!(json.matches("\"protocol\"").count(), cells.len());
         assert_eq!(json.matches("\"liveness\"").count(), cells.len());
+        assert_eq!(json.matches("\"sym_states\"").count(), cells.len());
+        assert_eq!(json.matches("\"state_ratio\"").count(), cells.len());
         let table = render_fault_sweep(&cells);
         assert!(table.contains("fingerprint"));
         assert!(table.contains("liveness"));
+        assert!(table.contains("ratio"));
+    }
+
+    #[test]
+    fn verdict_classes_compare_shapes_not_strings() {
+        assert_eq!(verdict_class("verified"), "verified");
+        assert_eq!(verdict_class("counterexample found (3 steps)"), "violated");
+        assert_eq!(
+            verdict_class("fair lasso (7 stem + 0 cycle steps)"),
+            "violated"
+        );
+        assert_eq!(verdict_class("limit reached: state limit of 10"), "bounded");
     }
 }

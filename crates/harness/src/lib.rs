@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_gate;
 pub mod debugging;
 pub mod fault_sweep;
 pub mod heuristics;

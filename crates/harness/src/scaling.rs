@@ -12,7 +12,8 @@
 use mp_checker::{Checker, CheckerConfig, NullObserver};
 use mp_model::StateGraph;
 use mp_protocols::paxos::{
-    consensus_property, quorum_model, single_message_model, PaxosSetting, PaxosVariant,
+    consensus_property, quorum_model, single_message_model, symmetry_roles, PaxosSetting,
+    PaxosVariant,
 };
 use mp_protocols::sweep::{collect_model, collect_soundness_property, CollectSetting};
 use mp_store::StoreConfig;
@@ -65,14 +66,16 @@ pub fn collect_sweep(voters: usize, collectors: usize, max_states: usize) -> Vec
 
 /// Measures quorum vs single-message Paxos as the number of acceptors (and
 /// with it the majority quorum) grows, using SPOR for both so the comparison
-/// matches Table I's middle and right columns.
+/// matches Table I's middle and right columns. The two modelling styles get
+/// distinct protocol labels so every row has a unique
+/// (protocol, property, strategy) key — which is what the CI bench gate
+/// matches baseline rows on.
 pub fn paxos_sweep(max_acceptors: usize, budget: &Budget) -> Vec<Measurement> {
     let mut rows = Vec::new();
     for acceptors in 1..=max_acceptors {
         let setting = PaxosSetting::new(1, acceptors, 1);
-        let label = format!("Paxos {setting}");
         rows.push(run_cell(
-            &label,
+            &format!("Paxos {setting} single-message"),
             "Consensus",
             false,
             &single_message_model(setting, PaxosVariant::Correct),
@@ -82,7 +85,7 @@ pub fn paxos_sweep(max_acceptors: usize, budget: &Budget) -> Vec<Measurement> {
             budget,
         ));
         rows.push(run_cell(
-            &label,
+            &format!("Paxos {setting} quorum"),
             "Consensus",
             false,
             &quorum_model(setting, PaxosVariant::Correct),
@@ -93,6 +96,128 @@ pub fn paxos_sweep(max_acceptors: usize, budget: &Budget) -> Vec<Measurement> {
         ));
     }
     rows
+}
+
+/// One row of the symmetry (orbit-reduction) scaling comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymmetryPoint {
+    /// Configuration label, e.g. "Paxos (1,3,1) quorum".
+    pub label: String,
+    /// Order of the validated symmetry group (acceptors! × learners!).
+    pub group_order: usize,
+    /// States of the plain SPOR run.
+    pub states: usize,
+    /// States of the SPOR+symmetry run (orbit representatives).
+    pub sym_states: usize,
+    /// Wall time of the plain run.
+    pub time: std::time::Duration,
+    /// Wall time of the symmetric run.
+    pub sym_time: std::time::Duration,
+    /// `true` if both runs produced the same verdict class.
+    pub verdicts_agree: bool,
+}
+
+impl SymmetryPoint {
+    /// The orbit-collapse ratio (plain states per symmetric state).
+    pub fn state_ratio(&self) -> f64 {
+        self.states as f64 / self.sym_states.max(1) as f64
+    }
+
+    /// The wall-time ratio (plain time per symmetric time; > 1 means the
+    /// reduction also paid for itself in time).
+    pub fn time_ratio(&self) -> f64 {
+        let sym = self.sym_time.as_secs_f64();
+        if sym == 0.0 {
+            1.0
+        } else {
+            self.time.as_secs_f64() / sym
+        }
+    }
+}
+
+/// Measures the orbit collapse of the Paxos acceptor symmetry as the
+/// acceptor set grows: the validated group order is `acceptors!`, so the
+/// reduction compounds with the quorum-model savings. Returns the per-point
+/// ratios plus `Measurement` rows (strategy-labelled by the engine, e.g.
+/// `SPOR+sym(6)`) that the `quorum_scaling` binary appends to
+/// `BENCH_quorum_scaling.json` so the trajectory is gated in CI.
+pub fn paxos_symmetry_sweep(
+    max_acceptors: usize,
+    budget: &Budget,
+) -> (Vec<SymmetryPoint>, Vec<Measurement>) {
+    use mp_symmetry::SymmetryGroup;
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for acceptors in 1..=max_acceptors {
+        let setting = PaxosSetting::new(1, acceptors, 1);
+        let label = format!("Paxos {setting} quorum");
+        let spec = quorum_model(setting, PaxosVariant::Correct);
+        let roles = symmetry_roles(setting);
+        let group_order = SymmetryGroup::build(&spec, &roles).order();
+        let run = |symmetry: bool| {
+            let checker = Checker::new(&spec, consensus_property(setting))
+                .spor()
+                .config(budget.apply(CheckerConfig::stateful_dfs()));
+            let checker = if symmetry {
+                checker.with_role_symmetry(&roles)
+            } else {
+                checker
+            };
+            checker.run()
+        };
+        let plain = run(false);
+        let sym = run(true);
+        points.push(SymmetryPoint {
+            label: label.clone(),
+            group_order,
+            states: plain.stats.states,
+            sym_states: sym.stats.states,
+            time: plain.stats.elapsed,
+            sym_time: sym.stats.elapsed,
+            verdicts_agree: plain.verdict.is_violated() == sym.verdict.is_violated()
+                && plain.verdict.is_verified() == sym.verdict.is_verified(),
+        });
+        rows.push(Measurement {
+            protocol: label,
+            property: "Consensus".to_string(),
+            strategy: format!("SPOR+sym({group_order})"),
+            states: sym.stats.states,
+            transitions: sym.stats.transitions_executed,
+            time: sym.stats.elapsed,
+            verdict: sym.verdict.to_string(),
+            completed: !matches!(sym.verdict, mp_checker::Verdict::LimitReached { .. }),
+            as_expected: sym.verdict.is_verified(),
+        });
+    }
+    (points, rows)
+}
+
+/// Renders the symmetry scaling comparison as a small text table.
+pub fn render_symmetry_sweep(points: &[SymmetryPoint]) -> String {
+    let mut out = String::from(
+        "configuration                |  |G| |   states | sym states | state ratio | time ratio | verdicts\n",
+    );
+    out.push_str(
+        "-----------------------------+------+----------+------------+-------------+------------+---------\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<28} | {:>4} | {:>8} | {:>10} | {:>10.2}x | {:>9.2}x | {}\n",
+            p.label,
+            p.group_order,
+            p.states,
+            p.sym_states,
+            p.state_ratio(),
+            p.time_ratio(),
+            if p.verdicts_agree {
+                "agree"
+            } else {
+                "DISAGREE"
+            }
+        ));
+    }
+    out
 }
 
 /// One row of the visited-store backend comparison.

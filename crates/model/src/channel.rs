@@ -190,6 +190,28 @@ impl<M: Message> Channels<M> {
             .iter()
             .map(|((receiver, sender), bag)| ((*sender, *receiver), bag))
     }
+
+    /// Rewrites the channel contents under a process permutation: the
+    /// channel `i -> j` becomes `perm(i) -> perm(j)` and every payload is
+    /// rewritten through [`Permutable::permute`](crate::Permutable::permute). The canonical (sorted)
+    /// internal form is rebuilt, so permuted channel states compare and hash
+    /// like any other.
+    pub fn permute(&self, perm: &crate::Permutation) -> Self
+    where
+        M: crate::Permutable,
+    {
+        let mut out = Channels::new(self.num_processes);
+        for ((sender, receiver), bag) in self.iter() {
+            for payload in bag.iter_occurrences() {
+                out.send(
+                    perm.apply(sender),
+                    perm.apply(receiver),
+                    payload.permute(perm),
+                );
+            }
+        }
+        out
+    }
 }
 
 impl<M: Message> fmt::Debug for Channels<M> {

@@ -72,6 +72,7 @@ pub mod graph;
 pub mod ids;
 pub mod message;
 pub mod multiset;
+pub mod permute;
 pub mod protocol;
 pub mod semantics;
 pub mod state;
@@ -87,6 +88,7 @@ pub use graph::StateGraph;
 pub use ids::{ProcessId, TransitionId};
 pub use message::{Envelope, Kind, Message};
 pub use multiset::Multiset;
+pub use permute::{Permutable, Permutation};
 pub use protocol::{EnableFilter, ProtocolBuilder, ProtocolSpec};
 pub use semantics::{execute, execute_enabled, is_deadlock, successors};
 pub use state::{GlobalState, LocalState};

@@ -1,0 +1,251 @@
+//! Process-index permutations and the [`Permutable`] trait.
+//!
+//! Fault-tolerant protocols are full of *interchangeable* processes: the
+//! acceptors of Paxos, the base objects of a replicated register, the
+//! replicas of a quorum system. Swapping two such processes maps every
+//! execution of the model onto another execution — the state graph is
+//! invariant under the swap. The symmetry-reduction layer (`mp-symmetry`)
+//! exploits this by storing only one representative per orbit of the
+//! permutation group; this module provides the vocabulary it builds on:
+//!
+//! * [`Permutation`] — a bijection on process indices;
+//! * [`Permutable`] — "this value can be rewritten under a process
+//!   permutation". Local states and messages that embed [`ProcessId`]s
+//!   (reply buffers, initiator fields, ...) must map them; plain data is
+//!   invariant.
+//!
+//! [`GlobalState::permute`](crate::GlobalState::permute) and
+//! [`Channels::permute`](crate::Channels::permute) lift a permutation to
+//! whole states: local states move to their new index *and* are rewritten,
+//! channel endpoints are remapped, payloads are rewritten.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ProcessId;
+
+/// A bijection on the process indices `0..n`.
+///
+/// `map[i]` is the index process `i` is sent to.
+///
+/// # Examples
+///
+/// ```
+/// use mp_model::{Permutation, ProcessId};
+///
+/// let swap = Permutation::from_map(vec![0, 2, 1]).unwrap();
+/// assert_eq!(swap.apply(ProcessId(1)), ProcessId(2));
+/// assert_eq!(swap.inverse(), swap); // a transposition is its own inverse
+/// assert!(Permutation::identity(3).is_identity());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Permutation {
+    map: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` processes.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            map: (0..n).collect(),
+        }
+    }
+
+    /// Builds a permutation from an explicit index map (`map[i]` = image of
+    /// process `i`). Returns `None` if `map` is not a bijection on
+    /// `0..map.len()`.
+    pub fn from_map(map: Vec<usize>) -> Option<Self> {
+        let n = map.len();
+        let mut seen = vec![false; n];
+        for &image in &map {
+            if image >= n || seen[image] {
+                return None;
+            }
+            seen[image] = true;
+        }
+        Some(Permutation { map })
+    }
+
+    /// Number of process indices the permutation acts on.
+    pub fn degree(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &image)| i == image)
+    }
+
+    /// Applies the permutation to a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn apply_index(&self, index: usize) -> usize {
+        self.map[index]
+    }
+
+    /// Applies the permutation to a process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process is out of range.
+    pub fn apply(&self, process: ProcessId) -> ProcessId {
+        ProcessId(self.map[process.index()])
+    }
+
+    /// The composition "`self` after `other`": the result maps `i` to
+    /// `self(other(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degrees differ.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.degree(), other.degree(), "degree mismatch");
+        Permutation {
+            map: other.map.iter().map(|&i| self.map[i]).collect(),
+        }
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.map.len()];
+        for (i, &image) in self.map.iter().enumerate() {
+            inv[image] = i;
+        }
+        Permutation { map: inv }
+    }
+}
+
+/// A value that can be rewritten under a process permutation.
+///
+/// The contract: `permute` must map every embedded [`ProcessId`] through the
+/// permutation and leave everything else untouched. Types with no embedded
+/// process ids implement it as the identity (the blanket impls below cover
+/// the common plain-data types).
+pub trait Permutable: Sized {
+    /// Rewrites every embedded process id through `perm`.
+    fn permute(&self, perm: &Permutation) -> Self;
+}
+
+impl Permutable for ProcessId {
+    fn permute(&self, perm: &Permutation) -> Self {
+        perm.apply(*self)
+    }
+}
+
+/// Identity implementations for plain-data types that cannot embed a
+/// process id.
+macro_rules! identity_permutable {
+    ($($t:ty),* $(,)?) => {
+        $(impl Permutable for $t {
+            fn permute(&self, _perm: &Permutation) -> Self {
+                self.clone()
+            }
+        })*
+    };
+}
+
+identity_permutable!(
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    String,
+    &'static str,
+);
+
+impl<T: Permutable> Permutable for Option<T> {
+    fn permute(&self, perm: &Permutation) -> Self {
+        self.as_ref().map(|v| v.permute(perm))
+    }
+}
+
+impl<T: Permutable> Permutable for Vec<T> {
+    fn permute(&self, perm: &Permutation) -> Self {
+        self.iter().map(|v| v.permute(perm)).collect()
+    }
+}
+
+impl<T: Permutable + Ord> Permutable for BTreeSet<T> {
+    fn permute(&self, perm: &Permutation) -> Self {
+        self.iter().map(|v| v.permute(perm)).collect()
+    }
+}
+
+impl<K: Permutable + Ord, V: Permutable> Permutable for BTreeMap<K, V> {
+    fn permute(&self, perm: &Permutation) -> Self {
+        self.iter()
+            .map(|(k, v)| (k.permute(perm), v.permute(perm)))
+            .collect()
+    }
+}
+
+impl<A: Permutable, B: Permutable> Permutable for (A, B) {
+    fn permute(&self, perm: &Permutation) -> Self {
+        (self.0.permute(perm), self.1.permute(perm))
+    }
+}
+
+impl<A: Permutable, B: Permutable, C: Permutable> Permutable for (A, B, C) {
+    fn permute(&self, perm: &Permutation) -> Self {
+        (
+            self.0.permute(perm),
+            self.1.permute(perm),
+            self.2.permute(perm),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_map_rejects_non_bijections() {
+        assert!(Permutation::from_map(vec![0, 0]).is_none());
+        assert!(Permutation::from_map(vec![0, 2]).is_none());
+        assert!(Permutation::from_map(vec![1, 0]).is_some());
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        // other: 0->1->2->0 (cycle), self: swap 0,1.
+        let cycle = Permutation::from_map(vec![1, 2, 0]).unwrap();
+        let swap = Permutation::from_map(vec![1, 0, 2]).unwrap();
+        let composed = swap.compose(&cycle);
+        // i -> swap(cycle(i)): 0->swap(1)=0, 1->swap(2)=2, 2->swap(0)=1.
+        assert_eq!(composed, Permutation::from_map(vec![0, 2, 1]).unwrap());
+    }
+
+    #[test]
+    fn inverse_undoes() {
+        let p = Permutation::from_map(vec![2, 0, 1]).unwrap();
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn permutable_containers_map_pids() {
+        let swap = Permutation::from_map(vec![1, 0]).unwrap();
+        let set: BTreeSet<(ProcessId, u8)> = [(ProcessId(0), 7u8), (ProcessId(1), 9u8)]
+            .into_iter()
+            .collect();
+        let mapped = set.permute(&swap);
+        assert!(mapped.contains(&(ProcessId(1), 7)));
+        assert!(mapped.contains(&(ProcessId(0), 9)));
+        assert_eq!(5u32.permute(&swap), 5);
+        assert_eq!(Some(ProcessId(0)).permute(&swap), Some(ProcessId(1)));
+        assert_eq!("x".to_string().permute(&swap), "x");
+    }
+}

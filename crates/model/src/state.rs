@@ -76,6 +76,32 @@ impl<S: LocalState, M: Message> GlobalState<S, M> {
     pub fn pending_messages(&self) -> usize {
         self.channels.total_pending()
     }
+
+    /// Rewrites the state under a process permutation: the local state of
+    /// process `i` moves to index `perm(i)` (rewritten through
+    /// [`Permutable::permute`](crate::Permutable::permute) so embedded
+    /// process ids follow), and the channels are remapped accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the permutation's degree differs from the process count.
+    pub fn permute(&self, perm: &crate::Permutation) -> Self
+    where
+        S: crate::Permutable,
+        M: crate::Permutable,
+    {
+        assert_eq!(perm.degree(), self.num_processes(), "degree mismatch");
+        // Built through the inverse so each slot is cloned exactly once —
+        // this is the hottest path of symmetry canonicalization (one call
+        // per group element per generated successor).
+        let inverse = perm.inverse();
+        GlobalState {
+            locals: (0..self.locals.len())
+                .map(|slot| self.locals[inverse.apply_index(slot)].permute(perm))
+                .collect(),
+            channels: self.channels.permute(perm),
+        }
+    }
 }
 
 impl<S: fmt::Debug, M: Message> fmt::Debug for GlobalState<S, M> {

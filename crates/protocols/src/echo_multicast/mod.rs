@@ -44,6 +44,23 @@ pub use types::{
     MulticastMessage, MulticastSetting, MulticastState,
 };
 
+/// The role declaration for symmetry reduction (`mp-symmetry`): honest
+/// receivers form one candidate role, Byzantine receivers another;
+/// initiators are fixed points (they multicast distinct values). Note that
+/// the equivocation attack deliberately *breaks* honest-receiver symmetry —
+/// a Byzantine initiator sends one value to the first attack group and
+/// another to the second, so permutations that mix the groups fail
+/// structural validation (the initiator's recipient sets do not map onto
+/// themselves) and the validated group shrinks accordingly, down to
+/// identity for the (2,1,0,1) evaluation setting. That degeneration is the
+/// correct answer, not a missed optimisation: the attack really does
+/// distinguish those receivers.
+pub fn symmetry_roles(setting: MulticastSetting) -> mp_symmetry::RoleMap {
+    mp_symmetry::RoleMap::new(setting.num_processes())
+        .role(setting.honest_receiver_ids())
+        .role(setting.byzantine_receiver_ids())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use mp_model::{Kind, Message, ProcessId};
+use mp_model::{Kind, Message, Permutable, Permutation, ProcessId};
 
 /// Multicast payload values. Honest initiator `i` multicasts `10 + i`;
 /// Byzantine initiator `b` equivocates between `100 + 2b` and `101 + 2b`.
@@ -209,6 +209,27 @@ impl Message for MulticastMessage {
     }
 }
 
+// Multicast payloads name the initiator a message belongs to; symmetry
+// reduction must rewrite that id along with the channel endpoints.
+impl Permutable for MulticastMessage {
+    fn permute(&self, perm: &Permutation) -> Self {
+        match self {
+            MulticastMessage::Init { initiator, value } => MulticastMessage::Init {
+                initiator: perm.apply(*initiator),
+                value: *value,
+            },
+            MulticastMessage::Echo { initiator, value } => MulticastMessage::Echo {
+                initiator: perm.apply(*initiator),
+                value: *value,
+            },
+            MulticastMessage::Commit { initiator, value } => MulticastMessage::Commit {
+                initiator: perm.apply(*initiator),
+                value: *value,
+            },
+        }
+    }
+}
+
 /// Phases of an honest initiator.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum InitiatorPhase {
@@ -264,6 +285,36 @@ pub enum MulticastState {
     HonestReceiver(HonestReceiverState),
     /// A Byzantine receiver (echoes anything; keeps no state).
     ByzantineReceiver,
+}
+
+// Per-initiator bookkeeping (echo buffers, echoed/delivered maps) is keyed
+// by process id and must follow a permutation.
+impl Permutable for MulticastState {
+    fn permute(&self, perm: &Permutation) -> Self {
+        match self {
+            MulticastState::HonestInitiator(s) => {
+                MulticastState::HonestInitiator(HonestInitiatorState {
+                    phase: s.phase,
+                    echo_buffer: s.echo_buffer.permute(perm),
+                })
+            }
+            MulticastState::ByzantineInitiator(s) => {
+                MulticastState::ByzantineInitiator(ByzantineInitiatorState {
+                    sent: s.sent,
+                    committed_first: s.committed_first,
+                    committed_second: s.committed_second,
+                    echo_buffer: s.echo_buffer.permute(perm),
+                })
+            }
+            MulticastState::HonestReceiver(s) => {
+                MulticastState::HonestReceiver(HonestReceiverState {
+                    echoed: s.echoed.permute(perm),
+                    delivered: s.delivered.permute(perm),
+                })
+            }
+            MulticastState::ByzantineReceiver => MulticastState::ByzantineReceiver,
+        }
+    }
 }
 
 impl MulticastState {

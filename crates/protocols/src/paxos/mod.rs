@@ -36,7 +36,23 @@ pub use faults::{
     faulty_accepted_leads_to_learned, faulty_consensus_property, faulty_quorum_model,
     faulty_termination_property, value_mutator, CORRUPT_VALUE_OFFSET,
 };
-pub use model::quorum_model;
+pub use model::{quorum_model, quorum_model_with_acceptor_values};
+
+/// The role declaration for symmetry reduction (`mp-symmetry`): acceptors
+/// are interchangeable and learners are interchangeable, while proposers
+/// stay fixed points — each proposer runs a distinct ballot and proposes a
+/// distinct value, so swapping them is *not* a symmetry (and the
+/// declaration deliberately leaves them out rather than relying on
+/// validation, which cannot see inside guard/effect closures). The same
+/// declaration is valid for the fault-augmented models of
+/// [`faulty_quorum_model`]: injected environment transitions are generated
+/// per process from the same loop, and the consensus/termination properties
+/// quantify over learner *sets*, invariant under both roles.
+pub fn symmetry_roles(setting: PaxosSetting) -> mp_symmetry::RoleMap {
+    mp_symmetry::RoleMap::new(setting.num_processes())
+        .role(setting.acceptor_ids())
+        .role(setting.learner_ids())
+}
 pub use properties::{
     accepted_leads_to_learned, consensus_property, termination_property, values_learned,
 };

@@ -30,10 +30,54 @@ pub fn quorum_model(
         .expect("the Paxos quorum model is structurally valid")
 }
 
+/// Builds the quorum model with explicitly seeded acceptor states: acceptor
+/// `i` starts with `accepted[i]` as its previously-accepted (ballot, value)
+/// pair (and a matching promise). This is the deliberately-asymmetric
+/// variant used by the symmetry tests: acceptors seeded with *distinct*
+/// values are no longer interchangeable, so the validated symmetry group of
+/// [`crate::paxos::symmetry_roles`] must degenerate on them.
+pub fn quorum_model_with_acceptor_values(
+    setting: PaxosSetting,
+    variant: PaxosVariant,
+    accepted: &[Option<(Ballot, Value)>],
+) -> ProtocolSpec<PaxosState, PaxosMessage> {
+    assert_eq!(
+        accepted.len(),
+        setting.acceptors,
+        "one accepted-value seed per acceptor"
+    );
+    let mut builder = declare_processes_with(setting, format!("paxos{setting}+seeded"), |i| {
+        AcceptorState {
+            promised: accepted[i].map(|(ballot, _)| ballot).unwrap_or(0),
+            accepted: accepted[i],
+        }
+    });
+    add_proposer_transitions(&mut builder, setting, true);
+    add_acceptor_transitions(&mut builder, setting);
+    add_learner_transitions(&mut builder, setting, variant, true);
+    builder
+        .build()
+        .expect("the seeded Paxos quorum model is structurally valid")
+}
+
 pub(crate) fn declare_processes(
     setting: PaxosSetting,
 ) -> ProtocolBuilder<PaxosState, PaxosMessage> {
-    let mut builder = ProtocolSpec::builder(format!("paxos{setting}"));
+    declare_processes_with(setting, format!("paxos{setting}"), |_| {
+        AcceptorState::default()
+    })
+}
+
+/// Shared process-declaration loop: proposers and learners start in their
+/// default states, acceptor `i` starts in `acceptor_state(i)`. Process
+/// names and declaration order are what the symmetry layer's transition
+/// alignment depends on, so every model variant must come through here.
+fn declare_processes_with(
+    setting: PaxosSetting,
+    name: String,
+    acceptor_state: impl Fn(usize) -> AcceptorState,
+) -> ProtocolBuilder<PaxosState, PaxosMessage> {
+    let mut builder = ProtocolSpec::builder(name);
     for i in 0..setting.proposers {
         builder = builder.process(
             format!("proposer{i}"),
@@ -43,7 +87,7 @@ pub(crate) fn declare_processes(
     for i in 0..setting.acceptors {
         builder = builder.process(
             format!("acceptor{i}"),
-            PaxosState::Acceptor(AcceptorState::default()),
+            PaxosState::Acceptor(acceptor_state(i)),
         );
     }
     for i in 0..setting.learners {

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use mp_model::{Kind, Message, ProcessId};
+use mp_model::{Kind, Message, Permutable, Permutation, ProcessId};
 
 /// Ballot numbers; proposer `i` always uses ballot `i + 1`, so one ballot per
 /// proposer keeps the model finite (the standard protocol-level abstraction
@@ -166,6 +166,14 @@ impl Message for PaxosMessage {
     }
 }
 
+// Paxos messages carry ballots and values but no process ids (sender
+// identity lives in the envelope, which the symmetry layer maps itself).
+impl Permutable for PaxosMessage {
+    fn permute(&self, _perm: &Permutation) -> Self {
+        self.clone()
+    }
+}
+
 /// Proposer phases.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum ProposerPhase {
@@ -217,6 +225,25 @@ pub enum PaxosState {
     Acceptor(AcceptorState),
     /// A learner.
     Learner(LearnerState),
+}
+
+// Local states permute the process ids buffered by the single-message
+// models (read replies and accept buffers record senders); everything else
+// is plain data.
+impl Permutable for PaxosState {
+    fn permute(&self, perm: &Permutation) -> Self {
+        match self {
+            PaxosState::Proposer(p) => PaxosState::Proposer(ProposerState {
+                phase: p.phase,
+                read_replies: p.read_replies.permute(perm),
+            }),
+            PaxosState::Acceptor(a) => PaxosState::Acceptor(a.clone()),
+            PaxosState::Learner(l) => PaxosState::Learner(LearnerState {
+                learned: l.learned.clone(),
+                accept_buffer: l.accept_buffer.permute(perm),
+            }),
+        }
+    }
 }
 
 impl PaxosState {

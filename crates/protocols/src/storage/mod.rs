@@ -40,6 +40,19 @@ pub use types::{
     WriterState,
 };
 
+/// The role declaration for symmetry reduction (`mp-symmetry`): the base
+/// (storing) objects are interchangeable replicas, and the readers — who
+/// all run the same one-shot read — are interchangeable too; the single
+/// writer is a fixed point. The [`RegularityObserver`] permutes its
+/// per-reader snapshots along with the readers, and regularity quantifies
+/// over all readers, so the properties are invariant under both roles. The
+/// declaration carries over to the fault-augmented models unchanged.
+pub fn symmetry_roles(setting: StorageSetting) -> mp_symmetry::RoleMap {
+    mp_symmetry::RoleMap::new(setting.num_processes())
+        .role(setting.base_object_ids())
+        .role(setting.reader_ids())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

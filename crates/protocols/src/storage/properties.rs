@@ -2,12 +2,12 @@
 //! completion liveness properties.
 
 use mp_checker::{Invariant, NullObserver, Observer, Property};
-use mp_model::{GlobalState, ProtocolSpec, TransitionInstance};
+use mp_model::{GlobalState, Permutable, Permutation, ProtocolSpec, TransitionInstance};
 
 use super::types::{ReaderPhase, StorageMessage, StorageSetting, StorageState, Timestamp};
 
 /// What the writer was doing when a read was invoked.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct WriteSnapshot {
     /// Number of writes that had completed when the read started.
     pub completed: Timestamp,
@@ -24,10 +24,30 @@ pub struct WriteSnapshot {
 /// writes that completed *before the read started*, which is not a function
 /// of a single state — the observer carries exactly that piece of history,
 /// and the checker folds it into the explored state.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RegularityObserver {
     setting: StorageSetting,
     snapshots: Vec<Option<WriteSnapshot>>,
+}
+
+// Snapshots are indexed by *reader*: permuting readers permutes the
+// snapshot slots along with them (base-object permutations leave the
+// observer untouched — the snapshot records only the writer's progress).
+impl Permutable for RegularityObserver {
+    fn permute(&self, perm: &Permutation) -> Self {
+        let mut snapshots = self.snapshots.clone();
+        for (i, snapshot) in self.snapshots.iter().enumerate() {
+            let image = self
+                .setting
+                .reader_index(perm.apply(self.setting.reader(i)))
+                .expect("role permutations map readers to readers");
+            snapshots[image] = *snapshot;
+        }
+        RegularityObserver {
+            setting: self.setting,
+            snapshots,
+        }
+    }
 }
 
 impl RegularityObserver {

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use mp_model::{Kind, Message, ProcessId};
+use mp_model::{Kind, Message, Permutable, Permutation, ProcessId};
 
 /// Timestamps of write operations (write `k` has timestamp `k`, the initial
 /// value has timestamp 0).
@@ -15,7 +15,7 @@ pub type Value = u8;
 /// A regular storage setting `(B, R)`: the number of base objects and
 /// readers (paper, Section V-A "Protocol settings"). The protocol is
 /// single-writer, so there is always exactly one writer process.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StorageSetting {
     /// Number of base (storing) objects.
     pub base_objects: usize,
@@ -148,6 +148,13 @@ impl Message for StorageMessage {
     }
 }
 
+// Storage messages carry timestamps and values only.
+impl Permutable for StorageMessage {
+    fn permute(&self, _perm: &Permutation) -> Self {
+        self.clone()
+    }
+}
+
 /// Local state of the writer.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct WriterState {
@@ -202,6 +209,26 @@ pub enum StorageState {
     BaseObject(BaseObjectState),
     /// A reader.
     Reader(ReaderState),
+}
+
+// The single-message models buffer sender ids (write acknowledgements and
+// read responses); symmetry reduction rewrites them with the permutation.
+impl Permutable for StorageState {
+    fn permute(&self, perm: &Permutation) -> Self {
+        match self {
+            StorageState::Writer(w) => StorageState::Writer(WriterState {
+                writes_done: w.writes_done,
+                writing: w.writing,
+                ack_buffer: w.ack_buffer.permute(perm),
+            }),
+            StorageState::BaseObject(b) => StorageState::BaseObject(b.clone()),
+            StorageState::Reader(r) => StorageState::Reader(ReaderState {
+                phase: r.phase,
+                result: r.result,
+                resp_buffer: r.resp_buffer.permute(perm),
+            }),
+        }
+    }
 }
 
 impl StorageState {

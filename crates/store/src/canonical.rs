@@ -1,0 +1,161 @@
+//! Canonical-key insertion: a backend-agnostic wrapper that maps every key
+//! to a representative before it reaches the underlying store.
+//!
+//! This is the storage half of symmetry (orbit) reduction: the search
+//! engines of `mp-checker` keep exploring *concrete* states but only one
+//! **canonical representative per orbit** is ever fingerprinted, whichever
+//! backend is selected. The wrapper is always present in the engines'
+//! store path — with no mapper installed it is a zero-cost passthrough, so
+//! symmetry-off runs are byte-identical to the pre-wrapper behaviour.
+
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::{StateStoreBackend, StoreConfig, StoreImpl, StoreStats};
+
+/// A key-canonicalization function: maps a key to its orbit representative.
+/// Must be idempotent and consistent (two keys of the same orbit map to the
+/// same representative) — `mp-symmetry` provides such a function for any
+/// validated symmetry group.
+pub type KeyMapper<K> = Arc<dyn Fn(&K) -> K + Send + Sync>;
+
+/// The reporting label of a backend whose keys are canonical orbit
+/// representatives. Single source of the `+canon` suffix convention — used
+/// by [`CanonicalStore::name`] and by the engines that pre-canonicalize
+/// their keys and run the wrapper in passthrough mode.
+pub fn canonical_label(name: &'static str) -> &'static str {
+    match name {
+        "exact" => "exact+canon",
+        "sharded" => "sharded+canon",
+        "fingerprint" => "fingerprint+canon",
+        _ => "canonical",
+    }
+}
+
+/// Any [`StoreConfig`]-built backend, optionally behind a canonical-key
+/// mapper. See the module docs.
+pub struct CanonicalStore<K> {
+    inner: StoreImpl<K>,
+    mapper: Option<KeyMapper<K>>,
+}
+
+impl<K: Eq + Hash> CanonicalStore<K> {
+    /// Wraps `inner`; `mapper: None` is a pure passthrough.
+    pub fn new(inner: StoreImpl<K>, mapper: Option<KeyMapper<K>>) -> Self {
+        CanonicalStore { inner, mapper }
+    }
+
+    /// Returns `true` if a canonical-key mapper is installed.
+    pub fn is_canonical(&self) -> bool {
+        self.mapper.is_some()
+    }
+}
+
+impl StoreConfig {
+    /// Builds the backend for key type `K` behind the canonical-key wrapper
+    /// (`mapper: None` = passthrough). This is the constructor the search
+    /// engines of `mp-checker` use, so canonical-key insertion is available
+    /// behind every backend.
+    pub fn build_canonical<K: Eq + Hash>(&self, mapper: Option<KeyMapper<K>>) -> CanonicalStore<K> {
+        CanonicalStore::new(self.build(), mapper)
+    }
+}
+
+impl<K: Eq + Hash + Clone> StateStoreBackend<K> for CanonicalStore<K> {
+    fn insert(&self, key: K) -> bool {
+        match &self.mapper {
+            Some(mapper) => self.inner.insert(mapper(&key)),
+            None => self.inner.insert(key),
+        }
+    }
+
+    fn insert_ref(&self, key: &K) -> bool {
+        match &self.mapper {
+            Some(mapper) => self.inner.insert(mapper(key)),
+            None => self.inner.insert_ref(key),
+        }
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        match &self.mapper {
+            Some(mapper) => self.inner.contains(&mapper(key)),
+            None => self.inner.contains(key),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn name(&self) -> &'static str {
+        match &self.mapper {
+            None => self.inner.name(),
+            Some(_) => canonical_label(self.inner.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Orbit representative of an i64 key: its absolute value (the "group"
+    /// is negation).
+    fn abs_mapper() -> KeyMapper<i64> {
+        Arc::new(|k: &i64| k.wrapping_abs())
+    }
+
+    #[test]
+    fn passthrough_matches_inner_backend() {
+        for config in [
+            StoreConfig::Exact,
+            StoreConfig::sharded(),
+            StoreConfig::fingerprint(64),
+        ] {
+            let plain = config.build::<i64>();
+            let wrapped = config.build_canonical::<i64>(None);
+            for k in [-3i64, 5, -3, 5, 7] {
+                assert_eq!(plain.insert(k), wrapped.insert(k), "{config}");
+            }
+            assert_eq!(plain.len(), wrapped.len());
+            assert_eq!(plain.stats().hits, wrapped.stats().hits);
+            assert!(!wrapped.is_canonical());
+            assert_eq!(wrapped.name(), plain.name());
+        }
+    }
+
+    #[test]
+    fn canonical_keys_collapse_orbits_on_every_backend() {
+        for config in [
+            StoreConfig::Exact,
+            StoreConfig::sharded(),
+            StoreConfig::fingerprint(64),
+        ] {
+            let store = config.build_canonical(Some(abs_mapper()));
+            assert!(store.is_canonical());
+            assert!(store.insert(-3), "{config}: first orbit member is new");
+            assert!(
+                !store.insert(3),
+                "{config}: the symmetric sibling is a store hit"
+            );
+            assert!(store.contains(&-3));
+            assert!(store.contains(&3));
+            assert!(!store.contains(&4));
+            assert_eq!(store.len(), 1, "{config}: one representative per orbit");
+            assert!(store.name().ends_with("+canon"), "{config}");
+        }
+    }
+
+    #[test]
+    fn insert_ref_canonicalizes_too() {
+        let store = StoreConfig::Exact.build_canonical(Some(abs_mapper()));
+        assert!(store.insert_ref(&-9));
+        assert!(!store.insert_ref(&9));
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().misses, 1);
+    }
+}

@@ -55,12 +55,14 @@
 #![forbid(unsafe_code)]
 
 mod backend;
+mod canonical;
 mod config;
 mod exact;
 mod fingerprint;
 mod sharded;
 
 pub use backend::{StateStoreBackend, StoreStats};
+pub use canonical::{canonical_label, CanonicalStore, KeyMapper};
 pub use config::{StoreConfig, StoreImpl, DEFAULT_FINGERPRINT_BITS, DEFAULT_SHARDS};
 pub use exact::{ExactStore, StateStore};
 pub use fingerprint::FingerprintStore;

@@ -10,7 +10,11 @@
 //! * [`por`] (`mp-por`) — static (stubborn-set / MP-LPOR style) and dynamic
 //!   partial-order reduction;
 //! * [`store`] (`mp-store`) — pluggable visited-state backends: exact,
-//!   sharded lock-striped concurrent, and hash-compaction fingerprints;
+//!   sharded lock-striped concurrent, and hash-compaction fingerprints,
+//!   each optionally behind canonical-key insertion;
+//! * [`symmetry`] (`mp-symmetry`) — process-symmetry (orbit) reduction:
+//!   validated role permutation groups and the canonicalization every
+//!   engine applies at store-insertion time;
 //! * [`checker`] (`mp-checker`) — stateful/stateless/parallel explicit-state
 //!   search engines, safety + liveness (termination / leads-to) properties
 //!   with fairness policies, observers, and path/lasso counterexamples;
@@ -36,6 +40,7 @@ pub use mp_por as por;
 pub use mp_protocols as protocols;
 pub use mp_refine as refine;
 pub use mp_store as store;
+pub use mp_symmetry as symmetry;
 
 #[cfg(test)]
 mod tests {
