@@ -14,7 +14,16 @@
 //! The benches are plain `harness = false` binaries built on the
 //! dependency-free [`micro`] timing harness (this container has no network
 //! access, so Criterion is not available). The crate itself only exports
-//! small helpers shared by the benches.
+//! small helpers shared by the benches:
+//!
+//! ```
+//! use mp_bench::micro::Group;
+//!
+//! let mut group = Group::new("demo");
+//! group.sample_size(3);
+//! group.bench("add", || std::hint::black_box(2 + 2));
+//! group.finish(); // prints min/mean/max per row
+//! ```
 
 #![forbid(unsafe_code)]
 

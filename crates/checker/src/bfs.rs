@@ -1,9 +1,27 @@
-//! Stateful breadth-first search.
+//! Stateful breadth-first search over a pluggable, spillable frontier.
 //!
 //! Explores states level by level, which makes the first counterexample
 //! found a shortest one — convenient for the paper's debugging experiments
 //! ("finding the first bug ... requires little resources"). The engine keeps
 //! a parent pointer per stored state so counterexample paths can be rebuilt.
+//!
+//! The level queues and the parent-pointer table are driven through
+//! `mp-store`'s [`FrontierBackend`] and [`SpillLog`]: with the default
+//! in-memory frontier the behaviour is the classic two-queue BFS; with
+//! [`FrontierConfig::Disk`](mp_store::FrontierConfig) selected
+//! (`CheckerConfig::frontier`, strategy suffix `+spill`) encoded states are
+//! spilled to watermark-sized segments and read back level by level, so the
+//! resident set stays bounded by the watermark while verdicts and state
+//! counts remain byte-identical (both frontiers are strictly FIFO).
+//!
+//! With a non-trivial [`Symmetry`] the engine canonicalizes each successor
+//! **once** and uses the canonical pair `(ŝ, ô)` both as the visited-store
+//! key and as the frontier payload, alongside the group element δ that
+//! produced it. On dequeue the concrete state is recovered as
+//! `apply_element(δ⁻¹, ŝ)`, and the parent table records concrete
+//! transition instances — so frontier (and spill) bytes shrink with the
+//! orbit collapse while exploration, properties and counterexample paths
+//! all stay concrete.
 //!
 //! Note on soundness with POR: a breadth-first search has no stack, so the
 //! cycle proviso of the DFS engine does not apply. On cyclic state graphs
@@ -15,11 +33,13 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use mp_store::{KeyMapper, StateStoreBackend};
+use mp_store::{
+    canonical_label, FrontierBackend, ItemCodec, PlainCodec, SpillLog, StateStoreBackend,
+};
 
 use mp_model::{
-    enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
-    TransitionInstance,
+    enabled_instances, execute_enabled, DecodeError, Encode, GlobalState, LocalState, Message,
+    ProtocolSpec, TransitionInstance,
 };
 use mp_por::Reducer;
 use mp_symmetry::Symmetry;
@@ -29,30 +49,96 @@ use crate::{
     Property, PropertyStatus, RunReport, Verdict,
 };
 
-struct Node<M> {
-    parent: Option<usize>,
-    incoming: Option<TransitionInstance<M>>,
+/// A frontier entry of the BFS engines: `(parent-table index, δ, state,
+/// observer)`, where the state/observer pair is the canonical orbit
+/// representative and δ the group element that produced it (0 = identity,
+/// so symmetry-free runs carry the concrete state unchanged). The parallel
+/// engine reconstructs no paths and leaves the index at 0.
+pub(crate) type Entry<S, M, O> = (usize, usize, GlobalState<S, M>, O);
+
+/// One parent-table record: `None` for the root, `Some((parent index,
+/// incoming instance))` for every other state.
+pub(crate) type PathEntry<M> = Option<(usize, TransitionInstance<M>)>;
+
+/// The frontier item codec of the BFS engines: plain data goes through the
+/// `mp-model` codec, the observer is rebuilt with the run's initial
+/// observer as the decode template (see [`Observer::decode_like`]).
+pub(crate) struct EntryCodec<O> {
+    pub(crate) template: O,
 }
 
-/// Builds the canonical-key mapper the BFS engines install into the store
-/// when symmetry reduction is active: concrete keys go in, orbit
-/// representatives are what the backend actually fingerprints.
-pub(crate) fn canonical_mapper<S, M, O>(
-    symmetry: &Arc<dyn Symmetry<S, M, O>>,
-) -> Option<KeyMapper<(GlobalState<S, M>, O)>>
+impl<S, M, O> ItemCodec<Entry<S, M, O>> for EntryCodec<O>
 where
     S: LocalState,
     M: Message,
     O: Observer<S, M>,
 {
-    if symmetry.is_trivial() {
-        return None;
+    fn encode_item(&self, item: &Entry<S, M, O>, out: &mut Vec<u8>) {
+        item.0.encode(out);
+        item.1.encode(out);
+        item.2.encode(out);
+        item.3.encode(out);
     }
-    let symmetry = symmetry.clone();
-    Some(Arc::new(move |key: &(GlobalState<S, M>, O)| {
-        let (state, observer, _) = symmetry.canonicalize(&key.0, &key.1);
-        (state, observer)
-    }))
+
+    fn decode_item(&self, input: &mut &[u8]) -> Result<Entry<S, M, O>, DecodeError> {
+        Ok((
+            mp_model::Decode::decode(input)?,
+            mp_model::Decode::decode(input)?,
+            mp_model::Decode::decode(input)?,
+            self.template.decode_like(input)?,
+        ))
+    }
+}
+
+/// What [`insert_successor`] returns for a first-visit successor: the
+/// group element δ plus the canonical representative (`None` = the
+/// concrete pair itself is the representative, so callers can move it into
+/// the frontier entry without a clone).
+pub(crate) type FreshSuccessor<S, M, O> = (usize, Option<(GlobalState<S, M>, O)>);
+
+/// Canonicalizes a freshly generated successor once and inserts its
+/// visited-store key — the canonical orbit representative under a
+/// non-trivial group (`trivial` is hoisted by the engines so hot loops skip
+/// the dyn call), the concrete pair itself otherwise.
+///
+/// Returns `None` when the key was already visited.
+pub(crate) fn insert_successor<S, M, O>(
+    trivial: bool,
+    symmetry: &dyn Symmetry<S, M, O>,
+    store: &mp_store::CanonicalStore<(GlobalState<S, M>, O)>,
+    concrete: &(GlobalState<S, M>, O),
+) -> Option<FreshSuccessor<S, M, O>>
+where
+    S: LocalState,
+    M: Message,
+    O: Observer<S, M>,
+{
+    let (canonical, delta) = if trivial {
+        (None, 0)
+    } else {
+        let (cs, co, e) = symmetry.canonicalize(&concrete.0, &concrete.1);
+        (Some((cs, co)), e)
+    };
+    let inserted = match &canonical {
+        Some(key) => store.insert_ref(key),
+        None => store.insert_ref(concrete),
+    };
+    inserted.then_some((delta, canonical))
+}
+
+/// Rebuilds the instance path from the root to node `at` out of the
+/// (possibly spilled) parent table.
+fn rebuild_path<M: Message>(
+    nodes: &mut SpillLog<PathEntry<M>, PlainCodec>,
+    mut at: usize,
+) -> Vec<TransitionInstance<M>> {
+    let mut path = Vec::new();
+    while let Some((parent, instance)) = nodes.get(at) {
+        path.push(instance);
+        at = parent;
+    }
+    path.reverse();
+    path
 }
 
 /// Runs a stateful breadth-first search and returns the report.
@@ -63,10 +149,10 @@ where
 /// are routed to the fairness-aware liveness DFS of [`crate::liveness`]
 /// (the report's strategy label says so).
 ///
-/// With a non-trivial [`Symmetry`], the visited store canonicalizes every
-/// inserted key to its orbit representative (via the store's canonical-key
-/// wrapper), so only one member per orbit enters the frontier; exploration
-/// and counterexample paths stay concrete.
+/// With a non-trivial [`Symmetry`], successors are canonicalized once and
+/// the canonical representatives keyed into the visited store *and* carried
+/// by the frontier (see the module docs); exploration and counterexample
+/// paths stay concrete.
 pub fn run_stateful_bfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     property: &Property<S, M, O>,
@@ -88,37 +174,44 @@ where
         .expect("a non-liveness property is a safety invariant");
     let start = Instant::now();
     let mut stats = ExplorationStats::new();
-    let strategy = if symmetry.is_trivial() {
-        format!("stateful-bfs+{}", reducer.name())
-    } else {
-        format!("stateful-bfs+{}+{}", reducer.name(), symmetry.label())
-    };
+    let trivial = symmetry.is_trivial();
+    let mut strategy = format!("stateful-bfs+{}", reducer.name());
+    if !trivial {
+        strategy.push('+');
+        strategy.push_str(&symmetry.label());
+    }
+    if config.frontier.spills() {
+        strategy.push_str("+spill");
+    }
 
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
 
-    // Membership goes through the pluggable store; `nodes`/`states` keep
-    // the parent pointers and frontier states needed to rebuild paths.
-    let store = config.store.build_canonical(canonical_mapper(symmetry));
-    let mut nodes: Vec<Node<M>> = Vec::new();
-    let mut states: Vec<(GlobalState<S, M>, O)> = Vec::new();
-
-    let rebuild_path = |nodes: &Vec<Node<M>>, mut at: usize| -> Vec<TransitionInstance<M>> {
-        let mut path = Vec::new();
-        while let Some(parent) = nodes[at].parent {
-            if let Some(instance) = &nodes[at].incoming {
-                path.push(instance.clone());
-            }
-            at = parent;
-        }
-        path.reverse();
-        path
+    // Keys are pre-canonicalized by this engine (one canonicalization per
+    // successor, shared between the store key and the frontier entry), so
+    // the store's canonical wrapper runs in passthrough mode.
+    let store = config.store.build_canonical::<(GlobalState<S, M>, O)>(None);
+    let store_name = if trivial {
+        store.name()
+    } else {
+        canonical_label(store.name())
     };
+    let mut nodes: SpillLog<PathEntry<M>, PlainCodec> = config.frontier.build_log(PlainCodec);
+    let mut frontier = config.frontier.build(EntryCodec {
+        template: initial_observer.clone(),
+    });
+
+    macro_rules! finish_stats {
+        () => {
+            stats.elapsed = start.elapsed();
+            stats.record_store(store_name, store.stats());
+            stats.record_frontier(frontier.name(), frontier.stats(), nodes.spilled_bytes());
+        };
+    }
 
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
-        stats.elapsed = start.elapsed();
-        stats.record_store(store.name(), store.stats());
+        finish_stats!();
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -127,31 +220,38 @@ where
         };
     }
 
-    store.insert((initial.clone(), initial_observer.clone()));
-    nodes.push(Node {
-        parent: None,
-        incoming: None,
-    });
-    states.push((initial, initial_observer));
+    // Validated groups fix the initial state, so its canonical form is
+    // itself; canonicalize anyway so the key discipline has no exceptions
+    // (mirrors the DFS engine).
+    let (entry_state, entry_observer, initial_delta) = if trivial {
+        (initial, initial_observer, 0)
+    } else {
+        symmetry.canonicalize(&initial, &initial_observer)
+    };
+    store.insert((entry_state.clone(), entry_observer.clone()));
+    let root = nodes.push(None);
+    frontier.push((root, initial_delta, entry_state, entry_observer));
     stats.states = 1;
 
-    let mut frontier: Vec<usize> = vec![0];
     let mut depth = 0usize;
-
-    while !frontier.is_empty() {
+    while frontier.advance_level() > 0 {
         depth += 1;
         stats.max_depth = stats.max_depth.max(depth);
-        let mut next_frontier = Vec::new();
 
-        for &node_idx in &frontier {
-            let (state, observer) = states[node_idx].clone();
+        while let Some((node_idx, delta, key_state, key_observer)) = frontier.pop() {
+            // δ⁻¹ maps the stored orbit representative back to the concrete
+            // state this entry was generated as.
+            let (state, observer) = if delta == 0 {
+                (key_state, key_observer)
+            } else {
+                symmetry.apply_element(symmetry.inverse(delta), &key_state, &key_observer)
+            };
             stats.expansions += 1;
 
             let all = enabled_instances(spec, &state);
             if config.check_deadlocks && all.is_empty() {
-                stats.elapsed = start.elapsed();
-                stats.record_store(store.name(), store.stats());
-                let path = rebuild_path(&nodes, node_idx);
+                let path = rebuild_path(&mut nodes, node_idx);
+                finish_stats!();
                 let cx = Counterexample::new(
                     spec,
                     property.name(),
@@ -174,22 +274,23 @@ where
                 let next_state = execute_enabled(spec, &state, &instance);
                 let next_observer = observer.update(spec, &state, &instance, &next_state);
                 stats.transitions_executed += 1;
-                let key = (next_state, next_observer);
-                if !store.insert_ref(&key) {
+
+                let concrete = (next_state, next_observer);
+                let Some((delta, canonical)) =
+                    insert_successor(trivial, symmetry.as_ref(), &store, &concrete)
+                else {
                     stats.revisits += 1;
                     continue;
-                }
+                };
 
-                let (next_state, next_observer) = key;
                 if let PropertyStatus::Violated(reason) =
-                    property.evaluate(&next_state, &next_observer)
+                    property.evaluate(&concrete.0, &concrete.1)
                 {
-                    let mut path = rebuild_path(&nodes, node_idx);
+                    let mut path = rebuild_path(&mut nodes, node_idx);
                     path.push(instance);
                     stats.states += 1;
-                    stats.elapsed = start.elapsed();
-                    stats.record_store(store.name(), store.stats());
-                    let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
+                    finish_stats!();
+                    let cx = Counterexample::new(spec, property.name(), reason, &path, &concrete.0);
                     return RunReport {
                         verdict: Verdict::Violated(Box::new(cx)),
                         stats,
@@ -197,9 +298,8 @@ where
                     };
                 }
 
-                if states.len() >= config.max_states {
-                    stats.elapsed = start.elapsed();
-                    stats.record_store(store.name(), store.stats());
+                if stats.states >= config.max_states {
+                    finish_stats!();
                     return RunReport {
                         verdict: Verdict::LimitReached {
                             what: format!("state limit of {}", config.max_states),
@@ -210,8 +310,7 @@ where
                 }
                 if let Some(limit) = config.time_limit {
                     if start.elapsed() > limit {
-                        stats.elapsed = start.elapsed();
-                        stats.record_store(store.name(), store.stats());
+                        finish_stats!();
                         return RunReport {
                             verdict: Verdict::LimitReached {
                                 what: format!("time limit of {limit:?}"),
@@ -222,21 +321,18 @@ where
                     }
                 }
 
-                let new_index = states.len();
-                states.push((next_state, next_observer));
-                nodes.push(Node {
-                    parent: Some(node_idx),
-                    incoming: Some(instance),
-                });
+                let new_index = nodes.push(Some((node_idx, instance)));
+                let (entry_state, entry_observer) = match canonical {
+                    Some(key) => key,
+                    None => concrete,
+                };
+                frontier.push((new_index, delta, entry_state, entry_observer));
                 stats.states += 1;
-                next_frontier.push(new_index);
             }
         }
-        frontier = next_frontier;
     }
 
-    stats.elapsed = start.elapsed();
-    stats.record_store(store.name(), store.stats());
+    finish_stats!();
     RunReport {
         verdict: Verdict::Verified,
         stats,
@@ -250,9 +346,11 @@ mod tests {
     use crate::{Invariant, NullObserver};
     use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
     use mp_por::{NoReduction, SporReducer};
+    use mp_store::FrontierConfig;
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tok;
+    mp_model::codec!(struct Tok);
 
     impl Message for Tok {
         fn kind(&self) -> Kind {
@@ -299,6 +397,7 @@ mod tests {
         );
         assert!(bfs.verdict.is_verified());
         assert_eq!(bfs.stats.states, 27);
+        assert_eq!(bfs.stats.frontier_backend, "mem");
     }
 
     #[test]
@@ -366,5 +465,68 @@ mod tests {
             &CheckerConfig::stateful_bfs().with_deadlock_check(true),
         );
         assert!(report.verdict.is_violated());
+    }
+
+    #[test]
+    fn disk_frontier_matches_mem_frontier_exactly() {
+        // A tiny watermark forces multi-segment spilling even on this small
+        // model; verdict, state count and counterexample must be identical.
+        let spec = independent(3, 3);
+        let run = |frontier: FrontierConfig| {
+            run_stateful_bfs(
+                &spec,
+                &Invariant::always_true("true").into(),
+                &NullObserver,
+                &NoReduction,
+                &no_sym(),
+                &CheckerConfig::stateful_bfs().with_frontier(frontier),
+            )
+        };
+        let mem = run(FrontierConfig::Mem);
+        let disk = run(FrontierConfig::disk_with_watermark(64));
+        assert!(mem.verdict.is_verified() && disk.verdict.is_verified());
+        assert_eq!(mem.stats.states, disk.stats.states);
+        assert_eq!(
+            mem.stats.transitions_executed,
+            disk.stats.transitions_executed
+        );
+        assert_eq!(mem.stats.max_depth, disk.stats.max_depth);
+        assert_eq!(disk.stats.frontier_backend, "disk");
+        assert!(
+            disk.stats.frontier_spilled_bytes > 0,
+            "watermark must spill"
+        );
+        assert!(disk.strategy.ends_with("+spill"));
+        assert!(!mem.strategy.contains("spill"));
+    }
+
+    #[test]
+    fn spilled_counterexample_path_is_identical() {
+        let spec = independent(2, 4);
+        let property = || -> Invariant<u8, Tok, NullObserver> {
+            Invariant::new("below-3", |s: &GlobalState<u8, Tok>, _| {
+                if s.locals.iter().any(|l| *l >= 3) {
+                    Err("reached 3".into())
+                } else {
+                    Ok(())
+                }
+            })
+        };
+        let run = |frontier: FrontierConfig| {
+            run_stateful_bfs(
+                &spec,
+                &property().into(),
+                &NullObserver,
+                &NoReduction,
+                &no_sym(),
+                &CheckerConfig::stateful_bfs().with_frontier(frontier),
+            )
+        };
+        let mem = run(FrontierConfig::Mem);
+        let disk = run(FrontierConfig::disk_with_watermark(16));
+        let mem_cx = mem.verdict.counterexample().unwrap();
+        let disk_cx = disk.verdict.counterexample().unwrap();
+        assert_eq!(mem_cx.len(), disk_cx.len());
+        assert_eq!(mem_cx.steps, disk_cx.steps, "identical concrete path");
     }
 }

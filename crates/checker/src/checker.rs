@@ -27,6 +27,7 @@ use crate::{
 ///
 /// #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 /// struct Tick;
+/// mp_model::codec!(struct Tick);
 /// impl Message for Tick {
 ///     fn kind(&self) -> &'static str { "TICK" }
 /// }
@@ -222,6 +223,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tok;
+    mp_model::codec!(struct Tok);
 
     impl Message for Tok {
         fn kind(&self) -> Kind {

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use mp_store::StoreConfig;
+use mp_store::{FrontierConfig, StoreConfig};
 
 use crate::{Counterexample, ExplorationStats};
 
@@ -77,6 +77,14 @@ pub struct CheckerConfig {
     /// makes `Verified` verdicts probabilistic — see the `mp-store` crate
     /// docs for the soundness contract.
     pub store: StoreConfig,
+    /// Which frontier the breadth-first engines drive (`mp-store`). The
+    /// in-memory frontier is the default; the disk frontier spills encoded
+    /// states past its watermark so paper-scale fault sweeps fit in memory
+    /// next to the visited set (strategy labels gain a `+spill` suffix).
+    /// Exploration order is identical either way, so verdicts and state
+    /// counts are byte-identical. The depth-first and stateless engines
+    /// have no frontier and ignore this field.
+    pub frontier: FrontierConfig,
 }
 
 impl Default for CheckerConfig {
@@ -89,6 +97,7 @@ impl Default for CheckerConfig {
             cycle_proviso: true,
             time_limit: None,
             store: StoreConfig::Exact,
+            frontier: FrontierConfig::Mem,
         }
     }
 }
@@ -150,6 +159,14 @@ impl CheckerConfig {
     /// Selects the visited-state backend (builder style).
     pub fn with_store(mut self, store: StoreConfig) -> Self {
         self.store = store;
+        self
+    }
+
+    /// Selects the BFS frontier backend (builder style);
+    /// [`FrontierConfig::disk`] or
+    /// [`FrontierConfig::disk_with_watermark`] turn on spilling.
+    pub fn with_frontier(mut self, frontier: FrontierConfig) -> Self {
+        self.frontier = frontier;
         self
     }
 }
@@ -229,6 +246,7 @@ mod tests {
         assert!(!c.check_deadlocks);
         assert!(c.time_limit.is_none());
         assert_eq!(c.store, StoreConfig::Exact);
+        assert_eq!(c.frontier, FrontierConfig::Mem);
     }
 
     #[test]
@@ -238,13 +256,20 @@ mod tests {
             .with_max_depth(20)
             .with_time_limit(Duration::from_secs(1))
             .with_deadlock_check(true)
-            .with_store(StoreConfig::fingerprint(32));
+            .with_store(StoreConfig::fingerprint(32))
+            .with_frontier(FrontierConfig::disk_with_watermark(1024));
         assert_eq!(c.strategy, SearchStrategy::Stateless { dpor: true });
         assert_eq!(c.max_states, 10);
         assert_eq!(c.max_depth, 20);
         assert!(c.check_deadlocks);
         assert_eq!(c.time_limit, Some(Duration::from_secs(1)));
         assert_eq!(c.store, StoreConfig::fingerprint(32));
+        assert_eq!(
+            c.frontier,
+            FrontierConfig::Disk {
+                watermark_bytes: 1024
+            }
+        );
     }
 
     #[test]

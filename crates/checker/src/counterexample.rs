@@ -197,6 +197,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Ping;
+    mp_model::codec!(struct Ping);
 
     impl Message for Ping {
         fn kind(&self) -> Kind {

@@ -16,11 +16,23 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
-use mp_model::{GlobalState, LocalState, Message, ProtocolSpec, TransitionInstance};
+use mp_model::{
+    DecodeError, Encode, GlobalState, LocalState, Message, ProtocolSpec, TransitionInstance,
+};
 
 /// A deterministic history variable updated on every executed transition.
+///
+/// Observers are part of the stored state, so the disk-backed BFS frontier
+/// (`mp-store`) must be able to spill and restore them: every observer is
+/// [`Encode`], and [`Observer::decode_like`] rebuilds one from its encoded
+/// bytes. Decoding takes `&self` as a *template* because some observers
+/// carry non-serializable configuration next to their history (a base-spec
+/// handle, say, in `mp-faults`' lifted observer): the template — in
+/// practice the run's initial observer — supplies the configuration, the
+/// bytes supply the history. Plain observers ignore the template and
+/// delegate to their [`Decode`](mp_model::Decode) implementation.
 pub trait Observer<S: LocalState, M: Message>:
-    Clone + Eq + Hash + Debug + Send + Sync + 'static
+    Clone + Eq + Hash + Debug + Send + Sync + Encode + 'static
 {
     /// Returns the observer value after `instance` was executed, taking the
     /// system from `pre` to `post`.
@@ -31,6 +43,14 @@ pub trait Observer<S: LocalState, M: Message>:
         instance: &TransitionInstance<M>,
         post: &GlobalState<S, M>,
     ) -> Self;
+
+    /// Rebuilds an observer from the bytes its [`Encode`] wrote, inheriting
+    /// any non-serialized configuration from `self` (see the trait docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    fn decode_like(&self, input: &mut &[u8]) -> Result<Self, DecodeError>;
 }
 
 /// The trivial observer: records nothing and costs nothing. Used by every
@@ -46,6 +66,8 @@ impl mp_model::Permutable for NullObserver {
     }
 }
 
+mp_model::codec!(struct NullObserver);
+
 impl<S: LocalState, M: Message> Observer<S, M> for NullObserver {
     fn update(
         &self,
@@ -55,6 +77,10 @@ impl<S: LocalState, M: Message> Observer<S, M> for NullObserver {
         _post: &GlobalState<S, M>,
     ) -> Self {
         NullObserver
+    }
+
+    fn decode_like(&self, input: &mut &[u8]) -> Result<Self, DecodeError> {
+        mp_model::Decode::decode(input)
     }
 }
 
@@ -88,7 +114,13 @@ impl TransitionCountObserver {
     }
 }
 
+mp_model::codec!(struct TransitionCountObserver { counts });
+
 impl<S: LocalState, M: Message> Observer<S, M> for TransitionCountObserver {
+    fn decode_like(&self, input: &mut &[u8]) -> Result<Self, DecodeError> {
+        mp_model::Decode::decode(input)
+    }
+
     fn update(
         &self,
         _spec: &ProtocolSpec<S, M>,
@@ -116,6 +148,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tok;
+    mp_model::codec!(struct Tok);
 
     impl Message for Tok {
         fn kind(&self) -> Kind {

@@ -12,6 +12,16 @@
 //! explicitly for large runs (probabilistic `Verified`; see the `mp-store`
 //! docs).
 //!
+//! The frontier is the same pluggable [`FrontierBackend`] the sequential
+//! BFS drives (`CheckerConfig::frontier`): the main thread dequeues the
+//! current level in bounded batches, workers expand a batch in parallel,
+//! and the first-inserter successors are enqueued into the next level. With
+//! the disk frontier selected (`+spill` strategy suffix) only one batch
+//! plus the spill watermark is resident at a time — previously the whole
+//! level lived in one `Vec`. Symmetry composes the same way as in the
+//! sequential engine: entries carry canonical representatives plus δ, and
+//! workers reconstruct the concrete state before expanding.
+//!
 //! The engine checks invariants and counts states; it does not reconstruct
 //! counterexample *paths* (the violating state is reported instead), so the
 //! sequential engines remain the right tool for debugging runs.
@@ -20,7 +30,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use mp_store::StateStoreBackend;
+use mp_store::{canonical_label, FrontierBackend, StateStoreBackend};
 
 use mp_model::{
     enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
@@ -29,8 +39,10 @@ use mp_por::Reducer;
 use mp_symmetry::Symmetry;
 
 use crate::{
-    bfs::canonical_mapper, liveness::run_liveness_dfs, CheckerConfig, Counterexample,
-    ExplorationStats, Observer, Property, PropertyStatus, RunReport, Verdict,
+    bfs::{insert_successor, Entry, EntryCodec},
+    liveness::run_liveness_dfs,
+    CheckerConfig, Counterexample, ExplorationStats, Observer, Property, PropertyStatus, RunReport,
+    Verdict,
 };
 
 /// Runs a parallel breadth-first search over `threads` workers
@@ -42,10 +54,10 @@ use crate::{
 /// routed to the (sequential) fairness-aware liveness DFS of
 /// [`crate::liveness`] — the report's strategy label says so.
 ///
-/// With a non-trivial [`Symmetry`], the shared visited store canonicalizes
-/// every inserted key to its orbit representative (the canonical-key store
-/// wrapper works on any backend, including the lock-striped ones), so only
-/// one member per orbit enters the next frontier.
+/// With a non-trivial [`Symmetry`], workers canonicalize each successor
+/// once; the canonical pair is both the shared-store key and the frontier
+/// payload (alongside δ), so only one member per orbit enters the next
+/// level and frontier bytes shrink with the orbit collapse.
 pub fn run_parallel_bfs<S, M, O>(
     spec: &ProtocolSpec<S, M>,
     property: &Property<S, M, O>,
@@ -75,28 +87,40 @@ where
     } else {
         threads
     };
-    let strategy = if symmetry.is_trivial() {
-        format!("parallel-bfs({threads})+{}", reducer.name())
-    } else {
-        format!(
-            "parallel-bfs({threads})+{}+{}",
-            reducer.name(),
-            symmetry.label()
-        )
-    };
+    let trivial = symmetry.is_trivial();
+    let mut strategy = format!("parallel-bfs({threads})+{}", reducer.name());
+    if !trivial {
+        strategy.push('+');
+        strategy.push_str(&symmetry.label());
+    }
+    if config.frontier.spills() {
+        strategy.push_str("+spill");
+    }
 
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
 
+    // Like the sequential BFS, keys are pre-canonicalized (once per
+    // successor, inside the workers), so the canonical wrapper runs in
+    // passthrough mode on the lock-striped store.
     let store = config
         .store
         .for_parallel()
-        .build_canonical(canonical_mapper(symmetry));
+        .build_canonical::<(GlobalState<S, M>, O)>(None);
+    let store_name = if trivial {
+        store.name()
+    } else {
+        canonical_label(store.name())
+    };
+    let mut frontier = config.frontier.build(EntryCodec {
+        template: initial_observer.clone(),
+    });
 
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
         stats.elapsed = start.elapsed();
-        stats.record_store(store.name(), store.stats());
+        stats.record_store(store_name, store.stats());
+        stats.record_frontier(frontier.name(), frontier.stats(), 0);
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -105,7 +129,13 @@ where
         };
     }
 
-    store.insert((initial.clone(), initial_observer.clone()));
+    let (entry_state, entry_observer, initial_delta) = if trivial {
+        (initial, initial_observer, 0)
+    } else {
+        symmetry.canonicalize(&initial, &initial_observer)
+    };
+    store.insert((entry_state.clone(), entry_observer.clone()));
+    frontier.push((0, initial_delta, entry_state, entry_observer));
 
     let violation: Mutex<Option<Counterexample>> = Mutex::new(None);
     let stop = AtomicBool::new(false);
@@ -113,115 +143,161 @@ where
     let reduced_states = AtomicUsize::new(0);
     let expansions = AtomicUsize::new(0);
 
-    let mut frontier: Vec<(GlobalState<S, M>, O)> = vec![(initial, initial_observer)];
+    // Workers expand one batch at a time; with the disk frontier this (plus
+    // the watermark) bounds the resident level size.
+    let batch_size = threads * 64;
     let mut depth = 0usize;
 
-    while !frontier.is_empty() && !stop.load(Ordering::Relaxed) {
-        depth += 1;
-        let chunk_size = frontier.len().div_ceil(threads).max(1);
+    macro_rules! finish_stats {
+        () => {
+            stats.states = store.len();
+            stats.expansions = expansions.load(Ordering::Relaxed);
+            stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
+            stats.reduced_states = reduced_states.load(Ordering::Relaxed);
+            stats.max_depth = depth;
+            stats.elapsed = start.elapsed();
+            stats.record_store(store_name, store.stats());
+            stats.record_frontier(frontier.name(), frontier.stats(), 0);
+        };
+    }
 
-        // Each worker explores its slice of the frontier and returns the
-        // successor states it was first to insert; join collects them into
-        // the next frontier. The visited set is the shared lock-striped
-        // store — workers only contend per shard, never on a global lock.
-        let next_frontier: Vec<(GlobalState<S, M>, O)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = frontier
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    let store = &store;
-                    let violation = &violation;
-                    let stop = &stop;
-                    let transitions_executed = &transitions_executed;
-                    let reduced_states = &reduced_states;
-                    let expansions = &expansions;
-                    scope.spawn(move || {
-                        let mut discovered = Vec::new();
-                        for (state, observer) in chunk {
-                            if stop.load(Ordering::Relaxed) {
-                                return discovered;
-                            }
-                            expansions.fetch_add(1, Ordering::Relaxed);
-                            let all = enabled_instances(spec, state);
-                            let reduction = reducer.reduce(spec, state, all);
-                            if reduction.reduced {
-                                reduced_states.fetch_add(1, Ordering::Relaxed);
-                            }
-                            for instance in reduction.explore {
-                                let next_state = execute_enabled(spec, state, &instance);
-                                let next_observer =
-                                    observer.update(spec, state, &instance, &next_state);
-                                transitions_executed.fetch_add(1, Ordering::Relaxed);
-                                if let PropertyStatus::Violated(reason) =
-                                    property.evaluate(&next_state, &next_observer)
-                                {
-                                    let cx = Counterexample::new(
-                                        spec,
-                                        property.name(),
-                                        format!(
-                                            "{reason} (path not tracked by the parallel engine)"
-                                        ),
-                                        &[],
-                                        &next_state,
-                                    );
-                                    *violation.lock().expect("violation lock poisoned") = Some(cx);
-                                    stop.store(true, Ordering::Relaxed);
+    'levels: while frontier.advance_level() > 0 && !stop.load(Ordering::Relaxed) {
+        depth += 1;
+
+        loop {
+            let mut batch = Vec::with_capacity(batch_size);
+            while batch.len() < batch_size {
+                match frontier.pop() {
+                    Some(entry) => batch.push(entry),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let chunk_size = batch.len().div_ceil(threads).max(1);
+
+            // Each worker explores its slice of the batch and returns the
+            // successor entries it was first to insert; join collects them
+            // into the next frontier level. The visited set is the shared
+            // lock-striped store — workers only contend per shard, never on
+            // a global lock.
+            let discovered: Vec<Entry<S, M, O>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = batch
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        let store = &store;
+                        let violation = &violation;
+                        let stop = &stop;
+                        let transitions_executed = &transitions_executed;
+                        let reduced_states = &reduced_states;
+                        let expansions = &expansions;
+                        let symmetry = symmetry.clone();
+                        scope.spawn(move || {
+                            let mut discovered = Vec::new();
+                            for (_, delta, key_state, key_observer) in chunk {
+                                if stop.load(Ordering::Relaxed) {
                                     return discovered;
                                 }
-                                let key = (next_state, next_observer);
-                                if store.insert_ref(&key) {
-                                    discovered.push(key);
+                                // δ⁻¹ recovers the concrete state the entry
+                                // was generated as.
+                                let reconstructed;
+                                let (state, observer) = if *delta == 0 {
+                                    (key_state, key_observer)
+                                } else {
+                                    reconstructed = symmetry.apply_element(
+                                        symmetry.inverse(*delta),
+                                        key_state,
+                                        key_observer,
+                                    );
+                                    (&reconstructed.0, &reconstructed.1)
+                                };
+                                expansions.fetch_add(1, Ordering::Relaxed);
+                                let all = enabled_instances(spec, state);
+                                let reduction = reducer.reduce(spec, state, all);
+                                if reduction.reduced {
+                                    reduced_states.fetch_add(1, Ordering::Relaxed);
+                                }
+                                for instance in reduction.explore {
+                                    let next_state = execute_enabled(spec, state, &instance);
+                                    let next_observer =
+                                        observer.update(spec, state, &instance, &next_state);
+                                    transitions_executed.fetch_add(1, Ordering::Relaxed);
+                                    if let PropertyStatus::Violated(reason) =
+                                        property.evaluate(&next_state, &next_observer)
+                                    {
+                                        let cx = Counterexample::new(
+                                            spec,
+                                            property.name(),
+                                            format!(
+                                                "{reason} (path not tracked by the parallel engine)"
+                                            ),
+                                            &[],
+                                            &next_state,
+                                        );
+                                        *violation.lock().expect("violation lock poisoned") =
+                                            Some(cx);
+                                        stop.store(true, Ordering::Relaxed);
+                                        return discovered;
+                                    }
+                                    let concrete = (next_state, next_observer);
+                                    if let Some((delta, canonical)) = insert_successor(
+                                        trivial,
+                                        symmetry.as_ref(),
+                                        store,
+                                        &concrete,
+                                    ) {
+                                        let (s, o) = match canonical {
+                                            Some(key) => key,
+                                            None => concrete,
+                                        };
+                                        discovered.push((0, delta, s, o));
+                                    }
                                 }
                             }
-                        }
-                        discovered
+                            discovered
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            });
 
-        frontier = next_frontier;
+            for entry in discovered {
+                frontier.push(entry);
+            }
 
-        if store.len() >= config.max_states {
-            stats.states = store.len();
-            stats.elapsed = start.elapsed();
-            stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
-            stats.record_store(store.name(), store.stats());
-            return RunReport {
-                verdict: Verdict::LimitReached {
-                    what: format!("state limit of {}", config.max_states),
-                },
-                stats,
-                strategy,
-            };
-        }
-        if let Some(limit) = config.time_limit {
-            if start.elapsed() > limit {
-                stats.states = store.len();
-                stats.elapsed = start.elapsed();
-                stats.record_store(store.name(), store.stats());
+            if store.len() >= config.max_states {
+                finish_stats!();
                 return RunReport {
                     verdict: Verdict::LimitReached {
-                        what: format!("time limit of {limit:?}"),
+                        what: format!("state limit of {}", config.max_states),
                     },
                     stats,
                     strategy,
                 };
             }
+            if let Some(limit) = config.time_limit {
+                if start.elapsed() > limit {
+                    finish_stats!();
+                    return RunReport {
+                        verdict: Verdict::LimitReached {
+                            what: format!("time limit of {limit:?}"),
+                        },
+                        stats,
+                        strategy,
+                    };
+                }
+            }
+            if stop.load(Ordering::Relaxed) {
+                break 'levels;
+            }
         }
     }
 
-    stats.states = store.len();
-    stats.expansions = expansions.load(Ordering::Relaxed);
-    stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
-    stats.reduced_states = reduced_states.load(Ordering::Relaxed);
-    stats.max_depth = depth;
-    stats.elapsed = start.elapsed();
-    stats.record_store(store.name(), store.stats());
-
+    finish_stats!();
     let verdict = match violation.into_inner().expect("violation lock poisoned") {
         Some(cx) => Verdict::Violated(Box::new(cx)),
         None => Verdict::Verified,
@@ -239,10 +315,11 @@ mod tests {
     use crate::{Invariant, NullObserver};
     use mp_model::{Kind, Outcome, ProcessId, TransitionSpec};
     use mp_por::{NoReduction, SporReducer};
-    use mp_store::StoreConfig;
+    use mp_store::{FrontierConfig, StoreConfig};
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tok;
+    mp_model::codec!(struct Tok);
 
     impl Message for Tok {
         fn kind(&self) -> Kind {
@@ -288,6 +365,7 @@ mod tests {
         assert_eq!(report.stats.states, 27);
         // The exact default is upgraded to the lock-striped store.
         assert_eq!(report.stats.store_backend, "sharded");
+        assert_eq!(report.stats.frontier_backend, "mem");
     }
 
     #[test]
@@ -387,5 +465,28 @@ mod tests {
             fp.stats.store_bytes,
             exact.stats.store_bytes
         );
+    }
+
+    #[test]
+    fn disk_frontier_agrees_with_mem_frontier() {
+        let spec = independent(3, 3);
+        let run = |frontier: FrontierConfig| {
+            run_parallel_bfs(
+                &spec,
+                &Invariant::always_true("true").into(),
+                &NullObserver,
+                &NoReduction,
+                &no_sym(),
+                2,
+                &CheckerConfig::parallel_bfs(2).with_frontier(frontier),
+            )
+        };
+        let mem = run(FrontierConfig::Mem);
+        let disk = run(FrontierConfig::disk_with_watermark(64));
+        assert!(mem.verdict.is_verified() && disk.verdict.is_verified());
+        assert_eq!(mem.stats.states, disk.stats.states);
+        assert_eq!(disk.stats.frontier_backend, "disk");
+        assert!(disk.stats.frontier_spilled_bytes > 0);
+        assert!(disk.strategy.ends_with("+spill"));
     }
 }

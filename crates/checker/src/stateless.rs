@@ -356,6 +356,7 @@ mod tests {
     enum Msg {
         Ping(u8),
     }
+    mp_model::codec!(enum Msg { 0 = Ping(n) });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

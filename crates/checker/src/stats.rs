@@ -9,7 +9,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use mp_store::StoreStats;
+use mp_store::{FrontierStats, StoreStats};
 
 /// Counters collected during one model-checking run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -44,6 +44,19 @@ pub struct ExplorationStats {
     /// Approximate peak heap footprint of the visited-state store in
     /// bytes. This is the number the fingerprint backend shrinks.
     pub store_bytes: usize,
+    /// Name of the frontier backend the BFS engines drove ("mem", "disk";
+    /// empty for the depth-first and stateless engines, which have no
+    /// frontier).
+    pub frontier_backend: String,
+    /// Peak bytes queued in the BFS frontier: exact encoded bytes for the
+    /// disk backend, an item-count approximation for the in-memory one
+    /// (see [`mp_store::FrontierStats::peak_bytes`]). With symmetry
+    /// reduction the frontier holds canonical orbit representatives, so
+    /// this number shrinks with the orbit collapse.
+    pub frontier_peak_bytes: usize,
+    /// Total bytes the frontier and the path-reconstruction tables spilled
+    /// to disk over the run (0 for the in-memory frontier).
+    pub frontier_spilled_bytes: usize,
 }
 
 impl ExplorationStats {
@@ -78,6 +91,16 @@ impl ExplorationStats {
         self.store_hits = store.hits;
         self.store_bytes = store.approx_bytes;
     }
+
+    /// Copies the frontier's counters into this record (called by the BFS
+    /// engines just before they return). `extra_spilled` folds in the
+    /// bytes the path-reconstruction log wrote next to the frontier's own
+    /// segments.
+    pub fn record_frontier(&mut self, name: &str, frontier: FrontierStats, extra_spilled: usize) {
+        self.frontier_backend = name.to_string();
+        self.frontier_peak_bytes = frontier.peak_bytes;
+        self.frontier_spilled_bytes = frontier.spilled_bytes + extra_spilled;
+    }
 }
 
 impl fmt::Display for ExplorationStats {
@@ -99,6 +122,15 @@ impl fmt::Display for ExplorationStats {
                 self.store_backend,
                 self.store_bytes / 1024,
                 self.store_hits
+            )?;
+        }
+        if !self.frontier_backend.is_empty() {
+            write!(
+                f,
+                " [{} frontier: peak ~{} KiB, {} KiB spilled]",
+                self.frontier_backend,
+                self.frontier_peak_bytes / 1024,
+                self.frontier_spilled_bytes / 1024
             )?;
         }
         Ok(())

@@ -71,6 +71,7 @@ pub type Mutator<M> = Arc<dyn Fn(&Envelope<M>) -> Vec<M> + Send + Sync>;
 ///
 /// #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 /// struct Ping;
+/// mp_model::codec!(struct Ping);
 /// impl Message for Ping {
 ///     fn kind(&self) -> &'static str { "PING" }
 /// }
@@ -397,6 +398,7 @@ mod tests {
         Req(u8),
         Ack,
     }
+    mp_model::codec!(enum Msg { 0 = Req(n), 1 = Ack });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

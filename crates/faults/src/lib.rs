@@ -28,6 +28,7 @@
 //!
 //! #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 //! struct Ping;
+//! mp_model::codec!(struct Ping);
 //! impl Message for Ping {
 //!     fn kind(&self) -> &'static str { "PING" }
 //! }

@@ -133,6 +133,16 @@ impl<S: LocalState, M: Message, O: Hash> Hash for LiftedObserver<S, M, O> {
     }
 }
 
+// Only the wrapped observer's history is serialized; the base-spec handle
+// is configuration and is re-supplied by the decode template (see
+// `Observer::decode_like` — this observer is why decoding is
+// template-based).
+impl<S: LocalState, M: Message, O: mp_model::Encode> mp_model::Encode for LiftedObserver<S, M, O> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inner.encode(out);
+    }
+}
+
 impl<S: LocalState, M: Message, O: fmt::Debug> fmt::Debug for LiftedObserver<S, M, O> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("LiftedObserver").field(&self.inner).finish()
@@ -173,6 +183,13 @@ where
             inner,
         }
     }
+
+    fn decode_like(&self, input: &mut &[u8]) -> Result<Self, mp_model::DecodeError> {
+        Ok(LiftedObserver {
+            base_spec: self.base_spec.clone(),
+            inner: self.inner.decode_like(input)?,
+        })
+    }
 }
 
 /// Lifts an invariant that reads a history observer: the lifted invariant
@@ -207,6 +224,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tick;
+    mp_model::codec!(struct Tick);
     impl Message for Tick {
         fn kind(&self) -> &'static str {
             "TICK"

@@ -70,6 +70,30 @@ impl<S: Permutable> Permutable for FaultLocal<S> {
     }
 }
 
+// Fault-augmented states travel through the disk-backed BFS frontier like
+// any other: the wrapped protocol state followed by the bookkeeping.
+impl<S: mp_model::Encode> mp_model::Encode for FaultLocal<S> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inner.encode(out);
+        self.crashed.encode(out);
+        self.drops.encode(out);
+        self.dups.encode(out);
+        self.corruptions.encode(out);
+    }
+}
+
+impl<S: mp_model::Decode> mp_model::Decode for FaultLocal<S> {
+    fn decode(input: &mut &[u8]) -> Result<Self, mp_model::DecodeError> {
+        Ok(FaultLocal {
+            inner: S::decode(input)?,
+            crashed: mp_model::Decode::decode(input)?,
+            drops: mp_model::Decode::decode(input)?,
+            dups: mp_model::Decode::decode(input)?,
+            corruptions: mp_model::Decode::decode(input)?,
+        })
+    }
+}
+
 impl<S: fmt::Display> fmt::Display for FaultLocal<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.crashed {
@@ -118,6 +142,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Msg;
+    mp_model::codec!(struct Msg);
     impl Message for Msg {
         fn kind(&self) -> &'static str {
             "MSG"

@@ -5,19 +5,26 @@
 //! `BENCH_fault_sweep.json`.
 //!
 //! Usage: `cargo run --release -p mp-harness --bin fault_sweep
-//! [--full | --smoke] [--json PATH]`
+//! [--full | --smoke] [--spill] [--json PATH]`
 //!
 //! `--smoke` runs a reduced budget matrix (no faults, one crash, one drop)
 //! under tight per-cell limits — the per-PR CI smoke test that uploads
 //! `BENCH_fault_sweep.json` as a workflow artifact so verdict (safety *and*
 //! liveness) and perf regressions are visible per change.
+//!
+//! `--spill` forces the disk-backed BFS frontier on: the safety cells run
+//! on the breadth-first engine with the frontier spilling at the sweep
+//! watermark, so every internal consistency gate (backend, symmetry,
+//! zero-budget-seed and spill agreement) is exercised with encoded states
+//! round-tripping through disk segments. CI smokes this combination.
 
 use std::time::Duration;
 
 use mp_faults::FaultBudget;
+use mp_harness::fault_sweep::SWEEP_SPILL_WATERMARK;
 use mp_harness::fault_sweep::{
-    backend_disagreements, fault_sweep, fault_sweep_grid, fault_sweep_json, render_fault_sweep,
-    symmetry_disagreements, zero_budget_seed_checks,
+    backend_disagreements, fault_sweep, fault_sweep_grid, fault_sweep_json, frontier_disagreements,
+    render_fault_sweep, symmetry_disagreements, zero_budget_seed_checks,
 };
 use mp_harness::{json_output_path, Budget};
 
@@ -25,12 +32,13 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let spill = args.iter().any(|a| a == "--spill");
     // This binary always writes its JSON; `--json PATH` only overrides the
     // destination (shared flag convention of the harness binaries).
     let json_path = json_output_path(&args, "BENCH_fault_sweep.json")
         .unwrap_or_else(|| "BENCH_fault_sweep.json".to_string());
 
-    let run_budget = if full {
+    let mut run_budget = if full {
         Budget::unbounded()
     } else if smoke {
         Budget {
@@ -45,9 +53,18 @@ fn main() {
             ..Budget::default()
         }
     };
+    if spill {
+        run_budget = run_budget.with_frontier(mp_harness::FrontierConfig::disk_with_watermark(
+            SWEEP_SPILL_WATERMARK,
+        ));
+    }
 
     println!("Generic fault injection: budget sweep over the evaluation protocols");
-    println!("(crash-stop / message loss / duplication / Byzantine corruption)\n");
+    println!("(crash-stop / message loss / duplication / Byzantine corruption)");
+    if spill {
+        println!("(disk-backed BFS frontier forced on: safety cells spill at the sweep watermark)");
+    }
+    println!();
 
     let cells = if smoke {
         let budgets = vec![
@@ -98,6 +115,21 @@ fn main() {
                 cell.sym_liveness,
                 cell.states,
                 cell.sym_states
+            );
+        }
+        std::process::exit(1);
+    }
+
+    // And for the disk-backed frontier: the spilled BFS probe of every
+    // cell must reproduce the in-memory frontier exactly.
+    let spill_disagreements = frontier_disagreements(&cells);
+    if spill_disagreements.is_empty() {
+        println!("frontier-spill agreement: OK (disk and in-memory frontiers explore identically)");
+    } else {
+        for cell in &spill_disagreements {
+            eprintln!(
+                "FRONTIER SPILL DISAGREEMENT: {} / {} / {}",
+                cell.protocol, cell.budget, cell.strategy
             );
         }
         std::process::exit(1);

@@ -9,8 +9,8 @@
 //! trajectory is machine-readable.
 
 use mp_harness::scaling::{
-    collect_sweep, paxos_sweep, paxos_symmetry_sweep, render_store_sweep, render_sweep,
-    render_symmetry_sweep, store_backend_sweep,
+    collect_sweep, paxos_frontier_sweep, paxos_sweep, paxos_symmetry_sweep, render_frontier_sweep,
+    render_store_sweep, render_sweep, render_symmetry_sweep, store_backend_sweep,
 };
 use mp_harness::{json_output_path, render_table, write_json_rows, Budget};
 use mp_protocols::sweep::CollectSetting;
@@ -44,10 +44,20 @@ fn main() {
         std::process::exit(1);
     }
     println!();
+    println!("Disk-backed BFS frontier (spill) on the quorum models — the");
+    println!("spilled run must reproduce the in-memory run exactly:");
+    let (frontier_points, frontier_rows) = paxos_frontier_sweep(3, &Budget::default());
+    print!("{}", render_frontier_sweep(&frontier_points));
+    if frontier_points.iter().any(|p| !p.agrees) {
+        eprintln!("FRONTIER SPILL DISAGREEMENT in the acceptor sweep");
+        std::process::exit(1);
+    }
+    println!();
     if let Some(path) = &json_path {
-        // One array: the plain sweep rows plus the symmetry rows (distinct
-        // strategy labels keep the bench-gate keys unique).
+        // One array: the plain sweep rows plus the symmetry and frontier
+        // rows (distinct strategy labels keep the bench-gate keys unique).
         rows.extend(sym_rows);
+        rows.extend(frontier_rows);
         write_json_rows(path, &rows);
         println!();
     }

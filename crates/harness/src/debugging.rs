@@ -59,6 +59,7 @@ where
         as_expected: report.verdict.is_violated() || !completed,
         verdict,
         completed,
+        frontier_bytes: report.stats.frontier_peak_bytes,
     }
 }
 

@@ -14,7 +14,13 @@
 //!
 //! * all store backends agree on the verdict of every cell,
 //! * the all-zero budget reproduces the seed models' state counts exactly,
-//!   and
+//! * the **disk-spilled BFS frontier agrees** with the in-memory frontier
+//!   on every cell's verdict class and state count (each cell is probed
+//!   with `FrontierConfig::disk` at a deliberately tiny watermark, with
+//!   and without symmetry, and the spilled frontier's peak bytes are
+//!   recorded — with symmetry the frontier holds canonical orbit
+//!   representatives, so the `frontier_ratio` column tracks the orbit
+//!   collapse), and
 //! * **symmetry on and off agree** on every safety and liveness verdict
 //!   (each cell is run twice — without and with the protocol's
 //!   `mp-symmetry` role declaration — and the symmetric state count and
@@ -39,7 +45,7 @@ use mp_protocols::storage::{
     faulty_regularity_observer, faulty_regularity_property, quorum_model as storage,
     regularity_property, RegularityObserver, StorageSetting,
 };
-use mp_store::StoreConfig;
+use mp_store::{FrontierConfig, StoreConfig};
 use mp_symmetry::RoleMap;
 
 use crate::Budget;
@@ -77,6 +83,20 @@ pub struct FaultCell {
     pub sym_states: usize,
     /// Wall-clock time of the symmetric safety run.
     pub sym_time: Duration,
+    /// Peak frontier bytes of the disk-spilled BFS probe of this cell
+    /// (safety property, `FrontierConfig::disk` at the sweep watermark,
+    /// symmetry off). One probe per (protocol, budget, strategy) group —
+    /// the number is backend-independent, like the liveness column.
+    pub frontier_bytes: usize,
+    /// Peak frontier bytes of the disk-spilled BFS probe with symmetry on:
+    /// the frontier then holds canonical orbit representatives, so this
+    /// shrinks by roughly the orbit collapse.
+    pub sym_frontier_bytes: usize,
+    /// `true` iff the spilled BFS probes (plain and symmetric) reproduced
+    /// the in-memory-frontier verdict class and state count exactly. The
+    /// `fault_sweep` binary exits non-zero when any cell disagrees, like
+    /// backend and symmetry disagreement.
+    pub spill_agrees: bool,
 }
 
 impl FaultCell {
@@ -85,7 +105,22 @@ impl FaultCell {
     pub fn state_ratio(&self) -> f64 {
         self.states as f64 / self.sym_states.max(1) as f64
     }
+
+    /// Frontier-collapse ratio of the cell: plain spilled frontier bytes
+    /// per symmetric spilled frontier bytes. Tracks [`state_ratio`]
+    /// (spilling canonical representatives shrinks the frontier by the
+    /// orbit size, not just the visited set).
+    ///
+    /// [`state_ratio`]: FaultCell::state_ratio
+    pub fn frontier_ratio(&self) -> f64 {
+        self.frontier_bytes as f64 / self.sym_frontier_bytes.max(1) as f64
+    }
 }
+
+/// Watermark of the sweep's disk-frontier probes: small enough that every
+/// non-trivial cell writes multiple spill segments, so the sweep exercises
+/// the segment machinery on every run.
+pub const SWEEP_SPILL_WATERMARK: usize = 4096;
 
 /// The comparison class of a verdict string: `"verified"`, `"violated"` or
 /// `"bounded"`. Symmetric and plain runs may legitimately report different
@@ -170,9 +205,50 @@ fn run_cells<S, M, O>(
         };
         let liveness_plain = liveness_verdict(false);
         let liveness_sym = liveness_verdict(true);
+
+        // The disk-frontier probe (one per strategy and symmetry setting,
+        // like liveness): a BFS run of the safety property with the
+        // spilled frontier at the sweep watermark, checked against the
+        // in-memory frontier for verdict-class and state-count agreement.
+        let frontier_probe = |symmetry: bool| -> (usize, bool) {
+            let run = |frontier: FrontierConfig| {
+                let mut config = CheckerConfig::stateful_bfs();
+                config.max_states = run_budget.max_states;
+                config.time_limit = run_budget.time_limit;
+                config.frontier = frontier;
+                let checker =
+                    Checker::with_observer(spec, property.clone(), observer.clone()).config(config);
+                let checker = if spor { checker.spor() } else { checker };
+                let checker = if symmetry {
+                    checker.with_role_symmetry(roles)
+                } else {
+                    checker
+                };
+                checker.run()
+            };
+            let mem = run(FrontierConfig::Mem);
+            let disk = run(FrontierConfig::disk_with_watermark(SWEEP_SPILL_WATERMARK));
+            let agrees = verdict_class(&mem.verdict.to_string())
+                == verdict_class(&disk.verdict.to_string())
+                && mem.stats.states == disk.stats.states;
+            (disk.stats.frontier_peak_bytes, agrees)
+        };
+        let (frontier_bytes, plain_spill_agrees) = frontier_probe(false);
+        let (sym_frontier_bytes, sym_spill_agrees) = frontier_probe(true);
+        let spill_agrees = plain_spill_agrees && sym_spill_agrees;
+
         for store in sweep_backends() {
             let run = |symmetry: bool| {
-                let mut config = CheckerConfig::stateful_dfs();
+                // A spilling budget (the binary's `--spill` flag) moves the
+                // safety cells onto the BFS engine so the whole sweep
+                // drives the disk frontier; the models are acyclic, so BFS
+                // and DFS explore the same (reduced) state graph.
+                let mut config = if run_budget.frontier.spills() {
+                    CheckerConfig::stateful_bfs()
+                } else {
+                    CheckerConfig::stateful_dfs()
+                };
+                config.frontier = run_budget.frontier;
                 config.max_states = run_budget.max_states;
                 config.time_limit = run_budget.time_limit;
                 config.store = store;
@@ -203,6 +279,9 @@ fn run_cells<S, M, O>(
                 sym_liveness: liveness_sym.clone(),
                 sym_states: sym_report.stats.states,
                 sym_time: sym_report.stats.elapsed,
+                frontier_bytes,
+                sym_frontier_bytes,
+                spill_agrees,
             });
         }
     }
@@ -300,6 +379,14 @@ pub fn symmetry_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
                 || c.sym_states > c.states
         })
         .collect()
+}
+
+/// Asserts disk-frontier agreement: the spilled BFS probe of every cell
+/// must have reproduced the in-memory frontier's verdict class and state
+/// count (both with and without symmetry). Returns the offending cells,
+/// empty when all agree.
+pub fn frontier_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
+    cells.iter().filter(|c| !c.spill_agrees).collect()
 }
 
 /// A seed-consistency check row: state counts of the base model vs the
@@ -435,14 +522,14 @@ pub fn backend_disagreements(cells: &[FaultCell]) -> Vec<&FaultCell> {
 /// state counts and the orbit-collapse ratio per cell).
 pub fn render_fault_sweep(cells: &[FaultCell]) -> String {
     let mut out = String::from(
-        "protocol                  | budget              | strategy  | backend             |   states | sym stat | ratio | store KiB | time     | verdict              | liveness\n",
+        "protocol                  | budget              | strategy  | backend             |   states | sym stat | ratio | store KiB | front KiB | sym front | time     | verdict              | liveness\n",
     );
     out.push_str(
-        "--------------------------+---------------------+-----------+---------------------+----------+----------+-------+-----------+----------+----------------------+---------\n",
+        "--------------------------+---------------------+-----------+---------------------+----------+----------+-------+-----------+-----------+-----------+----------+----------------------+---------\n",
     );
     for c in cells {
         out.push_str(&format!(
-            "{:<25} | {:<19} | {:<9} | {:<19} | {:>8} | {:>8} | {:>5.2} | {:>9} | {:>8} | {:<20} | {}\n",
+            "{:<25} | {:<19} | {:<9} | {:<19} | {:>8} | {:>8} | {:>5.2} | {:>9} | {:>9} | {:>9} | {:>8} | {:<20} | {}\n",
             c.protocol,
             c.budget,
             c.strategy,
@@ -451,6 +538,8 @@ pub fn render_fault_sweep(cells: &[FaultCell]) -> String {
             c.sym_states,
             c.state_ratio(),
             c.store_bytes / 1024,
+            c.frontier_bytes / 1024,
+            c.sym_frontier_bytes / 1024,
             format!("{:.1?}", c.time),
             c.verdict,
             c.liveness
@@ -473,7 +562,9 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
             "  {{\"protocol\":\"{}\",\"budget\":\"{}\",\"strategy\":\"{}\",\"backend\":\"{}\",\
              \"verdict\":\"{}\",\"liveness\":\"{}\",\"states\":{},\"transitions\":{},\
              \"store_bytes\":{},\"time_ms\":{},\"sym_verdict\":\"{}\",\"sym_liveness\":\"{}\",\
-             \"sym_states\":{},\"sym_time_ms\":{},\"state_ratio\":{:.3}}}{}\n",
+             \"sym_states\":{},\"sym_time_ms\":{},\"state_ratio\":{:.3},\
+             \"frontier_bytes\":{},\"sym_frontier_bytes\":{},\"frontier_ratio\":{:.3},\
+             \"spill_agrees\":{}}}{}\n",
             json_escape(&c.protocol),
             json_escape(&c.budget),
             json_escape(&c.strategy),
@@ -489,6 +580,10 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
             c.sym_states,
             c.sym_time.as_millis(),
             c.state_ratio(),
+            c.frontier_bytes,
+            c.sym_frontier_bytes,
+            c.frontier_ratio(),
+            c.spill_agrees,
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
@@ -547,6 +642,13 @@ mod tests {
         assert_eq!(cells.len(), 2 * 2 * 3);
         assert!(backend_disagreements(&cells).is_empty());
         assert!(symmetry_disagreements(&cells).is_empty());
+        assert!(frontier_disagreements(&cells).is_empty());
+        // The spilled-frontier probes ran and recorded real byte counts,
+        // and symmetry never grows the frontier.
+        assert!(cells.iter().all(|c| c.frontier_bytes > 0));
+        assert!(cells
+            .iter()
+            .all(|c| c.sym_frontier_bytes <= c.frontier_bytes));
         assert!(cells.iter().all(|c| c.verdict == "verified"));
         // Symmetry never grows the explored set, and the fault cells (two
         // interchangeable acceptors) must genuinely collapse orbits.
@@ -574,10 +676,14 @@ mod tests {
         assert_eq!(json.matches("\"liveness\"").count(), cells.len());
         assert_eq!(json.matches("\"sym_states\"").count(), cells.len());
         assert_eq!(json.matches("\"state_ratio\"").count(), cells.len());
+        assert_eq!(json.matches("\"frontier_bytes\"").count(), cells.len());
+        assert_eq!(json.matches("\"sym_frontier_bytes\"").count(), cells.len());
+        assert_eq!(json.matches("\"spill_agrees\":true").count(), cells.len());
         let table = render_fault_sweep(&cells);
         assert!(table.contains("fingerprint"));
         assert!(table.contains("liveness"));
         assert!(table.contains("ratio"));
+        assert!(table.contains("front KiB"));
     }
 
     #[test]

@@ -24,6 +24,30 @@
 //! engine, hardware and protocol-model details differ — but the *shape*
 //! (which strategy wins, by roughly what factor, and where the optimisations
 //! are ineffective) is the reproduction target.
+//!
+//! One experiment cell, programmatically:
+//!
+//! ```
+//! use mp_checker::NullObserver;
+//! use mp_harness::{Budget, CellStrategy};
+//! use mp_harness::runner::run_cell;
+//! use mp_protocols::sweep::{collect_model, collect_soundness_property, CollectSetting};
+//!
+//! let setting = CollectSetting::new(3, 2, 1);
+//! let spec = collect_model(setting, true);
+//! let m = run_cell(
+//!     "collect(3,2,1)",
+//!     "soundness",
+//!     false, // no violation expected
+//!     &spec,
+//!     collect_soundness_property(setting),
+//!     NullObserver,
+//!     CellStrategy::SporStateful,
+//!     &Budget::small(),
+//! );
+//! assert!(m.completed && m.as_expected);
+//! assert_eq!(m.verdict, "verified");
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,6 +66,7 @@ pub use report::{
     json_output_path, render_csv, render_json, render_table, write_json_rows, Measurement,
 };
 pub use runner::{Budget, CellStrategy};
-// Visited-store selection is part of the experiment surface: a `Budget`
-// carries a `StoreConfig`, re-exported here so binaries need one import.
-pub use mp_store::StoreConfig;
+// Visited-store and frontier selection are part of the experiment surface:
+// a `Budget` carries a `StoreConfig` and a `FrontierConfig`, re-exported
+// here so binaries need one import.
+pub use mp_store::{FrontierConfig, StoreConfig};

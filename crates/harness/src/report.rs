@@ -26,6 +26,11 @@ pub struct Measurement {
     /// `true` if the verdict matches the expectation for the row (verified
     /// vs counterexample), or the run was bounded.
     pub as_expected: bool,
+    /// Peak bytes queued in the BFS frontier, when the row was produced by
+    /// a breadth-first engine (0 for the depth-first and stateless rows,
+    /// which have no frontier). Recorded in `BENCH_*.json` so the CI gate
+    /// can watch the spill trajectory.
+    pub frontier_bytes: usize,
 }
 
 impl Measurement {
@@ -143,7 +148,8 @@ pub fn render_json(rows: &[Measurement]) -> String {
     for (i, m) in rows.iter().enumerate() {
         out.push_str(&format!(
             "  {{\"protocol\":\"{}\",\"property\":\"{}\",\"strategy\":\"{}\",\"states\":{},\
-             \"transitions\":{},\"time_ms\":{},\"verdict\":\"{}\",\"completed\":{}}}{}\n",
+             \"transitions\":{},\"time_ms\":{},\"verdict\":\"{}\",\"completed\":{},\
+             \"frontier_bytes\":{}}}{}\n",
             json_escape(&m.protocol),
             json_escape(&m.property),
             json_escape(&m.strategy),
@@ -152,6 +158,7 @@ pub fn render_json(rows: &[Measurement]) -> String {
             m.time.as_millis(),
             json_escape(&m.verdict),
             m.completed,
+            m.frontier_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -218,6 +225,7 @@ mod tests {
             verdict: "verified".to_string(),
             completed: true,
             as_expected: true,
+            frontier_bytes: 0,
         }
     }
 

@@ -5,7 +5,7 @@ use std::time::Duration;
 use mp_checker::{Checker, CheckerConfig, Invariant, Observer, Verdict};
 use mp_model::{LocalState, Message, ProtocolSpec};
 use mp_por::SeedHeuristic;
-use mp_store::StoreConfig;
+use mp_store::{FrontierConfig, StoreConfig};
 
 use crate::report::Measurement;
 
@@ -22,6 +22,11 @@ pub struct Budget {
     /// exact store is the default; a fingerprint store lets paper-scale
     /// sweeps fit in memory at the price of a probabilistic `Verified`.
     pub store: StoreConfig,
+    /// BFS frontier backend used by the breadth-first cells (`mp-store`).
+    /// The in-memory frontier is the default; the disk frontier spills
+    /// encoded states past its watermark so paper-scale sweeps keep their
+    /// level queues on disk next to a compact visited set.
+    pub frontier: FrontierConfig,
 }
 
 impl Default for Budget {
@@ -30,6 +35,7 @@ impl Default for Budget {
             max_states: 150_000,
             time_limit: Some(Duration::from_secs(30)),
             store: StoreConfig::Exact,
+            frontier: FrontierConfig::Mem,
         }
     }
 }
@@ -59,11 +65,19 @@ impl Budget {
         self
     }
 
-    /// Applies the budget's limits and store choice to a configuration.
+    /// Selects the BFS frontier backend (builder style).
+    pub fn with_frontier(mut self, frontier: FrontierConfig) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Applies the budget's limits, store and frontier choices to a
+    /// configuration.
     pub fn apply(&self, mut config: CheckerConfig) -> CheckerConfig {
         config.max_states = self.max_states;
         config.time_limit = self.time_limit;
         config.store = self.store;
+        config.frontier = self.frontier;
         config
     }
 }
@@ -149,6 +163,7 @@ where
         verdict,
         completed,
         as_expected,
+        frontier_bytes: report.stats.frontier_peak_bytes,
     }
 }
 

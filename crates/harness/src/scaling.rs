@@ -188,6 +188,7 @@ pub fn paxos_symmetry_sweep(
             verdict: sym.verdict.to_string(),
             completed: !matches!(sym.verdict, mp_checker::Verdict::LimitReached { .. }),
             as_expected: sym.verdict.is_verified(),
+            frontier_bytes: sym.stats.frontier_peak_bytes,
         });
     }
     (points, rows)
@@ -215,6 +216,105 @@ pub fn render_symmetry_sweep(points: &[SymmetryPoint]) -> String {
             } else {
                 "DISAGREE"
             }
+        ));
+    }
+    out
+}
+
+/// One row of the disk-frontier (spill) scaling comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontierPoint {
+    /// Configuration label, e.g. "Paxos (1,3,1) quorum".
+    pub label: String,
+    /// States explored (identical for both frontiers by construction).
+    pub states: usize,
+    /// Peak frontier bytes of the spilled run (exact encoded bytes).
+    pub disk_peak_bytes: usize,
+    /// Total bytes the spilled run wrote to disk.
+    pub spilled_bytes: usize,
+    /// `true` if the spilled run reproduced the in-memory run's verdict
+    /// and state count exactly.
+    pub agrees: bool,
+}
+
+/// Watermark of the scaling sweep's spilled runs. The growing-acceptor
+/// quorum models have frontier levels of a few hundred bytes to a few KiB,
+/// so this is small enough that every point past the trivial one writes
+/// real spill segments.
+pub const SCALING_SPILL_WATERMARK: usize = 64;
+
+/// Measures the disk-backed BFS frontier on the growing-acceptor Paxos
+/// quorum models: every point runs the consensus check twice — in-memory
+/// frontier vs disk frontier at [`SCALING_SPILL_WATERMARK`] (small enough
+/// to force multi-segment spilling) — and asserts exact verdict/state
+/// agreement. Returns the per-point byte accounting plus
+/// `Measurement` rows (strategy `"SPOR (BFS+spill)"`, `frontier_bytes`
+/// recorded) that the `quorum_scaling` binary appends to
+/// `BENCH_quorum_scaling.json` so the spill trajectory is gated in CI.
+pub fn paxos_frontier_sweep(
+    max_acceptors: usize,
+    budget: &Budget,
+) -> (Vec<FrontierPoint>, Vec<Measurement>) {
+    use mp_store::FrontierConfig;
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for acceptors in 1..=max_acceptors {
+        let setting = PaxosSetting::new(1, acceptors, 1);
+        let label = format!("Paxos {setting} quorum");
+        let spec = quorum_model(setting, PaxosVariant::Correct);
+        let run = |frontier: FrontierConfig| {
+            Checker::new(&spec, consensus_property(setting))
+                .spor()
+                .config(
+                    budget
+                        .with_frontier(frontier)
+                        .apply(CheckerConfig::stateful_bfs()),
+                )
+                .run()
+        };
+        let mem = run(FrontierConfig::Mem);
+        let disk = run(FrontierConfig::disk_with_watermark(SCALING_SPILL_WATERMARK));
+        points.push(FrontierPoint {
+            label: label.clone(),
+            states: disk.stats.states,
+            disk_peak_bytes: disk.stats.frontier_peak_bytes,
+            spilled_bytes: disk.stats.frontier_spilled_bytes,
+            agrees: mem.verdict.to_string() == disk.verdict.to_string()
+                && mem.stats.states == disk.stats.states,
+        });
+        rows.push(Measurement {
+            protocol: label,
+            property: "Consensus".to_string(),
+            strategy: "SPOR (BFS+spill)".to_string(),
+            states: disk.stats.states,
+            transitions: disk.stats.transitions_executed,
+            time: disk.stats.elapsed,
+            verdict: disk.verdict.to_string(),
+            completed: !matches!(disk.verdict, mp_checker::Verdict::LimitReached { .. }),
+            as_expected: disk.verdict.is_verified(),
+            frontier_bytes: disk.stats.frontier_peak_bytes,
+        });
+    }
+    (points, rows)
+}
+
+/// Renders the frontier scaling comparison as a small text table.
+pub fn render_frontier_sweep(points: &[FrontierPoint]) -> String {
+    let mut out = String::from(
+        "configuration                |   states | frontier peak | spilled bytes | mem vs disk\n",
+    );
+    out.push_str(
+        "-----------------------------+----------+---------------+---------------+------------\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<28} | {:>8} | {:>12}B | {:>12}B | {}\n",
+            p.label,
+            p.states,
+            p.disk_peak_bytes,
+            p.spilled_bytes,
+            if p.agrees { "agree" } else { "DISAGREE" }
         ));
     }
     out
@@ -330,6 +430,20 @@ mod tests {
         );
         let rendered = render_store_sweep(&points);
         assert!(rendered.contains("fingerprint"));
+    }
+
+    #[test]
+    fn frontier_sweep_spills_and_agrees() {
+        let (points, rows) = paxos_frontier_sweep(2, &Budget::small());
+        assert_eq!(points.len(), 2);
+        assert_eq!(rows.len(), 2);
+        assert!(points.iter().all(|p| p.agrees), "{points:?}");
+        assert!(points.iter().all(|p| p.disk_peak_bytes > 0));
+        assert!(rows.iter().all(|r| r.strategy == "SPOR (BFS+spill)"));
+        assert!(rows.iter().all(|r| r.frontier_bytes > 0));
+        let rendered = render_frontier_sweep(&points);
+        assert!(rendered.contains("frontier peak"));
+        assert!(rendered.contains("agree"));
     }
 
     #[test]

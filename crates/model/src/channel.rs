@@ -214,6 +214,39 @@ impl<M: Message> Channels<M> {
     }
 }
 
+// Channels encode as (process count, non-empty channel count, then each
+// channel's internal `(receiver, sender)` key and multiset). The internal
+// map is already canonical (sorted, no empty channels), so the encoding is
+// canonical too and decoding rebuilds the exact same value.
+impl<M: Ord + crate::Encode> crate::Encode for Channels<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        crate::codec::write_varint(self.num_processes as u64, out);
+        self.contents.encode(out);
+    }
+}
+
+impl<M: Ord + crate::Decode> crate::Decode for Channels<M> {
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::DecodeError> {
+        let num_processes = usize::decode(input)?;
+        let contents: BTreeMap<(ProcessId, ProcessId), Multiset<M>> = BTreeMap::decode(input)?;
+        let mut total = 0;
+        for ((receiver, sender), bag) in &contents {
+            if receiver.index() >= num_processes || sender.index() >= num_processes {
+                return Err(crate::DecodeError::new("channel endpoint out of range"));
+            }
+            if bag.is_empty() {
+                return Err(crate::DecodeError::new("empty channel in encoding"));
+            }
+            total += bag.len();
+        }
+        Ok(Channels {
+            contents,
+            num_processes,
+            total,
+        })
+    }
+}
+
 impl<M: Message> fmt::Debug for Channels<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut map = f.debug_map();
@@ -233,6 +266,7 @@ mod tests {
         Req(u8),
         Ack(u8),
     }
+    crate::codec!(enum Msg { 0 = Req(n), 1 = Ack(n) });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

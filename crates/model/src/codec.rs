@@ -1,0 +1,660 @@
+//! Compact binary state serialization ([`Encode`] / [`Decode`]).
+//!
+//! The disk-backed BFS frontier of `mp-store` spills encoded global states
+//! to fixed-size segments and reads them back level by level; this module
+//! is the codec it runs on. The format is deliberately minimal — no
+//! framing, no versioning, no self-description — because encoded states
+//! never outlive the run that wrote them: they are written and read by the
+//! same binary, so the Rust types *are* the schema.
+//!
+//! Layout rules:
+//!
+//! * `u8`/`bool`/`char` and friends are single bytes or LEB128 varints;
+//!   `usize`/`u16`/`u32`/`u64` are LEB128 varints (states are full of small
+//!   counters, so varints are what makes the encoding compact);
+//! * signed integers are zigzag-mapped before the varint;
+//! * sequences (`Vec`, `BTreeSet`, `BTreeMap`, `String`) are a varint
+//!   length followed by their elements in iteration order;
+//! * `Option` is a one-byte tag; tuples and structs are their fields in
+//!   declaration order; enums are a one-byte variant tag followed by the
+//!   variant's fields.
+//!
+//! Every value round-trips: `decode(encode(v)) == v`. Decoding consumes
+//! exactly the bytes encoding produced, so records can be concatenated
+//! without separators (which is how frontier segments are laid out).
+//!
+//! Protocol crates implement the traits for their state and message types
+//! with the [`codec!`](crate::codec!) macro:
+//!
+//! ```
+//! use mp_model::{codec, Decode, Encode};
+//!
+//! #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+//! enum Msg {
+//!     Ping { round: u32 },
+//!     Stop,
+//! }
+//! codec!(enum Msg { 0 = Ping { round }, 1 = Stop });
+//!
+//! let mut bytes = Vec::new();
+//! Msg::Ping { round: 7 }.encode(&mut bytes);
+//! Msg::Stop.encode(&mut bytes);
+//! let mut r = bytes.as_slice();
+//! assert_eq!(Msg::decode(&mut r).unwrap(), Msg::Ping { round: 7 });
+//! assert_eq!(Msg::decode(&mut r).unwrap(), Msg::Stop);
+//! assert!(r.is_empty());
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Error produced when decoding malformed or truncated bytes.
+///
+/// In practice this only fires on a corrupted spill file (or a programming
+/// error pairing an encoder with the wrong decoder); the search engines
+/// treat it as fatal.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// What the decoder was reading when it failed.
+    pub context: &'static str,
+}
+
+impl DecodeError {
+    /// Creates an error tagged with the failing context.
+    pub fn new(context: &'static str) -> Self {
+        DecodeError { context }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed encoded state: {}", self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A value that can be serialized into the compact state format.
+pub trait Encode {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+}
+
+/// A value that can be reconstructed from the compact state format.
+///
+/// `input` is advanced past exactly the bytes [`Encode::encode`] produced
+/// for the value, so concatenated records decode back to back.
+pub trait Decode: Sized {
+    /// Decodes one value from the front of `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError>;
+}
+
+/// Encodes `value` into a fresh buffer (convenience for tests and
+/// single-record uses; bulk writers append with [`Encode::encode`]).
+pub fn encode_to_vec<T: Encode>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a single value that must consume the whole input.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input or trailing bytes.
+pub fn decode_from_slice<T: Decode>(mut input: &[u8]) -> Result<T, DecodeError> {
+    let value = T::decode(&mut input)?;
+    if !input.is_empty() {
+        return Err(DecodeError::new("trailing bytes after value"));
+    }
+    Ok(value)
+}
+
+/// Appends a LEB128 varint.
+pub fn write_varint(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on truncation or a varint longer than 64 bits.
+pub fn read_varint(input: &mut &[u8]) -> Result<u64, DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let Some((&byte, rest)) = input.split_first() else {
+            return Err(DecodeError::new("truncated varint"));
+        };
+        *input = rest;
+        if shift >= 64 {
+            return Err(DecodeError::new("varint overflows 64 bits"));
+        }
+        // The 10th byte sits at shift 63: only its lowest payload bit fits,
+        // anything above would be shifted out and silently lost.
+        if shift == 63 && byte & 0x7e != 0 {
+            return Err(DecodeError::new("varint overflows 64 bits"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn read_byte(input: &mut &[u8], context: &'static str) -> Result<u8, DecodeError> {
+    let Some((&byte, rest)) = input.split_first() else {
+        return Err(DecodeError::new(context));
+    };
+    *input = rest;
+    Ok(byte)
+}
+
+fn read_len(input: &mut &[u8], context: &'static str) -> Result<usize, DecodeError> {
+    let len = read_varint(input)?;
+    // A sequence cannot be longer than the remaining input (every element
+    // costs at least one byte) — reject early so corrupted lengths cannot
+    // drive huge allocations.
+    if len > input.len() as u64 {
+        return Err(DecodeError::new(context));
+    }
+    Ok(len as usize)
+}
+
+impl Encode for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Decode for () {
+    fn decode(_input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match read_byte(input, "truncated bool")? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::new("invalid bool byte")),
+        }
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        read_byte(input, "truncated u8")
+    }
+}
+
+macro_rules! varint_codec {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Encode for $t {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    write_varint(*self as u64, out);
+                }
+            }
+            impl Decode for $t {
+                fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                    let raw = read_varint(input)?;
+                    <$t>::try_from(raw).map_err(|_| DecodeError::new("varint out of range"))
+                }
+            }
+        )*
+    };
+}
+
+varint_codec!(u16, u32, u64, usize);
+
+macro_rules! zigzag_codec {
+    ($($t:ty as $wide:ty),* $(,)?) => {
+        $(
+            impl Encode for $t {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    let wide = *self as $wide as i64;
+                    write_varint(((wide << 1) ^ (wide >> 63)) as u64, out);
+                }
+            }
+            impl Decode for $t {
+                fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                    let raw = read_varint(input)?;
+                    let wide = ((raw >> 1) as i64) ^ -((raw & 1) as i64);
+                    <$t>::try_from(wide).map_err(|_| DecodeError::new("zigzag out of range"))
+                }
+            }
+        )*
+    };
+}
+
+zigzag_codec!(i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64);
+
+impl Encode for u128 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Decode for u128 {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let Some((bytes, rest)) = input.split_first_chunk::<16>() else {
+            return Err(DecodeError::new("truncated u128"));
+        };
+        *input = rest;
+        Ok(u128::from_le_bytes(*bytes))
+    }
+}
+
+impl Encode for i128 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u128).encode(out);
+    }
+}
+
+impl Decode for i128 {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(u128::decode(input)? as i128)
+    }
+}
+
+impl Encode for char {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(u64::from(*self as u32), out);
+    }
+}
+
+impl Decode for char {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let raw = u32::try_from(read_varint(input)?)
+            .map_err(|_| DecodeError::new("char out of range"))?;
+        char::from_u32(raw).ok_or(DecodeError::new("invalid char scalar"))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.len() as u64, out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input, "truncated string")?;
+        let (bytes, rest) = input.split_at(len);
+        *input = rest;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::new("invalid utf-8 string"))
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match read_byte(input, "truncated option")? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            _ => Err(DecodeError::new("invalid option tag")),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.len() as u64, out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input, "truncated vec length")?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode + Ord> Encode for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.len() as u64, out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode + Ord> Decode for BTreeSet<T> {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input, "truncated set length")?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Encode + Ord, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        write_varint(self.len() as u64, out);
+        for (key, value) in self {
+            key.encode(out);
+            value.encode(out);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input, "truncated map length")?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let key = K::decode(input)?;
+            out.insert(key, V::decode(input)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! tuple_codec {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($name: Encode),+> Encode for ($($name,)+) {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    $(self.$idx.encode(out);)+
+                }
+            }
+            impl<$($name: Decode),+> Decode for ($($name,)+) {
+                fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+                    Ok(($($name::decode(input)?,)+))
+                }
+            }
+        )*
+    };
+}
+
+tuple_codec!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// Derives [`Encode`] and [`Decode`] for a struct or enum of codec-capable
+/// fields.
+///
+/// Field *names* are given (types are inferred from the constructor), and
+/// enum variants carry explicit one-byte tags so reordering variants cannot
+/// silently change the format:
+///
+/// ```
+/// use mp_model::codec;
+///
+/// #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// struct Tok;
+/// codec!(struct Tok);
+///
+/// #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// struct Pair { a: u8, b: u32 }
+/// codec!(struct Pair { a, b });
+///
+/// #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+/// enum Msg { Req(u8), Ack { seq: u32 }, Stop }
+/// codec!(enum Msg { 0 = Req(v), 1 = Ack { seq }, 2 = Stop });
+/// ```
+#[macro_export]
+macro_rules! codec {
+    (struct $name:ident) => {
+        impl $crate::Encode for $name {
+            fn encode(&self, _out: &mut Vec<u8>) {}
+        }
+        impl $crate::Decode for $name {
+            fn decode(_input: &mut &[u8]) -> Result<Self, $crate::DecodeError> {
+                Ok($name)
+            }
+        }
+    };
+    (struct $name:ident ( $($field:ident),+ $(,)? )) => {
+        impl $crate::Encode for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                let $name($($field),+) = self;
+                $($crate::Encode::encode($field, out);)+
+            }
+        }
+        impl $crate::Decode for $name {
+            fn decode(input: &mut &[u8]) -> Result<Self, $crate::DecodeError> {
+                Ok($name($({ let $field = $crate::Decode::decode(input)?; $field }),+))
+            }
+        }
+    };
+    (struct $name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Encode for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $($crate::Encode::encode(&self.$field, out);)*
+            }
+        }
+        impl $crate::Decode for $name {
+            fn decode(input: &mut &[u8]) -> Result<Self, $crate::DecodeError> {
+                Ok($name { $($field: $crate::Decode::decode(input)?),* })
+            }
+        }
+    };
+    (enum $name:ident {
+        $($tag:literal = $variant:ident
+            $(( $($tf:ident),+ $(,)? ))?
+            $({ $($sf:ident),+ $(,)? })?
+        ),* $(,)?
+    }) => {
+        impl $crate::Encode for $name {
+            fn encode(&self, out: &mut Vec<u8>) {
+                match self {
+                    $(
+                        $name::$variant $(( $($tf),+ ))? $({ $($sf),+ })? => {
+                            out.push($tag);
+                            $($($crate::Encode::encode($tf, out);)+)?
+                            $($($crate::Encode::encode($sf, out);)+)?
+                        }
+                    )*
+                }
+            }
+        }
+        impl $crate::Decode for $name {
+            fn decode(input: &mut &[u8]) -> Result<Self, $crate::DecodeError> {
+                let Some((&tag, rest)) = input.split_first() else {
+                    return Err($crate::DecodeError::new("truncated enum tag"));
+                };
+                *input = rest;
+                match tag {
+                    $(
+                        $tag => Ok($name::$variant
+                            $(( $({ let $tf = $crate::Decode::decode(input)?; $tf }),+ ))?
+                            $({ $($sf: $crate::Decode::decode(input)?),+ })?
+                        ),
+                    )*
+                    _ => Err($crate::DecodeError::new("unknown enum tag")),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + fmt::Debug>(value: T) {
+        let bytes = encode_to_vec(&value);
+        let back: T = decode_from_slice(&bytes).expect("roundtrip decode");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(());
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(0usize);
+        roundtrip(usize::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(12_345u32);
+        roundtrip(u16::MAX);
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(-42i8);
+        roundtrip(i32::MIN);
+        roundtrip(isize::MAX);
+        roundtrip(u128::MAX);
+        roundtrip(i128::MIN);
+        roundtrip('x');
+        roundtrip('🦀');
+        roundtrip(String::from("hello"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn small_values_encode_small() {
+        assert_eq!(encode_to_vec(&5usize), vec![5]);
+        assert_eq!(encode_to_vec(&0u64), vec![0]);
+        assert_eq!(encode_to_vec(&-1i32), vec![1]); // zigzag
+        assert_eq!(encode_to_vec(&300usize).len(), 2);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(Some(7u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<u8>::new());
+        roundtrip(BTreeSet::from([3u8, 1, 2]));
+        roundtrip(BTreeMap::from([(1u8, String::from("a")), (2, "b".into())]));
+        roundtrip((1u8, 2u32));
+        roundtrip((1u8, 2u32, String::from("x")));
+        roundtrip((1u8, 2u32, 3u64, Some(4usize)));
+    }
+
+    #[test]
+    fn records_concatenate_without_separators() {
+        let mut bytes = Vec::new();
+        for i in 0..10u32 {
+            (i, vec![i as u8; i as usize]).encode(&mut bytes);
+        }
+        let mut r = bytes.as_slice();
+        for i in 0..10u32 {
+            let (n, v) = <(u32, Vec<u8>)>::decode(&mut r).unwrap();
+            assert_eq!(n, i);
+            assert_eq!(v.len(), i as usize);
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overlong_varints_error_instead_of_truncating() {
+        // u64::MAX is the widest legal varint: nine 0xff bytes + 0x01.
+        let mut max = vec![0xffu8; 9];
+        max.push(0x01);
+        assert_eq!(decode_from_slice::<u64>(&max), Ok(u64::MAX));
+        // A 10th byte with payload above bit 0 would shift bits out of the
+        // u64 — it must error, not silently decode to a wrong value.
+        let mut overlong = vec![0x80u8; 9];
+        overlong.push(0x02);
+        assert!(decode_from_slice::<u64>(&overlong).is_err());
+        // An 11th byte is always rejected.
+        let mut eleven = vec![0x80u8; 10];
+        eleven.push(0x01);
+        assert!(decode_from_slice::<u64>(&eleven).is_err());
+    }
+
+    #[test]
+    fn truncated_and_malformed_inputs_error() {
+        assert!(decode_from_slice::<u64>(&[0x80]).is_err()); // dangling varint
+        assert!(decode_from_slice::<bool>(&[7]).is_err());
+        assert!(decode_from_slice::<Option<u8>>(&[2]).is_err());
+        assert!(decode_from_slice::<String>(&[2, 0xff]).is_err()); // short
+        assert!(decode_from_slice::<u8>(&[1, 2]).is_err()); // trailing
+                                                            // A corrupted length larger than the input must not allocate.
+        assert!(decode_from_slice::<Vec<u64>>(&[0xff, 0xff, 0x7f]).is_err());
+    }
+
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Unit;
+    codec!(struct Unit);
+
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Named {
+        a: u8,
+        b: Vec<u32>,
+    }
+    codec!(struct Named { a, b });
+
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum Mixed {
+        Unit,
+        Tuple(u8, String),
+        Struct { x: Option<u32>, y: bool },
+    }
+    codec!(enum Mixed {
+        0 = Unit,
+        1 = Tuple(a, b),
+        2 = Struct { x, y },
+    });
+
+    #[test]
+    fn macro_derived_codecs_roundtrip() {
+        roundtrip(Unit);
+        roundtrip(Named {
+            a: 9,
+            b: vec![1, 2, 3],
+        });
+        roundtrip(Mixed::Unit);
+        roundtrip(Mixed::Tuple(4, "hi".into()));
+        roundtrip(Mixed::Struct {
+            x: Some(8),
+            y: true,
+        });
+        assert!(decode_from_slice::<Mixed>(&[9]).is_err(), "unknown tag");
+    }
+}

@@ -68,6 +68,26 @@ impl<M: Message> TransitionInstance<M> {
     }
 }
 
+// Instances are the payload of the spillable parent-pointer tables the BFS
+// engine rebuilds counterexample paths from.
+impl<M: crate::Encode> crate::Encode for TransitionInstance<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.transition.encode(out);
+        self.process.encode(out);
+        self.envelopes.encode(out);
+    }
+}
+
+impl<M: crate::Decode> crate::Decode for TransitionInstance<M> {
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::DecodeError> {
+        Ok(TransitionInstance {
+            transition: TransitionId::decode(input)?,
+            process: ProcessId::decode(input)?,
+            envelopes: Vec::decode(input)?,
+        })
+    }
+}
+
 impl<M: fmt::Debug> fmt::Debug for TransitionInstance<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -320,6 +340,7 @@ mod tests {
         Vote(u8),
         Other,
     }
+    crate::codec!(enum Msg { 0 = Vote(n), 1 = Other });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

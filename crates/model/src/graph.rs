@@ -177,6 +177,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Token(u8);
+    crate::codec!(struct Token(n));
 
     impl Message for Token {
         fn kind(&self) -> Kind {

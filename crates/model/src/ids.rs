@@ -32,6 +32,18 @@ impl ProcessId {
     }
 }
 
+impl crate::Encode for ProcessId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl crate::Decode for ProcessId {
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::DecodeError> {
+        Ok(ProcessId(usize::decode(input)?))
+    }
+}
+
 impl fmt::Display for ProcessId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "p{}", self.0)
@@ -74,6 +86,18 @@ impl TransitionId {
     #[inline]
     pub fn index(self) -> usize {
         self.0
+    }
+}
+
+impl crate::Encode for TransitionId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl crate::Decode for TransitionId {
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::DecodeError> {
+        Ok(TransitionId(usize::decode(input)?))
     }
 }
 

@@ -18,7 +18,10 @@
 //! * protocol specifications — [`ProtocolSpec`] and [`ProtocolBuilder`];
 //! * the operational semantics — [`enabled_instances`], [`execute`],
 //!   [`successors`], and the explicit [`StateGraph`] used to validate
-//!   transition refinement (Theorem 2 of the paper).
+//!   transition refinement (Theorem 2 of the paper);
+//! * the compact state codec — [`Encode`], [`Decode`] and the
+//!   [`codec!`](crate::codec!) macro — that lets the disk-backed BFS
+//!   frontier of `mp-store` spill encoded states to disk.
 //!
 //! # Example: a quorum transition
 //!
@@ -26,10 +29,11 @@
 //! from a majority of acceptors in a single step. Its MP-Basset counterpart:
 //!
 //! ```
-//! use mp_model::{Message, Outcome, ProcessId, QuorumSpec, TransitionSpec};
+//! use mp_model::{codec, Message, Outcome, ProcessId, QuorumSpec, TransitionSpec};
 //!
 //! #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 //! enum Msg { ReadRepl(u32), Write(u32) }
+//! codec!(enum Msg { 0 = ReadRepl(v), 1 = Write(v) });
 //!
 //! impl Message for Msg {
 //!     fn kind(&self) -> &'static str {
@@ -66,6 +70,7 @@
 #![forbid(unsafe_code)]
 
 pub mod channel;
+pub mod codec;
 pub mod enabled;
 pub mod error;
 pub mod graph;
@@ -79,6 +84,7 @@ pub mod state;
 pub mod transition;
 
 pub use channel::Channels;
+pub use codec::{decode_from_slice, encode_to_vec, Decode, DecodeError, Encode};
 pub use enabled::{
     enabled_instances, enabled_instances_of, enabled_instances_with_limits, is_enabled,
     EnumerationLimits, TransitionInstance,

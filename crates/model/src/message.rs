@@ -16,6 +16,7 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use crate::codec::{Decode, Encode};
 use crate::ProcessId;
 
 /// The kind (type name) of a message, e.g. `"READ_REPL"`.
@@ -30,18 +31,22 @@ pub type Kind = &'static str;
 /// Protocols define a single Rust type (typically an `enum` with one variant
 /// per message kind) implementing this trait. The bounds are what the
 /// explicit-state model checker needs: messages are stored in canonical
-/// (ordered) multisets inside hashable global states.
+/// (ordered) multisets inside hashable global states, and they must be
+/// codec-capable ([`Encode`]/[`Decode`], usually via the
+/// [`codec!`](crate::codec!) macro) so the disk-backed BFS frontier of
+/// `mp-store` can spill states holding them.
 ///
 /// # Examples
 ///
 /// ```
-/// use mp_model::{Kind, Message};
+/// use mp_model::{codec, Kind, Message};
 ///
 /// #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 /// enum PingPong {
 ///     Ping(u32),
 ///     Pong(u32),
 /// }
+/// codec!(enum PingPong { 0 = Ping(seq), 1 = Pong(seq) });
 ///
 /// impl Message for PingPong {
 ///     fn kind(&self) -> Kind {
@@ -54,7 +59,9 @@ pub type Kind = &'static str;
 ///
 /// assert_eq!(PingPong::Ping(1).kind(), "PING");
 /// ```
-pub trait Message: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {
+pub trait Message:
+    Clone + Eq + Ord + Hash + Debug + Send + Sync + Encode + Decode + 'static
+{
     /// Returns the kind of this message.
     ///
     /// The kind is used to match messages with the transitions that can
@@ -102,6 +109,22 @@ impl<M: Message> Envelope<M> {
     }
 }
 
+impl<M: Encode> Encode for Envelope<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.sender.encode(out);
+        self.payload.encode(out);
+    }
+}
+
+impl<M: Decode> Decode for Envelope<M> {
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::DecodeError> {
+        Ok(Envelope {
+            sender: ProcessId::decode(input)?,
+            payload: M::decode(input)?,
+        })
+    }
+}
+
 /// Computes `senders(X)`: the set of distinct processes that sent the
 /// messages in `envelopes` (paper, Section II-A).
 ///
@@ -144,6 +167,7 @@ mod tests {
         A(u8),
         B,
     }
+    crate::codec!(enum TestMsg { 0 = A(n), 1 = B });
 
     impl Message for TestMsg {
         fn kind(&self) -> Kind {

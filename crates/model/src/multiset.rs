@@ -156,6 +156,29 @@ impl<T: Ord> Multiset<T> {
     }
 }
 
+// A multiset encodes as its (element, multiplicity) map; the total is
+// recomputed on decode and zero multiplicities are rejected so decoded
+// values are always in canonical form.
+impl<T: Ord + crate::Encode> crate::Encode for Multiset<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.elems.encode(out);
+    }
+}
+
+impl<T: Ord + crate::Decode> crate::Decode for Multiset<T> {
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::DecodeError> {
+        let elems: BTreeMap<T, usize> = BTreeMap::decode(input)?;
+        let mut total = 0;
+        for count in elems.values() {
+            if *count == 0 {
+                return Err(crate::DecodeError::new("zero multiplicity in multiset"));
+            }
+            total += count;
+        }
+        Ok(Multiset { elems, total })
+    }
+}
+
 impl<T: Ord + fmt::Debug> fmt::Debug for Multiset<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;

@@ -107,6 +107,7 @@ mod tests {
         Req,
         Ack(u8),
     }
+    crate::codec!(enum Msg { 0 = Req, 1 = Ack(n) });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

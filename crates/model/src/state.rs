@@ -13,10 +13,21 @@ use crate::{Channels, Message, ProcessId};
 /// The local-state type of a protocol.
 ///
 /// This is a bound alias: any type that is cloneable, totally ordered,
-/// hashable and debuggable can serve as the per-process local state.
-pub trait LocalState: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + 'static {}
+/// hashable, debuggable and codec-capable ([`Encode`]/[`Decode`], so the
+/// disk-backed frontier of `mp-store` can spill states) can serve as the
+/// per-process local state.
+///
+/// [`Encode`]: crate::Encode
+/// [`Decode`]: crate::Decode
+pub trait LocalState:
+    Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + crate::Encode + crate::Decode + 'static
+{
+}
 
-impl<T> LocalState for T where T: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + 'static {}
+impl<T> LocalState for T where
+    T: Clone + Eq + Ord + Hash + fmt::Debug + Send + Sync + crate::Encode + crate::Decode + 'static
+{
+}
 
 /// A global state: one local state per process plus all channel contents.
 ///
@@ -104,6 +115,24 @@ impl<S: LocalState, M: Message> GlobalState<S, M> {
     }
 }
 
+// States are the payload of the disk-backed BFS frontier: locals in index
+// order, then the canonical channel contents.
+impl<S: crate::Encode, M: Message + crate::Encode> crate::Encode for GlobalState<S, M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.locals.encode(out);
+        self.channels.encode(out);
+    }
+}
+
+impl<S: crate::Decode, M: Message + crate::Decode> crate::Decode for GlobalState<S, M> {
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::DecodeError> {
+        Ok(GlobalState {
+            locals: Vec::decode(input)?,
+            channels: Channels::decode(input)?,
+        })
+    }
+}
+
 impl<S: fmt::Debug, M: Message> fmt::Debug for GlobalState<S, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("GlobalState")
@@ -138,6 +167,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Msg(u8);
+    crate::codec!(struct Msg(n));
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

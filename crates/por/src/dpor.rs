@@ -171,6 +171,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Msg(u8);
+    mp_model::codec!(struct Msg(n));
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

@@ -97,6 +97,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct NoMsg;
+    mp_model::codec!(struct NoMsg);
 
     impl Message for NoMsg {
         fn kind(&self) -> Kind {

@@ -185,6 +185,7 @@ mod tests {
         Req,
         Ack,
     }
+    mp_model::codec!(enum Msg { 0 = Req, 1 = Ack });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

@@ -21,6 +21,41 @@
 //! sender/recipient annotations, which shrinks both relations and lets the
 //! same algorithms prune more, exactly the effect studied in the paper's
 //! Table II.
+//!
+//! Two independent internal steps need only one interleaving:
+//!
+//! ```
+//! use mp_model::{codec, enabled_instances, Message, Outcome, ProcessId, ProtocolSpec,
+//!     TransitionSpec};
+//! use mp_por::{Reducer, SporReducer};
+//!
+//! #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+//! struct Tick;
+//! codec!(struct Tick);
+//! impl Message for Tick {
+//!     fn kind(&self) -> &'static str { "TICK" }
+//! }
+//!
+//! let mut builder = ProtocolSpec::<u8, Tick>::builder("independent");
+//! for i in 0..2 {
+//!     builder = builder.process(format!("w{i}"), 0u8).transition(
+//!         TransitionSpec::builder(format!("step{i}"), ProcessId(i))
+//!             .internal()
+//!             .guard(|l, _| *l == 0)
+//!             .sends_nothing()
+//!             .effect(|_, _| Outcome::new(1))
+//!             .build(),
+//!     );
+//! }
+//! let spec = builder.build().unwrap();
+//!
+//! let reducer = SporReducer::new(&spec);
+//! let state = spec.initial_state();
+//! let all = enabled_instances(&spec, &state);
+//! assert_eq!(all.len(), 2);
+//! let reduction = reducer.reduce(&spec, &state, all);
+//! assert_eq!(reduction.explore.len(), 1, "one representative order suffices");
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

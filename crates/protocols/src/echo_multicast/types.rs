@@ -199,6 +199,12 @@ pub enum MulticastMessage {
     },
 }
 
+mp_model::codec!(enum MulticastMessage {
+    0 = Init { initiator, value },
+    1 = Echo { initiator, value },
+    2 = Commit { initiator, value },
+});
+
 impl Message for MulticastMessage {
     fn kind(&self) -> Kind {
         match self {
@@ -274,6 +280,16 @@ pub struct HonestReceiverState {
     pub delivered: BTreeMap<ProcessId, Value>,
 }
 
+mp_model::codec!(enum InitiatorPhase { 0 = Idle, 1 = Sent, 2 = Committed });
+mp_model::codec!(struct HonestInitiatorState { phase, echo_buffer });
+mp_model::codec!(struct ByzantineInitiatorState {
+    sent,
+    committed_first,
+    committed_second,
+    echo_buffer,
+});
+mp_model::codec!(struct HonestReceiverState { echoed, delivered });
+
 /// Local state of any Echo Multicast process.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum MulticastState {
@@ -286,6 +302,13 @@ pub enum MulticastState {
     /// A Byzantine receiver (echoes anything; keeps no state).
     ByzantineReceiver,
 }
+
+mp_model::codec!(enum MulticastState {
+    0 = HonestInitiator(state),
+    1 = ByzantineInitiator(state),
+    2 = HonestReceiver(state),
+    3 = ByzantineReceiver,
+});
 
 // Per-initiator bookkeeping (echo buffers, echoed/delivered maps) is keyed
 // by process id and must follow a permutation.

@@ -21,7 +21,25 @@
 //!
 //! Every model is an ordinary [`mp_model::ProtocolSpec`]; they can be
 //! refined with `mp-refine` (quorum-/reply-/combined-split) and checked with
-//! any engine of `mp-checker`.
+//! any engine of `mp-checker`:
+//!
+//! ```
+//! use mp_checker::Checker;
+//! use mp_protocols::paxos::{consensus_property, quorum_model, PaxosSetting, PaxosVariant};
+//!
+//! // Single-decree Paxos with 1 proposer, 2 acceptors, 1 learner.
+//! let setting = PaxosSetting::new(1, 2, 1);
+//! let spec = quorum_model(setting, PaxosVariant::Correct);
+//! let report = Checker::new(&spec, consensus_property(setting)).spor().run();
+//! assert!(report.verdict.is_verified());
+//!
+//! // The paper's injected learner bug is found with a counterexample.
+//! let buggy = quorum_model(PaxosSetting::new(2, 3, 1), PaxosVariant::FaultyLearner);
+//! let report = Checker::new(&buggy, consensus_property(PaxosSetting::new(2, 3, 1)))
+//!     .spor()
+//!     .run();
+//! assert!(report.verdict.is_violated());
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

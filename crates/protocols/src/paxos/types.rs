@@ -155,6 +155,13 @@ pub enum PaxosMessage {
     },
 }
 
+mp_model::codec!(enum PaxosMessage {
+    0 = Read { ballot },
+    1 = ReadRepl { ballot, accepted },
+    2 = Write { ballot, value },
+    3 = Accept { ballot, value },
+});
+
 impl Message for PaxosMessage {
     fn kind(&self) -> Kind {
         match self {
@@ -216,6 +223,11 @@ pub struct LearnerState {
     pub accept_buffer: BTreeSet<(ProcessId, Ballot, Value)>,
 }
 
+mp_model::codec!(enum ProposerPhase { 0 = Idle, 1 = ReadSent, 2 = WriteSent });
+mp_model::codec!(struct ProposerState { phase, read_replies });
+mp_model::codec!(struct AcceptorState { promised, accepted });
+mp_model::codec!(struct LearnerState { learned, accept_buffer });
+
 /// Local state of any Paxos process.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PaxosState {
@@ -226,6 +238,12 @@ pub enum PaxosState {
     /// A learner.
     Learner(LearnerState),
 }
+
+mp_model::codec!(enum PaxosState {
+    0 = Proposer(state),
+    1 = Acceptor(state),
+    2 = Learner(state),
+});
 
 // Local states permute the process ids buffered by the single-message
 // models (read replies and accept buffers record senders); everything else

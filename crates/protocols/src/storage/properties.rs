@@ -66,7 +66,31 @@ impl RegularityObserver {
     }
 }
 
+mp_model::codec!(struct WriteSnapshot { completed, in_progress });
+
+// Only the snapshot history is serialized when the disk-backed frontier
+// spills this observer; the setting is configuration, re-supplied by the
+// decode template (see `Observer::decode_like`).
+impl mp_model::Encode for RegularityObserver {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.snapshots.encode(out);
+    }
+}
+
 impl Observer<StorageState, StorageMessage> for RegularityObserver {
+    fn decode_like(&self, input: &mut &[u8]) -> Result<Self, mp_model::DecodeError> {
+        let snapshots: Vec<Option<WriteSnapshot>> = mp_model::Decode::decode(input)?;
+        if snapshots.len() != self.setting.readers {
+            return Err(mp_model::DecodeError::new(
+                "regularity observer reader count mismatch",
+            ));
+        }
+        Ok(RegularityObserver {
+            setting: self.setting,
+            snapshots,
+        })
+    }
+
     fn update(
         &self,
         _spec: &ProtocolSpec<StorageState, StorageMessage>,

@@ -137,6 +137,13 @@ pub enum StorageMessage {
     },
 }
 
+mp_model::codec!(enum StorageMessage {
+    0 = Write { ts, value },
+    1 = WriteAck { ts },
+    2 = ReadReq,
+    3 = ReadResp { ts, value },
+});
+
 impl Message for StorageMessage {
     fn kind(&self) -> Kind {
         match self {
@@ -200,6 +207,11 @@ pub struct ReaderState {
     pub resp_buffer: BTreeSet<(ProcessId, Timestamp, Value)>,
 }
 
+mp_model::codec!(struct WriterState { writes_done, writing, ack_buffer });
+mp_model::codec!(struct BaseObjectState { ts, value });
+mp_model::codec!(enum ReaderPhase { 0 = Idle, 1 = Reading, 2 = Done });
+mp_model::codec!(struct ReaderState { phase, result, resp_buffer });
+
 /// Local state of any storage process.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum StorageState {
@@ -210,6 +222,12 @@ pub enum StorageState {
     /// A reader.
     Reader(ReaderState),
 }
+
+mp_model::codec!(enum StorageState {
+    0 = Writer(state),
+    1 = BaseObject(state),
+    2 = Reader(state),
+});
 
 // The single-message models buffer sender ids (write acknowledgements and
 // read responses); symmetry reduction rewrites them with the permutation.

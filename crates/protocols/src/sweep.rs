@@ -24,6 +24,8 @@ pub struct Vote {
     pub collector: u8,
 }
 
+mp_model::codec!(struct Vote { collector });
+
 impl Message for Vote {
     fn kind(&self) -> Kind {
         "VOTE"
@@ -44,6 +46,11 @@ pub enum CollectState {
         done: bool,
     },
 }
+
+mp_model::codec!(enum CollectState {
+    0 = Voter(voted),
+    1 = Collector { votes, done },
+});
 
 /// Parameters of the collection protocol family.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]

@@ -93,6 +93,7 @@ mod tests {
         Vote,
         Other,
     }
+    mp_model::codec!(enum Msg { 0 = Vote, 1 = Other });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

@@ -146,6 +146,7 @@ mod tests {
     enum Msg {
         Vote(u8),
     }
+    mp_model::codec!(enum Msg { 0 = Vote(n) });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

@@ -102,6 +102,7 @@ mod tests {
         Read(u8),
         ReadRepl(u8),
     }
+    mp_model::codec!(enum Msg { 0 = Read(n), 1 = ReadRepl(n) });
 
     impl Message for Msg {
         fn kind(&self) -> Kind {

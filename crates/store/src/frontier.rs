@@ -1,0 +1,863 @@
+//! Spillable BFS frontiers and append-only spill logs.
+//!
+//! Breadth-first search keeps two level queues alive at once — the level
+//! being expanded and the level being generated — and on fault-augmented
+//! models those levels grow with the state space (the crash1+drop1 sweep
+//! cells are ~20x the seed models). The visited set already has compact
+//! backends (hash compaction); this module gives the *frontier* the same
+//! treatment so paper-scale budgets fit in memory:
+//!
+//! * [`MemFrontier`] — two in-memory `VecDeque`s, the default; byte-for-byte
+//!   the behaviour the engines had before the frontier became pluggable;
+//! * [`DiskFrontier`] — items are encoded (`mp-model`'s [`Encode`]/
+//!   [`Decode`] codec) into an in-memory buffer; whenever the buffer
+//!   reaches the configured **watermark** it is written to a temporary
+//!   spill file as one fixed-size segment, and segments are read back
+//!   sequentially, level by level, when the level is dequeued. Memory held
+//!   per level is bounded by the watermark regardless of frontier size.
+//!
+//! Both implement [`FrontierBackend`] and preserve strict FIFO order, so an
+//! engine driving either explores states in the identical order — spill on
+//! and spill off produce byte-identical verdicts and state counts.
+//!
+//! [`SpillLog`] is the companion structure for the BFS parent-pointer
+//! tables: an append-only, randomly-readable log of encoded records with
+//! the same watermark discipline, so counterexample paths stay
+//! reconstructible without keeping every transition instance in memory.
+//!
+//! Symmetry interaction is the engines' job: with orbit reduction active
+//! they enqueue the *canonical representative* plus the permutation index δ
+//! that produced it, and re-derive the concrete state on dequeue by
+//! applying δ⁻¹ — so frontier bytes shrink with the orbit collapse while
+//! exploration and counterexamples stay concrete (see `mp-checker`'s BFS
+//! engines).
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::marker::PhantomData;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mp_model::{Decode, DecodeError, Encode};
+
+/// Default in-memory watermark (and segment size) of the disk frontier:
+/// one segment's worth of encoded states is buffered before it is spilled.
+pub const DEFAULT_FRONTIER_WATERMARK: usize = 32 << 20;
+
+/// Which frontier implementation the BFS engines should drive.
+///
+/// Carried by `CheckerConfig` in `mp-checker` next to [`StoreConfig`]
+/// (visited set and frontier are the two memory-critical structures of a
+/// stateful breadth-first run); `Copy` so configurations stay cheap to pass
+/// around. Spill files are created under [`std::env::temp_dir`] and removed
+/// when the frontier is dropped.
+///
+/// [`StoreConfig`]: crate::StoreConfig
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FrontierConfig {
+    /// Keep every frontier entry in memory (the default).
+    #[default]
+    Mem,
+    /// Spill encoded entries to disk in watermark-sized segments.
+    Disk {
+        /// Bytes of encoded entries buffered in memory per level queue
+        /// before a segment is written out (also the segment size).
+        watermark_bytes: usize,
+    },
+}
+
+impl FrontierConfig {
+    /// The disk-backed frontier with the default watermark.
+    pub fn disk() -> Self {
+        FrontierConfig::Disk {
+            watermark_bytes: DEFAULT_FRONTIER_WATERMARK,
+        }
+    }
+
+    /// The disk-backed frontier with an explicit watermark (tiny watermarks
+    /// force multi-segment spilling, which is how the tests exercise the
+    /// segment machinery on small models).
+    pub fn disk_with_watermark(watermark_bytes: usize) -> Self {
+        FrontierConfig::Disk {
+            watermark_bytes: watermark_bytes.max(1),
+        }
+    }
+
+    /// Returns `true` if this configuration spills to disk (the engines
+    /// append `+spill` to their strategy labels when it does).
+    pub fn spills(&self) -> bool {
+        matches!(self, FrontierConfig::Disk { .. })
+    }
+
+    /// Builds the frontier for item type `T` (enum dispatch, like
+    /// [`StoreConfig::build`](crate::StoreConfig::build)).
+    pub fn build<T, C: ItemCodec<T>>(&self, codec: C) -> FrontierImpl<T, C> {
+        match *self {
+            FrontierConfig::Mem => FrontierImpl::Mem(MemFrontier::new()),
+            FrontierConfig::Disk { watermark_bytes } => {
+                FrontierImpl::Disk(Box::new(DiskFrontier::new(watermark_bytes, codec)))
+            }
+        }
+    }
+
+    /// Builds the append-only log companion for record type `T` (in-memory
+    /// vector, or encoded records spilled with the same watermark).
+    pub fn build_log<T: Clone, C: ItemCodec<T>>(&self, codec: C) -> SpillLog<T, C> {
+        match *self {
+            FrontierConfig::Mem => SpillLog::mem(codec),
+            FrontierConfig::Disk { watermark_bytes } => SpillLog::disk(watermark_bytes, codec),
+        }
+    }
+}
+
+impl std::fmt::Display for FrontierConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontierConfig::Mem => write!(f, "mem"),
+            FrontierConfig::Disk { watermark_bytes } => {
+                write!(f, "disk({} KiB watermark)", watermark_bytes / 1024)
+            }
+        }
+    }
+}
+
+/// Encodes and decodes one frontier item.
+///
+/// The disk frontier is generic over the codec instead of bounding `T`
+/// directly because some items carry non-serializable *configuration* next
+/// to their data — an observer holding a spec handle, say. The engine
+/// supplies a codec that knows how to rebuild such items from a template;
+/// plain data uses [`PlainCodec`].
+pub trait ItemCodec<T> {
+    /// Appends the encoding of `item` to `out`.
+    fn encode_item(&self, item: &T, out: &mut Vec<u8>);
+
+    /// Decodes one item from the front of `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    fn decode_item(&self, input: &mut &[u8]) -> Result<T, DecodeError>;
+}
+
+/// The [`ItemCodec`] of plain data: delegates to the item's own
+/// [`Encode`]/[`Decode`] implementation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlainCodec;
+
+impl<T: Encode + Decode> ItemCodec<T> for PlainCodec {
+    fn encode_item(&self, item: &T, out: &mut Vec<u8>) {
+        item.encode(out);
+    }
+
+    fn decode_item(&self, input: &mut &[u8]) -> Result<T, DecodeError> {
+        T::decode(input)
+    }
+}
+
+/// A snapshot of a frontier's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Peak number of items queued at once (both level queues together).
+    pub peak_items: usize,
+    /// Peak bytes of queued payload: exact encoded bytes for the disk
+    /// frontier, `peak_items * size_of::<T>()` for the in-memory frontier
+    /// (an underestimate when items own heap data — the number exists for
+    /// trend comparisons, not absolute accounting).
+    pub peak_bytes: usize,
+    /// Total bytes written to the spill file over the run (0 in memory).
+    pub spilled_bytes: usize,
+    /// Number of segments written to the spill file (0 in memory).
+    pub segments: usize,
+}
+
+/// A two-level BFS frontier: [`push`](FrontierBackend::push) enqueues into
+/// the *next* level, [`pop`](FrontierBackend::pop) dequeues the *current*
+/// level in FIFO order, and [`advance_level`](FrontierBackend::advance_level)
+/// promotes next to current when the current level is exhausted.
+pub trait FrontierBackend<T> {
+    /// Enqueues an item into the next level.
+    fn push(&mut self, item: T);
+
+    /// Dequeues the next item of the current level (FIFO), or `None` when
+    /// the level is exhausted.
+    fn pop(&mut self) -> Option<T>;
+
+    /// Promotes the next level to current and returns its item count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current level has not been fully dequeued.
+    fn advance_level(&mut self) -> usize;
+
+    /// Snapshot of the counters.
+    fn stats(&self) -> FrontierStats;
+
+    /// Short backend name (`"mem"`, `"disk"`).
+    fn name(&self) -> &'static str;
+}
+
+/// A frontier built from a [`FrontierConfig`].
+#[derive(Debug)]
+pub enum FrontierImpl<T, C> {
+    /// See [`MemFrontier`].
+    Mem(MemFrontier<T>),
+    /// See [`DiskFrontier`] (boxed: the disk frontier carries files,
+    /// buffers and segment lists the in-memory variant has no use for).
+    Disk(Box<DiskFrontier<T, C>>),
+}
+
+impl<T, C: ItemCodec<T>> FrontierBackend<T> for FrontierImpl<T, C> {
+    fn push(&mut self, item: T) {
+        match self {
+            FrontierImpl::Mem(f) => f.push(item),
+            FrontierImpl::Disk(f) => f.push(item),
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        match self {
+            FrontierImpl::Mem(f) => f.pop(),
+            FrontierImpl::Disk(f) => f.pop(),
+        }
+    }
+
+    fn advance_level(&mut self) -> usize {
+        match self {
+            FrontierImpl::Mem(f) => f.advance_level(),
+            FrontierImpl::Disk(f) => f.advance_level(),
+        }
+    }
+
+    fn stats(&self) -> FrontierStats {
+        match self {
+            FrontierImpl::Mem(f) => FrontierBackend::stats(f),
+            FrontierImpl::Disk(f) => f.stats(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            FrontierImpl::Mem(f) => FrontierBackend::name(f),
+            FrontierImpl::Disk(f) => f.name(),
+        }
+    }
+}
+
+/// The in-memory frontier: two `VecDeque` level queues.
+#[derive(Debug)]
+pub struct MemFrontier<T> {
+    current: VecDeque<T>,
+    next: VecDeque<T>,
+    peak_items: usize,
+}
+
+impl<T> MemFrontier<T> {
+    /// Creates an empty frontier.
+    pub fn new() -> Self {
+        MemFrontier {
+            current: VecDeque::new(),
+            next: VecDeque::new(),
+            peak_items: 0,
+        }
+    }
+}
+
+impl<T> Default for MemFrontier<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FrontierBackend<T> for MemFrontier<T> {
+    fn push(&mut self, item: T) {
+        self.next.push_back(item);
+        self.peak_items = self.peak_items.max(self.current.len() + self.next.len());
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        self.current.pop_front()
+    }
+
+    fn advance_level(&mut self) -> usize {
+        assert!(
+            self.current.is_empty(),
+            "advance_level with {} items still queued in the current level",
+            self.current.len()
+        );
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.current.len()
+    }
+
+    fn stats(&self) -> FrontierStats {
+        FrontierStats {
+            peak_items: self.peak_items,
+            peak_bytes: self.peak_items * std::mem::size_of::<T>(),
+            spilled_bytes: 0,
+            segments: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mem"
+    }
+}
+
+/// Names spill files uniquely within the process.
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn spill_path(prefix: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "{prefix}-{}-{}.bin",
+        std::process::id(),
+        SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn open_spill(path: &PathBuf) -> File {
+    OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap_or_else(|e| panic!("cannot create spill file {}: {e}", path.display()))
+}
+
+/// One contiguous run of encoded records in the spill file.
+#[derive(Clone, Copy, Debug)]
+struct Segment {
+    offset: u64,
+    len: usize,
+    items: usize,
+}
+
+/// The disk-backed frontier. See the module docs for the layout; the write
+/// path appends watermark-sized segments of concatenated encoded records,
+/// the read path streams them back in write order, so FIFO order is
+/// preserved exactly.
+///
+/// Two spill files alternate, one per live level: the next level's
+/// segments are written to one file while the current level's are read
+/// from the other, and [`advance_level`](FrontierBackend::advance_level)
+/// swaps their roles and truncates the fully-consumed one — so disk usage
+/// stays bounded by the two live levels no matter how many levels the run
+/// spills in total.
+///
+/// # Panics
+///
+/// I/O errors on the spill files and decode failures panic: the spill
+/// files are process-private scratch space, so either indicates a broken
+/// environment (disk full) or a codec bug, and the engines have no partial
+/// verdict to salvage.
+#[derive(Debug)]
+pub struct DiskFrontier<T, C> {
+    codec: C,
+    /// The two alternating spill files; `files[write_file]` receives the
+    /// next level's segments, the other one holds the current level's.
+    files: [File; 2],
+    paths: [PathBuf; 2],
+    write_file: usize,
+    write_len: u64,
+    watermark: usize,
+    // The next level, being written: encoded records buffered until the
+    // watermark, then spilled as one segment.
+    next_buf: Vec<u8>,
+    next_buf_items: usize,
+    next_segments: Vec<Segment>,
+    next_items: usize,
+    next_bytes: usize,
+    // The current level, being read: pending on-disk segments, then the
+    // in-memory tail that never reached the watermark.
+    cur_chunk: Vec<u8>,
+    cur_pos: usize,
+    cur_chunk_items: usize,
+    cur_segments: VecDeque<Segment>,
+    cur_tail: Vec<u8>,
+    cur_tail_items: usize,
+    cur_items: usize,
+    cur_bytes: usize,
+    stats: FrontierStats,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
+    /// Creates a disk frontier spilling past `watermark` bytes per level.
+    pub fn new(watermark: usize, codec: C) -> Self {
+        let paths = [spill_path("mp-frontier"), spill_path("mp-frontier")];
+        let files = [open_spill(&paths[0]), open_spill(&paths[1])];
+        DiskFrontier {
+            codec,
+            files,
+            paths,
+            write_file: 0,
+            write_len: 0,
+            watermark: watermark.max(1),
+            next_buf: Vec::new(),
+            next_buf_items: 0,
+            next_segments: Vec::new(),
+            next_items: 0,
+            next_bytes: 0,
+            cur_chunk: Vec::new(),
+            cur_pos: 0,
+            cur_chunk_items: 0,
+            cur_segments: VecDeque::new(),
+            cur_tail: Vec::new(),
+            cur_tail_items: 0,
+            cur_items: 0,
+            cur_bytes: 0,
+            stats: FrontierStats::default(),
+            _marker: PhantomData,
+        }
+    }
+
+    fn flush_next_buf(&mut self) {
+        if self.next_buf.is_empty() {
+            return;
+        }
+        let file = &mut self.files[self.write_file];
+        file.seek(SeekFrom::Start(self.write_len))
+            .and_then(|_| file.write_all(&self.next_buf))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "frontier spill write to {}: {e}",
+                    self.paths[self.write_file].display()
+                )
+            });
+        self.next_segments.push(Segment {
+            offset: self.write_len,
+            len: self.next_buf.len(),
+            items: self.next_buf_items,
+        });
+        self.write_len += self.next_buf.len() as u64;
+        self.stats.spilled_bytes += self.next_buf.len();
+        self.stats.segments += 1;
+        self.next_buf.clear();
+        self.next_buf_items = 0;
+    }
+
+    fn refill_chunk(&mut self) -> bool {
+        if let Some(segment) = self.cur_segments.pop_front() {
+            self.cur_chunk.resize(segment.len, 0);
+            let read_file = 1 - self.write_file;
+            let file = &mut self.files[read_file];
+            file.seek(SeekFrom::Start(segment.offset))
+                .and_then(|_| file.read_exact(&mut self.cur_chunk))
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "frontier spill read from {}: {e}",
+                        self.paths[read_file].display()
+                    )
+                });
+            self.cur_pos = 0;
+            self.cur_chunk_items = segment.items;
+            return true;
+        }
+        if self.cur_tail_items > 0 {
+            self.cur_chunk = std::mem::take(&mut self.cur_tail);
+            self.cur_pos = 0;
+            self.cur_chunk_items = self.cur_tail_items;
+            self.cur_tail_items = 0;
+            return true;
+        }
+        false
+    }
+}
+
+impl<T, C: ItemCodec<T>> FrontierBackend<T> for DiskFrontier<T, C> {
+    fn push(&mut self, item: T) {
+        let start = self.next_buf.len();
+        self.codec.encode_item(&item, &mut self.next_buf);
+        let record = self.next_buf.len() - start;
+        self.next_buf_items += 1;
+        self.next_items += 1;
+        self.next_bytes += record;
+        self.stats.peak_items = self.stats.peak_items.max(self.cur_items + self.next_items);
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.cur_bytes + self.next_bytes);
+        if self.next_buf.len() >= self.watermark {
+            self.flush_next_buf();
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        if self.cur_chunk_items == 0 && !self.refill_chunk() {
+            return None;
+        }
+        let mut slice = &self.cur_chunk[self.cur_pos..];
+        let before = slice.len();
+        let item = self
+            .codec
+            .decode_item(&mut slice)
+            .unwrap_or_else(|e| panic!("corrupted frontier spill record: {e}"));
+        self.cur_pos += before - slice.len();
+        self.cur_chunk_items -= 1;
+        self.cur_items -= 1;
+        self.cur_bytes -= before - slice.len();
+        Some(item)
+    }
+
+    fn advance_level(&mut self) -> usize {
+        assert!(
+            self.cur_items == 0,
+            "advance_level with {} items still queued in the current level",
+            self.cur_items
+        );
+        // Swap the two spill files: the one just written becomes the read
+        // side, and the fully-consumed old read file is truncated and
+        // becomes the write side — disk stays bounded by two live levels.
+        self.write_file = 1 - self.write_file;
+        self.write_len = 0;
+        let _ = self.files[self.write_file].set_len(0);
+        self.cur_segments = std::mem::take(&mut self.next_segments).into();
+        self.cur_tail = std::mem::take(&mut self.next_buf);
+        self.cur_tail_items = self.next_buf_items;
+        self.next_buf_items = 0;
+        self.cur_chunk.clear();
+        self.cur_pos = 0;
+        self.cur_chunk_items = 0;
+        self.cur_items = self.next_items;
+        self.cur_bytes = self.next_bytes;
+        self.next_items = 0;
+        self.next_bytes = 0;
+        self.cur_items
+    }
+
+    fn stats(&self) -> FrontierStats {
+        self.stats
+    }
+
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+}
+
+impl<T, C> Drop for DiskFrontier<T, C> {
+    fn drop(&mut self) {
+        for path in &self.paths {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// An append-only log of encoded records with random read access, spilling
+/// past a watermark. The BFS engine stores its parent-pointer/transition
+/// table in one of these: entries are written once in index order and read
+/// back only while reconstructing a counterexample path, so the in-memory
+/// cost drops to one `(offset, len)` pair per state.
+#[derive(Debug)]
+pub enum SpillLog<T, C> {
+    /// Records kept in memory (the [`FrontierConfig::Mem`] companion).
+    Mem {
+        /// The records, by index.
+        items: Vec<T>,
+        /// The codec (unused in memory, kept so both arms build alike).
+        codec: C,
+    },
+    /// Encoded records, spilled past the watermark.
+    Disk {
+        /// The codec used for every record.
+        codec: C,
+        /// `(global offset, encoded length)` per record index.
+        offsets: Vec<(u64, u32)>,
+        /// Encoded records not yet written to the file.
+        buf: Vec<u8>,
+        /// Global offset of the first byte of `buf`.
+        buf_base: u64,
+        /// The spill file.
+        file: File,
+        /// Its path (removed on drop).
+        path: PathBuf,
+        /// Flush threshold for `buf`.
+        watermark: usize,
+        /// Total bytes written to the file.
+        spilled_bytes: usize,
+    },
+}
+
+impl<T: Clone, C: ItemCodec<T>> SpillLog<T, C> {
+    /// Creates an in-memory log.
+    pub fn mem(codec: C) -> Self {
+        SpillLog::Mem {
+            items: Vec::new(),
+            codec,
+        }
+    }
+
+    /// Creates a disk-backed log spilling past `watermark` buffered bytes.
+    pub fn disk(watermark: usize, codec: C) -> Self {
+        let path = spill_path("mp-pathlog");
+        let file = open_spill(&path);
+        SpillLog::Disk {
+            codec,
+            offsets: Vec::new(),
+            buf: Vec::new(),
+            buf_base: 0,
+            file,
+            path,
+            watermark: watermark.max(1),
+            spilled_bytes: 0,
+        }
+    }
+
+    /// Appends a record and returns its index.
+    pub fn push(&mut self, item: T) -> usize {
+        match self {
+            SpillLog::Mem { items, .. } => {
+                items.push(item);
+                items.len() - 1
+            }
+            SpillLog::Disk {
+                codec,
+                offsets,
+                buf,
+                buf_base,
+                file,
+                path,
+                watermark,
+                spilled_bytes,
+            } => {
+                let start = buf.len();
+                codec.encode_item(&item, buf);
+                let len = (buf.len() - start) as u32;
+                offsets.push((*buf_base + start as u64, len));
+                if buf.len() >= *watermark {
+                    file.seek(SeekFrom::Start(*buf_base))
+                        .and_then(|_| file.write_all(buf))
+                        .unwrap_or_else(|e| {
+                            panic!("path-log spill write to {}: {e}", path.display())
+                        });
+                    *spilled_bytes += buf.len();
+                    *buf_base += buf.len() as u64;
+                    buf.clear();
+                }
+                offsets.len() - 1
+            }
+        }
+    }
+
+    /// Reads the record at `index` back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` was never pushed, or on spill-file I/O or decode
+    /// failure (see [`DiskFrontier`] on why those are fatal).
+    pub fn get(&mut self, index: usize) -> T {
+        match self {
+            SpillLog::Mem { items, .. } => items[index].clone(),
+            SpillLog::Disk {
+                codec,
+                offsets,
+                buf,
+                buf_base,
+                file,
+                path,
+                ..
+            } => {
+                let (offset, len) = offsets[index];
+                let mut record;
+                let mut slice = if offset >= *buf_base {
+                    let start = (offset - *buf_base) as usize;
+                    &buf[start..start + len as usize]
+                } else {
+                    record = vec![0u8; len as usize];
+                    file.seek(SeekFrom::Start(offset))
+                        .and_then(|_| file.read_exact(&mut record))
+                        .unwrap_or_else(|e| {
+                            panic!("path-log spill read from {}: {e}", path.display())
+                        });
+                    &record[..]
+                };
+                codec
+                    .decode_item(&mut slice)
+                    .unwrap_or_else(|e| panic!("corrupted path-log record: {e}"))
+            }
+        }
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> usize {
+        match self {
+            SpillLog::Mem { items, .. } => items.len(),
+            SpillLog::Disk { offsets, .. } => offsets.len(),
+        }
+    }
+
+    /// Returns `true` if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes written to the spill file (0 for the in-memory log).
+    pub fn spilled_bytes(&self) -> usize {
+        match self {
+            SpillLog::Mem { .. } => 0,
+            SpillLog::Disk { spilled_bytes, .. } => *spilled_bytes,
+        }
+    }
+}
+
+impl<T, C> Drop for SpillLog<T, C> {
+    fn drop(&mut self) {
+        if let SpillLog::Disk { path, .. } = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Item = (usize, Vec<u8>);
+
+    fn item(i: usize) -> Item {
+        (i, vec![i as u8; i % 17])
+    }
+
+    fn drive<F: FrontierBackend<Item>>(frontier: &mut F, levels: &[usize]) -> Vec<Item> {
+        let mut popped = Vec::new();
+        let mut counter = 0;
+        for (depth, &width) in levels.iter().enumerate() {
+            for _ in 0..width {
+                frontier.push(item(counter));
+                counter += 1;
+            }
+            assert_eq!(frontier.advance_level(), width, "level {depth}");
+            while let Some(it) = frontier.pop() {
+                popped.push(it);
+            }
+            assert!(frontier.pop().is_none(), "level must stay exhausted");
+        }
+        assert_eq!(frontier.advance_level(), 0);
+        popped
+    }
+
+    #[test]
+    fn mem_and_disk_pop_in_identical_fifo_order() {
+        let levels = [1, 7, 40, 3, 25];
+        let mut mem = MemFrontier::new();
+        // A watermark of 64 bytes forces many segments per level.
+        let mut disk = DiskFrontier::new(64, PlainCodec);
+        let from_mem = drive(&mut mem, &levels);
+        let from_disk = drive(&mut disk, &levels);
+        assert_eq!(from_mem, from_disk);
+        assert_eq!(from_mem.len(), levels.iter().sum::<usize>());
+        let stats = disk.stats();
+        assert!(stats.segments > 1, "tiny watermark must multi-segment");
+        assert!(stats.spilled_bytes > 0);
+        assert_eq!(FrontierBackend::<Item>::name(&disk), "disk");
+        assert_eq!(FrontierBackend::<Item>::name(&mem), "mem");
+    }
+
+    #[test]
+    fn interleaved_push_pop_respects_levels() {
+        // BFS interleaves: pop current while pushing successors to next.
+        for config in [FrontierConfig::Mem, FrontierConfig::disk_with_watermark(32)] {
+            let mut frontier = config.build::<Item, _>(PlainCodec);
+            frontier.push(item(0));
+            assert_eq!(frontier.advance_level(), 1);
+            let mut seen = vec![];
+            let mut next_id = 1;
+            for _ in 0..4 {
+                while let Some((id, _)) = frontier.pop() {
+                    seen.push(id);
+                    for _ in 0..2 {
+                        frontier.push(item(next_id));
+                        next_id += 1;
+                    }
+                }
+                frontier.advance_level();
+            }
+            // 1 + 2 + 4 + 8 popped ids, in creation order per level.
+            assert_eq!(seen, (0..15).collect::<Vec<_>>(), "{config}");
+        }
+    }
+
+    #[test]
+    fn disk_frontier_accounts_bytes_and_reclaims() {
+        let mut disk: DiskFrontier<Item, _> = DiskFrontier::new(48, PlainCodec);
+        for i in 0..100 {
+            disk.push(item(i));
+        }
+        let peak = disk.stats().peak_bytes;
+        assert!(peak > 0);
+        assert_eq!(disk.advance_level(), 100);
+        while disk.pop().is_some() {}
+        // Everything was dequeued; the peak stays, the queue is empty.
+        assert_eq!(disk.stats().peak_bytes, peak);
+        assert_eq!(disk.advance_level(), 0);
+    }
+
+    #[test]
+    fn spill_files_stay_bounded_by_two_live_levels() {
+        // Every level spills (watermark far below the level size); the two
+        // alternating files must keep on-disk bytes bounded by the two
+        // live levels even though the cumulative spill keeps growing.
+        let mut disk: DiskFrontier<Item, _> = DiskFrontier::new(64, PlainCodec);
+        let mut resident_peak = 0u64;
+        for level in 0..10 {
+            for i in 0..50 {
+                disk.push(item(i));
+            }
+            assert_eq!(disk.advance_level(), 50, "level {level}");
+            while disk.pop().is_some() {}
+            let resident: u64 = disk
+                .paths
+                .iter()
+                .filter_map(|p| std::fs::metadata(p).ok())
+                .map(|m| m.len())
+                .sum();
+            resident_peak = resident_peak.max(resident);
+        }
+        let cumulative = disk.stats().spilled_bytes as u64;
+        assert!(
+            resident_peak * 3 < cumulative,
+            "resident spill ({resident_peak}B) must stay far below the \
+             cumulative spill ({cumulative}B) — old levels are reclaimed"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "advance_level")]
+    fn advancing_a_non_exhausted_level_panics() {
+        let mut mem = MemFrontier::new();
+        mem.push(item(1));
+        mem.advance_level();
+        mem.push(item(2));
+        mem.advance_level(); // item 1 still queued
+    }
+
+    #[test]
+    fn spill_log_random_access_roundtrips() {
+        for config in [
+            FrontierConfig::Mem,
+            FrontierConfig::disk_with_watermark(100),
+        ] {
+            let mut log = config.build_log::<Item, _>(PlainCodec);
+            assert!(log.is_empty());
+            for i in 0..200 {
+                assert_eq!(log.push(item(i)), i);
+            }
+            assert_eq!(log.len(), 200);
+            // Read back out of order: spilled region and live buffer both.
+            for i in [199, 0, 57, 133, 1, 198] {
+                assert_eq!(log.get(i), item(i), "{config}");
+            }
+            if config.spills() {
+                assert!(log.spilled_bytes() > 0);
+            } else {
+                assert_eq!(log.spilled_bytes(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn config_labels() {
+        assert_eq!(FrontierConfig::Mem.to_string(), "mem");
+        assert!(FrontierConfig::disk().to_string().starts_with("disk("));
+        assert!(!FrontierConfig::Mem.spills());
+        assert!(FrontierConfig::disk().spills());
+        assert_eq!(FrontierConfig::default(), FrontierConfig::Mem);
+    }
+}

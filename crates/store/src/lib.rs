@@ -50,6 +50,34 @@
 //! [`StateStoreBackend::contains`] returning `true`) is a **hit**, any
 //! other query is a **miss**. `ExplorationStats` in `mp-checker` reports
 //! these numbers the same way for every engine.
+//!
+//! ## Spillable BFS frontiers
+//!
+//! The visited set is one of the two memory-critical structures of a
+//! breadth-first run; the other is the **frontier** (two whole BFS levels
+//! alive at once). [`FrontierConfig`] makes it pluggable the same way:
+//! [`MemFrontier`] is the in-memory default and [`DiskFrontier`] spills
+//! encoded states (`mp-model`'s `Encode`/`Decode` codec) to a temporary
+//! file in watermark-sized segments, reading them back level by level.
+//! Both preserve strict FIFO order, so spill-on and spill-off runs explore
+//! identically. [`SpillLog`] gives the BFS parent-pointer tables the same
+//! discipline so counterexample paths stay reconstructible. See the
+//! [`frontier`](self::FrontierBackend) module types for the details.
+//!
+//! ```
+//! use mp_store::{FrontierBackend, FrontierConfig, PlainCodec};
+//!
+//! // A 1-byte watermark forces a spill segment per pushed state.
+//! let config = FrontierConfig::disk_with_watermark(1);
+//! let mut frontier = config.build::<(u32, Vec<u8>), _>(PlainCodec);
+//! for i in 0..10 {
+//!     frontier.push((i, vec![0u8; 100]));
+//! }
+//! assert_eq!(frontier.advance_level(), 10);
+//! assert_eq!(frontier.pop(), Some((0, vec![0u8; 100]))); // FIFO
+//! let stats = frontier.stats();
+//! assert!(stats.segments >= 9 && stats.spilled_bytes >= 900);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -59,6 +87,7 @@ mod canonical;
 mod config;
 mod exact;
 mod fingerprint;
+mod frontier;
 mod sharded;
 
 pub use backend::{StateStoreBackend, StoreStats};
@@ -66,6 +95,10 @@ pub use canonical::{canonical_label, CanonicalStore, KeyMapper};
 pub use config::{StoreConfig, StoreImpl, DEFAULT_FINGERPRINT_BITS, DEFAULT_SHARDS};
 pub use exact::{ExactStore, StateStore};
 pub use fingerprint::FingerprintStore;
+pub use frontier::{
+    DiskFrontier, FrontierBackend, FrontierConfig, FrontierImpl, FrontierStats, ItemCodec,
+    MemFrontier, PlainCodec, SpillLog, DEFAULT_FRONTIER_WATERMARK,
+};
 pub use sharded::ShardedStore;
 
 #[cfg(test)]

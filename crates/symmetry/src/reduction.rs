@@ -55,6 +55,20 @@ pub trait Symmetry<S, M: Ord, O>: Send + Sync {
     /// The inverse of element `e`.
     fn inverse(&self, e: usize) -> usize;
 
+    /// Applies element `e` to a `(state, observer)` pair.
+    ///
+    /// This is what lets a disk-spilled frontier hold canonical orbit
+    /// representatives: the BFS engines enqueue
+    /// `canonicalize(s) = (ŝ, δ)` and recover the concrete state on
+    /// dequeue as `apply_element(inverse(δ), ŝ)`, so exploration and
+    /// counterexample paths stay concrete.
+    fn apply_element(
+        &self,
+        e: usize,
+        state: &GlobalState<S, M>,
+        observer: &O,
+    ) -> (GlobalState<S, M>, O);
+
     /// Applies element `e` to a transition instance (relabelling the
     /// transition id to the image process's corresponding transition).
     fn permute_instance(&self, e: usize, instance: &TransitionInstance<M>)
@@ -96,6 +110,15 @@ where
 
     fn inverse(&self, _e: usize) -> usize {
         0
+    }
+
+    fn apply_element(
+        &self,
+        _e: usize,
+        state: &GlobalState<S, M>,
+        observer: &O,
+    ) -> (GlobalState<S, M>, O) {
+        (state.clone(), observer.clone())
     }
 
     fn permute_instance(
@@ -194,6 +217,16 @@ where
         self.group.inverse(e)
     }
 
+    fn apply_element(
+        &self,
+        e: usize,
+        state: &GlobalState<S, M>,
+        observer: &O,
+    ) -> (GlobalState<S, M>, O) {
+        let perm = self.group.elements()[e].permutation();
+        (state.permute(perm), observer.permute(perm))
+    }
+
     fn permute_instance(
         &self,
         e: usize,
@@ -215,6 +248,7 @@ mod tests {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tok;
+    mp_model::codec!(struct Tok);
 
     impl Message for Tok {
         fn kind(&self) -> Kind {
@@ -266,6 +300,25 @@ mod tests {
         // The representative is itself a member of the orbit.
         assert!(ca == a || ca == b);
         assert!(Symmetry::<u8, Tok, ()>::label(&reduction).contains("sym(2)"));
+    }
+
+    #[test]
+    fn apply_inverse_element_undoes_canonicalization() {
+        let spec = twins();
+        let group = SymmetryGroup::build(&spec, &RoleMap::new(2).role([p(0), p(1)]));
+        let reduction: OrbitReduction<u8, Tok, ()> = OrbitReduction::new(group);
+        let sym: &dyn Symmetry<u8, Tok, ()> = &reduction;
+        let mut concrete = spec.initial_state();
+        concrete.locals = vec![3, 1];
+        let (canonical, _, delta) = sym.canonicalize(&concrete, &());
+        // This is the spillable-frontier contract: the canonical
+        // representative plus δ⁻¹ recovers the concrete state exactly.
+        let (back, _) = sym.apply_element(sym.inverse(delta), &canonical, &());
+        assert_eq!(back, concrete);
+        // NoSymmetry's apply is the identity.
+        let nosym: &dyn Symmetry<u8, Tok, ()> = &NoSymmetry;
+        let (same, _) = nosym.apply_element(0, &concrete, &());
+        assert_eq!(same, concrete);
     }
 
     #[test]

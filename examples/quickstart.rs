@@ -20,6 +20,7 @@ enum Msg {
     Request,
     Ack(u8),
 }
+mp_model::codec!(enum Msg { 0 = Request, 1 = Ack(n) });
 
 impl Message for Msg {
     fn kind(&self) -> &'static str {

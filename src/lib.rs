@@ -9,9 +9,10 @@
 //!   quorum transitions (the paper's MP language analogue);
 //! * [`por`] (`mp-por`) — static (stubborn-set / MP-LPOR style) and dynamic
 //!   partial-order reduction;
-//! * [`store`] (`mp-store`) — pluggable visited-state backends: exact,
-//!   sharded lock-striped concurrent, and hash-compaction fingerprints,
-//!   each optionally behind canonical-key insertion;
+//! * [`store`] (`mp-store`) — pluggable visited-state backends (exact,
+//!   sharded lock-striped concurrent, hash-compaction fingerprints, each
+//!   optionally behind canonical-key insertion) and spillable BFS
+//!   frontiers (in-memory or disk-backed segmented);
 //! * [`symmetry`] (`mp-symmetry`) — process-symmetry (orbit) reduction:
 //!   validated role permutation groups and the canonicalization every
 //!   engine applies at store-insertion time;
@@ -27,8 +28,9 @@
 //! * [`harness`] (`mp-harness`) — the Table I / Table II / Section II-C
 //!   experiment reproduction.
 //!
-//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
-//! and `EXPERIMENTS.md` for measured-vs-paper results.
+//! See `README.md` for a quickstart and feature tour, and
+//! `docs/ARCHITECTURE.md` for the crate map, the data flow of a check and
+//! the engine comparison.
 
 #![forbid(unsafe_code)]
 

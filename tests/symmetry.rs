@@ -412,6 +412,7 @@ fn non_identity_cycle_closures_unroll_to_concrete_lassos() {
 
     #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
     struct Tok;
+    mp_model::codec!(struct Tok);
     impl Message for Tok {
         fn kind(&self) -> &'static str {
             "TOK"
