@@ -43,6 +43,7 @@ use mp_model::{
 };
 use mp_por::Reducer;
 use mp_symmetry::Symmetry;
+use mp_trace::{Counter, Histogram, Phase, TraceHandle};
 
 use crate::{
     liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
@@ -107,6 +108,7 @@ pub(crate) fn insert_successor<S, M, O>(
     symmetry: &dyn Symmetry<S, M, O>,
     store: &mp_store::CanonicalStore<(GlobalState<S, M>, O)>,
     concrete: &(GlobalState<S, M>, O),
+    trace: &TraceHandle,
 ) -> Option<FreshSuccessor<S, M, O>>
 where
     S: LocalState,
@@ -116,9 +118,10 @@ where
     let (canonical, delta) = if trivial {
         (None, 0)
     } else {
-        let (cs, co, e) = symmetry.canonicalize(&concrete.0, &concrete.1);
+        let (cs, co, e) = symmetry.canonicalize_traced(&concrete.0, &concrete.1, trace);
         (Some((cs, co)), e)
     };
+    let _lookup = trace.span(Phase::StoreLookup);
     let inserted = match &canonical {
         Some(key) => store.insert_ref(key),
         None => store.insert_ref(concrete),
@@ -183,6 +186,9 @@ where
     if config.frontier.spills() {
         strategy.push_str("+spill");
     }
+    let trace = config
+        .trace
+        .begin_run(spec.name(), &strategy, property.name());
 
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
@@ -197,21 +203,26 @@ where
         canonical_label(store.name())
     };
     let mut nodes: SpillLog<PathEntry<M>, PlainCodec> = config.frontier.build_log(PlainCodec);
+    nodes.set_trace(trace.handle());
     let mut frontier = config.frontier.build(EntryCodec {
         template: initial_observer.clone(),
     });
+    frontier.set_trace(trace.handle());
 
     macro_rules! finish_stats {
-        () => {
+        ($verdict:expr) => {
             stats.elapsed = start.elapsed();
             stats.record_store(store_name, store.stats());
             stats.record_frontier(frontier.name(), frontier.stats(), nodes.spilled_bytes());
+            stats.phases = trace.phase_times();
+            trace.finish($verdict);
         };
     }
 
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
-        finish_stats!();
+        trace.add(Counter::States, 1);
+        finish_stats!("violated");
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -226,17 +237,24 @@ where
     let (entry_state, entry_observer, initial_delta) = if trivial {
         (initial, initial_observer, 0)
     } else {
-        symmetry.canonicalize(&initial, &initial_observer)
+        symmetry.canonicalize_traced(&initial, &initial_observer, &trace)
     };
     store.insert((entry_state.clone(), entry_observer.clone()));
     let root = nodes.push(None);
     frontier.push((root, initial_delta, entry_state, entry_observer));
     stats.states = 1;
+    trace.add(Counter::States, 1);
 
     let mut depth = 0usize;
-    while frontier.advance_level() > 0 {
+    loop {
+        let width = frontier.advance_level();
+        if width == 0 {
+            break;
+        }
+        trace.record(Histogram::LevelWidth, width as u64);
         depth += 1;
         stats.max_depth = stats.max_depth.max(depth);
+        trace.add(Counter::Depth, depth as u64);
 
         while let Some((node_idx, delta, key_state, key_observer)) = frontier.pop() {
             // δ⁻¹ maps the stored orbit representative back to the concrete
@@ -247,11 +265,15 @@ where
                 symmetry.apply_element(symmetry.inverse(delta), &key_state, &key_observer)
             };
             stats.expansions += 1;
+            trace.add(Counter::Expansions, 1);
 
-            let all = enabled_instances(spec, &state);
+            let all = {
+                let _span = trace.span(Phase::Expansion);
+                enabled_instances(spec, &state)
+            };
             if config.check_deadlocks && all.is_empty() {
                 let path = rebuild_path(&mut nodes, node_idx);
-                finish_stats!();
+                finish_stats!("violated");
                 let cx = Counterexample::new(
                     spec,
                     property.name(),
@@ -265,21 +287,26 @@ where
                     strategy,
                 };
             }
-            let reduction = reducer.reduce(spec, &state, all);
+            let reduction = reducer.reduce_traced(spec, &state, all, &trace);
             if reduction.reduced {
                 stats.reduced_states += 1;
             }
 
             for instance in reduction.explore {
-                let next_state = execute_enabled(spec, &state, &instance);
-                let next_observer = observer.update(spec, &state, &instance, &next_state);
+                let concrete = {
+                    let _span = trace.span(Phase::Expansion);
+                    let next_state = execute_enabled(spec, &state, &instance);
+                    let next_observer = observer.update(spec, &state, &instance, &next_state);
+                    (next_state, next_observer)
+                };
                 stats.transitions_executed += 1;
+                trace.add(Counter::Transitions, 1);
 
-                let concrete = (next_state, next_observer);
                 let Some((delta, canonical)) =
-                    insert_successor(trivial, symmetry.as_ref(), &store, &concrete)
+                    insert_successor(trivial, symmetry.as_ref(), &store, &concrete, &trace)
                 else {
                     stats.revisits += 1;
+                    trace.add(Counter::Revisits, 1);
                     continue;
                 };
 
@@ -289,7 +316,8 @@ where
                     let mut path = rebuild_path(&mut nodes, node_idx);
                     path.push(instance);
                     stats.states += 1;
-                    finish_stats!();
+                    trace.add(Counter::States, 1);
+                    finish_stats!("violated");
                     let cx = Counterexample::new(spec, property.name(), reason, &path, &concrete.0);
                     return RunReport {
                         verdict: Verdict::Violated(Box::new(cx)),
@@ -299,7 +327,7 @@ where
                 }
 
                 if stats.states >= config.max_states {
-                    finish_stats!();
+                    finish_stats!("limit");
                     return RunReport {
                         verdict: Verdict::LimitReached {
                             what: format!("state limit of {}", config.max_states),
@@ -310,7 +338,7 @@ where
                 }
                 if let Some(limit) = config.time_limit {
                     if start.elapsed() > limit {
-                        finish_stats!();
+                        finish_stats!("limit");
                         return RunReport {
                             verdict: Verdict::LimitReached {
                                 what: format!("time limit of {limit:?}"),
@@ -328,11 +356,12 @@ where
                 };
                 frontier.push((new_index, delta, entry_state, entry_observer));
                 stats.states += 1;
+                trace.add(Counter::States, 1);
             }
         }
     }
 
-    finish_stats!();
+    finish_stats!("verified");
     RunReport {
         verdict: Verdict::Verified,
         stats,

@@ -4,6 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use mp_store::{FrontierConfig, StoreConfig};
+use mp_trace::Tracer;
 
 use crate::{Counterexample, ExplorationStats};
 
@@ -85,6 +86,13 @@ pub struct CheckerConfig {
     /// counts are byte-identical. The depth-first and stateless engines
     /// have no frontier and ignore this field.
     pub frontier: FrontierConfig,
+    /// Observability sink (`mp-trace`). The default disabled tracer makes
+    /// every instrumentation point a no-op — no clock reads, no atomics
+    /// beyond one pointer check. An enabled tracer gives each run a
+    /// heartbeat (progress lines / NDJSON events), per-phase wall-clock
+    /// attribution (reported in [`ExplorationStats::phases`]) and metric
+    /// histograms. Verdicts and state counts are identical either way.
+    pub trace: Tracer,
 }
 
 impl Default for CheckerConfig {
@@ -98,6 +106,7 @@ impl Default for CheckerConfig {
             time_limit: None,
             store: StoreConfig::Exact,
             frontier: FrontierConfig::Mem,
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -167,6 +176,14 @@ impl CheckerConfig {
     /// [`FrontierConfig::disk_with_watermark`] turn on spilling.
     pub fn with_frontier(mut self, frontier: FrontierConfig) -> Self {
         self.frontier = frontier;
+        self
+    }
+
+    /// Installs an observability tracer (builder style); every engine then
+    /// emits a run header, heartbeat progress, a phase summary and a final
+    /// verdict event for each run it executes.
+    pub fn with_trace(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
         self
     }
 }

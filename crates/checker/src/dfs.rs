@@ -26,6 +26,7 @@ use mp_model::{
 };
 use mp_por::Reducer;
 use mp_symmetry::Symmetry;
+use mp_trace::{Counter, Phase, TraceHandle};
 
 use crate::{
     liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
@@ -90,6 +91,9 @@ where
     } else {
         format!("stateful-dfs+{}+{}", reducer.name(), symmetry.label())
     };
+    let trace = config
+        .trace
+        .begin_run(spec.name(), &strategy, property.name());
 
     // Keys are pre-canonicalized by this engine (the on-stack proviso needs
     // them too), so the store wrapper stays in passthrough mode.
@@ -107,11 +111,20 @@ where
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
 
+    macro_rules! finish_stats {
+        ($verdict:expr) => {
+            stats.elapsed = start.elapsed();
+            stats.record_store(store_label(trivial, store.name()), store.stats());
+            stats.phases = trace.phase_times();
+            trace.finish($verdict);
+        };
+    }
+
     // Check the initial state before exploring.
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
-        stats.elapsed = start.elapsed();
-        stats.record_store(store_label(trivial, store.name()), store.stats());
+        trace.add(Counter::States, 1);
+        finish_stats!("violated");
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -125,13 +138,15 @@ where
     let initial_key = if trivial {
         (initial.clone(), initial_observer.clone())
     } else {
-        let (s, o, _) = symmetry.canonicalize(&initial, &initial_observer);
+        let (s, o, _) = symmetry.canonicalize_traced(&initial, &initial_observer, &trace);
         (s, o)
     };
     store.insert(initial_key.clone());
     on_stack.insert(initial_key.clone());
     stats.states = 1;
     stats.expansions = 1;
+    trace.add(Counter::States, 1);
+    trace.add(Counter::Expansions, 1);
     let first_frame = make_frame(
         spec,
         reducer,
@@ -141,10 +156,10 @@ where
         initial_observer,
         initial_key,
         None,
+        &trace,
     );
     if config.check_deadlocks && first_frame.explore.is_empty() && first_frame.pruned.is_empty() {
-        stats.elapsed = start.elapsed();
-        stats.record_store(store_label(trivial, store.name()), store.stats());
+        finish_stats!("violated");
         let cx = Counterexample::new(
             spec,
             property.name(),
@@ -162,6 +177,7 @@ where
 
     while !stack.is_empty() {
         stats.max_depth = stats.max_depth.max(stack.len());
+        trace.add(Counter::Depth, stack.len() as u64);
         let top = stack.last_mut().expect("stack checked non-empty");
 
         if top.next >= top.explore.len() {
@@ -173,17 +189,21 @@ where
 
         let instance = top.explore[top.next].clone();
         top.next += 1;
-        let next_state = execute_enabled(spec, &top.state, &instance);
-        let next_observer = top
-            .observer
-            .update(spec, &top.state, &instance, &next_state);
+        let key = {
+            let _span = trace.span(Phase::Expansion);
+            let next_state = execute_enabled(spec, &top.state, &instance);
+            let next_observer = top
+                .observer
+                .update(spec, &top.state, &instance, &next_state);
+            (next_state, next_observer)
+        };
         stats.transitions_executed += 1;
+        trace.add(Counter::Transitions, 1);
 
-        let key = (next_state, next_observer);
         // With symmetry on, membership and the proviso are judged on the
         // canonical orbit representative; exploration stays concrete.
         let canon = (!trivial).then(|| {
-            let (s, o, _) = symmetry.canonicalize(&key.0, &key.1);
+            let (s, o, _) = symmetry.canonicalize_traced(&key.0, &key.1, &trace);
             (s, o)
         });
         let probe = canon.as_ref().unwrap_or(&key);
@@ -201,8 +221,13 @@ where
         // A single insert doubles as the membership test (unified hit
         // accounting: a duplicate is a store hit = one revisit); the
         // by-reference form clones the key only when it is actually new.
-        if !store.insert_ref(probe) {
+        let inserted = {
+            let _span = trace.span(Phase::StoreLookup);
+            store.insert_ref(probe)
+        };
+        if !inserted {
             stats.revisits += 1;
+            trace.add(Counter::Revisits, 1);
             continue;
         }
 
@@ -218,8 +243,8 @@ where
                 stack.iter().filter_map(|f| f.incoming.clone()).collect();
             path.push(instance);
             stats.states += 1;
-            stats.elapsed = start.elapsed();
-            stats.record_store(store_label(trivial, store.name()), store.stats());
+            trace.add(Counter::States, 1);
+            finish_stats!("violated");
             let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
             return RunReport {
                 verdict: Verdict::Violated(Box::new(cx)),
@@ -229,8 +254,7 @@ where
         }
 
         if store.len() > config.max_states {
-            stats.elapsed = start.elapsed();
-            stats.record_store(store_label(trivial, store.name()), store.stats());
+            finish_stats!("limit");
             return RunReport {
                 verdict: Verdict::LimitReached {
                     what: format!("state limit of {}", config.max_states),
@@ -241,8 +265,7 @@ where
         }
         if let Some(limit) = config.time_limit {
             if start.elapsed() > limit {
-                stats.elapsed = start.elapsed();
-                stats.record_store(store_label(trivial, store.name()), store.stats());
+                finish_stats!("limit");
                 return RunReport {
                     verdict: Verdict::LimitReached {
                         what: format!("time limit of {limit:?}"),
@@ -256,6 +279,8 @@ where
         on_stack.insert(stack_key.clone());
         stats.states += 1;
         stats.expansions += 1;
+        trace.add(Counter::States, 1);
+        trace.add(Counter::Expansions, 1);
 
         let frame = make_frame(
             spec,
@@ -266,14 +291,14 @@ where
             next_observer,
             stack_key,
             Some(instance.clone()),
+            &trace,
         );
 
         if config.check_deadlocks && frame.explore.is_empty() && frame.pruned.is_empty() {
             let mut path: Vec<TransitionInstance<M>> =
                 stack.iter().filter_map(|f| f.incoming.clone()).collect();
             path.push(instance);
-            stats.elapsed = start.elapsed();
-            stats.record_store(store_label(trivial, store.name()), store.stats());
+            finish_stats!("violated");
             let cx = Counterexample::new(
                 spec,
                 property.name(),
@@ -291,8 +316,7 @@ where
         stack.push(frame);
     }
 
-    stats.elapsed = start.elapsed();
-    stats.record_store(store_label(trivial, store.name()), store.stats());
+    finish_stats!("verified");
     RunReport {
         verdict: Verdict::Verified,
         stats,
@@ -310,14 +334,18 @@ fn make_frame<S, M, O>(
     observer: O,
     stack_key: (GlobalState<S, M>, O),
     incoming: Option<TransitionInstance<M>>,
+    trace: &TraceHandle,
 ) -> Frame<S, M, O>
 where
     S: LocalState,
     M: Message,
     O: Observer<S, M>,
 {
-    let all = enabled_instances(spec, &state);
-    let reduction = reducer.reduce(spec, &state, all);
+    let all = {
+        let _span = trace.span(Phase::Expansion);
+        enabled_instances(spec, &state)
+    };
+    let reduction = reducer.reduce_traced(spec, &state, all, trace);
     if reduction.reduced {
         stats.reduced_states += 1;
     }

@@ -110,10 +110,14 @@ pub use observer::{NullObserver, Observer, TransitionCountObserver};
 pub use property::{
     all_of, Fairness, Invariant, Property, PropertyClass, PropertyStatus, StatePredicate,
 };
-pub use stats::ExplorationStats;
+pub use stats::{ExplorationStats, StatsCounters};
 // Visited-state storage lives in the `mp-store` subsystem; the most-used
 // names are re-exported here so engine callers need only one import.
 pub use mp_store::{StateStore, StateStoreBackend, StoreConfig, StoreStats};
+// Observability lives in the `mp-trace` subsystem; the tracer and its
+// options are re-exported so harnesses can configure tracing without a
+// direct dependency.
+pub use mp_trace::{TraceOptions, Tracer};
 
 pub use bfs::run_stateful_bfs;
 pub use dfs::run_stateful_dfs;

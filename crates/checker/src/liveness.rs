@@ -61,6 +61,7 @@ use mp_model::{
 };
 use mp_por::Reducer;
 use mp_symmetry::{NoSymmetry, Symmetry};
+use mp_trace::{Counter, Phase};
 
 use crate::{
     CheckerConfig, Counterexample, ExplorationStats, Fairness, Observer, Property, PropertyClass,
@@ -556,6 +557,9 @@ where
         format!("liveness-dfs+{}+{}", reducer.name(), symmetry.label())
     };
     let fairness = property.fairness();
+    let trace = config
+        .trace
+        .begin_run(spec.name(), &strategy, property.name());
 
     // Keys are pre-canonicalized by this engine (the on-stack map and the
     // pending graph need them too), so the wrapper stays in passthrough.
@@ -574,7 +578,7 @@ where
         if trivial {
             ((state.clone(), observer.clone(), pending), 0usize)
         } else {
-            let (s, o, elem) = symmetry.canonicalize(state, observer);
+            let (s, o, elem) = symmetry.canonicalize_traced(state, observer, &trace);
             ((s, o, pending), elem)
         }
     };
@@ -586,10 +590,17 @@ where
 
     macro_rules! finish {
         ($verdict:expr) => {{
+            let verdict = $verdict;
             stats.elapsed = start.elapsed();
             stats.record_store(store_label(store.name()), store.stats());
+            stats.phases = trace.phase_times();
+            trace.finish(match &verdict {
+                Verdict::Verified => "verified",
+                Verdict::Violated(_) => "violated",
+                Verdict::LimitReached { .. } => "limit",
+            });
             return RunReport {
-                verdict: $verdict,
+                verdict,
                 stats,
                 strategy,
             };
@@ -602,8 +613,12 @@ where
     let (initial_key, initial_elem) = canon(&initial, &observer, pending);
     store.insert(initial_key.clone());
     stats.states = 1;
+    trace.add(Counter::States, 1);
 
-    let all = enabled_instances(spec, &initial);
+    let all = {
+        let _span = trace.span(Phase::Expansion);
+        enabled_instances(spec, &initial)
+    };
     if all.is_empty() {
         // The initial state is already maximal.
         let verdict = if pending {
@@ -628,6 +643,7 @@ where
     }
 
     stats.expansions = 1;
+    trace.add(Counter::Expansions, 1);
     let first_node = pending.then(|| {
         pending_graph.add_node(
             &initial,
@@ -648,12 +664,14 @@ where
         None,
         all,
         first_node,
+        &trace,
     );
     on_stack.insert(first.stack_key.clone(), 0);
     stack.push(first);
 
     while !stack.is_empty() {
         stats.max_depth = stats.max_depth.max(stack.len());
+        trace.add(Counter::Depth, stack.len() as u64);
         let top_index = stack.len() - 1;
         if stack[top_index].next >= stack[top_index].explore.len() {
             let frame = stack.pop().expect("stack checked non-empty");
@@ -662,6 +680,7 @@ where
         }
 
         let (instance, next_state, next_observer, next_pending) = {
+            let _span = trace.span(Phase::Expansion);
             let top = &mut stack[top_index];
             let instance = top.explore[top.next].clone();
             top.next += 1;
@@ -673,6 +692,7 @@ where
             (instance, next_state, next_observer, next_pending)
         };
         stats.transitions_executed += 1;
+        trace.add(Counter::Transitions, 1);
         let key = (next_state, next_observer, next_pending);
         // Membership, the on-stack map and the pending graph are judged on
         // the canonical orbit key; exploration stays concrete.
@@ -763,10 +783,15 @@ where
                 }
             }
             stats.revisits += 1;
+            trace.add(Counter::Revisits, 1);
             continue;
         }
 
-        if !store.insert_ref(probe) {
+        let inserted = {
+            let _span = trace.span(Phase::StoreLookup);
+            store.insert_ref(probe)
+        };
+        if !inserted {
             // A cross or forward edge; if it stays within the pending
             // subgraph, record it — phase 2 finds the cycles the on-stack
             // detector cannot see from the tree path alone.
@@ -778,6 +803,7 @@ where
                 }
             }
             stats.revisits += 1;
+            trace.add(Counter::Revisits, 1);
             continue;
         }
         let stack_key = match canon_pair {
@@ -786,6 +812,7 @@ where
         };
         let (next_state, next_observer, next_pending) = key;
         stats.states += 1;
+        trace.add(Counter::States, 1);
 
         if store.len() > config.max_states {
             finish!(Verdict::LimitReached {
@@ -800,7 +827,10 @@ where
             }
         }
 
-        let all = enabled_instances(spec, &next_state);
+        let all = {
+            let _span = trace.span(Phase::Expansion);
+            enabled_instances(spec, &next_state)
+        };
         if all.is_empty() {
             if next_pending {
                 // A maximal finite execution with the obligation pending:
@@ -828,6 +858,7 @@ where
         }
 
         stats.expansions += 1;
+        trace.add(Counter::Expansions, 1);
         let node = next_pending.then(|| {
             pending_graph.add_node(
                 &next_state,
@@ -851,6 +882,7 @@ where
             Some(instance),
             all,
             node,
+            &trace,
         );
         on_stack.insert(frame.stack_key.clone(), stack.len());
         stack.push(frame);
@@ -877,6 +909,11 @@ where
                 };
                 exact_config.time_limit = Some(remaining);
             }
+            // The fallback re-runs the whole search symmetry-free with its
+            // own trace run; close this run first so the NDJSON stream stays
+            // a sequence of complete runs.
+            stats.phases = trace.phase_times();
+            trace.finish("fallback");
             let exact: Arc<dyn Symmetry<S, M, O>> = Arc::new(NoSymmetry);
             let mut report = run_liveness_dfs(
                 spec,
@@ -890,10 +927,14 @@ where
             report.strategy = format!("{strategy} (scc fallback: {})", report.strategy);
             return report;
         }
-    } else if let Some(cx) =
-        pending_scc_violation(spec, property, initial_observer, &pending_graph, fairness)
-    {
-        finish!(Verdict::Violated(Box::new(cx)));
+    } else {
+        let scc_violation = {
+            let _span = trace.span(Phase::SccBackstop);
+            pending_scc_violation(spec, property, initial_observer, &pending_graph, fairness)
+        };
+        if let Some(cx) = scc_violation {
+            finish!(Verdict::Violated(Box::new(cx)));
+        }
     }
 
     finish!(Verdict::Verified)
@@ -986,13 +1027,14 @@ fn make_frame<S, M, O>(
     incoming: Option<TransitionInstance<M>>,
     all_enabled: Vec<TransitionInstance<M>>,
     node: Option<usize>,
+    trace: &mp_trace::TraceHandle,
 ) -> Frame<S, M, O>
 where
     S: LocalState,
     M: Message,
     O: Observer<S, M>,
 {
-    let reduction = reducer.reduce(spec, &state, all_enabled.clone());
+    let reduction = reducer.reduce_traced(spec, &state, all_enabled.clone(), trace);
     if reduction.reduced {
         stats.reduced_states += 1;
     }
@@ -1043,6 +1085,9 @@ where
         "stateless-liveness".to_string()
     };
     let fairness = property.fairness();
+    let trace = config
+        .trace
+        .begin_run(spec.name(), &strategy, property.name());
 
     struct PathFrame<S, M: Ord, O> {
         state: GlobalState<S, M>,
@@ -1055,6 +1100,12 @@ where
 
     let finish = |mut stats: ExplorationStats, verdict: Verdict| -> RunReport {
         stats.elapsed = start.elapsed();
+        stats.phases = trace.phase_times();
+        trace.finish(match &verdict {
+            Verdict::Verified => "verified",
+            Verdict::Violated(_) => "violated",
+            Verdict::LimitReached { .. } => "limit",
+        });
         RunReport {
             verdict,
             stats,
@@ -1066,8 +1117,12 @@ where
     let observer = initial_observer.clone();
     let pending = property.initial_pending(&initial, &observer);
     stats.states = 1;
+    trace.add(Counter::States, 1);
 
-    let enabled = enabled_instances(spec, &initial);
+    let enabled = {
+        let _span = trace.span(Phase::Expansion);
+        enabled_instances(spec, &initial)
+    };
     if enabled.is_empty() {
         let verdict = if pending {
             let cx = Counterexample::lasso(
@@ -1089,6 +1144,7 @@ where
     }
 
     stats.expansions = 1;
+    trace.add(Counter::Expansions, 1);
     let mut stack: Vec<PathFrame<S, M, O>> = vec![PathFrame {
         state: initial,
         observer,
@@ -1100,12 +1156,14 @@ where
 
     while !stack.is_empty() {
         stats.max_depth = stats.max_depth.max(stack.len());
+        trace.add(Counter::Depth, stack.len() as u64);
         let top_index = stack.len() - 1;
         if stack[top_index].next >= stack[top_index].enabled.len() {
             stack.pop();
             continue;
         }
         let (instance, next_state, next_observer, next_pending) = {
+            let _span = trace.span(Phase::Expansion);
             let top = &mut stack[top_index];
             let instance = top.enabled[top.next].clone();
             top.next += 1;
@@ -1117,6 +1175,7 @@ where
             (instance, next_state, next_observer, next_pending)
         };
         stats.transitions_executed += 1;
+        trace.add(Counter::Transitions, 1);
 
         // On-path cycle detection.
         if let Some(entry) = stack.iter().position(|f| {
@@ -1155,10 +1214,12 @@ where
             }
             // Cut the cycle: re-descending would loop forever.
             stats.revisits += 1;
+            trace.add(Counter::Revisits, 1);
             continue;
         }
 
         stats.states += 1;
+        trace.add(Counter::States, 1);
         if stats.expansions >= config.max_states {
             let verdict = Verdict::LimitReached {
                 what: format!("expansion limit of {}", config.max_states),
@@ -1180,7 +1241,10 @@ where
             return finish(stats, verdict);
         }
 
-        let enabled = enabled_instances(spec, &next_state);
+        let enabled = {
+            let _span = trace.span(Phase::Expansion);
+            enabled_instances(spec, &next_state)
+        };
         if enabled.is_empty() {
             if next_pending {
                 let mut stem: Vec<TransitionInstance<M>> =
@@ -1203,6 +1267,7 @@ where
         }
 
         stats.expansions += 1;
+        trace.add(Counter::Expansions, 1);
         stack.push(PathFrame {
             state: next_state,
             observer: next_observer,

@@ -37,6 +37,7 @@ use mp_model::{
 };
 use mp_por::Reducer;
 use mp_symmetry::Symmetry;
+use mp_trace::{Counter, Histogram, Phase};
 
 use crate::{
     bfs::{insert_successor, Entry, EntryCodec},
@@ -96,6 +97,9 @@ where
     if config.frontier.spills() {
         strategy.push_str("+spill");
     }
+    let trace = config
+        .trace
+        .begin_run(spec.name(), &strategy, property.name());
 
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
@@ -115,12 +119,16 @@ where
     let mut frontier = config.frontier.build(EntryCodec {
         template: initial_observer.clone(),
     });
+    frontier.set_trace(trace.handle());
 
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
+        trace.add(Counter::States, 1);
         stats.elapsed = start.elapsed();
         stats.record_store(store_name, store.stats());
         stats.record_frontier(frontier.name(), frontier.stats(), 0);
+        stats.phases = trace.phase_times();
+        trace.finish("violated");
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -132,9 +140,10 @@ where
     let (entry_state, entry_observer, initial_delta) = if trivial {
         (initial, initial_observer, 0)
     } else {
-        symmetry.canonicalize(&initial, &initial_observer)
+        symmetry.canonicalize_traced(&initial, &initial_observer, &trace)
     };
     store.insert((entry_state.clone(), entry_observer.clone()));
+    trace.add(Counter::States, 1);
     frontier.push((0, initial_delta, entry_state, entry_observer));
 
     let violation: Mutex<Option<Counterexample>> = Mutex::new(None);
@@ -149,7 +158,7 @@ where
     let mut depth = 0usize;
 
     macro_rules! finish_stats {
-        () => {
+        ($verdict:expr) => {
             stats.states = store.len();
             stats.expansions = expansions.load(Ordering::Relaxed);
             stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
@@ -157,12 +166,24 @@ where
             stats.max_depth = depth;
             stats.elapsed = start.elapsed();
             stats.record_store(store_name, store.stats());
+            // The store's unified hit accounting is the revisit count for a
+            // stateful engine (see `ExplorationStats::store_hits`); the
+            // workers have no per-thread revisit field to sum by hand.
+            stats.revisits = stats.store_hits;
             stats.record_frontier(frontier.name(), frontier.stats(), 0);
+            stats.phases = trace.phase_times();
+            trace.finish($verdict);
         };
     }
 
-    'levels: while frontier.advance_level() > 0 && !stop.load(Ordering::Relaxed) {
+    'levels: loop {
+        let width = frontier.advance_level();
+        if width == 0 || stop.load(Ordering::Relaxed) {
+            break;
+        }
+        trace.record(Histogram::LevelWidth, width as u64);
         depth += 1;
+        trace.add(Counter::Depth, depth as u64);
 
         loop {
             let mut batch = Vec::with_capacity(batch_size);
@@ -175,6 +196,7 @@ where
             if batch.is_empty() {
                 break;
             }
+            trace.record(Histogram::BatchOccupancy, batch.len() as u64);
             let chunk_size = batch.len().div_ceil(threads).max(1);
 
             // Each worker explores its slice of the batch and returns the
@@ -193,6 +215,7 @@ where
                         let reduced_states = &reduced_states;
                         let expansions = &expansions;
                         let symmetry = symmetry.clone();
+                        let trace = trace.handle();
                         scope.spawn(move || {
                             let mut discovered = Vec::new();
                             for (_, delta, key_state, key_observer) in chunk {
@@ -213,16 +236,24 @@ where
                                     (&reconstructed.0, &reconstructed.1)
                                 };
                                 expansions.fetch_add(1, Ordering::Relaxed);
-                                let all = enabled_instances(spec, state);
-                                let reduction = reducer.reduce(spec, state, all);
+                                trace.add(Counter::Expansions, 1);
+                                let all = {
+                                    let _span = trace.span(Phase::Expansion);
+                                    enabled_instances(spec, state)
+                                };
+                                let reduction = reducer.reduce_traced(spec, state, all, &trace);
                                 if reduction.reduced {
                                     reduced_states.fetch_add(1, Ordering::Relaxed);
                                 }
                                 for instance in reduction.explore {
-                                    let next_state = execute_enabled(spec, state, &instance);
-                                    let next_observer =
-                                        observer.update(spec, state, &instance, &next_state);
+                                    let (next_state, next_observer) = {
+                                        let _span = trace.span(Phase::Expansion);
+                                        let ns = execute_enabled(spec, state, &instance);
+                                        let no = observer.update(spec, state, &instance, &ns);
+                                        (ns, no)
+                                    };
                                     transitions_executed.fetch_add(1, Ordering::Relaxed);
+                                    trace.add(Counter::Transitions, 1);
                                     if let PropertyStatus::Violated(reason) =
                                         property.evaluate(&next_state, &next_observer)
                                     {
@@ -246,12 +277,16 @@ where
                                         symmetry.as_ref(),
                                         store,
                                         &concrete,
+                                        &trace,
                                     ) {
+                                        trace.add(Counter::States, 1);
                                         let (s, o) = match canonical {
                                             Some(key) => key,
                                             None => concrete,
                                         };
                                         discovered.push((0, delta, s, o));
+                                    } else {
+                                        trace.add(Counter::Revisits, 1);
                                     }
                                 }
                             }
@@ -270,7 +305,7 @@ where
             }
 
             if store.len() >= config.max_states {
-                finish_stats!();
+                finish_stats!("limit");
                 return RunReport {
                     verdict: Verdict::LimitReached {
                         what: format!("state limit of {}", config.max_states),
@@ -281,7 +316,7 @@ where
             }
             if let Some(limit) = config.time_limit {
                 if start.elapsed() > limit {
-                    finish_stats!();
+                    finish_stats!("limit");
                     return RunReport {
                         verdict: Verdict::LimitReached {
                             what: format!("time limit of {limit:?}"),
@@ -297,7 +332,12 @@ where
         }
     }
 
-    finish_stats!();
+    let has_violation = violation.lock().expect("violation lock poisoned").is_some();
+    finish_stats!(if has_violation {
+        "violated"
+    } else {
+        "verified"
+    });
     let verdict = match violation.into_inner().expect("violation lock poisoned") {
         Some(cx) => Verdict::Violated(Box::new(cx)),
         None => Verdict::Verified,

@@ -24,6 +24,7 @@ use mp_model::{
 };
 use mp_por::{latest_racing_step, ExecutedStep};
 use mp_symmetry::Symmetry;
+use mp_trace::{Counter, Phase, TraceHandle};
 
 use crate::{
     liveness::run_stateless_liveness, CheckerConfig, Counterexample, ExplorationStats, Observer,
@@ -132,13 +133,25 @@ where
         (false, true) => "stateless".to_string(),
         (false, false) => format!("stateless+{}", symmetry.label()),
     };
+    let trace = config
+        .trace
+        .begin_run(spec.name(), &strategy, property.name());
+
+    macro_rules! finish_stats {
+        ($verdict:expr) => {
+            stats.elapsed = start.elapsed();
+            stats.phases = trace.phase_times();
+            trace.finish($verdict);
+        };
+    }
 
     let initial = spec.initial_state();
     let initial_observer = initial_observer.clone();
 
     if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
         stats.states = 1;
-        stats.elapsed = start.elapsed();
+        trace.add(Counter::States, 1);
+        finish_stats!("violated");
         let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
         return RunReport {
             verdict: Verdict::Violated(Box::new(cx)),
@@ -153,13 +166,20 @@ where
     // `stack`; only maintained when orbit-path cutting is active.
     let mut path_keys: Vec<(GlobalState<S, M>, O)> = Vec::new();
 
-    stack.push(new_frame(spec, initial, initial_observer, dpor, &mut stats));
+    stack.push(new_frame(
+        spec,
+        initial,
+        initial_observer,
+        dpor,
+        &mut stats,
+        &trace,
+    ));
     if cut_orbits {
-        let (s, o, _) = symmetry.canonicalize(&stack[0].state, &stack[0].observer);
+        let (s, o, _) = symmetry.canonicalize_traced(&stack[0].state, &stack[0].observer, &trace);
         path_keys.push((s, o));
     }
     if config.check_deadlocks && stack[0].enabled.is_empty() {
-        stats.elapsed = start.elapsed();
+        finish_stats!("violated");
         let cx = Counterexample::new(
             spec,
             property.name(),
@@ -176,6 +196,7 @@ where
 
     while let Some(top_index) = stack.len().checked_sub(1) {
         stats.max_depth = stats.max_depth.max(stack.len());
+        trace.add(Counter::Depth, stack.len() as u64);
 
         let Some(choice) = stack[top_index].pick() else {
             stack.pop();
@@ -191,6 +212,7 @@ where
 
         let instance = stack[top_index].enabled[choice].clone();
         let (next_state, next_observer, sent_to) = {
+            let _span = trace.span(Phase::Expansion);
             let frame = &stack[top_index];
             let next_state = execute_enabled(spec, &frame.state, &instance);
             let next_observer = frame
@@ -205,17 +227,19 @@ where
             (next_state, next_observer, sent_to)
         };
         stats.transitions_executed += 1;
+        trace.add(Counter::Transitions, 1);
 
         // Orbit-path cut (symmetry, non-DPOR only): a successor whose orbit
         // already appears on this path has a shorter symmetric witness for
         // anything reachable below it.
         let next_key = cut_orbits.then(|| {
-            let (s, o, _) = symmetry.canonicalize(&next_state, &next_observer);
+            let (s, o, _) = symmetry.canonicalize_traced(&next_state, &next_observer, &trace);
             (s, o)
         });
         if let Some(key) = &next_key {
             if path_keys.contains(key) {
                 stats.revisits += 1;
+                trace.add(Counter::Revisits, 1);
                 continue;
             }
         }
@@ -240,7 +264,8 @@ where
             let path: Vec<TransitionInstance<M>> =
                 executed.iter().map(|s| s.instance.clone()).collect();
             stats.states += 1;
-            stats.elapsed = start.elapsed();
+            trace.add(Counter::States, 1);
+            finish_stats!("violated");
             let cx = Counterexample::new(spec, property.name(), reason, &path, &next_state);
             return RunReport {
                 verdict: Verdict::Violated(Box::new(cx)),
@@ -250,7 +275,7 @@ where
         }
 
         if stats.expansions >= config.max_states {
-            stats.elapsed = start.elapsed();
+            finish_stats!("limit");
             return RunReport {
                 verdict: Verdict::LimitReached {
                     what: format!("expansion limit of {}", config.max_states),
@@ -261,7 +286,7 @@ where
         }
         if let Some(limit) = config.time_limit {
             if start.elapsed() > limit {
-                stats.elapsed = start.elapsed();
+                finish_stats!("limit");
                 return RunReport {
                     verdict: Verdict::LimitReached {
                         what: format!("time limit of {limit:?}"),
@@ -272,7 +297,7 @@ where
             }
         }
         if stack.len() >= config.max_depth {
-            stats.elapsed = start.elapsed();
+            finish_stats!("limit");
             return RunReport {
                 verdict: Verdict::LimitReached {
                     what: format!("depth limit of {}", config.max_depth),
@@ -282,11 +307,11 @@ where
             };
         }
 
-        let frame = new_frame(spec, next_state, next_observer, dpor, &mut stats);
+        let frame = new_frame(spec, next_state, next_observer, dpor, &mut stats, &trace);
         if config.check_deadlocks && frame.enabled.is_empty() {
             let path: Vec<TransitionInstance<M>> =
                 executed.iter().map(|s| s.instance.clone()).collect();
-            stats.elapsed = start.elapsed();
+            finish_stats!("violated");
             let cx = Counterexample::new(
                 spec,
                 property.name(),
@@ -306,7 +331,7 @@ where
         stack.push(frame);
     }
 
-    stats.elapsed = start.elapsed();
+    finish_stats!("verified");
     RunReport {
         verdict: Verdict::Verified,
         stats,
@@ -320,6 +345,7 @@ fn new_frame<S, M, O>(
     observer: O,
     dpor: bool,
     stats: &mut ExplorationStats,
+    trace: &TraceHandle,
 ) -> Frame<S, M, O>
 where
     S: LocalState,
@@ -328,7 +354,12 @@ where
 {
     stats.states += 1;
     stats.expansions += 1;
-    let enabled = enabled_instances(spec, &state);
+    trace.add(Counter::States, 1);
+    trace.add(Counter::Expansions, 1);
+    let enabled = {
+        let _span = trace.span(Phase::Expansion);
+        enabled_instances(spec, &state)
+    };
     let backtrack: BTreeSet<usize> = if enabled.is_empty() {
         BTreeSet::new()
     } else if dpor {

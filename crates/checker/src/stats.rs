@@ -10,9 +10,16 @@ use std::fmt;
 use std::time::Duration;
 
 use mp_store::{FrontierStats, StoreStats};
+use mp_trace::PhaseTimes;
 
 /// Counters collected during one model-checking run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The struct deliberately does **not** implement `PartialEq`: it mixes
+/// deterministic search counters with wall-clock and byte measurements that
+/// vary run to run. Agreement assertions should compare the
+/// [`ExplorationStats::counters`] view, which carries only the
+/// deterministic fields.
+#[derive(Clone, Debug, Default)]
 pub struct ExplorationStats {
     /// Number of distinct states stored (stateful search) or expanded
     /// (stateless search). This is the "States" column of Tables I and II.
@@ -57,12 +64,54 @@ pub struct ExplorationStats {
     /// Total bytes the frontier and the path-reconstruction tables spilled
     /// to disk over the run (0 for the in-memory frontier).
     pub frontier_spilled_bytes: usize,
+    /// Wall-clock time attributed to each instrumented phase of the run
+    /// (all zero when tracing is disabled — the engines only pay for the
+    /// clock reads when a [`mp_trace::Tracer`] is installed).
+    pub phases: PhaseTimes,
+}
+
+/// The deterministic counters of an [`ExplorationStats`] record — every
+/// field that depends only on the protocol, property and strategy, none
+/// that depend on wall-clock time, heap layout or store sizing. Two runs
+/// of the same configured search must produce equal `StatsCounters`; this
+/// is what tests and the sweep harness assert instead of comparing whole
+/// stats structs and excluding the noisy fields by hand.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsCounters {
+    /// Distinct states stored/expanded ([`ExplorationStats::states`]).
+    pub states: usize,
+    /// State expansions ([`ExplorationStats::expansions`]).
+    pub expansions: usize,
+    /// Transition executions ([`ExplorationStats::transitions_executed`]).
+    pub transitions_executed: usize,
+    /// Already-known successors ([`ExplorationStats::revisits`]).
+    pub revisits: usize,
+    /// States expanded with a reduced set ([`ExplorationStats::reduced_states`]).
+    pub reduced_states: usize,
+    /// Proviso-forced full expansions ([`ExplorationStats::proviso_expansions`]).
+    pub proviso_expansions: usize,
+    /// Peak search depth ([`ExplorationStats::max_depth`]).
+    pub max_depth: usize,
 }
 
 impl ExplorationStats {
     /// Creates an empty statistics record.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Returns the deterministic-counter view used for agreement
+    /// assertions (see [`StatsCounters`]).
+    pub fn counters(&self) -> StatsCounters {
+        StatsCounters {
+            states: self.states,
+            expansions: self.expansions,
+            transitions_executed: self.transitions_executed,
+            revisits: self.revisits,
+            reduced_states: self.reduced_states,
+            proviso_expansions: self.proviso_expansions,
+            max_depth: self.max_depth,
+        }
     }
 
     /// Throughput in states per second (0 if the run was instantaneous).
@@ -133,6 +182,15 @@ impl fmt::Display for ExplorationStats {
                 self.frontier_spilled_bytes / 1024
             )?;
         }
+        if !self.phases.is_zero() {
+            write!(f, " [phases:")?;
+            for (phase, time) in self.phases.iter() {
+                if !time.is_zero() {
+                    write!(f, " {}={}ms", phase.name(), time.as_millis())?;
+                }
+            }
+            write!(f, "]")?;
+        }
         Ok(())
     }
 }
@@ -173,6 +231,45 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("42 states"));
         assert!(text.contains("100 transitions"));
+    }
+
+    #[test]
+    fn counters_view_ignores_timing_and_size_fields() {
+        let mut a = ExplorationStats {
+            states: 10,
+            expansions: 10,
+            transitions_executed: 25,
+            revisits: 5,
+            max_depth: 4,
+            elapsed: Duration::from_millis(3),
+            store_bytes: 4096,
+            ..Default::default()
+        };
+        let mut b = a.clone();
+        // Perturb every noisy field; the counters view must still agree.
+        b.elapsed = Duration::from_secs(9);
+        b.store_bytes = 1;
+        b.store_backend = "exact".into();
+        b.frontier_peak_bytes = 777;
+        b.phases = PhaseTimes::from_nanos([1; mp_trace::PHASE_COUNT]);
+        assert_eq!(a.counters(), b.counters());
+        // ...and a real counter difference must show up.
+        a.revisits += 1;
+        assert_ne!(a.counters(), b.counters());
+    }
+
+    #[test]
+    fn display_mentions_phases_when_nonzero() {
+        let mut nanos = [0u64; mp_trace::PHASE_COUNT];
+        nanos[0] = 5_000_000;
+        let s = ExplorationStats {
+            states: 1,
+            phases: PhaseTimes::from_nanos(nanos),
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("[phases:"), "{text}");
+        assert!(text.contains("expansion=5ms"), "{text}");
     }
 
     #[test]

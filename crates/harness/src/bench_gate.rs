@@ -177,6 +177,21 @@ const VERDICT_FIELDS: [&str; 4] = ["verdict", "liveness", "sym_verdict", "sym_li
 /// regression, not noise.
 const GATED_COUNTS: [&str; 3] = ["states", "sym_states", "transitions"];
 
+/// The per-phase wall-clock fields the harness emits (`phase_<name>_ms`).
+/// Individually they are as noisy as `time_ms`, so the generic numeric
+/// rules skip them; instead the gate compares each phase's *share* of the
+/// total traced time, which is stable run to run — a phase suddenly
+/// doubling its fraction flags an algorithmic shift even when absolute
+/// times sit inside the noise band.
+fn is_phase_field(name: &str) -> bool {
+    name.starts_with("phase_") && name.ends_with("_ms")
+}
+
+/// Absolute share-of-traced-time drift (in fractional points) beyond which
+/// a phase field warns: 0.20 = a phase moved by more than 20 percentage
+/// points of the traced total.
+pub const PHASE_SHARE_DRIFT: f64 = 0.20;
+
 /// Numeric fields that only warn (wall-time and memory noise). Frontier
 /// bytes are hardware-independent in principle but track encoded-state
 /// sizes, which legitimately change when protocol state types grow — drift
@@ -291,6 +306,44 @@ pub fn compare(label: &str, baseline: &[Row], fresh: &[Row], tolerance: f64) -> 
                     ));
                 }
                 _ => {}
+            }
+        }
+
+        // Phase share-of-traced-time drift (warning only). Judged only when
+        // both sides actually traced — untraced baselines (all-zero phase
+        // fields, the default) stay inert, per the acceptance contract that
+        // disabled tracing changes nothing in the gate.
+        let phase_total = |row: &Row| -> f64 {
+            row.iter()
+                .filter(|(k, _)| is_phase_field(k))
+                .filter_map(|(_, v)| match v {
+                    JsonValue::Num(n) => Some(*n),
+                    _ => None,
+                })
+                .sum()
+        };
+        let base_total = phase_total(base_row);
+        let fresh_total = phase_total(fresh_row);
+        if base_total > 0.0 && fresh_total > 0.0 {
+            for (field, base_value) in base_row {
+                let (JsonValue::Num(b), Some(JsonValue::Num(f))) =
+                    (base_value, fresh_row.get(field))
+                else {
+                    continue;
+                };
+                if !is_phase_field(field) {
+                    continue;
+                }
+                let base_share = b / base_total;
+                let fresh_share = f / fresh_total;
+                if (fresh_share - base_share).abs() > PHASE_SHARE_DRIFT {
+                    report.warnings.push(format!(
+                        "{label}: {field} share of traced time drifted on {key}: \
+                         {:.0}% -> {:.0}%",
+                        base_share * 100.0,
+                        fresh_share * 100.0
+                    ));
+                }
             }
         }
     }
@@ -412,6 +465,49 @@ mod tests {
         let report = compare("sweep", &baseline, &extended, 0.10);
         assert!(report.passed());
         assert!(report.warnings.iter().any(|w| w.contains("new row")));
+    }
+
+    #[test]
+    fn phase_share_drift_warns_but_never_fails() {
+        // 90/10 split between two phases in the baseline...
+        let baseline = parse_rows(
+            r#"[{"protocol":"p","time_ms":100,"phase_expansion_ms":90,"phase_store_lookup_ms":10}]"#,
+        )
+        .unwrap();
+        // ...vs a 50/50 split in the fresh file: a 40-point share shift.
+        let fresh = parse_rows(
+            r#"[{"protocol":"p","time_ms":100,"phase_expansion_ms":50,"phase_store_lookup_ms":50}]"#,
+        )
+        .unwrap();
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(report.passed(), "{:?}", report.errors);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("phase_expansion_ms share")),
+            "{:?}",
+            report.warnings
+        );
+
+        // Doubling every phase together keeps the shares put: no warning.
+        let scaled = parse_rows(
+            r#"[{"protocol":"p","time_ms":200,"phase_expansion_ms":180,"phase_store_lookup_ms":20}]"#,
+        )
+        .unwrap();
+        let report = compare("sweep", &baseline, &scaled, 0.10);
+        assert!(report.passed());
+        assert!(!report.warnings.iter().any(|w| w.contains("share")));
+
+        // An untraced (all-zero) baseline is inert — tracing landing later
+        // must not produce share warnings against it.
+        let zeros = parse_rows(
+            r#"[{"protocol":"p","time_ms":100,"phase_expansion_ms":0,"phase_store_lookup_ms":0}]"#,
+        )
+        .unwrap();
+        let report = compare("sweep", &zeros, &fresh, 0.10);
+        assert!(report.passed());
+        assert!(!report.warnings.iter().any(|w| w.contains("share")));
     }
 
     #[test]

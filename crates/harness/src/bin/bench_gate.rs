@@ -2,36 +2,45 @@
 //!
 //! Usage: `cargo run --release -p mp-harness --bin bench_gate --
 //! <baseline.json> <fresh.json> [<baseline2.json> <fresh2.json> ...]
-//! [--tolerance 0.10]`
+//! [--tolerance T]` (run with `--help` for the authoritative flag list —
+//! it is generated from the same table the parser uses)
 //!
 //! Compares each fresh file against its committed baseline and exits
 //! non-zero on **verdict-class changes**, **state-count regressions beyond
 //! the tolerance** (default 10%), vanished rows, or budget-completion
-//! regressions. Wall-time/memory drift and rows new in the fresh file are
-//! reported as `::warning::` annotations only. See
+//! regressions. Wall-time/memory drift, phase-share drift and rows new in
+//! the fresh file are reported as `::warning::` annotations only. See
 //! `mp_harness::bench_gate` for the exact rules.
 
 use mp_harness::bench_gate::{compare, parse_rows};
+use mp_harness::cli::{Cli, FlagSpec};
+
+const FLAGS: &[FlagSpec] = &[FlagSpec::value(
+    "--tolerance",
+    "T",
+    "relative state-count drift that fails the gate (default 0.10)",
+)];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let tolerance = args
-        .iter()
-        .position(|a| a == "--tolerance")
-        .and_then(|i| args.get(i + 1))
+    let cli = Cli::parse_with_positionals(
+        "bench_gate",
+        "Bench-regression gate over committed BENCH_*.json baselines.",
+        FLAGS,
+        Some("<baseline.json> <fresh.json> [more pairs...]"),
+    );
+    let tolerance = cli
+        .value("--tolerance")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.10);
-    let files: Vec<&String> = args.iter().take_while(|a| *a != "--tolerance").collect();
+    let files = cli.positionals();
     if files.is_empty() || !files.len().is_multiple_of(2) {
-        eprintln!(
-            "usage: bench_gate <baseline.json> <fresh.json> [more pairs...] [--tolerance 0.10]"
-        );
+        eprint!("{}", cli.usage());
         std::process::exit(2);
     }
 
     let mut failed = false;
     for pair in files.chunks(2) {
-        let (baseline_path, fresh_path) = (pair[0], pair[1]);
+        let (baseline_path, fresh_path) = (&pair[0], &pair[1]);
         let label = baseline_path
             .rsplit('/')
             .next()

@@ -1,18 +1,29 @@
 //! Reproduces the debugging experiments: resources needed to find the first
 //! counterexample in the faulty protocol variants.
 //!
-//! Usage: `cargo run --release -p mp-harness --bin debugging [--json [PATH]]`
+//! Usage: `cargo run --release -p mp-harness --bin debugging
+//! [--json [PATH]]` (run with `--help` for the authoritative flag list —
+//! it is generated from the same table the parser uses)
 //!
 //! `--json` writes the rows as a JSON array (default `BENCH_debugging.json`)
 //! so every harness binary emits machine-readable results.
 
-use mp_harness::{
-    debugging::debugging_experiments, json_output_path, render_table, write_json_rows, Budget,
-};
+use mp_harness::cli::{Cli, FlagSpec};
+use mp_harness::{debugging::debugging_experiments, render_table, write_json_rows, Budget};
+
+const FLAGS: &[FlagSpec] = &[FlagSpec::optional_value(
+    "--json",
+    "PATH",
+    "write the rows as a JSON array (default BENCH_debugging.json)",
+)];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let json_path = json_output_path(&args, "BENCH_debugging.json");
+    let cli = Cli::parse(
+        "debugging",
+        "Fast debugging: first counterexample in the faulty protocol variants.",
+        FLAGS,
+    );
+    let json_path = cli.json_path("BENCH_debugging.json");
     let rows = debugging_experiments(&Budget::default());
     print!(
         "{}",

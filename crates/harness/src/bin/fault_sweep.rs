@@ -5,7 +5,9 @@
 //! `BENCH_fault_sweep.json`.
 //!
 //! Usage: `cargo run --release -p mp-harness --bin fault_sweep
-//! [--full | --smoke] [--spill] [--json PATH]`
+//! [--full | --smoke] [--spill] [--json [PATH]] [--progress]
+//! [--trace PATH]` (run with `--help` for the authoritative flag list —
+//! it is generated from the same table the parser uses)
 //!
 //! `--smoke` runs a reduced budget matrix (no faults, one crash, one drop)
 //! under tight per-cell limits — the per-PR CI smoke test that uploads
@@ -21,21 +23,46 @@
 use std::time::Duration;
 
 use mp_faults::FaultBudget;
+use mp_harness::cli::{Cli, FlagSpec, PROGRESS_FLAG, TRACE_FLAG};
 use mp_harness::fault_sweep::SWEEP_SPILL_WATERMARK;
 use mp_harness::fault_sweep::{
     backend_disagreements, fault_sweep, fault_sweep_grid, fault_sweep_json, frontier_disagreements,
     render_fault_sweep, symmetry_disagreements, zero_budget_seed_checks,
 };
-use mp_harness::{json_output_path, Budget};
+use mp_harness::Budget;
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::switch("--full", "paper-scale budgets (the sweep may take hours)"),
+    FlagSpec::switch(
+        "--smoke",
+        "reduced budget matrix under tight limits (the per-PR CI smoke test)",
+    ),
+    FlagSpec::switch(
+        "--spill",
+        "force the disk-backed BFS frontier on for the safety cells",
+    ),
+    FlagSpec::optional_value(
+        "--json",
+        "PATH",
+        "destination of the sweep JSON (default BENCH_fault_sweep.json)",
+    ),
+    PROGRESS_FLAG,
+    TRACE_FLAG,
+];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let spill = args.iter().any(|a| a == "--spill");
-    // This binary always writes its JSON; `--json PATH` only overrides the
-    // destination (shared flag convention of the harness binaries).
-    let json_path = json_output_path(&args, "BENCH_fault_sweep.json")
+    let cli = Cli::parse(
+        "fault_sweep",
+        "Budgeted generic fault injection swept over the evaluation protocols.",
+        FLAGS,
+    );
+    let full = cli.has("--full");
+    let smoke = cli.has("--smoke");
+    let spill = cli.has("--spill");
+    // This binary always writes its JSON; `--json [PATH]` only overrides
+    // the destination (shared flag convention of the harness binaries).
+    let json_path = cli
+        .json_path("BENCH_fault_sweep.json")
         .unwrap_or_else(|| "BENCH_fault_sweep.json".to_string());
 
     let mut run_budget = if full {
@@ -58,6 +85,7 @@ fn main() {
             SWEEP_SPILL_WATERMARK,
         ));
     }
+    run_budget = run_budget.with_trace(cli.tracer());
 
     println!("Generic fault injection: budget sweep over the evaluation protocols");
     println!("(crash-stop / message loss / duplication / Byzantine corruption)");

@@ -2,28 +2,49 @@
 //! models are than quorum models, as a function of the quorum size.
 //!
 //! Usage: `cargo run --release -p mp-harness --bin quorum_scaling
-//! [--voters N] [--json PATH]`
+//! [--voters N] [--json [PATH]] [--progress] [--trace PATH]` (run with
+//! `--help` for the authoritative flag list — it is generated from the
+//! same table the parser uses)
 //!
 //! With `--json`, the Paxos acceptor sweep is additionally written as a
 //! JSON array (default path `BENCH_quorum_scaling.json`) so the bench
 //! trajectory is machine-readable.
 
+use mp_harness::cli::{Cli, FlagSpec, PROGRESS_FLAG, TRACE_FLAG};
 use mp_harness::scaling::{
     collect_sweep, paxos_frontier_sweep, paxos_sweep, paxos_symmetry_sweep, render_frontier_sweep,
     render_store_sweep, render_sweep, render_symmetry_sweep, store_backend_sweep,
 };
-use mp_harness::{json_output_path, render_table, write_json_rows, Budget};
+use mp_harness::{render_table, write_json_rows, Budget};
 use mp_protocols::sweep::CollectSetting;
 
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::value(
+        "--voters",
+        "N",
+        "voters of the quorum-collection sweep (default 4)",
+    ),
+    FlagSpec::optional_value(
+        "--json",
+        "PATH",
+        "write the Paxos sweeps as a JSON array (default BENCH_quorum_scaling.json)",
+    ),
+    PROGRESS_FLAG,
+    TRACE_FLAG,
+];
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let voters = args
-        .iter()
-        .position(|a| a == "--voters")
-        .and_then(|i| args.get(i + 1))
+    let cli = Cli::parse(
+        "quorum_scaling",
+        "Section II-C: state-space inflation of single-message models.",
+        FLAGS,
+    );
+    let voters = cli
+        .value("--voters")
         .and_then(|v| v.parse().ok())
         .unwrap_or(4usize);
-    let json_path = json_output_path(&args, "BENCH_quorum_scaling.json");
+    let json_path = cli.json_path("BENCH_quorum_scaling.json");
+    let budget = Budget::default().with_trace(cli.tracer());
 
     println!("Section II-C: state-space inflation of single-message models");
     println!();
@@ -32,12 +53,12 @@ fn main() {
     print!("{}", render_sweep(&points));
     println!();
     println!("Paxos with growing acceptor sets (1 proposer, 1 learner, SPOR):");
-    let mut rows = paxos_sweep(3, &Budget::default());
+    let mut rows = paxos_sweep(3, &budget);
     print!("{}", render_table("Paxos acceptor sweep", &rows));
     println!();
     println!("Symmetry (orbit) reduction on the quorum models — the validated");
     println!("group is the acceptor+learner role symmetry, order acceptors!:");
-    let (points, sym_rows) = paxos_symmetry_sweep(3, &Budget::default());
+    let (points, sym_rows) = paxos_symmetry_sweep(3, &budget);
     print!("{}", render_symmetry_sweep(&points));
     if points.iter().any(|p| !p.verdicts_agree) {
         eprintln!("SYMMETRY DISAGREEMENT in the acceptor sweep");
@@ -46,7 +67,7 @@ fn main() {
     println!();
     println!("Disk-backed BFS frontier (spill) on the quorum models — the");
     println!("spilled run must reproduce the in-memory run exactly:");
-    let (frontier_points, frontier_rows) = paxos_frontier_sweep(3, &Budget::default());
+    let (frontier_points, frontier_rows) = paxos_frontier_sweep(3, &budget);
     print!("{}", render_frontier_sweep(&frontier_points));
     if frontier_points.iter().any(|p| !p.agrees) {
         eprintln!("FRONTIER SPILL DISAGREEMENT in the acceptor sweep");
@@ -68,7 +89,7 @@ fn main() {
     let points = store_backend_sweep(
         CollectSetting::new(voters, 2.min(voters), 1),
         false,
-        &Budget::default(),
+        &budget,
     );
     print!("{}", render_store_sweep(&points));
 }

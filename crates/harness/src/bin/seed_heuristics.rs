@@ -1,13 +1,25 @@
 //! Compares the POR seed-transition heuristics discussed in Section V-B.
 //!
-//! Usage: `cargo run --release -p mp-harness --bin seed_heuristics [--full]`
+//! Usage: `cargo run --release -p mp-harness --bin seed_heuristics
+//! [--full]` (run with `--help` for the authoritative flag list — it is
+//! generated from the same table the parser uses)
 
+use mp_harness::cli::{Cli, FlagSpec};
 use mp_harness::{heuristics::heuristic_comparison, render_table, Budget};
 use mp_protocols::paxos::PaxosSetting;
 
+const FLAGS: &[FlagSpec] = &[FlagSpec::switch(
+    "--full",
+    "paper-scale Paxos setting, per-cell budgets removed",
+)];
+
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let (setting, budget) = if full {
+    let cli = Cli::parse(
+        "seed_heuristics",
+        "Seed-transition heuristic comparison (Paxos, SPOR).",
+        FLAGS,
+    );
+    let (setting, budget) = if cli.has("--full") {
         (PaxosSetting::new(2, 3, 1), Budget::unbounded())
     } else {
         (PaxosSetting::new(2, 2, 1), Budget::default())

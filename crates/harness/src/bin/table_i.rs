@@ -1,7 +1,9 @@
 //! Reproduces Table I ("quorum semantics results") of the DSN 2011 paper.
 //!
 //! Usage: `cargo run --release -p mp-harness --bin table_i
-//! [--full] [--csv] [--json [PATH]]`
+//! [--full] [--csv] [--json [PATH]]` (run with `--help` for the
+//! authoritative flag list — it is generated from the same table the
+//! parser uses)
 //!
 //! `--json` writes the rows as a JSON array (default `BENCH_table_i.json`)
 //! so every harness binary emits machine-readable results.
@@ -10,15 +12,28 @@
 //! time budgets) so it completes in minutes; `--full` switches to the
 //! paper-scale settings and removes the budgets.
 
-use mp_harness::{
-    json_output_path, render_csv, render_table, table1::table_i, write_json_rows, Budget,
-};
+use mp_harness::cli::{Cli, FlagSpec};
+use mp_harness::{render_csv, render_table, table1::table_i, write_json_rows, Budget};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::switch("--full", "paper-scale settings, per-cell budgets removed"),
+    FlagSpec::switch("--csv", "print CSV instead of the aligned text table"),
+    FlagSpec::optional_value(
+        "--json",
+        "PATH",
+        "write the rows as a JSON array (default BENCH_table_i.json)",
+    ),
+];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let csv = args.iter().any(|a| a == "--csv");
-    let json_path = json_output_path(&args, "BENCH_table_i.json");
+    let cli = Cli::parse(
+        "table_i",
+        "Table I — quorum semantics results (DSN 2011).",
+        FLAGS,
+    );
+    let full = cli.has("--full");
+    let csv = cli.has("--csv");
+    let json_path = cli.json_path("BENCH_table_i.json");
     let budget = if full {
         Budget::unbounded()
     } else {

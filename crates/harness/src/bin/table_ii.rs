@@ -2,20 +2,35 @@
 //! paper.
 //!
 //! Usage: `cargo run --release -p mp-harness --bin table_ii
-//! [--full] [--csv] [--json [PATH]]`
+//! [--full] [--csv] [--json [PATH]]` (run with `--help` for the
+//! authoritative flag list — it is generated from the same table the
+//! parser uses)
 //!
 //! `--json` writes the rows as a JSON array (default `BENCH_table_ii.json`)
 //! so every harness binary emits machine-readable results.
 
-use mp_harness::{
-    json_output_path, render_csv, render_table, table2::table_ii, write_json_rows, Budget,
-};
+use mp_harness::cli::{Cli, FlagSpec};
+use mp_harness::{render_csv, render_table, table2::table_ii, write_json_rows, Budget};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::switch("--full", "paper-scale settings, per-cell budgets removed"),
+    FlagSpec::switch("--csv", "print CSV instead of the aligned text table"),
+    FlagSpec::optional_value(
+        "--json",
+        "PATH",
+        "write the rows as a JSON array (default BENCH_table_ii.json)",
+    ),
+];
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let full = args.iter().any(|a| a == "--full");
-    let csv = args.iter().any(|a| a == "--csv");
-    let json_path = json_output_path(&args, "BENCH_table_ii.json");
+    let cli = Cli::parse(
+        "table_ii",
+        "Table II — transition refinement in action (DSN 2011).",
+        FLAGS,
+    );
+    let full = cli.has("--full");
+    let csv = cli.has("--csv");
+    let json_path = cli.json_path("BENCH_table_ii.json");
     let budget = if full {
         Budget::unbounded()
     } else {

@@ -36,6 +36,7 @@ where
     let mut config = CheckerConfig::stateful_bfs();
     config.max_states = budget.max_states;
     config.time_limit = budget.time_limit;
+    config.trace = budget.trace.clone();
     let checker = Checker::with_observer(spec, prop, observer).config(config);
     let checker = if spor { checker.spor() } else { checker };
     let report = checker.run();
@@ -60,6 +61,7 @@ where
         verdict,
         completed,
         frontier_bytes: report.stats.frontier_peak_bytes,
+        phases: report.stats.phases.clone(),
     }
 }
 

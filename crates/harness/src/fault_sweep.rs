@@ -97,6 +97,11 @@ pub struct FaultCell {
     /// `fault_sweep` binary exits non-zero when any cell disagrees, like
     /// backend and symmetry disagreement.
     pub spill_agrees: bool,
+    /// Per-phase wall-clock breakdown of the plain safety run (all zero
+    /// when tracing is disabled — the default for committed baselines).
+    /// Serialised into `BENCH_fault_sweep.json` as flat `phase_<name>_ms`
+    /// fields so the CI gate can watch phase shares drift.
+    pub phases: mp_trace::PhaseTimes,
 }
 
 impl FaultCell {
@@ -193,6 +198,7 @@ fn run_cells<S, M, O>(
             let mut config = CheckerConfig::stateful_dfs();
             config.max_states = run_budget.max_states;
             config.time_limit = run_budget.time_limit;
+            config.trace = run_budget.trace.clone();
             let checker =
                 Checker::with_observer(spec, liveness.clone(), NullObserver).config(config);
             let checker = if spor { checker.spor() } else { checker };
@@ -215,6 +221,7 @@ fn run_cells<S, M, O>(
                 let mut config = CheckerConfig::stateful_bfs();
                 config.max_states = run_budget.max_states;
                 config.time_limit = run_budget.time_limit;
+                config.trace = run_budget.trace.clone();
                 config.frontier = frontier;
                 let checker =
                     Checker::with_observer(spec, property.clone(), observer.clone()).config(config);
@@ -251,6 +258,7 @@ fn run_cells<S, M, O>(
                 config.frontier = run_budget.frontier;
                 config.max_states = run_budget.max_states;
                 config.time_limit = run_budget.time_limit;
+                config.trace = run_budget.trace.clone();
                 config.store = store;
                 let checker =
                     Checker::with_observer(spec, property.clone(), observer.clone()).config(config);
@@ -282,6 +290,7 @@ fn run_cells<S, M, O>(
                 frontier_bytes,
                 sym_frontier_bytes,
                 spill_agrees,
+                phases: report.stats.phases.clone(),
             });
         }
     }
@@ -564,7 +573,7 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
              \"store_bytes\":{},\"time_ms\":{},\"sym_verdict\":\"{}\",\"sym_liveness\":\"{}\",\
              \"sym_states\":{},\"sym_time_ms\":{},\"state_ratio\":{:.3},\
              \"frontier_bytes\":{},\"sym_frontier_bytes\":{},\"frontier_ratio\":{:.3},\
-             \"spill_agrees\":{}}}{}\n",
+             \"spill_agrees\":{}{}}}{}\n",
             json_escape(&c.protocol),
             json_escape(&c.budget),
             json_escape(&c.strategy),
@@ -584,6 +593,7 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
             c.sym_frontier_bytes,
             c.frontier_ratio(),
             c.spill_agrees,
+            crate::report::phase_json_fields(&c.phases),
             if i + 1 < cells.len() { "," } else { "" }
         ));
     }
@@ -679,6 +689,11 @@ mod tests {
         assert_eq!(json.matches("\"frontier_bytes\"").count(), cells.len());
         assert_eq!(json.matches("\"sym_frontier_bytes\"").count(), cells.len());
         assert_eq!(json.matches("\"spill_agrees\":true").count(), cells.len());
+        assert_eq!(
+            json.matches("\"phase_expansion_ms\":").count(),
+            cells.len(),
+            "every cell carries its flat phase breakdown"
+        );
         let table = render_fault_sweep(&cells);
         assert!(table.contains("fingerprint"));
         assert!(table.contains("liveness"));

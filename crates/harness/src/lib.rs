@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench_gate;
+pub mod cli;
 pub mod debugging;
 pub mod fault_sweep;
 pub mod heuristics;
@@ -62,6 +63,7 @@ pub mod scaling;
 pub mod table1;
 pub mod table2;
 
+pub use cli::{Cli, FlagSpec};
 pub use report::{
     json_output_path, render_csv, render_json, render_table, write_json_rows, Measurement,
 };

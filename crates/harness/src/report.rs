@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use mp_trace::PhaseTimes;
+
 /// One cell of an evaluation table: a protocol/property/strategy combination
 /// with the measured state count and time.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +33,11 @@ pub struct Measurement {
     /// which have no frontier). Recorded in `BENCH_*.json` so the CI gate
     /// can watch the spill trajectory.
     pub frontier_bytes: usize,
+    /// Per-phase wall-clock breakdown of the run (all zero when tracing is
+    /// disabled, which is the default for every bench baseline). Emitted
+    /// into `BENCH_*.json` as flat `phase_<name>_ms` fields so the CI gate
+    /// can watch a phase's *share* of the traced time drift.
+    pub phases: PhaseTimes,
 }
 
 impl Measurement {
@@ -141,6 +148,20 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Renders the flat `phase_<name>_ms` JSON fields of a phase breakdown
+/// (leading comma included), shared by every `BENCH_*.json` emitter.
+pub fn phase_json_fields(phases: &PhaseTimes) -> String {
+    let mut out = String::new();
+    for (phase, time) in phases.iter() {
+        out.push_str(&format!(
+            ",\"phase_{}_ms\":{}",
+            phase.name(),
+            time.as_millis()
+        ));
+    }
+    out
+}
+
 /// Renders measurements as a JSON array (for the `BENCH_*.json` files the
 /// binaries can emit so the bench trajectory is machine-readable).
 pub fn render_json(rows: &[Measurement]) -> String {
@@ -149,7 +170,7 @@ pub fn render_json(rows: &[Measurement]) -> String {
         out.push_str(&format!(
             "  {{\"protocol\":\"{}\",\"property\":\"{}\",\"strategy\":\"{}\",\"states\":{},\
              \"transitions\":{},\"time_ms\":{},\"verdict\":\"{}\",\"completed\":{},\
-             \"frontier_bytes\":{}}}{}\n",
+             \"frontier_bytes\":{}{}}}{}\n",
             json_escape(&m.protocol),
             json_escape(&m.property),
             json_escape(&m.strategy),
@@ -159,6 +180,7 @@ pub fn render_json(rows: &[Measurement]) -> String {
             json_escape(&m.verdict),
             m.completed,
             m.frontier_bytes,
+            phase_json_fields(&m.phases),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -226,6 +248,7 @@ mod tests {
             completed: true,
             as_expected: true,
             frontier_bytes: 0,
+            phases: PhaseTimes::default(),
         }
     }
 
@@ -268,6 +291,21 @@ mod tests {
         assert!(json.contains("\"time_ms\":1500"));
         // Exactly one separating comma between the two objects.
         assert_eq!(json.matches("},\n").count(), 1);
+        // Every row carries the full flat phase breakdown (zeros when
+        // tracing was disabled).
+        assert_eq!(json.matches("\"phase_expansion_ms\":").count(), 2);
+        assert_eq!(json.matches("\"phase_scc_backstop_ms\":0").count(), 2);
+    }
+
+    #[test]
+    fn phase_fields_report_milliseconds() {
+        let mut nanos = [0u64; mp_trace::PHASE_COUNT];
+        nanos[0] = 7_000_000; // 7 ms of expansion
+        let mut m = sample("p", "s", 1);
+        m.phases = PhaseTimes::from_nanos(nanos);
+        let json = render_json(&[m]);
+        assert!(json.contains("\"phase_expansion_ms\":7"), "{json}");
+        assert!(json.contains("\"phase_store_lookup_ms\":0"), "{json}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use mp_checker::{Checker, CheckerConfig, Invariant, Observer, Verdict};
+use mp_checker::{Checker, CheckerConfig, Invariant, Observer, Tracer, Verdict};
 use mp_model::{LocalState, Message, ProtocolSpec};
 use mp_por::SeedHeuristic;
 use mp_store::{FrontierConfig, StoreConfig};
@@ -12,7 +12,7 @@ use crate::report::Measurement;
 /// Resource budget applied to every experiment cell. The defaults keep the
 /// whole table runnable on a laptop in minutes; `--full` in the binaries
 /// lifts them to paper-scale.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Budget {
     /// Maximum states stored/expanded per cell.
     pub max_states: usize,
@@ -27,6 +27,11 @@ pub struct Budget {
     /// encoded states past its watermark so paper-scale sweeps keep their
     /// level queues on disk next to a compact visited set.
     pub frontier: FrontierConfig,
+    /// Observability sink (`mp-trace`) forwarded into every cell's
+    /// [`CheckerConfig`]. The default disabled tracer keeps every
+    /// instrumentation point a no-op; the binaries' `--progress` /
+    /// `--trace PATH` flags install an enabled one.
+    pub trace: Tracer,
 }
 
 impl Default for Budget {
@@ -36,6 +41,7 @@ impl Default for Budget {
             time_limit: Some(Duration::from_secs(30)),
             store: StoreConfig::Exact,
             frontier: FrontierConfig::Mem,
+            trace: Tracer::disabled(),
         }
     }
 }
@@ -71,13 +77,22 @@ impl Budget {
         self
     }
 
-    /// Applies the budget's limits, store and frontier choices to a
+    /// Installs an observability tracer (builder style); every cell run
+    /// under this budget then emits heartbeat/NDJSON events and records its
+    /// phase breakdown.
+    pub fn with_trace(mut self, trace: Tracer) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Applies the budget's limits, store, frontier and tracer choices to a
     /// configuration.
     pub fn apply(&self, mut config: CheckerConfig) -> CheckerConfig {
         config.max_states = self.max_states;
         config.time_limit = self.time_limit;
         config.store = self.store;
         config.frontier = self.frontier;
+        config.trace = self.trace.clone();
         config
     }
 }
@@ -164,6 +179,7 @@ where
         completed,
         as_expected,
         frontier_bytes: report.stats.frontier_peak_bytes,
+        phases: report.stats.phases.clone(),
     }
 }
 

@@ -189,6 +189,7 @@ pub fn paxos_symmetry_sweep(
             completed: !matches!(sym.verdict, mp_checker::Verdict::LimitReached { .. }),
             as_expected: sym.verdict.is_verified(),
             frontier_bytes: sym.stats.frontier_peak_bytes,
+            phases: sym.stats.phases.clone(),
         });
     }
     (points, rows)
@@ -268,6 +269,7 @@ pub fn paxos_frontier_sweep(
                 .spor()
                 .config(
                     budget
+                        .clone()
                         .with_frontier(frontier)
                         .apply(CheckerConfig::stateful_bfs()),
                 )
@@ -294,6 +296,7 @@ pub fn paxos_frontier_sweep(
             completed: !matches!(disk.verdict, mp_checker::Verdict::LimitReached { .. }),
             as_expected: disk.verdict.is_verified(),
             frontier_bytes: disk.stats.frontier_peak_bytes,
+            phases: disk.stats.phases.clone(),
         });
     }
     (points, rows)
@@ -354,6 +357,7 @@ pub fn store_backend_sweep(
         let report = Checker::new(&spec, collect_soundness_property(setting))
             .config(
                 budget
+                    .clone()
                     .with_store(store)
                     .apply(CheckerConfig::stateful_dfs()),
             )

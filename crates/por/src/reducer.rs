@@ -9,6 +9,7 @@
 //! dependence checks.
 
 use mp_model::{GlobalState, LocalState, Message, ProtocolSpec, TransitionId, TransitionInstance};
+use mp_trace::{Histogram, Phase, TraceHandle};
 
 use crate::{SeedHeuristic, StubbornSets};
 
@@ -43,6 +44,27 @@ pub trait Reducer<S: LocalState, M: Message>: Send + Sync {
         state: &GlobalState<S, M>,
         instances: Vec<TransitionInstance<M>>,
     ) -> Reduction<M>;
+
+    /// [`Reducer::reduce`] with observability: times the computation under
+    /// [`Phase::StubbornSet`] and records the size of the selected explore
+    /// set into the stubborn-set histogram. Engines call this form; a
+    /// disabled handle makes it identical to `reduce` (no clock read).
+    fn reduce_traced(
+        &self,
+        spec: &ProtocolSpec<S, M>,
+        state: &GlobalState<S, M>,
+        instances: Vec<TransitionInstance<M>>,
+        trace: &TraceHandle,
+    ) -> Reduction<M> {
+        let reduction = {
+            let _span = trace.span(Phase::StubbornSet);
+            self.reduce(spec, state, instances)
+        };
+        if trace.is_enabled() && !reduction.explore.is_empty() {
+            trace.record(Histogram::StubbornSetSize, reduction.explore.len() as u64);
+        }
+        reduction
+    }
 
     /// Human-readable name used in reports.
     fn name(&self) -> &'static str;
@@ -238,6 +260,32 @@ mod tests {
         let red = reducer.reduce(&spec, &state, Vec::new());
         assert!(red.explore.is_empty());
         assert!(!red.reduced);
+    }
+
+    #[test]
+    fn traced_reduce_records_the_stubborn_set_histogram() {
+        use mp_trace::{SharedBuffer, Tracer};
+        let spec = diamond();
+        let state = spec.initial_state();
+        let instances = enabled_instances(&spec, &state);
+        let reducer = SporReducer::new(&spec);
+        let tracer = Tracer::to_writer(false, Box::new(SharedBuffer::new()));
+        let run = tracer.begin_run("diamond", "test", "p");
+        let red = reducer.reduce_traced(&spec, &state, instances, &run.handle());
+        assert_eq!(red.explore.len(), 1);
+        let hist = run.snapshot();
+        let h = hist.histogram(Histogram::StubbornSetSize);
+        assert_eq!(h.count, 1);
+        assert_eq!(h.max, 1);
+        run.finish("verified");
+        // The disabled handle records nothing and stays free.
+        let red = reducer.reduce_traced(
+            &spec,
+            &state,
+            enabled_instances(&spec, &state),
+            &TraceHandle::disabled(),
+        );
+        assert!(!red.explore.is_empty());
     }
 
     #[test]

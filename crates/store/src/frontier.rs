@@ -40,6 +40,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use mp_model::{Decode, DecodeError, Encode};
+use mp_trace::{Histogram, Phase, TraceHandle};
 
 /// Default in-memory watermark (and segment size) of the disk frontier:
 /// one segment's worth of encoded states is buffered before it is spilled.
@@ -196,6 +197,13 @@ pub trait FrontierBackend<T> {
 
     /// Short backend name (`"mem"`, `"disk"`).
     fn name(&self) -> &'static str;
+
+    /// Attaches a run's [`TraceHandle`] so the backend can attribute its
+    /// encode/decode work and spill I/O to the trace phases
+    /// ([`Phase::FrontierEncode`], [`Phase::FrontierDecode`],
+    /// [`Phase::SpillIo`]) and record spilled segment sizes. The in-memory
+    /// frontier does no such work, so the default is a no-op.
+    fn set_trace(&mut self, _trace: TraceHandle) {}
 }
 
 /// A frontier built from a [`FrontierConfig`].
@@ -241,6 +249,13 @@ impl<T, C: ItemCodec<T>> FrontierBackend<T> for FrontierImpl<T, C> {
         match self {
             FrontierImpl::Mem(f) => FrontierBackend::name(f),
             FrontierImpl::Disk(f) => f.name(),
+        }
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        match self {
+            FrontierImpl::Mem(f) => FrontierBackend::<T>::set_trace(f, trace),
+            FrontierImpl::Disk(f) => f.set_trace(trace),
         }
     }
 }
@@ -379,6 +394,7 @@ pub struct DiskFrontier<T, C> {
     cur_items: usize,
     cur_bytes: usize,
     stats: FrontierStats,
+    trace: TraceHandle,
     _marker: PhantomData<fn() -> T>,
 }
 
@@ -408,6 +424,7 @@ impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
             cur_items: 0,
             cur_bytes: 0,
             stats: FrontierStats::default(),
+            trace: TraceHandle::disabled(),
             _marker: PhantomData,
         }
     }
@@ -416,6 +433,9 @@ impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
         if self.next_buf.is_empty() {
             return;
         }
+        let _io = self.trace.span(Phase::SpillIo);
+        self.trace
+            .record(Histogram::SpillSegmentBytes, self.next_buf.len() as u64);
         let file = &mut self.files[self.write_file];
         file.seek(SeekFrom::Start(self.write_len))
             .and_then(|_| file.write_all(&self.next_buf))
@@ -439,6 +459,7 @@ impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
 
     fn refill_chunk(&mut self) -> bool {
         if let Some(segment) = self.cur_segments.pop_front() {
+            let _io = self.trace.span(Phase::SpillIo);
             self.cur_chunk.resize(segment.len, 0);
             let read_file = 1 - self.write_file;
             let file = &mut self.files[read_file];
@@ -468,7 +489,10 @@ impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
 impl<T, C: ItemCodec<T>> FrontierBackend<T> for DiskFrontier<T, C> {
     fn push(&mut self, item: T) {
         let start = self.next_buf.len();
-        self.codec.encode_item(&item, &mut self.next_buf);
+        {
+            let _span = self.trace.span(Phase::FrontierEncode);
+            self.codec.encode_item(&item, &mut self.next_buf);
+        }
         let record = self.next_buf.len() - start;
         self.next_buf_items += 1;
         self.next_items += 1;
@@ -486,10 +510,12 @@ impl<T, C: ItemCodec<T>> FrontierBackend<T> for DiskFrontier<T, C> {
         }
         let mut slice = &self.cur_chunk[self.cur_pos..];
         let before = slice.len();
-        let item = self
-            .codec
-            .decode_item(&mut slice)
-            .unwrap_or_else(|e| panic!("corrupted frontier spill record: {e}"));
+        let item = {
+            let _span = self.trace.span(Phase::FrontierDecode);
+            self.codec
+                .decode_item(&mut slice)
+                .unwrap_or_else(|e| panic!("corrupted frontier spill record: {e}"))
+        };
         self.cur_pos += before - slice.len();
         self.cur_chunk_items -= 1;
         self.cur_items -= 1;
@@ -529,6 +555,10 @@ impl<T, C: ItemCodec<T>> FrontierBackend<T> for DiskFrontier<T, C> {
 
     fn name(&self) -> &'static str {
         "disk"
+    }
+
+    fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 }
 
@@ -572,6 +602,8 @@ pub enum SpillLog<T, C> {
         watermark: usize,
         /// Total bytes written to the file.
         spilled_bytes: usize,
+        /// Trace handle attributing spill I/O to [`Phase::SpillIo`].
+        trace: TraceHandle,
     },
 }
 
@@ -597,6 +629,15 @@ impl<T: Clone, C: ItemCodec<T>> SpillLog<T, C> {
             path,
             watermark: watermark.max(1),
             spilled_bytes: 0,
+            trace: TraceHandle::disabled(),
+        }
+    }
+
+    /// Installs a trace handle; spill writes and read-backs are then timed
+    /// under [`Phase::SpillIo`]. The in-memory log ignores it.
+    pub fn set_trace(&mut self, handle: TraceHandle) {
+        if let SpillLog::Disk { trace, .. } = self {
+            *trace = handle;
         }
     }
 
@@ -616,12 +657,15 @@ impl<T: Clone, C: ItemCodec<T>> SpillLog<T, C> {
                 path,
                 watermark,
                 spilled_bytes,
+                trace,
             } => {
                 let start = buf.len();
                 codec.encode_item(&item, buf);
                 let len = (buf.len() - start) as u32;
                 offsets.push((*buf_base + start as u64, len));
                 if buf.len() >= *watermark {
+                    let _io = trace.span(Phase::SpillIo);
+                    trace.record(Histogram::SpillSegmentBytes, buf.len() as u64);
                     file.seek(SeekFrom::Start(*buf_base))
                         .and_then(|_| file.write_all(buf))
                         .unwrap_or_else(|e| {
@@ -652,6 +696,7 @@ impl<T: Clone, C: ItemCodec<T>> SpillLog<T, C> {
                 buf_base,
                 file,
                 path,
+                trace,
                 ..
             } => {
                 let (offset, len) = offsets[index];
@@ -660,6 +705,7 @@ impl<T: Clone, C: ItemCodec<T>> SpillLog<T, C> {
                     let start = (offset - *buf_base) as usize;
                     &buf[start..start + len as usize]
                 } else {
+                    let _io = trace.span(Phase::SpillIo);
                     record = vec![0u8; len as usize];
                     file.seek(SeekFrom::Start(offset))
                         .and_then(|_| file.read_exact(&mut record))

@@ -25,6 +25,7 @@ use std::marker::PhantomData;
 use std::sync::Arc;
 
 use mp_model::{GlobalState, LocalState, Message, Permutable, TransitionInstance};
+use mp_trace::{Histogram, Phase, TraceHandle};
 
 use crate::SymmetryGroup;
 
@@ -48,6 +49,37 @@ pub trait Symmetry<S, M: Ord, O>: Send + Sync {
         state: &GlobalState<S, M>,
         observer: &O,
     ) -> (GlobalState<S, M>, O, usize);
+
+    /// Number of *distinct* images of `(state, observer)` under the group —
+    /// the size of its orbit (1 for the trivial group or a fully symmetric
+    /// pair). Costs one extra group sweep, so engines only call it when
+    /// tracing is enabled.
+    fn orbit_size(&self, _state: &GlobalState<S, M>, _observer: &O) -> usize {
+        1
+    }
+
+    /// [`Symmetry::canonicalize`] with observability: times the group sweep
+    /// under [`Phase::Canonicalize`] and records the orbit size into the
+    /// orbit histogram. A disabled handle makes this identical to
+    /// `canonicalize` (no clock read, no extra sweep).
+    fn canonicalize_traced(
+        &self,
+        state: &GlobalState<S, M>,
+        observer: &O,
+        trace: &TraceHandle,
+    ) -> (GlobalState<S, M>, O, usize) {
+        let result = {
+            let _span = trace.span(Phase::Canonicalize);
+            self.canonicalize(state, observer)
+        };
+        if trace.is_enabled() {
+            trace.record(
+                Histogram::OrbitSize,
+                self.orbit_size(state, observer) as u64,
+            );
+        }
+        result
+    }
 
     /// The composition `a ∘ b` (apply `b` first) as an element index.
     fn compose(&self, a: usize, b: usize) -> usize;
@@ -209,6 +241,23 @@ where
         (best_state, best_observer, best)
     }
 
+    fn orbit_size(&self, state: &GlobalState<S, M>, observer: &O) -> usize {
+        let mut images: Vec<(GlobalState<S, M>, O)> = self
+            .group
+            .elements()
+            .iter()
+            .map(|elem| {
+                (
+                    state.permute(elem.permutation()),
+                    observer.permute(elem.permutation()),
+                )
+            })
+            .collect();
+        images.sort_unstable();
+        images.dedup();
+        images.len()
+    }
+
     fn compose(&self, a: usize, b: usize) -> usize {
         self.group.compose(a, b)
     }
@@ -319,6 +368,32 @@ mod tests {
         let nosym: &dyn Symmetry<u8, Tok, ()> = &NoSymmetry;
         let (same, _) = nosym.apply_element(0, &concrete, &());
         assert_eq!(same, concrete);
+    }
+
+    #[test]
+    fn orbit_size_counts_distinct_images_and_traced_form_records_it() {
+        use mp_trace::{Histogram, Phase, SharedBuffer, Tracer};
+        let spec = twins();
+        let group = SymmetryGroup::build(&spec, &RoleMap::new(2).role([p(0), p(1)]));
+        let reduction: OrbitReduction<u8, Tok, ()> = OrbitReduction::new(group);
+        let sym: &dyn Symmetry<u8, Tok, ()> = &reduction;
+        let mut asymmetric = spec.initial_state();
+        asymmetric.locals = vec![2, 0];
+        assert_eq!(sym.orbit_size(&asymmetric, &()), 2);
+        // The all-equal state is fixed by the swap: a singleton orbit.
+        assert_eq!(sym.orbit_size(&spec.initial_state(), &()), 1);
+
+        let tracer = Tracer::to_writer(false, Box::new(SharedBuffer::new()));
+        let run = tracer.begin_run("twins", "test", "p");
+        let (c1, _, e1) = sym.canonicalize(&asymmetric, &());
+        let (c2, _, e2) = sym.canonicalize_traced(&asymmetric, &(), &run.handle());
+        assert_eq!(c1, c2, "traced form must not change the representative");
+        assert_eq!(e1, e2);
+        let snap = run.snapshot();
+        assert_eq!(snap.histogram(Histogram::OrbitSize).count, 1);
+        assert_eq!(snap.histogram(Histogram::OrbitSize).max, 2);
+        assert!(snap.phases.nanos(Phase::Canonicalize) > 0);
+        run.finish("verified");
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! `trace_check` — validates NDJSON trace files against the mp-trace event
+//! schema (CI's guard that `--trace` output stays machine-readable).
+//!
+//! ```text
+//! Usage: trace_check FILE...
+//! ```
+//!
+//! Exits non-zero and prints the first offending line when any file fails
+//! validation; prints a per-file run/progress summary otherwise.
+
+use std::process::ExitCode;
+
+use mp_trace::validate::validate_stream;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("Usage: trace_check FILE...");
+        eprintln!();
+        eprintln!("Validates each NDJSON trace file against the mp-trace event");
+        eprintln!("schema (run_header, progress, phase_summary, verdict) and the");
+        eprintln!("per-run ordering contract.");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    let mut failed = false;
+    for path in &args {
+        let contents = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_stream(contents.lines()) {
+            Ok(summary) => {
+                println!(
+                    "{path}: OK — {} runs ({} clean, {} aborted), {} progress events",
+                    summary.runs, summary.clean_runs, summary.aborted_runs, summary.progress_events
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

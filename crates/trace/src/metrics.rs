@@ -1,0 +1,353 @@
+//! The atomic metrics registry: counters and log₂-bucket histograms.
+//!
+//! One [`Registry`] lives inside every traced run. All mutation goes
+//! through `&self` with relaxed atomics, so the parallel BFS engine's
+//! worker threads share it through a plain borrow — per-thread
+//! contributions sum exactly because every bump is a single
+//! `fetch_add`/`fetch_max` on the shared cell.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::phase::{Phase, PhaseTimes, PHASE_COUNT};
+
+/// A monotonically increasing run counter.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Counter {
+    /// Distinct states stored (stateful) or expanded (stateless).
+    States,
+    /// Transition executions.
+    Transitions,
+    /// State expansions.
+    Expansions,
+    /// Successors whose key was already visited.
+    Revisits,
+    /// Search depth / BFS level — recorded as a **high-water mark**, not a
+    /// sum: `add` folds the argument in with `max`.
+    Depth,
+}
+
+/// Number of counters in [`Counter::ALL`].
+pub const COUNTER_COUNT: usize = 5;
+
+impl Counter {
+    /// Every counter, in emission order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::States,
+        Counter::Transitions,
+        Counter::Expansions,
+        Counter::Revisits,
+        Counter::Depth,
+    ];
+
+    /// Stable snake_case name used in NDJSON progress events.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::States => "states",
+            Counter::Transitions => "transitions",
+            Counter::Expansions => "expansions",
+            Counter::Revisits => "revisits",
+            Counter::Depth => "depth",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Counter::States => 0,
+            Counter::Transitions => 1,
+            Counter::Expansions => 2,
+            Counter::Revisits => 3,
+            Counter::Depth => 4,
+        }
+    }
+}
+
+/// A log₂-bucket histogram of the registry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Histogram {
+    /// Orbit sizes observed by the symmetry reduction.
+    OrbitSize,
+    /// Sizes of the instance sets the partial-order reducer selected.
+    StubbornSetSize,
+    /// Number of states per BFS level.
+    LevelWidth,
+    /// Bytes per spilled frontier segment.
+    SpillSegmentBytes,
+    /// States per parallel-BFS batch (how full each batch ran).
+    BatchOccupancy,
+}
+
+/// Number of histograms in [`Histogram::ALL`].
+pub const HISTOGRAM_COUNT: usize = 5;
+
+impl Histogram {
+    /// Every histogram, in emission order.
+    pub const ALL: [Histogram; HISTOGRAM_COUNT] = [
+        Histogram::OrbitSize,
+        Histogram::StubbornSetSize,
+        Histogram::LevelWidth,
+        Histogram::SpillSegmentBytes,
+        Histogram::BatchOccupancy,
+    ];
+
+    /// Stable snake_case name used in NDJSON phase-summary fields
+    /// (`<name>_count`, `<name>_sum`, `<name>_max`, `<name>_buckets`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Histogram::OrbitSize => "orbit_size",
+            Histogram::StubbornSetSize => "stubborn_set_size",
+            Histogram::LevelWidth => "level_width",
+            Histogram::SpillSegmentBytes => "spill_segment_bytes",
+            Histogram::BatchOccupancy => "batch_occupancy",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            Histogram::OrbitSize => 0,
+            Histogram::StubbornSetSize => 1,
+            Histogram::LevelWidth => 2,
+            Histogram::SpillSegmentBytes => 3,
+            Histogram::BatchOccupancy => 4,
+        }
+    }
+}
+
+/// Number of log₂ buckets per histogram: bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)`, and the last bucket
+/// absorbs everything above.
+pub const BUCKETS: usize = 33;
+
+/// Maps a value to its log₂ bucket.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Smallest value that lands in bucket `index` (the label the summary
+/// string uses).
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Sample count per log₂ bucket.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Compact `lower_bound:count` rendering of the non-empty buckets
+    /// (e.g. `"1:3,2:5,4:1"`), used in the NDJSON `<name>_buckets` field.
+    pub fn buckets_compact(&self) -> String {
+        let mut out = String::new();
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", bucket_lower_bound(i), n));
+        }
+        out
+    }
+}
+
+/// Point-in-time snapshot of a run's whole registry.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values, indexed like [`Counter::ALL`].
+    pub counters: [u64; COUNTER_COUNT],
+    /// Accumulated per-phase wall-clock.
+    pub phases: PhaseTimes,
+    /// Histogram summaries, indexed like [`Histogram::ALL`].
+    pub histograms: [HistogramSummary; HISTOGRAM_COUNT],
+}
+
+impl Snapshot {
+    /// Value of `counter` in this snapshot.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Summary of `histogram` in this snapshot.
+    pub fn histogram(&self, histogram: Histogram) -> &HistogramSummary {
+        &self.histograms[histogram.index()]
+    }
+}
+
+/// The shared atomic registry of one traced run.
+pub(crate) struct Registry {
+    counters: [AtomicU64; COUNTER_COUNT],
+    phase_nanos: [AtomicU64; PHASE_COUNT],
+    hist_buckets: [[AtomicU64; BUCKETS]; HISTOGRAM_COUNT],
+    hist_count: [AtomicU64; HISTOGRAM_COUNT],
+    hist_sum: [AtomicU64; HISTOGRAM_COUNT],
+    hist_max: [AtomicU64; HISTOGRAM_COUNT],
+}
+
+impl Registry {
+    pub(crate) fn new() -> Self {
+        Registry {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            hist_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_sum: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_max: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: Counter, n: u64) {
+        let cell = &self.counters[counter.index()];
+        match counter {
+            Counter::Depth => {
+                cell.fetch_max(n, Ordering::Relaxed);
+            }
+            _ => {
+                cell.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    pub(crate) fn record(&self, histogram: Histogram, value: u64) {
+        let h = histogram.index();
+        self.hist_buckets[h][bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.hist_count[h].fetch_add(1, Ordering::Relaxed);
+        self.hist_sum[h].fetch_add(value, Ordering::Relaxed);
+        self.hist_max[h].fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_phase_nanos(&self, phase: Phase, nanos: u64) {
+        self.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn phase_times(&self) -> PhaseTimes {
+        PhaseTimes::from_nanos(std::array::from_fn(|i| {
+            self.phase_nanos[i].load(Ordering::Relaxed)
+        }))
+    }
+
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: std::array::from_fn(|i| self.counters[i].load(Ordering::Relaxed)),
+            phases: self.phase_times(),
+            histograms: std::array::from_fn(|h| HistogramSummary {
+                count: self.hist_count[h].load(Ordering::Relaxed),
+                sum: self.hist_sum[h].load(Ordering::Relaxed),
+                max: self.hist_max[h].load(Ordering::Relaxed),
+                buckets: std::array::from_fn(|b| self.hist_buckets[h][b].load(Ordering::Relaxed)),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Bucket 0 is the value 0; bucket i ≥ 1 spans [2^(i-1), 2^i).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            let lb = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lb), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(lb * 2 - 1), i, "upper bound of bucket {i}");
+            assert_eq!(bucket_index(lb * 2), i + 1, "first value past bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_max_and_buckets() {
+        let r = Registry::new();
+        for v in [0, 1, 2, 3, 8] {
+            r.record(Histogram::OrbitSize, v);
+        }
+        let s = r.snapshot();
+        let h = s.histogram(Histogram::OrbitSize);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 14);
+        assert_eq!(h.max, 8);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 2);
+        assert_eq!(h.buckets[4], 1);
+        assert_eq!(h.buckets_compact(), "0:1,1:1,2:2,8:1");
+        assert!((h.mean() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_is_a_high_water_mark() {
+        let r = Registry::new();
+        r.add(Counter::Depth, 3);
+        r.add(Counter::Depth, 7);
+        r.add(Counter::Depth, 5);
+        r.add(Counter::States, 2);
+        r.add(Counter::States, 2);
+        let s = r.snapshot();
+        assert_eq!(s.counter(Counter::Depth), 7);
+        assert_eq!(s.counter(Counter::States), 4);
+    }
+
+    #[test]
+    fn registry_sums_exactly_across_threads() {
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..1000u64 {
+                        r.add(Counter::Transitions, 1);
+                        r.record(Histogram::LevelWidth, i % 17);
+                    }
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.counter(Counter::Transitions), 4000);
+        assert_eq!(s.histogram(Histogram::LevelWidth).count, 4000);
+    }
+}

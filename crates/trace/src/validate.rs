@@ -1,0 +1,438 @@
+//! Schema validation for the NDJSON trace stream — no external JSON crate.
+//!
+//! The emitter writes *flat* objects only (string / integer / boolean
+//! values, no nesting), so the parser here accepts exactly that shape and
+//! rejects everything else. [`validate_line`] checks one event against the
+//! schema; [`validate_stream`] additionally enforces the per-run event
+//! order the acceptance contract names: a `run_header`, at least one
+//! `progress` event, exactly one `phase_summary`, and a final `verdict`.
+
+use std::collections::HashMap;
+
+use crate::metrics::Histogram;
+use crate::phase::Phase;
+
+/// A value of a flat trace event: the only three shapes the emitter writes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A JSON string.
+    Str(String),
+    /// A non-negative integer (every numeric trace field is a count or a
+    /// duration).
+    Int(u64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// The event class of a validated line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Run start: protocol, strategy, property, schema version.
+    RunHeader,
+    /// Periodic or final progress sample.
+    Progress,
+    /// Per-phase wall-clock and histogram summaries.
+    PhaseSummary,
+    /// Final verdict of the run.
+    Verdict,
+}
+
+/// Parses one flat JSON object (the only shape trace events use). Rejects
+/// nested arrays/objects, floats, null and trailing garbage.
+pub fn parse_flat_object(line: &str) -> Result<HashMap<String, Value>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = HashMap::new();
+
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| {
+        while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            chars.next();
+        }
+    };
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        match chars.next() {
+            Some((_, '"')) => {}
+            other => return Err(format!("expected '\"', found {other:?}")),
+        }
+        let mut out = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, c) = chars.next().ok_or("truncated \\u escape")?;
+                            code =
+                                code * 16 + c.to_digit(16).ok_or(format!("bad hex digit {c:?}"))?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    match chars.next() {
+        Some((_, '{')) => {}
+        _ => return Err("line does not start with '{'".to_string()),
+    }
+    skip_ws(&mut chars);
+    if matches!(chars.peek(), Some((_, '}'))) {
+        chars.next();
+    } else {
+        loop {
+            skip_ws(&mut chars);
+            let key = parse_string(&mut chars)?;
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ':')) => {}
+                other => return Err(format!("expected ':' after key {key:?}, found {other:?}")),
+            }
+            skip_ws(&mut chars);
+            let value = match chars.peek() {
+                Some((_, '"')) => Value::Str(parse_string(&mut chars)?),
+                Some((_, 't')) => {
+                    for expected in "true".chars() {
+                        match chars.next() {
+                            Some((_, c)) if c == expected => {}
+                            other => return Err(format!("bad literal near {other:?}")),
+                        }
+                    }
+                    Value::Bool(true)
+                }
+                Some((_, 'f')) => {
+                    for expected in "false".chars() {
+                        match chars.next() {
+                            Some((_, c)) if c == expected => {}
+                            other => return Err(format!("bad literal near {other:?}")),
+                        }
+                    }
+                    Value::Bool(false)
+                }
+                Some((_, c)) if c.is_ascii_digit() => {
+                    let mut digits = String::new();
+                    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_digit()) {
+                        digits.push(chars.next().unwrap().1);
+                    }
+                    if matches!(chars.peek(), Some((_, '.' | 'e' | 'E'))) {
+                        return Err(format!("field {key:?}: floats are not part of the schema"));
+                    }
+                    Value::Int(
+                        digits
+                            .parse::<u64>()
+                            .map_err(|e| format!("field {key:?}: {e}"))?,
+                    )
+                }
+                Some((_, '{' | '[')) => {
+                    return Err(format!(
+                        "field {key:?}: nested values are not part of the schema"
+                    ))
+                }
+                other => return Err(format!("field {key:?}: unexpected value start {other:?}")),
+            };
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate field {key:?}"));
+            }
+            skip_ws(&mut chars);
+            match chars.next() {
+                Some((_, ',')) => continue,
+                Some((_, '}')) => break,
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((i, c)) = chars.next() {
+        return Err(format!("trailing data {c:?} at byte {i}"));
+    }
+    Ok(fields)
+}
+
+fn require<'a>(
+    fields: &'a HashMap<String, Value>,
+    event: &str,
+    key: &str,
+) -> Result<&'a Value, String> {
+    fields
+        .get(key)
+        .ok_or_else(|| format!("{event}: missing field {key:?}"))
+}
+
+fn require_int(fields: &HashMap<String, Value>, event: &str, key: &str) -> Result<u64, String> {
+    match require(fields, event, key)? {
+        Value::Int(n) => Ok(*n),
+        other => Err(format!(
+            "{event}: field {key:?} must be an integer, found {}",
+            other.kind()
+        )),
+    }
+}
+
+fn require_str<'a>(
+    fields: &'a HashMap<String, Value>,
+    event: &str,
+    key: &str,
+) -> Result<&'a str, String> {
+    match require(fields, event, key)? {
+        Value::Str(s) => Ok(s),
+        other => Err(format!(
+            "{event}: field {key:?} must be a string, found {}",
+            other.kind()
+        )),
+    }
+}
+
+fn require_bool(fields: &HashMap<String, Value>, event: &str, key: &str) -> Result<bool, String> {
+    match require(fields, event, key)? {
+        Value::Bool(b) => Ok(*b),
+        other => Err(format!(
+            "{event}: field {key:?} must be a boolean, found {}",
+            other.kind()
+        )),
+    }
+}
+
+/// Validates one NDJSON line against the event schema and returns its
+/// event kind plus parsed fields.
+pub fn validate_line(line: &str) -> Result<(EventKind, HashMap<String, Value>), String> {
+    let fields = parse_flat_object(line)?;
+    let event = require_str(&fields, "event", "event")?.to_string();
+    require_int(&fields, &event, "seq")?;
+    require_str(&fields, &event, "protocol")?;
+    require_str(&fields, &event, "strategy")?;
+    let kind = match event.as_str() {
+        "run_header" => {
+            let schema = require_int(&fields, &event, "schema")?;
+            if schema != 1 {
+                return Err(format!("run_header: unsupported schema version {schema}"));
+            }
+            require_str(&fields, &event, "property")?;
+            EventKind::RunHeader
+        }
+        "progress" => {
+            for key in [
+                "elapsed_ms",
+                "states",
+                "transitions",
+                "depth",
+                "states_per_sec",
+            ] {
+                require_int(&fields, &event, key)?;
+            }
+            require_bool(&fields, &event, "final")?;
+            EventKind::Progress
+        }
+        "phase_summary" => {
+            require_int(&fields, &event, "elapsed_ms")?;
+            for phase in Phase::ALL {
+                require_int(&fields, &event, &format!("{}_us", phase.name()))?;
+            }
+            for hist in Histogram::ALL {
+                require_int(&fields, &event, &format!("{}_count", hist.name()))?;
+                require_int(&fields, &event, &format!("{}_sum", hist.name()))?;
+                require_int(&fields, &event, &format!("{}_max", hist.name()))?;
+                require_str(&fields, &event, &format!("{}_buckets", hist.name()))?;
+            }
+            EventKind::PhaseSummary
+        }
+        "verdict" => {
+            require_str(&fields, &event, "verdict")?;
+            require_bool(&fields, &event, "clean")?;
+            for key in ["states", "transitions", "elapsed_ms"] {
+                require_int(&fields, &event, key)?;
+            }
+            EventKind::Verdict
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok((kind, fields))
+}
+
+/// What [`validate_stream`] found in a valid stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Completed runs (header through verdict).
+    pub runs: usize,
+    /// Total progress events.
+    pub progress_events: usize,
+    /// Runs whose verdict carried `clean:true`.
+    pub clean_runs: usize,
+    /// Runs that ended in the `Drop`-flushed `"aborted"` verdict.
+    pub aborted_runs: usize,
+}
+
+/// Validates a whole NDJSON stream: every line against the schema, plus the
+/// per-run ordering contract (header → progress⁺ → phase_summary →
+/// verdict). Runs are sequential — engines never interleave events of two
+/// runs in one sink.
+pub fn validate_stream<'a, I>(lines: I) -> Result<StreamSummary, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut summary = StreamSummary::default();
+    let mut open = false;
+    let mut progress_in_run = 0usize;
+    let mut summaries_in_run = 0usize;
+    for (idx, line) in lines.into_iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (kind, fields) = validate_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        match kind {
+            EventKind::RunHeader => {
+                if open {
+                    return Err(format!(
+                        "line {lineno}: run_header while the previous run is still open"
+                    ));
+                }
+                open = true;
+                progress_in_run = 0;
+                summaries_in_run = 0;
+            }
+            EventKind::Progress => {
+                if !open {
+                    return Err(format!("line {lineno}: progress outside a run"));
+                }
+                if summaries_in_run > 0 {
+                    return Err(format!("line {lineno}: progress after the phase_summary"));
+                }
+                progress_in_run += 1;
+                summary.progress_events += 1;
+            }
+            EventKind::PhaseSummary => {
+                if !open {
+                    return Err(format!("line {lineno}: phase_summary outside a run"));
+                }
+                summaries_in_run += 1;
+                if summaries_in_run > 1 {
+                    return Err(format!("line {lineno}: duplicate phase_summary"));
+                }
+            }
+            EventKind::Verdict => {
+                if !open {
+                    return Err(format!("line {lineno}: verdict outside a run"));
+                }
+                if progress_in_run == 0 {
+                    return Err(format!("line {lineno}: verdict without a progress event"));
+                }
+                if summaries_in_run != 1 {
+                    return Err(format!("line {lineno}: verdict without a phase_summary"));
+                }
+                open = false;
+                summary.runs += 1;
+                match fields.get("clean") {
+                    Some(Value::Bool(true)) => summary.clean_runs += 1,
+                    _ => summary.aborted_runs += 1,
+                }
+            }
+        }
+    }
+    if open {
+        return Err("stream ends inside an open run (missing verdict)".to_string());
+    }
+    if summary.runs == 0 {
+        return Err("stream contains no completed run".to_string());
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counter, SharedBuffer, Tracer};
+
+    #[test]
+    fn parser_accepts_flat_objects_only() {
+        let ok = parse_flat_object(r#"{"a":"x","b":12,"c":true,"d":false}"#).unwrap();
+        assert_eq!(ok.get("a"), Some(&Value::Str("x".to_string())));
+        assert_eq!(ok.get("b"), Some(&Value::Int(12)));
+        assert_eq!(ok.get("c"), Some(&Value::Bool(true)));
+        assert!(parse_flat_object(r#"{"a":{"nested":1}}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":[1,2]}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1.5}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":null}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1} trailing"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let fields = parse_flat_object(r#"{"s":"quote \" slash \\ nl \n uni A"}"#).unwrap();
+        assert_eq!(
+            fields.get("s"),
+            Some(&Value::Str("quote \" slash \\ nl \n uni A".to_string()))
+        );
+    }
+
+    #[test]
+    fn real_emitter_output_validates() {
+        let buf = SharedBuffer::new();
+        let tracer = Tracer::to_writer(false, Box::new(buf.clone()));
+        let run = tracer.begin_run("paxos", "stateful-bfs+spor", "agreement");
+        run.add(Counter::States, 12);
+        run.finish("verified");
+        drop(run);
+        let aborted = tracer.begin_run("paxos", "stateful-dfs", "agreement");
+        aborted.add(Counter::States, 2);
+        drop(aborted);
+        let text = buf.contents();
+        let summary = validate_stream(text.lines()).unwrap();
+        assert_eq!(summary.runs, 2);
+        assert_eq!(summary.clean_runs, 1);
+        assert_eq!(summary.aborted_runs, 1);
+        assert!(summary.progress_events >= 2);
+    }
+
+    #[test]
+    fn stream_ordering_is_enforced() {
+        let header = r#"{"event":"run_header","seq":0,"protocol":"p","strategy":"s","schema":1,"property":"x"}"#;
+        let verdict = r#"{"event":"verdict","seq":1,"protocol":"p","strategy":"s","verdict":"verified","clean":true,"states":1,"transitions":0,"elapsed_ms":0}"#;
+        // Verdict without progress/summary events.
+        let err = validate_stream([header, verdict]).unwrap_err();
+        assert!(err.contains("without a progress event"), "{err}");
+        // Verdict before any header.
+        let err = validate_stream([verdict]).unwrap_err();
+        assert!(err.contains("outside a run"), "{err}");
+        // Truncated stream.
+        let err = validate_stream([header]).unwrap_err();
+        assert!(err.contains("missing verdict"), "{err}");
+        // Empty stream.
+        assert!(validate_stream([]).is_err());
+    }
+
+    #[test]
+    fn unknown_events_and_bad_types_are_rejected() {
+        let err = validate_line(r#"{"event":"mystery","seq":0,"protocol":"p","strategy":"s"}"#)
+            .unwrap_err();
+        assert!(err.contains("unknown event"), "{err}");
+        let err = validate_line(
+            r#"{"event":"progress","seq":0,"protocol":"p","strategy":"s","elapsed_ms":"fast","states":1,"transitions":1,"depth":1,"states_per_sec":1,"final":true}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("must be an integer"), "{err}");
+    }
+}

@@ -7,6 +7,9 @@
 //!
 //! * [`model`] (`mp-model`) — the message-passing computation model with
 //!   quorum transitions (the paper's MP language analogue);
+//! * [`trace`] (`mp-trace`) — zero-dependency observability: phase timers,
+//!   an atomic metrics registry, progress heartbeats and NDJSON run traces
+//!   shared by every engine and harness binary;
 //! * [`por`] (`mp-por`) — static (stubborn-set / MP-LPOR style) and dynamic
 //!   partial-order reduction;
 //! * [`store`] (`mp-store`) — pluggable visited-state backends (exact,
@@ -43,6 +46,7 @@ pub use mp_protocols as protocols;
 pub use mp_refine as refine;
 pub use mp_store as store;
 pub use mp_symmetry as symmetry;
+pub use mp_trace as trace;
 
 #[cfg(test)]
 mod tests {
