@@ -43,11 +43,11 @@ use mp_model::{
 };
 use mp_por::Reducer;
 use mp_symmetry::Symmetry;
-use mp_trace::{Counter, Histogram, Phase, TraceHandle};
+use mp_trace::{Counter, Gauge, Histogram, Phase, TraceHandle};
 
 use crate::{
-    liveness::run_liveness_dfs, CheckerConfig, Counterexample, ExplorationStats, Observer,
-    Property, PropertyStatus, RunReport, Verdict,
+    liveness::run_liveness_dfs, obs::LevelObserver, CheckerConfig, Counterexample,
+    ExplorationStats, Observer, Property, PropertyStatus, RunReport, Verdict,
 };
 
 /// A frontier entry of the BFS engines: `(parent-table index, δ, state,
@@ -246,6 +246,10 @@ where
     trace.add(Counter::States, 1);
 
     let mut depth = 0usize;
+    let mut level_obs = LevelObserver::new(&trace);
+    if level_obs.enabled() {
+        level_obs.seed(store.len() as u64, store.stats().hits as u64);
+    }
     loop {
         let width = frontier.advance_level();
         if width == 0 {
@@ -255,6 +259,7 @@ where
         depth += 1;
         stats.max_depth = stats.max_depth.max(depth);
         trace.add(Counter::Depth, depth as u64);
+        level_obs.begin_level();
 
         while let Some((node_idx, delta, key_state, key_observer)) = frontier.pop() {
             // δ⁻¹ maps the stored orbit representative back to the concrete
@@ -358,6 +363,28 @@ where
                 stats.states += 1;
                 trace.add(Counter::States, 1);
             }
+        }
+
+        // Per-level time-series and memory gauges; `enabled()` keeps every
+        // stats read off the untraced path.
+        if level_obs.enabled() {
+            let store_stats = store.stats();
+            let frontier_stats = frontier.stats();
+            let summary = level_obs.end_level(
+                depth as u64,
+                width as u64,
+                store.len() as u64,
+                store_stats.hits as u64,
+                frontier_stats.peak_bytes as u64,
+            );
+            trace.level_summary(&summary);
+            trace.sample_gauge(Gauge::StoreBytes, store_stats.approx_bytes as u64);
+            trace.sample_gauge(Gauge::FrontierBytes, frontier_stats.peak_bytes as u64);
+            trace.sample_gauge(Gauge::ParentLogBytes, nodes.approx_bytes() as u64);
+            // With symmetry on, the visited store *is* the canonical-
+            // representative cache (keys are pre-canonicalized orbit reps).
+            let canon_bytes = if trivial { 0 } else { store_stats.approx_bytes };
+            trace.sample_gauge(Gauge::CanonicalCacheBytes, canon_bytes as u64);
         }
     }
 

@@ -96,6 +96,7 @@ pub mod config;
 pub mod counterexample;
 pub mod dfs;
 pub mod liveness;
+mod obs;
 pub mod observer;
 pub mod parallel;
 pub mod property;

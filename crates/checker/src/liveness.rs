@@ -61,7 +61,7 @@ use mp_model::{
 };
 use mp_por::Reducer;
 use mp_symmetry::{NoSymmetry, Symmetry};
-use mp_trace::{Counter, Phase};
+use mp_trace::{Counter, Gauge, Phase};
 
 use crate::{
     CheckerConfig, Counterexample, ExplorationStats, Fairness, Observer, Property, PropertyClass,
@@ -594,6 +594,13 @@ where
             stats.elapsed = start.elapsed();
             stats.record_store(store_label(store.name()), store.stats());
             stats.phases = trace.phase_times();
+            // This engine has no level structure, so memory gauges are
+            // sampled once at the end (peak == final for a grow-only store).
+            if trace.is_enabled() {
+                let bytes = store.approx_bytes() as u64;
+                trace.sample_gauge(Gauge::StoreBytes, bytes);
+                trace.sample_gauge(Gauge::CanonicalCacheBytes, if trivial { 0 } else { bytes });
+            }
             trace.finish(match &verdict {
                 Verdict::Verified => "verified",
                 Verdict::Violated(_) => "violated",

@@ -37,11 +37,12 @@ use mp_model::{
 };
 use mp_por::Reducer;
 use mp_symmetry::Symmetry;
-use mp_trace::{Counter, Histogram, Phase};
+use mp_trace::{Counter, Gauge, Histogram, Phase};
 
 use crate::{
     bfs::{insert_successor, Entry, EntryCodec},
     liveness::run_liveness_dfs,
+    obs::LevelObserver,
     CheckerConfig, Counterexample, ExplorationStats, Observer, Property, PropertyStatus, RunReport,
     Verdict,
 };
@@ -176,6 +177,10 @@ where
         };
     }
 
+    let mut level_obs = LevelObserver::new(&trace);
+    if level_obs.enabled() {
+        level_obs.seed(store.len() as u64, store.stats().hits as u64);
+    }
     'levels: loop {
         let width = frontier.advance_level();
         if width == 0 || stop.load(Ordering::Relaxed) {
@@ -184,6 +189,7 @@ where
         trace.record(Histogram::LevelWidth, width as u64);
         depth += 1;
         trace.add(Counter::Depth, depth as u64);
+        level_obs.begin_level();
 
         loop {
             let mut batch = Vec::with_capacity(batch_size);
@@ -329,6 +335,27 @@ where
             if stop.load(Ordering::Relaxed) {
                 break 'levels;
             }
+        }
+
+        // Per-level time-series and memory gauges (workers have joined, so
+        // the cumulative store figures are stable here); `enabled()` keeps
+        // the stats reads off the untraced path. This engine keeps no
+        // parent log — the gauge stays at its default 0.
+        if level_obs.enabled() {
+            let store_stats = store.stats();
+            let frontier_stats = frontier.stats();
+            let summary = level_obs.end_level(
+                depth as u64,
+                width as u64,
+                store.len() as u64,
+                store_stats.hits as u64,
+                frontier_stats.peak_bytes as u64,
+            );
+            trace.level_summary(&summary);
+            trace.sample_gauge(Gauge::StoreBytes, store_stats.approx_bytes as u64);
+            trace.sample_gauge(Gauge::FrontierBytes, frontier_stats.peak_bytes as u64);
+            let canon_bytes = if trivial { 0 } else { store_stats.approx_bytes };
+            trace.sample_gauge(Gauge::CanonicalCacheBytes, canon_bytes as u64);
         }
     }
 

@@ -21,6 +21,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mp_trace::analyze::{diff as trace_diff, RunSummary};
+use mp_trace::Phase;
+
 use crate::fault_sweep::verdict_class;
 
 /// A scalar JSON value of a bench row.
@@ -177,20 +180,75 @@ const VERDICT_FIELDS: [&str; 4] = ["verdict", "liveness", "sym_verdict", "sym_li
 /// regression, not noise.
 const GATED_COUNTS: [&str; 3] = ["states", "sym_states", "transitions"];
 
-/// The per-phase wall-clock fields the harness emits (`phase_<name>_ms`).
-/// Individually they are as noisy as `time_ms`, so the generic numeric
-/// rules skip them; instead the gate compares each phase's *share* of the
-/// total traced time, which is stable run to run — a phase suddenly
-/// doubling its fraction flags an algorithmic shift even when absolute
-/// times sit inside the noise band.
-fn is_phase_field(name: &str) -> bool {
-    name.starts_with("phase_") && name.ends_with("_ms")
+/// Picks the suffix family of per-phase wall-clock fields the share
+/// comparison judges: `_us` when both rows carry microsecond fields (full
+/// resolution — smoke-scale phases round to zero in ms), falling back to
+/// `_ms` against older baselines. One family per row pair, never mixed, so
+/// no phase is counted twice. Individually phase fields are as noisy as
+/// `time_ms`, so the generic numeric rules skip them; instead the gate
+/// compares each phase's *share* of the total traced time, which is stable
+/// run to run — a phase suddenly doubling its fraction flags an algorithmic
+/// shift even when absolute times sit inside the noise band.
+fn phase_family(base: &Row, fresh: &Row) -> &'static str {
+    let has_us = |row: &Row| {
+        row.iter()
+            .any(|(k, _)| k.starts_with("phase_") && k.ends_with("_us"))
+    };
+    if has_us(base) && has_us(fresh) {
+        "_us"
+    } else {
+        "_ms"
+    }
 }
 
 /// Absolute share-of-traced-time drift (in fractional points) beyond which
 /// a phase field warns: 0.20 = a phase moved by more than 20 percentage
 /// points of the traced total.
 pub const PHASE_SHARE_DRIFT: f64 = 0.20;
+
+/// Trace-level phase-drift check (behind `bench_gate --trace-baseline` /
+/// `--trace-fresh`): pairs the runs of two analyzed NDJSON traces by
+/// `protocol · strategy · property` identity and returns one warning per
+/// phase whose share of traced time moved by more than
+/// [`PHASE_SHARE_DRIFT`]. Traces see every phase at full µs resolution and
+/// per run rather than per aggregated bench row, so this catches drifts the
+/// row-level gate smooths over; like the row-level share rule it only ever
+/// warns.
+pub fn trace_phase_drift(
+    label: &str,
+    baseline: &[RunSummary],
+    fresh: &[RunSummary],
+) -> Vec<String> {
+    let identity = |r: &RunSummary| format!("{} · {} · {}", r.protocol, r.strategy, r.property);
+    let mut warnings = Vec::new();
+    let mut used = vec![false; fresh.len()];
+    for base_run in baseline {
+        let key = identity(base_run);
+        let Some((i, fresh_run)) = fresh
+            .iter()
+            .enumerate()
+            .find(|(i, f)| !used[*i] && identity(f) == key)
+        else {
+            warnings.push(format!(
+                "{label}: trace run has no fresh counterpart: {key}"
+            ));
+            continue;
+        };
+        used[i] = true;
+        let d = trace_diff(base_run, fresh_run);
+        for (p, phase) in Phase::ALL.iter().enumerate() {
+            if d.phase_share_delta[p].abs() > PHASE_SHARE_DRIFT {
+                warnings.push(format!(
+                    "{label}: {} share of traced time drifted on {key}: {:.0}% -> {:.0}%",
+                    phase.name(),
+                    base_run.phase_share(*phase) * 100.0,
+                    fresh_run.phase_share(*phase) * 100.0
+                ));
+            }
+        }
+    }
+    warnings
+}
 
 /// Numeric fields that only warn (wall-time and memory noise). Frontier
 /// bytes are hardware-independent in principle but track encoded-state
@@ -312,10 +370,13 @@ pub fn compare(label: &str, baseline: &[Row], fresh: &[Row], tolerance: f64) -> 
         // Phase share-of-traced-time drift (warning only). Judged only when
         // both sides actually traced — untraced baselines (all-zero phase
         // fields, the default) stay inert, per the acceptance contract that
-        // disabled tracing changes nothing in the gate.
+        // disabled tracing changes nothing in the gate. Shares are computed
+        // within one suffix family (µs preferred) so nothing counts twice.
+        let family = phase_family(base_row, fresh_row);
+        let in_family = |k: &str| k.starts_with("phase_") && k.ends_with(family);
         let phase_total = |row: &Row| -> f64 {
             row.iter()
-                .filter(|(k, _)| is_phase_field(k))
+                .filter(|(k, _)| in_family(k))
                 .filter_map(|(_, v)| match v {
                     JsonValue::Num(n) => Some(*n),
                     _ => None,
@@ -331,7 +392,7 @@ pub fn compare(label: &str, baseline: &[Row], fresh: &[Row], tolerance: f64) -> 
                 else {
                     continue;
                 };
-                if !is_phase_field(field) {
+                if !in_family(field) {
                     continue;
                 }
                 let base_share = b / base_total;
@@ -508,6 +569,89 @@ mod tests {
         let report = compare("sweep", &zeros, &fresh, 0.10);
         assert!(report.passed());
         assert!(!report.warnings.iter().any(|w| w.contains("share")));
+    }
+
+    #[test]
+    fn microsecond_family_is_preferred_and_never_mixed() {
+        // Both sides carry both families. In ms everything rounds to zero
+        // (inert); in µs there is a 40-point share shift — the gate must
+        // judge the µs family and warn exactly once per drifting phase.
+        let baseline = parse_rows(
+            r#"[{"protocol":"p","phase_expansion_ms":0,"phase_store_lookup_ms":0,"phase_expansion_us":900,"phase_store_lookup_us":100}]"#,
+        )
+        .unwrap();
+        let fresh = parse_rows(
+            r#"[{"protocol":"p","phase_expansion_ms":0,"phase_store_lookup_ms":0,"phase_expansion_us":500,"phase_store_lookup_us":500}]"#,
+        )
+        .unwrap();
+        assert_eq!(phase_family(&baseline[0], &fresh[0]), "_us");
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(report.passed(), "{:?}", report.errors);
+        let share_warnings: Vec<_> = report
+            .warnings
+            .iter()
+            .filter(|w| w.contains("share"))
+            .collect();
+        assert!(
+            share_warnings
+                .iter()
+                .any(|w| w.contains("phase_expansion_us share")),
+            "{share_warnings:?}"
+        );
+        assert!(
+            !share_warnings.iter().any(|w| w.contains("_ms share")),
+            "ms family must not be judged when µs is: {share_warnings:?}"
+        );
+    }
+
+    #[test]
+    fn millisecond_family_still_works_against_old_baselines() {
+        // Old baseline: ms only. Fresh rows carry both families; the extra
+        // µs fields are new (fine) and shares are judged in ms.
+        let baseline =
+            parse_rows(r#"[{"protocol":"p","phase_expansion_ms":90,"phase_store_lookup_ms":10}]"#)
+                .unwrap();
+        let fresh = parse_rows(
+            r#"[{"protocol":"p","phase_expansion_ms":50,"phase_store_lookup_ms":50,"phase_expansion_us":50000,"phase_store_lookup_us":50000}]"#,
+        )
+        .unwrap();
+        assert_eq!(phase_family(&baseline[0], &fresh[0]), "_ms");
+        let report = compare("sweep", &baseline, &fresh, 0.10);
+        assert!(report.passed(), "{:?}", report.errors);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("phase_expansion_ms share")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn trace_phase_drift_pairs_runs_and_warns_on_share_moves() {
+        use mp_trace::PHASE_COUNT;
+        let run = |strategy: &str, phases_us: [u64; PHASE_COUNT]| RunSummary {
+            protocol: "paxos".to_string(),
+            strategy: strategy.to_string(),
+            property: "agreement".to_string(),
+            phases_us,
+            ..Default::default()
+        };
+        let mut even = [0u64; PHASE_COUNT];
+        even[0] = 500;
+        even[1] = 500;
+        let mut skewed = [0u64; PHASE_COUNT];
+        skewed[0] = 900;
+        skewed[1] = 100;
+        // Same shares → silent; a 40-point move → one warning per phase.
+        assert!(trace_phase_drift("t", &[run("bfs", even)], &[run("bfs", even)]).is_empty());
+        let warnings = trace_phase_drift("t", &[run("bfs", even)], &[run("bfs", skewed)]);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("expansion share"), "{warnings:?}");
+        // Unpaired baseline runs are surfaced, not silently skipped.
+        let unpaired = trace_phase_drift("t", &[run("bfs", even)], &[run("dfs", even)]);
+        assert!(unpaired[0].contains("no fresh counterpart"), "{unpaired:?}");
     }
 
     #[test]

@@ -12,14 +12,27 @@
 //! the fresh file are reported as `::warning::` annotations only. See
 //! `mp_harness::bench_gate` for the exact rules.
 
-use mp_harness::bench_gate::{compare, parse_rows};
+use mp_harness::bench_gate::{compare, parse_rows, trace_phase_drift};
 use mp_harness::cli::{Cli, FlagSpec};
+use mp_harness::trace_report::load_runs;
 
-const FLAGS: &[FlagSpec] = &[FlagSpec::value(
-    "--tolerance",
-    "T",
-    "relative state-count drift that fails the gate (default 0.10)",
-)];
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::value(
+        "--tolerance",
+        "T",
+        "relative state-count drift that fails the gate (default 0.10)",
+    ),
+    FlagSpec::value(
+        "--trace-baseline",
+        "PATH",
+        "baseline NDJSON trace for the phase-drift check (needs --trace-fresh)",
+    ),
+    FlagSpec::value(
+        "--trace-fresh",
+        "PATH",
+        "fresh NDJSON trace compared against --trace-baseline (warnings only)",
+    ),
+];
 
 fn main() {
     let cli = Cli::parse_with_positionals(
@@ -32,8 +45,17 @@ fn main() {
         .value("--tolerance")
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.10);
+    let trace_pair = match (cli.value("--trace-baseline"), cli.value("--trace-fresh")) {
+        (Some(a), Some(b)) => Some((a.to_string(), b.to_string())),
+        (None, None) => None,
+        _ => {
+            eprintln!("bench_gate: --trace-baseline and --trace-fresh must be given together");
+            eprint!("{}", cli.usage());
+            std::process::exit(2);
+        }
+    };
     let files = cli.positionals();
-    if files.is_empty() || !files.len().is_multiple_of(2) {
+    if (files.is_empty() && trace_pair.is_none()) || !files.len().is_multiple_of(2) {
         eprint!("{}", cli.usage());
         std::process::exit(2);
     }
@@ -75,6 +97,24 @@ fn main() {
             failed = true;
         }
     }
+    // Trace-level phase-drift evidence (warnings only — never fails the
+    // gate, matching the row-level share rule).
+    if let Some((baseline_path, fresh_path)) = trace_pair {
+        let load =
+            |path: &str| load_runs(path).unwrap_or_else(|e| panic!("cannot analyze trace: {e}"));
+        let baseline = load(&baseline_path);
+        let fresh = load(&fresh_path);
+        let warnings = trace_phase_drift("trace", &baseline, &fresh);
+        for warning in &warnings {
+            println!("::warning::{warning}");
+        }
+        println!(
+            "trace: {} baseline run(s) checked for phase drift, {} warning(s)",
+            baseline.len(),
+            warnings.len()
+        );
+    }
+
     if failed {
         std::process::exit(1);
     }

@@ -1,0 +1,88 @@
+//! `trace_report` — turns `--trace` NDJSON streams into readable reports.
+//!
+//! ```text
+//! usage: trace_report <subcommand> <file.ndjson> [...]
+//!
+//! subcommands:
+//!   summary FILE...   per-run counters, phase shares, memory-gauge peaks
+//!   diff A B          cross-run deltas between two traces (runs paired by
+//!                     protocol · strategy · property identity)
+//!   timeline FILE...  the per-level `level_summary` time-series tables
+//!   flame FILE...     folded `engine;phase <µs>` stacks for speedscope /
+//!                     inferno flamegraph tools
+//! ```
+//!
+//! Markdown goes to stdout (CI appends it to `$GITHUB_STEP_SUMMARY`);
+//! `flame` emits the raw collapsed-stack text instead. Exits 2 on usage
+//! errors and 1 when a trace cannot be read or fails validation.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use mp_harness::trace_report::{
+    diff_markdown, flame_text, load_runs, summary_markdown, timeline_markdown,
+};
+
+const USAGE: &str = "usage: trace_report <summary|diff|timeline|flame> <file.ndjson> [...]
+
+subcommands:
+  summary FILE...   per-run counters, phase shares, memory-gauge peaks
+  diff A B          cross-run deltas between two traces
+  timeline FILE...  per-level `level_summary` time-series tables
+  flame FILE...     folded engine;phase stacks (speedscope/inferno input)";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("trace_report: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some((subcommand, files)) = args.split_first() else {
+        return usage_error("missing subcommand");
+    };
+    if files.is_empty() {
+        return usage_error("missing trace file argument(s)");
+    }
+
+    let result = match subcommand.as_str() {
+        "summary" => files.iter().try_fold(String::new(), |mut out, path| {
+            out.push_str(&summary_markdown(path, &load_runs(path)?));
+            Ok(out)
+        }),
+        "diff" => {
+            let [a, b] = files else {
+                return usage_error("diff takes exactly two trace files");
+            };
+            load_runs(a)
+                .and_then(|runs_a| load_runs(b).map(|runs_b| diff_markdown(a, b, &runs_a, &runs_b)))
+        }
+        "timeline" => files.iter().try_fold(String::new(), |mut out, path| {
+            out.push_str(&timeline_markdown(path, &load_runs(path)?));
+            Ok(out)
+        }),
+        "flame" => files.iter().try_fold(String::new(), |mut out, path| {
+            out.push_str(&flame_text(&load_runs(path)?));
+            Ok(out)
+        }),
+        other => return usage_error(&format!("unknown subcommand `{other}`")),
+    };
+
+    match result {
+        Ok(output) => {
+            // A closed stdout (`trace_report summary ... | head`) is a
+            // reader that has seen enough, not an error.
+            let _ = std::io::stdout().write_all(output.as_bytes());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -62,6 +62,7 @@ pub mod runner;
 pub mod scaling;
 pub mod table1;
 pub mod table2;
+pub mod trace_report;
 
 pub use cli::{Cli, FlagSpec};
 pub use report::{

@@ -148,15 +148,22 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the flat `phase_<name>_ms` JSON fields of a phase breakdown
-/// (leading comma included), shared by every `BENCH_*.json` emitter.
+/// Renders the flat phase-time JSON fields of a phase breakdown (leading
+/// comma included), shared by every `BENCH_*.json` emitter. Each phase gets
+/// a `phase_<name>_ms` field (the historical unit, kept for old baselines)
+/// and a `phase_<name>_us` sibling — smoke-scale runs finish whole phases
+/// inside a millisecond, so the `_ms` column reads all-zero exactly where
+/// the share-drift gate needs signal most. `bench_gate` prefers the `_us`
+/// family when both sides of a comparison carry it.
 pub fn phase_json_fields(phases: &PhaseTimes) -> String {
     let mut out = String::new();
     for (phase, time) in phases.iter() {
         out.push_str(&format!(
-            ",\"phase_{}_ms\":{}",
+            ",\"phase_{}_ms\":{},\"phase_{}_us\":{}",
             phase.name(),
-            time.as_millis()
+            time.as_millis(),
+            phase.name(),
+            time.as_micros()
         ));
     }
     out
@@ -294,18 +301,23 @@ mod tests {
         // Every row carries the full flat phase breakdown (zeros when
         // tracing was disabled).
         assert_eq!(json.matches("\"phase_expansion_ms\":").count(), 2);
+        assert_eq!(json.matches("\"phase_expansion_us\":").count(), 2);
         assert_eq!(json.matches("\"phase_scc_backstop_ms\":0").count(), 2);
     }
 
     #[test]
-    fn phase_fields_report_milliseconds() {
+    fn phase_fields_report_milliseconds_and_microseconds() {
         let mut nanos = [0u64; mp_trace::PHASE_COUNT];
         nanos[0] = 7_000_000; // 7 ms of expansion
+        nanos[1] = 250_000; // 250 µs of store lookup — invisible in ms
         let mut m = sample("p", "s", 1);
         m.phases = PhaseTimes::from_nanos(nanos);
         let json = render_json(&[m]);
         assert!(json.contains("\"phase_expansion_ms\":7"), "{json}");
+        assert!(json.contains("\"phase_expansion_us\":7000"), "{json}");
+        // The sub-millisecond phase only shows up in the _us column.
         assert!(json.contains("\"phase_store_lookup_ms\":0"), "{json}");
+        assert!(json.contains("\"phase_store_lookup_us\":250"), "{json}");
     }
 
     #[test]

@@ -49,6 +49,14 @@ impl<K: Eq + Hash> CanonicalStore<K> {
     pub fn is_canonical(&self) -> bool {
         self.mapper.is_some()
     }
+
+    /// Approximate heap bytes of the underlying table — the
+    /// [`StoreStats::approx_bytes`] figure without a full stats copy. Feeds
+    /// the `store_bytes` (and, on symmetric runs, `canonical_cache_bytes`)
+    /// memory gauges.
+    pub fn approx_bytes(&self) -> usize {
+        self.inner.stats().approx_bytes
+    }
 }
 
 impl StoreConfig {

@@ -741,6 +741,21 @@ impl<T: Clone, C: ItemCodec<T>> SpillLog<T, C> {
             SpillLog::Disk { spilled_bytes, .. } => *spilled_bytes,
         }
     }
+
+    /// Approximate *resident* bytes of the log — what it costs in RAM, as
+    /// opposed to [`spilled_bytes`](Self::spilled_bytes) which counts what
+    /// already left for disk. `size_of`-based for the in-memory arm (heap
+    /// behind the records is invisible without a deep-size trait); the
+    /// offset table plus the unflushed buffer for the disk arm. Feeds the
+    /// `parent_log_bytes` memory gauge.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            SpillLog::Mem { items, .. } => items.len() * std::mem::size_of::<T>(),
+            SpillLog::Disk { offsets, buf, .. } => {
+                offsets.len() * std::mem::size_of::<(u64, u32)>() + buf.len()
+            }
+        }
+    }
 }
 
 impl<T, C> Drop for SpillLog<T, C> {

@@ -5,12 +5,86 @@
 //! Usage: trace_check FILE...
 //! ```
 //!
-//! Exits non-zero and prints the first offending line when any file fails
-//! validation; prints a per-file run/progress summary otherwise.
+//! Each failure class gets its own exit code so CI steps and scripts can
+//! react without parsing messages:
+//!
+//! | exit | meaning |
+//! |------|---------|
+//! | 0    | every file is schema-valid and every run finished cleanly |
+//! | 1    | schema/ordering violation (or unreadable file / bad usage) |
+//! | 2    | truncated stream — ends mid-run or holds no completed run  |
+//! | 3    | valid stream, but some run aborted (`clean:false` verdict) |
+//!
+//! When files land in different classes the most severe one wins, in the
+//! order invalid > truncated > aborted (an invalid byte stream is a worse
+//! sign than a run that honestly reported its own abort).
 
 use std::process::ExitCode;
 
-use mp_trace::validate::validate_stream;
+use mp_trace::validate::{classify_stream, StreamVerdict};
+
+/// What one file's classification contributes to the process exit code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Outcome {
+    /// All runs present, complete and clean.
+    Clean,
+    /// Complete and schema-valid, but at least one `clean:false` verdict.
+    Aborted,
+    /// The stream stops mid-run (killed process, filled disk).
+    Truncated,
+    /// Schema or ordering violation (also: unreadable file, bad usage).
+    Invalid,
+}
+
+impl Outcome {
+    fn exit_code(self) -> u8 {
+        match self {
+            Outcome::Clean => 0,
+            Outcome::Invalid => 1,
+            Outcome::Truncated => 2,
+            Outcome::Aborted => 3,
+        }
+    }
+}
+
+/// Classifies one file's contents and prints its per-file report line.
+fn check_contents(path: &str, contents: &str, out: &mut impl std::fmt::Write) -> Outcome {
+    match classify_stream(contents.lines()) {
+        StreamVerdict::Clean(summary) => {
+            let _ = writeln!(
+                out,
+                "{path}: OK — {} runs ({} clean, {} aborted), {} progress events, {} level summaries",
+                summary.runs,
+                summary.clean_runs,
+                summary.aborted_runs,
+                summary.progress_events,
+                summary.level_summaries,
+            );
+            Outcome::Clean
+        }
+        StreamVerdict::Aborted(summary) => {
+            let _ = writeln!(
+                out,
+                "{path}: ABORTED — {} of {} runs ended with clean:false (the \
+                 checker stopped early and said so); stream itself is schema-valid",
+                summary.aborted_runs, summary.runs,
+            );
+            Outcome::Aborted
+        }
+        StreamVerdict::Truncated(e) => {
+            let _ = writeln!(
+                out,
+                "{path}: TRUNCATED — {e} (stream ends mid-run: killed process, \
+                 filled disk, or an incomplete copy)"
+            );
+            Outcome::Truncated
+        }
+        StreamVerdict::Invalid(e) => {
+            let _ = writeln!(out, "{path}: INVALID — {e}");
+            Outcome::Invalid
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,40 +92,118 @@ fn main() -> ExitCode {
         eprintln!("Usage: trace_check FILE...");
         eprintln!();
         eprintln!("Validates each NDJSON trace file against the mp-trace event");
-        eprintln!("schema (run_header, progress, phase_summary, verdict) and the");
-        eprintln!("per-run ordering contract.");
+        eprintln!("schema (run_header, progress, level_summary, phase_summary,");
+        eprintln!("verdict) and the per-run ordering contract.");
+        eprintln!();
+        eprintln!("Exit codes: 0 clean, 1 invalid, 2 truncated, 3 aborted runs.");
         return if args.is_empty() {
             ExitCode::FAILURE
         } else {
             ExitCode::SUCCESS
         };
     }
-    let mut failed = false;
+    let mut worst = Outcome::Clean;
     for path in &args {
         let contents = match std::fs::read_to_string(path) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("{path}: cannot read: {e}");
-                failed = true;
+                worst = worst.max(Outcome::Invalid);
                 continue;
             }
         };
-        match validate_stream(contents.lines()) {
-            Ok(summary) => {
-                println!(
-                    "{path}: OK — {} runs ({} clean, {} aborted), {} progress events",
-                    summary.runs, summary.clean_runs, summary.aborted_runs, summary.progress_events
-                );
-            }
-            Err(e) => {
-                eprintln!("{path}: INVALID — {e}");
-                failed = true;
-            }
+        let mut report = String::new();
+        let outcome = check_contents(path, &contents, &mut report);
+        if outcome == Outcome::Clean {
+            print!("{report}");
+        } else {
+            eprint!("{report}");
         }
+        worst = worst.max(outcome);
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    ExitCode::from(worst.exit_code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_trace::{Counter, SharedBuffer, Tracer};
+
+    fn clean_trace() -> String {
+        let buf = SharedBuffer::new();
+        let tracer = Tracer::to_writer(false, Box::new(buf.clone()));
+        let run = tracer.begin_run("p", "s", "prop");
+        run.add(Counter::States, 7);
+        run.finish("verified");
+        drop(run);
+        buf.contents()
+    }
+
+    fn aborted_trace() -> String {
+        let buf = SharedBuffer::new();
+        let tracer = Tracer::to_writer(false, Box::new(buf.clone()));
+        let run = tracer.begin_run("p", "s", "prop");
+        run.add(Counter::States, 7);
+        drop(run); // no finish(): Drop flushes the aborted tail
+        buf.contents()
+    }
+
+    fn outcome_of(contents: &str) -> Outcome {
+        let mut sink = String::new();
+        check_contents("test.ndjson", contents, &mut sink)
+    }
+
+    #[test]
+    fn clean_stream_exits_zero() {
+        let outcome = outcome_of(&clean_trace());
+        assert_eq!(outcome, Outcome::Clean);
+        assert_eq!(outcome.exit_code(), 0);
+    }
+
+    #[test]
+    fn invalid_stream_exits_one() {
+        let outcome = outcome_of("{\"event\":\"mystery\"}\n");
+        assert_eq!(outcome, Outcome::Invalid);
+        assert_eq!(outcome.exit_code(), 1);
+    }
+
+    #[test]
+    fn truncated_stream_exits_two() {
+        let full = clean_trace();
+        let prefix: String = full.lines().take(1).map(|l| format!("{l}\n")).collect();
+        let outcome = outcome_of(&prefix);
+        assert_eq!(outcome, Outcome::Truncated);
+        assert_eq!(outcome.exit_code(), 2);
+        // The empty stream is truncation too — no completed run to speak of.
+        assert_eq!(outcome_of(""), Outcome::Truncated);
+    }
+
+    #[test]
+    fn aborted_run_exits_three() {
+        let outcome = outcome_of(&aborted_trace());
+        assert_eq!(outcome, Outcome::Aborted);
+        assert_eq!(outcome.exit_code(), 3);
+    }
+
+    #[test]
+    fn messages_name_the_failure_class() {
+        let mut report = String::new();
+        check_contents("t", &aborted_trace(), &mut report);
+        assert!(report.contains("ABORTED"), "{report}");
+        report.clear();
+        let full = clean_trace();
+        let prefix: String = full.lines().take(1).map(|l| format!("{l}\n")).collect();
+        check_contents("t", &prefix, &mut report);
+        assert!(report.contains("TRUNCATED"), "{report}");
+        report.clear();
+        check_contents("t", "not json", &mut report);
+        assert!(report.contains("INVALID"), "{report}");
+    }
+
+    #[test]
+    fn severity_order_prefers_invalid() {
+        assert!(Outcome::Invalid > Outcome::Truncated);
+        assert!(Outcome::Truncated > Outcome::Aborted);
+        assert!(Outcome::Aborted > Outcome::Clean);
     }
 }

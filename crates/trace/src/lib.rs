@@ -47,14 +47,17 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod analyze;
 mod metrics;
 mod phase;
 mod tracer;
 pub mod validate;
 
 pub use metrics::{
-    bucket_index, bucket_lower_bound, Counter, Histogram, HistogramSummary, Snapshot, BUCKETS,
-    COUNTER_COUNT, HISTOGRAM_COUNT,
+    bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSummary, Snapshot,
+    BUCKETS, COUNTER_COUNT, GAUGE_COUNT, HISTOGRAM_COUNT,
 };
 pub use phase::{Phase, PhaseTimes, PHASE_COUNT};
-pub use tracer::{RunTrace, SharedBuffer, SpanGuard, TraceHandle, TraceOptions, Tracer};
+pub use tracer::{
+    LevelSummary, RunTrace, SharedBuffer, SpanGuard, TraceHandle, TraceOptions, Tracer,
+};

@@ -101,13 +101,67 @@ impl Histogram {
         }
     }
 
-    const fn index(self) -> usize {
+    pub(crate) const fn index(self) -> usize {
         match self {
             Histogram::OrbitSize => 0,
             Histogram::StubbornSetSize => 1,
             Histogram::LevelWidth => 2,
             Histogram::SpillSegmentBytes => 3,
             Histogram::BatchOccupancy => 4,
+        }
+    }
+}
+
+/// A memory gauge of the registry: an instantaneous byte figure the
+/// engines *sample* (as opposed to the monotone [`Counter`]s they bump).
+/// Each gauge is folded in with `fetch_max`, so what the snapshot reports
+/// is the **peak** observed so far — exactly what progress lines and the
+/// heartbeat need for "how big did this run get" questions, and stable
+/// under racing samplers (the max of two peaks is the peak).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Gauge {
+    /// Approximate heap bytes of the visited store's tables.
+    StoreBytes,
+    /// Peak bytes queued in the BFS frontier (exact encoded bytes for the
+    /// disk frontier, a `size_of`-based estimate in memory).
+    FrontierBytes,
+    /// Resident bytes of the parent-pointer path log (offsets + unspilled
+    /// buffer for the disk log, the record vector in memory).
+    ParentLogBytes,
+    /// Bytes of canonical orbit representatives held by the visited store
+    /// on behalf of the symmetry reduction (0 on symmetry-off runs, where
+    /// keys are concrete states).
+    CanonicalCacheBytes,
+}
+
+/// Number of gauges in [`Gauge::ALL`].
+pub const GAUGE_COUNT: usize = 4;
+
+impl Gauge {
+    /// Every gauge, in emission order.
+    pub const ALL: [Gauge; GAUGE_COUNT] = [
+        Gauge::StoreBytes,
+        Gauge::FrontierBytes,
+        Gauge::ParentLogBytes,
+        Gauge::CanonicalCacheBytes,
+    ];
+
+    /// Stable snake_case name used in NDJSON progress events.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::StoreBytes => "store_bytes",
+            Gauge::FrontierBytes => "frontier_bytes",
+            Gauge::ParentLogBytes => "parent_log_bytes",
+            Gauge::CanonicalCacheBytes => "canonical_cache_bytes",
+        }
+    }
+
+    pub(crate) const fn index(self) -> usize {
+        match self {
+            Gauge::StoreBytes => 0,
+            Gauge::FrontierBytes => 1,
+            Gauge::ParentLogBytes => 2,
+            Gauge::CanonicalCacheBytes => 3,
         }
     }
 }
@@ -196,12 +250,19 @@ pub struct Snapshot {
     pub phases: PhaseTimes,
     /// Histogram summaries, indexed like [`Histogram::ALL`].
     pub histograms: [HistogramSummary; HISTOGRAM_COUNT],
+    /// Peak gauge values, indexed like [`Gauge::ALL`].
+    pub gauges: [u64; GAUGE_COUNT],
 }
 
 impl Snapshot {
     /// Value of `counter` in this snapshot.
     pub fn counter(&self, counter: Counter) -> u64 {
         self.counters[counter.index()]
+    }
+
+    /// Peak value of `gauge` in this snapshot.
+    pub fn gauge(&self, gauge: Gauge) -> u64 {
+        self.gauges[gauge.index()]
     }
 
     /// Summary of `histogram` in this snapshot.
@@ -218,6 +279,7 @@ pub(crate) struct Registry {
     hist_count: [AtomicU64; HISTOGRAM_COUNT],
     hist_sum: [AtomicU64; HISTOGRAM_COUNT],
     hist_max: [AtomicU64; HISTOGRAM_COUNT],
+    gauges: [AtomicU64; GAUGE_COUNT],
 }
 
 impl Registry {
@@ -229,6 +291,7 @@ impl Registry {
             hist_count: std::array::from_fn(|_| AtomicU64::new(0)),
             hist_sum: std::array::from_fn(|_| AtomicU64::new(0)),
             hist_max: std::array::from_fn(|_| AtomicU64::new(0)),
+            gauges: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -252,6 +315,10 @@ impl Registry {
         self.hist_max[h].fetch_max(value, Ordering::Relaxed);
     }
 
+    pub(crate) fn sample_gauge(&self, gauge: Gauge, bytes: u64) {
+        self.gauges[gauge.index()].fetch_max(bytes, Ordering::Relaxed);
+    }
+
     pub(crate) fn add_phase_nanos(&self, phase: Phase, nanos: u64) {
         self.phase_nanos[phase.index()].fetch_add(nanos, Ordering::Relaxed);
     }
@@ -272,6 +339,7 @@ impl Registry {
                 max: self.hist_max[h].load(Ordering::Relaxed),
                 buckets: std::array::from_fn(|b| self.hist_buckets[h][b].load(Ordering::Relaxed)),
             }),
+            gauges: std::array::from_fn(|g| self.gauges[g].load(Ordering::Relaxed)),
         }
     }
 }
@@ -318,6 +386,21 @@ mod tests {
         assert_eq!(h.buckets[4], 1);
         assert_eq!(h.buckets_compact(), "0:1,1:1,2:2,8:1");
         assert!((h.mean() - 2.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_keep_their_peak() {
+        let r = Registry::new();
+        r.sample_gauge(Gauge::StoreBytes, 100);
+        r.sample_gauge(Gauge::StoreBytes, 4096);
+        r.sample_gauge(Gauge::StoreBytes, 512);
+        let s = r.snapshot();
+        assert_eq!(s.gauge(Gauge::StoreBytes), 4096);
+        assert_eq!(s.gauge(Gauge::FrontierBytes), 0);
+        let mut names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GAUGE_COUNT);
     }
 
     #[test]

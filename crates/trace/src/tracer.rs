@@ -21,8 +21,28 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::metrics::{Counter, Histogram, Registry, Snapshot};
+use crate::metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 use crate::phase::{Phase, PhaseTimes};
+
+/// One BFS level's worth of time-series data, emitted as a `level_summary`
+/// NDJSON event by the breadth-first engines at the end of every level.
+/// Together the events form the per-run time series the `trace_report
+/// timeline` subcommand renders.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelSummary {
+    /// The BFS level (1-based; level 1 expands the initial state).
+    pub level: u64,
+    /// Number of frontier entries the level started with.
+    pub width: u64,
+    /// States first inserted into the visited store during this level.
+    pub new_states: u64,
+    /// Visited-store hits (revisited successors) during this level.
+    pub store_hits: u64,
+    /// Peak bytes queued in the frontier so far.
+    pub frontier_bytes: u64,
+    /// Wall-clock the level took, in microseconds.
+    pub duration_us: u64,
+}
 
 /// How a [`Tracer`] reports: stderr heartbeat lines, NDJSON events, or both.
 #[derive(Debug, Default)]
@@ -238,7 +258,7 @@ impl RunInner {
     fn emit_header(&self) {
         let mut line = String::new();
         self.header("run_header", &mut line);
-        line.push_str(",\"schema\":1");
+        line.push_str(",\"schema\":2");
         push_str_field(&mut line, "property", &self.property);
         line.push('}');
         self.shared.write_line(&line);
@@ -249,21 +269,47 @@ impl RunInner {
     /// safe.
     fn emit_progress(&self, is_final: bool) {
         let snap = self.registry.snapshot();
-        let elapsed_ms = self.start.elapsed().as_millis() as u64;
+        let elapsed_us = (self.start.elapsed().as_micros() as u64).max(1);
         let states = snap.counter(Counter::States);
         let mut line = String::new();
         self.header("progress", &mut line);
-        push_u64_field(&mut line, "elapsed_ms", elapsed_ms);
+        push_u64_field(&mut line, "elapsed_ms", elapsed_us / 1_000);
+        push_u64_field(&mut line, "elapsed_us", elapsed_us);
         push_u64_field(&mut line, "states", states);
         push_u64_field(&mut line, "transitions", snap.counter(Counter::Transitions));
         push_u64_field(&mut line, "depth", snap.counter(Counter::Depth));
+        // Throughput from microseconds: the old `states*1000/elapsed_ms`
+        // over-reported by up to 1000x on sub-millisecond runs.
         push_u64_field(
             &mut line,
             "states_per_sec",
-            states.saturating_mul(1000) / elapsed_ms.max(1),
+            states.saturating_mul(1_000_000) / elapsed_us,
         );
+        for gauge in Gauge::ALL {
+            push_u64_field(&mut line, gauge.name(), snap.gauge(gauge));
+        }
         line.push_str(",\"final\":");
         line.push_str(if is_final { "true" } else { "false" });
+        line.push('}');
+        self.shared.write_line(&line);
+    }
+
+    /// Emits one `level_summary` event, unless the run already finished
+    /// (the tail's ordering contract puts every level before the
+    /// phase_summary).
+    fn emit_level_summary(&self, level: &LevelSummary) {
+        let finished = self.finished.lock().expect("trace run lock poisoned");
+        if *finished {
+            return;
+        }
+        let mut line = String::new();
+        self.header("level_summary", &mut line);
+        push_u64_field(&mut line, "level", level.level);
+        push_u64_field(&mut line, "width", level.width);
+        push_u64_field(&mut line, "new_states", level.new_states);
+        push_u64_field(&mut line, "store_hits", level.store_hits);
+        push_u64_field(&mut line, "frontier_bytes", level.frontier_bytes);
+        push_u64_field(&mut line, "duration_us", level.duration_us);
         line.push('}');
         self.shared.write_line(&line);
     }
@@ -447,6 +493,22 @@ impl TraceHandle {
     pub fn record(&self, histogram: Histogram, value: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.record(histogram, value);
+        }
+    }
+
+    /// Samples `bytes` into `gauge`; the registry keeps the peak, which the
+    /// heartbeat and every later progress line then report.
+    pub fn sample_gauge(&self, gauge: Gauge, bytes: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.sample_gauge(gauge, bytes);
+        }
+    }
+
+    /// Emits one `level_summary` event (a no-op when disabled or after the
+    /// run finished). The BFS engines call this at the end of every level.
+    pub fn level_summary(&self, level: &LevelSummary) {
+        if let Some(inner) = &self.inner {
+            inner.emit_level_summary(level);
         }
     }
 
@@ -699,6 +761,93 @@ mod tests {
         assert!(text.trim_end().ends_with('}'));
         let last = text.lines().last().unwrap();
         assert!(last.contains("\"event\":\"verdict\""));
+    }
+
+    #[test]
+    fn level_summaries_and_gauges_land_in_the_stream() {
+        let (buf, tracer) = traced_buffer();
+        let run = tracer.begin_run("demo", "stateful-bfs", "p");
+        run.add(Counter::States, 3);
+        run.sample_gauge(Gauge::StoreBytes, 2048);
+        run.sample_gauge(Gauge::StoreBytes, 1024); // below the peak: ignored
+        run.level_summary(&LevelSummary {
+            level: 1,
+            width: 1,
+            new_states: 2,
+            store_hits: 0,
+            frontier_bytes: 96,
+            duration_us: 41,
+        });
+        run.finish("verified");
+        drop(run);
+        let text = buf.contents();
+        let level_line = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"level_summary\""))
+            .expect("level_summary emitted");
+        assert!(level_line.contains("\"level\":1"));
+        assert!(level_line.contains("\"new_states\":2"));
+        assert!(level_line.contains("\"duration_us\":41"));
+        let progress = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"progress\""))
+            .expect("progress emitted");
+        assert!(progress.contains("\"store_bytes\":2048"), "{progress}");
+        assert!(progress.contains("\"canonical_cache_bytes\":0"));
+        assert!(progress.contains("\"elapsed_us\":"));
+        // The summary precedes the phase_summary (ordering contract).
+        let level_at = text.find("level_summary").unwrap();
+        let summary_at = text.find("phase_summary").unwrap();
+        assert!(level_at < summary_at);
+    }
+
+    #[test]
+    fn level_summaries_after_finish_are_dropped() {
+        let (buf, tracer) = traced_buffer();
+        let run = tracer.begin_run("demo", "stateful-bfs", "p");
+        run.finish("verified");
+        run.level_summary(&LevelSummary::default());
+        drop(run);
+        assert!(!buf.contents().contains("level_summary"));
+    }
+
+    #[test]
+    fn sub_millisecond_throughput_is_not_inflated() {
+        let (buf, tracer) = traced_buffer();
+        let run = tracer.begin_run("demo", "stateful-bfs", "p");
+        run.add(Counter::States, 100);
+        run.finish("verified");
+        drop(run);
+        let progress = buf
+            .contents()
+            .lines()
+            .find(|l| l.contains("\"event\":\"progress\""))
+            .unwrap()
+            .to_string();
+        let sps: u64 = progress
+            .split("\"states_per_sec\":")
+            .nth(1)
+            .unwrap()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // 100 states in a few microseconds is millions/s, far below the
+        // 100 states * 1000 = 100_000/s floor the old ms-based formula
+        // reported for *any* sub-millisecond run... but crucially it must
+        // not exceed the physical bound of 100 states per elapsed_us
+        // microseconds scaled to a second.
+        let elapsed_us: u64 = progress
+            .split("\"elapsed_us\":")
+            .nth(1)
+            .unwrap()
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(sps, 100 * 1_000_000 / elapsed_us.max(1));
     }
 
     #[test]

@@ -41,6 +41,8 @@ pub enum EventKind {
     RunHeader,
     /// Periodic or final progress sample.
     Progress,
+    /// Per-BFS-level time-series sample (schema 2).
+    LevelSummary,
     /// Per-phase wall-clock and histogram summaries.
     PhaseSummary,
     /// Final verdict of the run.
@@ -226,7 +228,11 @@ pub fn validate_line(line: &str) -> Result<(EventKind, HashMap<String, Value>), 
     let kind = match event.as_str() {
         "run_header" => {
             let schema = require_int(&fields, &event, "schema")?;
-            if schema != 1 {
+            // Schema 2 added `elapsed_us` + memory gauges to progress
+            // events and the `level_summary` event; streams of either
+            // version validate (the additions are optional fields plus a
+            // new event kind, so version-1 streams remain well-formed).
+            if schema != 1 && schema != 2 {
                 return Err(format!("run_header: unsupported schema version {schema}"));
             }
             require_str(&fields, &event, "property")?;
@@ -242,8 +248,30 @@ pub fn validate_line(line: &str) -> Result<(EventKind, HashMap<String, Value>), 
             ] {
                 require_int(&fields, &event, key)?;
             }
+            // Schema-2 additions, validated for type when present.
+            for key in crate::metrics::Gauge::ALL.map(|g| g.name()) {
+                if fields.contains_key(key) {
+                    require_int(&fields, &event, key)?;
+                }
+            }
+            if fields.contains_key("elapsed_us") {
+                require_int(&fields, &event, "elapsed_us")?;
+            }
             require_bool(&fields, &event, "final")?;
             EventKind::Progress
+        }
+        "level_summary" => {
+            for key in [
+                "level",
+                "width",
+                "new_states",
+                "store_hits",
+                "frontier_bytes",
+                "duration_us",
+            ] {
+                require_int(&fields, &event, key)?;
+            }
+            EventKind::LevelSummary
         }
         "phase_summary" => {
             require_int(&fields, &event, "elapsed_ms")?;
@@ -278,17 +306,38 @@ pub struct StreamSummary {
     pub runs: usize,
     /// Total progress events.
     pub progress_events: usize,
+    /// Total level_summary events.
+    pub level_summaries: usize,
     /// Runs whose verdict carried `clean:true`.
     pub clean_runs: usize,
     /// Runs that ended in the `Drop`-flushed `"aborted"` verdict.
     pub aborted_runs: usize,
 }
 
-/// Validates a whole NDJSON stream: every line against the schema, plus the
-/// per-run ordering contract (header → progress⁺ → phase_summary →
-/// verdict). Runs are sequential — engines never interleave events of two
-/// runs in one sink.
-pub fn validate_stream<'a, I>(lines: I) -> Result<StreamSummary, String>
+/// The classified outcome of checking a whole stream — what `trace_check`
+/// maps to its distinct exit codes. The three failure classes mean three
+/// different things operationally: `Invalid` is an emitter/validator bug,
+/// `Truncated` is a killed process or a filled disk, and `Aborted` is a
+/// well-formed stream whose producer panicked or was dropped mid-run
+/// (the `Drop` tail flushed `clean:false`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamVerdict {
+    /// Well-formed, every run completed with `clean:true`.
+    Clean(StreamSummary),
+    /// Well-formed, but at least one run ended `clean:false`.
+    Aborted(StreamSummary),
+    /// Every line validates, but the stream stops mid-run (missing
+    /// verdict) or holds no completed run at all.
+    Truncated(String),
+    /// A line failed schema validation or the per-run ordering contract.
+    Invalid(String),
+}
+
+/// Classifies a whole NDJSON stream: every line against the schema, plus
+/// the per-run ordering contract (header → (progress | level_summary)⁺ →
+/// phase_summary → verdict, with at least one progress event). Runs are
+/// sequential — engines never interleave events of two runs in one sink.
+pub fn classify_stream<'a, I>(lines: I) -> StreamVerdict
 where
     I: IntoIterator<Item = &'a str>,
 {
@@ -301,13 +350,17 @@ where
             continue;
         }
         let lineno = idx + 1;
-        let (kind, fields) = validate_line(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let (kind, fields) = match validate_line(line) {
+            Ok(parsed) => parsed,
+            Err(e) => return StreamVerdict::Invalid(format!("line {lineno}: {e}")),
+        };
+        let ordering_error = |msg: String| StreamVerdict::Invalid(format!("line {lineno}: {msg}"));
         match kind {
             EventKind::RunHeader => {
                 if open {
-                    return Err(format!(
-                        "line {lineno}: run_header while the previous run is still open"
-                    ));
+                    return ordering_error(
+                        "run_header while the previous run is still open".to_string(),
+                    );
                 }
                 open = true;
                 progress_in_run = 0;
@@ -315,32 +368,41 @@ where
             }
             EventKind::Progress => {
                 if !open {
-                    return Err(format!("line {lineno}: progress outside a run"));
+                    return ordering_error("progress outside a run".to_string());
                 }
                 if summaries_in_run > 0 {
-                    return Err(format!("line {lineno}: progress after the phase_summary"));
+                    return ordering_error("progress after the phase_summary".to_string());
                 }
                 progress_in_run += 1;
                 summary.progress_events += 1;
             }
+            EventKind::LevelSummary => {
+                if !open {
+                    return ordering_error("level_summary outside a run".to_string());
+                }
+                if summaries_in_run > 0 {
+                    return ordering_error("level_summary after the phase_summary".to_string());
+                }
+                summary.level_summaries += 1;
+            }
             EventKind::PhaseSummary => {
                 if !open {
-                    return Err(format!("line {lineno}: phase_summary outside a run"));
+                    return ordering_error("phase_summary outside a run".to_string());
                 }
                 summaries_in_run += 1;
                 if summaries_in_run > 1 {
-                    return Err(format!("line {lineno}: duplicate phase_summary"));
+                    return ordering_error("duplicate phase_summary".to_string());
                 }
             }
             EventKind::Verdict => {
                 if !open {
-                    return Err(format!("line {lineno}: verdict outside a run"));
+                    return ordering_error("verdict outside a run".to_string());
                 }
                 if progress_in_run == 0 {
-                    return Err(format!("line {lineno}: verdict without a progress event"));
+                    return ordering_error("verdict without a progress event".to_string());
                 }
                 if summaries_in_run != 1 {
-                    return Err(format!("line {lineno}: verdict without a phase_summary"));
+                    return ordering_error("verdict without a phase_summary".to_string());
                 }
                 open = false;
                 summary.runs += 1;
@@ -352,12 +414,32 @@ where
         }
     }
     if open {
-        return Err("stream ends inside an open run (missing verdict)".to_string());
+        return StreamVerdict::Truncated(
+            "stream ends inside an open run (missing verdict)".to_string(),
+        );
     }
     if summary.runs == 0 {
-        return Err("stream contains no completed run".to_string());
+        return StreamVerdict::Truncated("stream contains no completed run".to_string());
     }
-    Ok(summary)
+    if summary.aborted_runs > 0 {
+        StreamVerdict::Aborted(summary)
+    } else {
+        StreamVerdict::Clean(summary)
+    }
+}
+
+/// Validates a whole NDJSON stream (see [`classify_stream`] for the exact
+/// contract), flattening the classification: both well-formed classes pass
+/// — aborted runs are a fact about the *producer*, not a stream defect —
+/// while truncation and schema violations are errors.
+pub fn validate_stream<'a, I>(lines: I) -> Result<StreamSummary, String>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    match classify_stream(lines) {
+        StreamVerdict::Clean(summary) | StreamVerdict::Aborted(summary) => Ok(summary),
+        StreamVerdict::Truncated(e) | StreamVerdict::Invalid(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +504,90 @@ mod tests {
         assert!(err.contains("missing verdict"), "{err}");
         // Empty stream.
         assert!(validate_stream([]).is_err());
+    }
+
+    #[test]
+    fn level_summaries_validate_and_obey_the_ordering() {
+        let header = r#"{"event":"run_header","seq":0,"protocol":"p","strategy":"s","schema":2,"property":"x"}"#;
+        let level = r#"{"event":"level_summary","seq":1,"protocol":"p","strategy":"s","level":1,"width":3,"new_states":2,"store_hits":1,"frontier_bytes":96,"duration_us":40}"#;
+        let progress = r#"{"event":"progress","seq":2,"protocol":"p","strategy":"s","elapsed_ms":0,"elapsed_us":120,"states":3,"transitions":2,"depth":1,"states_per_sec":25000,"store_bytes":64,"frontier_bytes":96,"parent_log_bytes":24,"canonical_cache_bytes":0,"final":true}"#;
+        let phase = {
+            let mut line = String::from(
+                r#"{"event":"phase_summary","seq":3,"protocol":"p","strategy":"s","elapsed_ms":0"#,
+            );
+            for p in Phase::ALL {
+                line.push_str(&format!(",\"{}_us\":0", p.name()));
+            }
+            for h in Histogram::ALL {
+                line.push_str(&format!(
+                    ",\"{n}_count\":0,\"{n}_sum\":0,\"{n}_max\":0,\"{n}_buckets\":\"\"",
+                    n = h.name()
+                ));
+            }
+            line.push('}');
+            line
+        };
+        let verdict = r#"{"event":"verdict","seq":4,"protocol":"p","strategy":"s","verdict":"verified","clean":true,"states":3,"transitions":2,"elapsed_ms":0}"#;
+        let summary = validate_stream([header, level, progress, phase.as_str(), verdict]).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.level_summaries, 1);
+
+        // A level_summary after the phase_summary violates the ordering.
+        let verdict_order = classify_stream([header, progress, phase.as_str(), level, verdict]);
+        assert!(
+            matches!(&verdict_order, StreamVerdict::Invalid(e) if e.contains("after the phase_summary")),
+            "{verdict_order:?}"
+        );
+        // ...and outside a run it is rejected outright.
+        assert!(matches!(
+            classify_stream([level]),
+            StreamVerdict::Invalid(_)
+        ));
+        // A missing field is a schema error.
+        let bad = r#"{"event":"level_summary","seq":1,"protocol":"p","strategy":"s","level":1}"#;
+        assert!(validate_line(bad).unwrap_err().contains("width"));
+    }
+
+    #[test]
+    fn classification_separates_truncated_aborted_and_invalid() {
+        let buf = SharedBuffer::new();
+        let tracer = Tracer::to_writer(false, Box::new(buf.clone()));
+        let run = tracer.begin_run("p", "s", "prop");
+        run.add(Counter::States, 1);
+        run.finish("verified");
+        drop(run);
+        let clean_text = buf.contents();
+        assert!(matches!(
+            classify_stream(clean_text.lines()),
+            StreamVerdict::Clean(_)
+        ));
+
+        // Dropping without finish -> well-formed but aborted.
+        let aborted = tracer.begin_run("p", "s", "prop");
+        aborted.add(Counter::States, 1);
+        drop(aborted);
+        let text = buf.contents();
+        match classify_stream(text.lines()) {
+            StreamVerdict::Aborted(summary) => {
+                assert_eq!(summary.aborted_runs, 1);
+                assert_eq!(summary.clean_runs, 1);
+            }
+            other => panic!("expected Aborted, got {other:?}"),
+        }
+
+        // Cutting the stream mid-run -> truncated, not invalid.
+        let truncated: Vec<&str> = clean_text.lines().take(1).collect();
+        assert!(matches!(
+            classify_stream(truncated),
+            StreamVerdict::Truncated(_)
+        ));
+        assert!(matches!(classify_stream([]), StreamVerdict::Truncated(_)));
+
+        // Garbage -> invalid.
+        assert!(matches!(
+            classify_stream(["{\"event\":\"nope\"}"]),
+            StreamVerdict::Invalid(_)
+        ));
     }
 
     #[test]
