@@ -86,6 +86,13 @@ pub struct CheckerConfig {
     /// counts are byte-identical. The depth-first and stateless engines
     /// have no frontier and ignore this field.
     pub frontier: FrontierConfig,
+    /// How many frontier entries the parallel BFS engine feeds to the
+    /// worker pool per batch. `0` (the default) selects the engine's
+    /// historical automatic size, `threads * 64`. Larger batches amortise
+    /// coordinator round-trips; smaller ones bound the resident level size
+    /// when the disk frontier is spilling. The sequential engines ignore
+    /// this field.
+    pub batch_size: usize,
     /// Observability sink (`mp-trace`). The default disabled tracer makes
     /// every instrumentation point a no-op — no clock reads, no atomics
     /// beyond one pointer check. An enabled tracer gives each run a
@@ -106,6 +113,7 @@ impl Default for CheckerConfig {
             time_limit: None,
             store: StoreConfig::Exact,
             frontier: FrontierConfig::Mem,
+            batch_size: 0,
             trace: Tracer::disabled(),
         }
     }
@@ -176,6 +184,13 @@ impl CheckerConfig {
     /// [`FrontierConfig::disk_with_watermark`] turn on spilling.
     pub fn with_frontier(mut self, frontier: FrontierConfig) -> Self {
         self.frontier = frontier;
+        self
+    }
+
+    /// Sets the parallel engine's batch size (builder style); `0` restores
+    /// the automatic `threads * 64` default.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
         self
     }
 
@@ -264,6 +279,7 @@ mod tests {
         assert!(c.time_limit.is_none());
         assert_eq!(c.store, StoreConfig::Exact);
         assert_eq!(c.frontier, FrontierConfig::Mem);
+        assert_eq!(c.batch_size, 0, "0 = the automatic threads*64 batch");
     }
 
     #[test]
@@ -274,10 +290,12 @@ mod tests {
             .with_time_limit(Duration::from_secs(1))
             .with_deadlock_check(true)
             .with_store(StoreConfig::fingerprint(32))
-            .with_frontier(FrontierConfig::disk_with_watermark(1024));
+            .with_frontier(FrontierConfig::disk_with_watermark(1024))
+            .with_batch_size(256);
         assert_eq!(c.strategy, SearchStrategy::Stateless { dpor: true });
         assert_eq!(c.max_states, 10);
         assert_eq!(c.max_depth, 20);
+        assert_eq!(c.batch_size, 256);
         assert!(c.check_deadlocks);
         assert_eq!(c.time_limit, Some(Duration::from_secs(1)));
         assert_eq!(c.store, StoreConfig::fingerprint(32));

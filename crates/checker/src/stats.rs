@@ -39,6 +39,14 @@ pub struct ExplorationStats {
     pub proviso_expansions: usize,
     /// Maximum search depth reached.
     pub max_depth: usize,
+    /// Size of the parallel engine's worker pool (0 for the sequential
+    /// engines). This is the `threads` column of the scaling benchmarks.
+    pub worker_threads: usize,
+    /// OS threads actually started over the whole run. The persistent pool
+    /// contract is `worker_spawns == worker_threads` no matter how many
+    /// levels or batches the search processed — a regression to
+    /// spawn-per-batch shows up here (and in the test that asserts it).
+    pub worker_spawns: usize,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Name of the visited-state backend used ("exact", "sharded",
@@ -76,6 +84,11 @@ pub struct ExplorationStats {
 /// of the same configured search must produce equal `StatsCounters`; this
 /// is what tests and the sweep harness assert instead of comparing whole
 /// stats structs and excluding the noisy fields by hand.
+///
+/// Pool-shape fields ([`ExplorationStats::worker_threads`],
+/// [`ExplorationStats::worker_spawns`]) are deliberately absent: agreement
+/// is asserted *across* engines and thread counts, and the pool shape is
+/// exactly what varies between the compared runs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsCounters {
     /// Distinct states stored/expanded ([`ExplorationStats::states`]).

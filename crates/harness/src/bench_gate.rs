@@ -8,7 +8,8 @@
 //!
 //! * **errors** (fail the job): a verdict/liveness *class* change on a
 //!   matched row, a state-count regression beyond the tolerance (default
-//!   10%), a `completed: true` baseline row that no longer completes, or a
+//!   10%), a thread-scaling `speedup` drop beyond the tolerance, a
+//!   `completed: true` baseline row that no longer completes, or a
 //!   baseline row that disappeared entirely;
 //! * **warnings** (annotate, don't fail): wall-time and store-byte noise,
 //!   and rows that are new in the fresh file (schema growth is deliberate).
@@ -180,6 +181,16 @@ const VERDICT_FIELDS: [&str; 4] = ["verdict", "liveness", "sym_verdict", "sym_li
 /// regression, not noise.
 const GATED_COUNTS: [&str; 3] = ["states", "sym_states", "transitions"];
 
+/// Numeric fields gated in the *downward* direction: a drop beyond the
+/// tolerance fails the job, an increase is pure good news. Today this is
+/// the thread-scaling `speedup` column of `BENCH_parallel_scaling.json`:
+/// a 4-thread run losing scaling efficiency relative to the committed
+/// baseline is a pool regression even when the absolute wall times sit
+/// inside the noise band (both sides of the comparison ran on the same
+/// class of machine, so the *ratio* is comparable where the times are
+/// not).
+const GATED_RATIOS: [&str; 1] = ["speedup"];
+
 /// Picks the suffix family of per-phase wall-clock fields the share
 /// comparison judges: `_us` when both rows carry microsecond fields (full
 /// resolution — smoke-scale phases round to zero in ms), falling back to
@@ -350,6 +361,26 @@ pub fn compare(label: &str, baseline: &[Row], fresh: &[Row], tolerance: f64) -> 
                         tolerance * 100.0
                     ));
                 }
+                (JsonValue::Num(b), JsonValue::Num(f))
+                    if GATED_RATIOS.contains(&field.as_str()) && *f < *b * (1.0 - tolerance) =>
+                {
+                    report.errors.push(format!(
+                        "{label}: {field} dropped beyond {:.0}% on {key}: {b} -> {f}",
+                        tolerance * 100.0
+                    ));
+                }
+                // A beyond-tolerance ratio improvement mirrors the count
+                // rule above: passes, but the stale baseline should be
+                // refreshed so the gate re-tightens.
+                (JsonValue::Num(b), JsonValue::Num(f))
+                    if GATED_RATIOS.contains(&field.as_str()) && *f > *b * (1.0 + tolerance) =>
+                {
+                    report.warnings.push(format!(
+                        "{label}: {field} improved beyond {:.0}% on {key}: {b} -> {f} — refresh \
+                         the committed baseline to re-tighten the gate",
+                        tolerance * 100.0
+                    ));
+                }
                 // Wall-time noise: annotate large swings, never fail.
                 (JsonValue::Num(b), JsonValue::Num(f))
                     if NOISY_FIELDS.contains(&field.as_str()) && *f > (*b + 1.0) * 2.0 =>
@@ -509,6 +540,55 @@ mod tests {
         let report = compare("sweep", &baseline, &fresh, 0.10);
         assert!(report.passed());
         assert!(report.warnings.iter().any(|w| w.contains("time_ms")));
+    }
+
+    #[test]
+    fn speedup_drops_fail_and_gains_only_warn() {
+        let baseline = parse_rows(
+            r#"[{"protocol":"Paxos (1,3,1) quorum","strategy":"parallel-bfs(4)+SPOR","states":100,"speedup":2.8,"cores":8,"time_ms":10}]"#,
+        )
+        .unwrap();
+
+        // Identical speedup: silent.
+        assert!(compare("scaling", &baseline, &baseline, 0.10).passed());
+
+        // Within tolerance: fine.
+        let mut fresh = baseline.clone();
+        fresh[0].insert("speedup".to_string(), JsonValue::Num(2.6)); // -7%
+        assert!(compare("scaling", &baseline, &fresh, 0.10).passed());
+
+        // Beyond tolerance: the scaling efficiency regressed — fail.
+        let mut fresh = baseline.clone();
+        fresh[0].insert("speedup".to_string(), JsonValue::Num(2.0)); // -29%
+        let report = compare("scaling", &baseline, &fresh, 0.10);
+        assert!(!report.passed());
+        assert!(
+            report.errors[0].contains("speedup dropped"),
+            "{:?}",
+            report.errors
+        );
+
+        // A large gain passes but warns about the stale baseline.
+        let mut fresh = baseline.clone();
+        fresh[0].insert("speedup".to_string(), JsonValue::Num(3.6)); // +29%
+        let report = compare("scaling", &baseline, &fresh, 0.10);
+        assert!(report.passed(), "{:?}", report.errors);
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("speedup improved")),
+            "{:?}",
+            report.warnings
+        );
+
+        // The cores column is informational: a different machine shape
+        // never fails or warns by itself.
+        let mut fresh = baseline.clone();
+        fresh[0].insert("cores".to_string(), JsonValue::Num(1.0));
+        let report = compare("scaling", &baseline, &fresh, 0.10);
+        assert!(report.passed());
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
     }
 
     #[test]

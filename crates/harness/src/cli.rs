@@ -80,6 +80,20 @@ pub const TRACE_FLAG: FlagSpec = FlagSpec::value(
     "write machine-readable NDJSON trace events to PATH",
 );
 
+/// The shared `--threads N` flag (parallel BFS worker-pool size).
+pub const THREADS_FLAG: FlagSpec = FlagSpec::value(
+    "--threads",
+    "N",
+    "worker threads for the parallel BFS engine (0 = available CPUs)",
+);
+
+/// The shared `--batch-size N` flag (parallel BFS pool batch size).
+pub const BATCH_SIZE_FLAG: FlagSpec = FlagSpec::value(
+    "--batch-size",
+    "N",
+    "frontier entries dealt to the worker pool per round (0 = automatic threads*64)",
+);
+
 /// Why parsing stopped without producing a [`Cli`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CliError {
@@ -208,6 +222,15 @@ impl Cli {
     /// Positional (non-flag) arguments in order of appearance.
     pub fn positionals(&self) -> &[String] {
         &self.positionals
+    }
+
+    /// The value given with `name` parsed as a `usize`, or `default` when
+    /// the flag is absent or unparsable — the convention shared by
+    /// [`THREADS_FLAG`] and [`BATCH_SIZE_FLAG`].
+    pub fn usize_value(&self, name: &str, default: usize) -> usize {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// The shared `--json [PATH]` convention: `None` when the flag is

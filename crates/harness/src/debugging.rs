@@ -61,6 +61,7 @@ where
         verdict,
         completed,
         frontier_bytes: report.stats.frontier_peak_bytes,
+        threads: report.stats.worker_threads,
         phases: report.stats.phases.clone(),
     }
 }

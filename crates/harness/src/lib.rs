@@ -57,6 +57,7 @@ pub mod cli;
 pub mod debugging;
 pub mod fault_sweep;
 pub mod heuristics;
+pub mod parallel_scaling;
 pub mod report;
 pub mod runner;
 pub mod scaling;

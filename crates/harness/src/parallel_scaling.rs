@@ -1,0 +1,418 @@
+//! Thread-scaling benchmark of the parallel BFS engine's persistent
+//! worker pool.
+//!
+//! Each cell of the sweep runs one protocol/property pair on the pooled
+//! engine at every thread count of the grid (same SPOR reduction, same
+//! store, same frontier) and compares it against a sequential BFS
+//! reference run. Two things are measured and one is asserted:
+//!
+//! * **speedup** — wall-clock time of the 1-thread pooled run divided by
+//!   the N-thread run of the same cell family. This is the number the
+//!   `BENCH_parallel_scaling.json` baseline tracks and `bench_gate`
+//!   guards against regressions (a pooled engine whose 4-thread run gets
+//!   *slower* relative to its own 1-thread run has lost scaling
+//!   efficiency, whatever the absolute times are);
+//! * **cores** — `std::thread::available_parallelism()` of the machine
+//!   that produced the row, recorded so a baseline captured on a small
+//!   box is legible: speedup is bounded by the physical parallelism, and
+//!   a 1-core container honestly reports speedups near 1.0;
+//! * **agreement** — verdict and every order-independent counter
+//!   (states, transitions, max depth) of each pooled run must equal the
+//!   sequential reference. Work stealing reorders expansions within a
+//!   level; it must never change what is explored.
+
+use std::time::Duration;
+
+use mp_checker::{Checker, CheckerConfig, NullObserver, Verdict};
+use mp_protocols::echo_multicast::{
+    agreement_property, quorum_model as multicast_quorum, symmetry_roles as multicast_roles,
+    MulticastSetting,
+};
+use mp_protocols::paxos::{
+    consensus_property, quorum_model as paxos_quorum, symmetry_roles as paxos_roles, PaxosSetting,
+    PaxosVariant,
+};
+
+use crate::report::phase_json_fields;
+use crate::{Budget, Measurement};
+
+/// The worker-pool sizes every cell family is swept over.
+pub const THREAD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// One row of the thread-scaling sweep: a pooled run at one thread count,
+/// with its speedup relative to the 1-thread run of the same cell family
+/// and its agreement with the sequential BFS reference.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// The pooled run's measurement (strategy label
+    /// `parallel-bfs(N)+SPOR[+sym]`, `threads` set by the engine).
+    pub measurement: Measurement,
+    /// Wall-clock speedup vs the 1-thread run of the same family
+    /// (1.0 by definition for the 1-thread row).
+    pub speedup: f64,
+    /// Available parallelism of the machine that produced the row.
+    pub cores: usize,
+    /// `true` when verdict, states, transitions and max depth all match
+    /// the sequential BFS reference run.
+    pub agrees: bool,
+}
+
+/// Wall-clock ratio with microsecond resolution and a 1 µs floor, so
+/// smoke-scale cells (whole runs inside a millisecond) never divide by
+/// zero.
+fn ratio(base: Duration, run: Duration) -> f64 {
+    base.as_micros().max(1) as f64 / run.as_micros().max(1) as f64
+}
+
+#[allow(clippy::too_many_arguments)] // a scaling cell genuinely has this many axes
+fn push_family<S, M>(
+    label: &str,
+    property_label: &str,
+    spec: &mp_model::ProtocolSpec<S, M>,
+    property: impl Fn() -> mp_checker::Invariant<S, M, NullObserver>,
+    roles: Option<&mp_symmetry::RoleMap>,
+    thread_grid: &[usize],
+    budget: &Budget,
+    rows: &mut Vec<ScalingRow>,
+) where
+    S: mp_model::LocalState + mp_model::Permutable,
+    M: mp_model::Message + mp_model::Permutable,
+{
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let run = |config: CheckerConfig| {
+        let checker = Checker::new(spec, property())
+            .spor()
+            .config(budget.apply(config));
+        match roles {
+            Some(roles) => checker.with_role_symmetry(roles).run(),
+            None => checker.run(),
+        }
+    };
+    // The sequential BFS reference every pooled run must agree with.
+    let reference = run(CheckerConfig::stateful_bfs());
+    let mut base_time = None;
+    for &threads in thread_grid {
+        let report = run(CheckerConfig::parallel_bfs(threads));
+        let base = *base_time.get_or_insert(report.stats.elapsed);
+        let agrees = report.verdict.to_string() == reference.verdict.to_string()
+            && report.stats.counters() == reference.stats.counters();
+        let (verdict, completed) = match &report.verdict {
+            Verdict::Verified => ("verified".to_string(), true),
+            Verdict::Violated(cx) => (format!("CE ({} steps)", cx.len()), true),
+            Verdict::LimitReached { what } => (format!("bounded ({what})"), false),
+        };
+        rows.push(ScalingRow {
+            measurement: Measurement {
+                protocol: label.to_string(),
+                property: property_label.to_string(),
+                strategy: match roles {
+                    Some(_) => format!("parallel-bfs({threads})+SPOR+sym"),
+                    None => format!("parallel-bfs({threads})+SPOR"),
+                },
+                states: report.stats.states,
+                transitions: report.stats.transitions_executed,
+                time: report.stats.elapsed,
+                verdict,
+                completed,
+                as_expected: agrees,
+                frontier_bytes: report.stats.frontier_peak_bytes,
+                threads: report.stats.worker_threads,
+                phases: report.stats.phases.clone(),
+            },
+            speedup: ratio(base, report.stats.elapsed),
+            cores,
+            agrees,
+        });
+    }
+}
+
+/// Sweeps the pooled engine over `thread_grid` on a Paxos and an echo
+/// multicast quorum cell, each with symmetry off and on. Rows come back
+/// in family-major order: all thread counts of one family before the
+/// next. Cell sizes matter here: wall-clock ratios on cells that finish
+/// in a millisecond are pure scheduler noise, so the benchmark default
+/// ([`bench_cells`]) picks models in the tens of thousands of states
+/// (hundreds of milliseconds per run) while tests and the agreement
+/// probe use [`smoke_cells`].
+pub fn parallel_scaling_sweep(
+    thread_grid: &[usize],
+    paxos: PaxosSetting,
+    multicast: MulticastSetting,
+    budget: &Budget,
+) -> Vec<ScalingRow> {
+    let mut rows = Vec::new();
+
+    let setting = paxos;
+    let spec = paxos_quorum(setting, PaxosVariant::Correct);
+    let roles = paxos_roles(setting);
+    let label = format!("Paxos {setting} quorum");
+    for sym in [false, true] {
+        push_family(
+            &label,
+            "Consensus",
+            &spec,
+            || consensus_property(setting),
+            sym.then_some(&roles),
+            thread_grid,
+            budget,
+            &mut rows,
+        );
+    }
+
+    let setting = multicast;
+    let spec = multicast_quorum(setting);
+    let roles = multicast_roles(setting);
+    let label = format!("Echo Multicast {setting} quorum");
+    for sym in [false, true] {
+        push_family(
+            &label,
+            "Agreement",
+            &spec,
+            || agreement_property(setting),
+            sym.then_some(&roles),
+            thread_grid,
+            budget,
+            &mut rows,
+        );
+    }
+
+    rows
+}
+
+/// The benchmark-scale cell pair: Paxos `(2,3,1)` (~27k states, hundreds
+/// of milliseconds per run — large enough that wall-clock ratios carry
+/// signal) and echo multicast `(3,1,1,1)` (~4k states, with a Byzantine
+/// receiver so the pooled engine is also benchmarked under fault
+/// transitions).
+pub fn bench_cells() -> (PaxosSetting, MulticastSetting) {
+    (
+        PaxosSetting::new(2, 3, 1),
+        MulticastSetting::new(3, 1, 1, 1),
+    )
+}
+
+/// The smoke-scale cell pair (a few dozen to a few hundred states):
+/// right for agreement testing and CI smoke runs, useless for timing.
+pub fn smoke_cells() -> (PaxosSetting, MulticastSetting) {
+    (
+        PaxosSetting::new(1, 2, 1),
+        MulticastSetting::new(2, 1, 0, 1),
+    )
+}
+
+/// Cross-engine agreement probe for the `fault_sweep` binary's
+/// `--threads N` flag: runs the sweep's protocol cells on the pooled
+/// engine at `threads` workers and returns one human-readable line per
+/// cell that *disagrees* with the sequential BFS reference (empty =
+/// everything agrees, the binary prints OK).
+pub fn parallel_agreement_probe(threads: usize, budget: &Budget) -> Vec<String> {
+    let (paxos, multicast) = smoke_cells();
+    parallel_scaling_sweep(&[threads], paxos, multicast, budget)
+        .into_iter()
+        .filter(|row| !row.agrees)
+        .map(|row| {
+            format!(
+                "{} / {} / {}: pooled run diverged from sequential BFS ({}, {} states)",
+                row.measurement.protocol,
+                row.measurement.property,
+                row.measurement.strategy,
+                row.measurement.verdict,
+                row.measurement.states
+            )
+        })
+        .collect()
+}
+
+/// Renders the scaling sweep as a small text table.
+pub fn render_parallel_sweep(rows: &[ScalingRow]) -> String {
+    let mut out = String::from(
+        "configuration                                  | thr |   states |     time | speedup | vs sequential\n",
+    );
+    out.push_str(
+        "-----------------------------------------------+-----+----------+----------+---------+--------------\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:<46} | {:>3} | {:>8} | {:>8} | {:>6.2}x | {}\n",
+            format!(
+                "{} [{}]",
+                row.measurement.protocol, row.measurement.strategy
+            ),
+            row.measurement.threads,
+            row.measurement.states,
+            row.measurement.time_label(),
+            row.speedup,
+            if row.agrees { "agree" } else { "DISAGREE" }
+        ));
+    }
+    out
+}
+
+/// Renders the sweep as the `BENCH_parallel_scaling.json` array: the
+/// shared `Measurement` fields plus a fractional `speedup` and the
+/// producing machine's `cores`. `speedup` is a gated field (`bench_gate`
+/// fails a run whose speedup drops beyond the tolerance against the
+/// committed baseline); `cores` is informational.
+pub fn render_parallel_json(rows: &[ScalingRow]) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let m = &row.measurement;
+        out.push_str(&format!(
+            "  {{\"protocol\":\"{}\",\"property\":\"{}\",\"strategy\":\"{}\",\"states\":{},\
+             \"transitions\":{},\"time_ms\":{},\"verdict\":\"{}\",\"completed\":{},\
+             \"frontier_bytes\":{},\"threads\":{},\"speedup\":{:.3},\"cores\":{}{}}}{}\n",
+            escape(&m.protocol),
+            escape(&m.property),
+            escape(&m.strategy),
+            m.states,
+            m.transitions,
+            m.time.as_millis(),
+            escape(&m.verdict),
+            m.completed,
+            m.frontier_bytes,
+            m.threads,
+            row.speedup,
+            row.cores,
+            phase_json_fields(&m.phases),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_gate::{parse_rows, JsonValue};
+
+    #[test]
+    fn sweep_rows_agree_with_sequential_bfs_and_carry_speedups() {
+        let (paxos, multicast) = smoke_cells();
+        let rows = parallel_scaling_sweep(&[1, 2], paxos, multicast, &Budget::small());
+        // 2 protocols × sym off/on × 2 thread counts.
+        assert_eq!(rows.len(), 8);
+        for row in &rows {
+            assert!(row.agrees, "{}", render_parallel_sweep(&rows));
+            assert!(row.measurement.completed);
+            assert!(row.speedup > 0.0);
+            assert!(row.cores >= 1);
+            assert_eq!(
+                row.measurement.threads,
+                if row.measurement.strategy.contains("(1)") {
+                    1
+                } else {
+                    2
+                }
+            );
+        }
+        // The 1-thread row of each family defines the baseline: speedup 1.
+        for family in rows.chunks(2) {
+            assert_eq!(family[0].speedup, 1.0);
+        }
+        // Symmetry rows are labelled apart from the plain rows so the
+        // bench gate keys them separately.
+        assert!(rows
+            .iter()
+            .any(|r| r.measurement.strategy.ends_with("+sym")));
+        let rendered = render_parallel_sweep(&rows);
+        assert!(rendered.contains("speedup"));
+        assert!(rendered.contains("agree"));
+    }
+
+    #[test]
+    fn json_rows_parse_back_through_the_bench_gate() {
+        let (paxos, multicast) = smoke_cells();
+        let rows = parallel_scaling_sweep(&[1, 2], paxos, multicast, &Budget::small());
+        let parsed = parse_rows(&render_parallel_json(&rows)).expect("gate must parse the emit");
+        assert_eq!(parsed.len(), rows.len());
+        for row in &parsed {
+            assert!(matches!(row.get("speedup"), Some(JsonValue::Num(s)) if *s > 0.0));
+            assert!(matches!(row.get("threads"), Some(JsonValue::Num(t)) if *t >= 1.0));
+            assert!(matches!(row.get("cores"), Some(JsonValue::Num(c)) if *c >= 1.0));
+        }
+        // Strategy labels keep every row key unique per thread count.
+        let keys: std::collections::BTreeSet<String> =
+            parsed.iter().map(crate::bench_gate::row_key).collect();
+        assert_eq!(keys.len(), parsed.len(), "row keys must be unique");
+    }
+
+    #[test]
+    fn probe_is_silent_when_engines_agree() {
+        assert!(parallel_agreement_probe(2, &Budget::small()).is_empty());
+    }
+
+    /// The full agreement matrix: every thread count of the grid × all
+    /// three evaluation protocols × symmetry off/on × in-memory and disk
+    /// frontiers. Verdicts and order-independent counters must match the
+    /// sequential BFS reference everywhere — work stealing may reorder
+    /// expansions within a level, never change what is explored.
+    #[test]
+    fn pooled_engine_agrees_with_sequential_bfs_across_the_matrix() {
+        use mp_protocols::storage::{
+            quorum_model as storage_quorum, regularity_property, symmetry_roles as storage_roles,
+            RegularityObserver, StorageSetting,
+        };
+        use mp_store::FrontierConfig;
+
+        for frontier in [FrontierConfig::Mem, FrontierConfig::disk_with_watermark(64)] {
+            let budget = Budget::small().with_frontier(frontier);
+
+            // Paxos and echo multicast (NullObserver cells) through the
+            // sweep itself.
+            let (paxos, multicast) = smoke_cells();
+            let rows = parallel_scaling_sweep(&THREAD_GRID, paxos, multicast, &budget);
+            assert_eq!(rows.len(), 2 * 2 * THREAD_GRID.len());
+            for row in &rows {
+                assert!(
+                    row.agrees,
+                    "disagreement under {frontier:?}:\n{}",
+                    render_parallel_sweep(&rows)
+                );
+            }
+
+            // Regular storage carries a history-variable observer, which
+            // the pooled engine must permute and thread exactly like the
+            // sequential one.
+            let setting = StorageSetting::new(2, 1);
+            let spec = storage_quorum(setting);
+            let roles = storage_roles(setting);
+            for sym in [false, true] {
+                let run = |config: CheckerConfig| {
+                    let checker = Checker::with_observer(
+                        &spec,
+                        regularity_property(setting),
+                        RegularityObserver::new(setting),
+                    )
+                    .spor()
+                    .config(budget.apply(config));
+                    if sym {
+                        checker.with_role_symmetry(&roles).run()
+                    } else {
+                        checker.run()
+                    }
+                };
+                let reference = run(CheckerConfig::stateful_bfs());
+                assert!(reference.verdict.is_verified());
+                for threads in THREAD_GRID {
+                    let pooled = run(CheckerConfig::parallel_bfs(threads));
+                    assert_eq!(
+                        pooled.verdict.to_string(),
+                        reference.verdict.to_string(),
+                        "storage sym={sym} threads={threads} {frontier:?}"
+                    );
+                    assert_eq!(
+                        pooled.stats.counters(),
+                        reference.stats.counters(),
+                        "storage sym={sym} threads={threads} {frontier:?}"
+                    );
+                    assert_eq!(pooled.stats.worker_threads, threads);
+                    assert_eq!(pooled.stats.worker_spawns, threads);
+                }
+            }
+        }
+    }
+}

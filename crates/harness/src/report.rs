@@ -33,6 +33,11 @@ pub struct Measurement {
     /// which have no frontier). Recorded in `BENCH_*.json` so the CI gate
     /// can watch the spill trajectory.
     pub frontier_bytes: usize,
+    /// Worker-pool size when the row was produced by the parallel BFS
+    /// engine (0 for the sequential rows). Every parallel-engine row in a
+    /// `BENCH_*.json` carries this as a `threads` field; sequential rows
+    /// omit it.
+    pub threads: usize,
     /// Per-phase wall-clock breakdown of the run (all zero when tracing is
     /// disabled, which is the default for every bench baseline). Emitted
     /// into `BENCH_*.json` as flat `phase_<name>_ms` fields so the CI gate
@@ -174,10 +179,15 @@ pub fn phase_json_fields(phases: &PhaseTimes) -> String {
 pub fn render_json(rows: &[Measurement]) -> String {
     let mut out = String::from("[\n");
     for (i, m) in rows.iter().enumerate() {
+        let threads_field = if m.threads > 0 {
+            format!(",\"threads\":{}", m.threads)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
             "  {{\"protocol\":\"{}\",\"property\":\"{}\",\"strategy\":\"{}\",\"states\":{},\
              \"transitions\":{},\"time_ms\":{},\"verdict\":\"{}\",\"completed\":{},\
-             \"frontier_bytes\":{}{}}}{}\n",
+             \"frontier_bytes\":{}{}{}}}{}\n",
             json_escape(&m.protocol),
             json_escape(&m.property),
             json_escape(&m.strategy),
@@ -187,6 +197,7 @@ pub fn render_json(rows: &[Measurement]) -> String {
             json_escape(&m.verdict),
             m.completed,
             m.frontier_bytes,
+            threads_field,
             phase_json_fields(&m.phases),
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -255,8 +266,18 @@ mod tests {
             completed: true,
             as_expected: true,
             frontier_bytes: 0,
+            threads: 0,
             phases: PhaseTimes::default(),
         }
+    }
+
+    #[test]
+    fn threads_field_marks_parallel_rows_only() {
+        let mut pooled = sample("p", "parallel-bfs(4)+SPOR", 10);
+        pooled.threads = 4;
+        let json = render_json(&[sample("p", "SPOR", 10), pooled]);
+        assert_eq!(json.matches("\"threads\":").count(), 1, "{json}");
+        assert!(json.contains("\"threads\":4"), "{json}");
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct Budget {
     /// encoded states past its watermark so paper-scale sweeps keep their
     /// level queues on disk next to a compact visited set.
     pub frontier: FrontierConfig,
+    /// Batch size fed to the parallel engine's worker pool per round
+    /// (`CheckerConfig::batch_size`); `0` keeps the engine's automatic
+    /// `threads * 64`. The sequential cells ignore it.
+    pub batch_size: usize,
     /// Observability sink (`mp-trace`) forwarded into every cell's
     /// [`CheckerConfig`]. The default disabled tracer keeps every
     /// instrumentation point a no-op; the binaries' `--progress` /
@@ -41,6 +45,7 @@ impl Default for Budget {
             time_limit: Some(Duration::from_secs(30)),
             store: StoreConfig::Exact,
             frontier: FrontierConfig::Mem,
+            batch_size: 0,
             trace: Tracer::disabled(),
         }
     }
@@ -77,6 +82,13 @@ impl Budget {
         self
     }
 
+    /// Sets the parallel engine's worker-pool batch size (builder style);
+    /// `0` keeps the automatic `threads * 64`.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
     /// Installs an observability tracer (builder style); every cell run
     /// under this budget then emits heartbeat/NDJSON events and records its
     /// phase breakdown.
@@ -92,6 +104,7 @@ impl Budget {
         config.time_limit = self.time_limit;
         config.store = self.store;
         config.frontier = self.frontier;
+        config.batch_size = self.batch_size;
         config.trace = self.trace.clone();
         config
     }
@@ -111,6 +124,13 @@ pub enum CellStrategy {
     DporStateless,
     /// Stateless depth-first search without reduction.
     UnreducedStateless,
+    /// SPOR-reduced breadth-first search on the persistent worker pool
+    /// (extension; `0` threads = available CPUs). Verdicts and counter
+    /// sums match the sequential cells; only the wall clock moves.
+    ParallelBfs {
+        /// Worker-pool size.
+        threads: usize,
+    },
 }
 
 impl CellStrategy {
@@ -122,6 +142,7 @@ impl CellStrategy {
             CellStrategy::SporWithHeuristic(h) => format!("SPOR[{}]", h.name()),
             CellStrategy::DporStateless => "DPOR (stateless)".to_string(),
             CellStrategy::UnreducedStateless => "stateless".to_string(),
+            CellStrategy::ParallelBfs { threads } => format!("parallel-bfs({threads})+SPOR"),
         }
     }
 }
@@ -159,6 +180,9 @@ where
         CellStrategy::UnreducedStateless => {
             checker.config(budget.apply(CheckerConfig::stateless(false)))
         }
+        CellStrategy::ParallelBfs { threads } => checker
+            .spor()
+            .config(budget.apply(CheckerConfig::parallel_bfs(threads))),
     };
     let report = checker.run();
 
@@ -179,6 +203,7 @@ where
         completed,
         as_expected,
         frontier_bytes: report.stats.frontier_peak_bytes,
+        threads: report.stats.worker_threads,
         phases: report.stats.phases.clone(),
     }
 }

@@ -189,6 +189,7 @@ pub fn paxos_symmetry_sweep(
             completed: !matches!(sym.verdict, mp_checker::Verdict::LimitReached { .. }),
             as_expected: sym.verdict.is_verified(),
             frontier_bytes: sym.stats.frontier_peak_bytes,
+            threads: sym.stats.worker_threads,
             phases: sym.stats.phases.clone(),
         });
     }
@@ -296,6 +297,7 @@ pub fn paxos_frontier_sweep(
             completed: !matches!(disk.verdict, mp_checker::Verdict::LimitReached { .. }),
             as_expected: disk.verdict.is_verified(),
             frontier_bytes: disk.stats.frontier_peak_bytes,
+            threads: disk.stats.worker_threads,
             phases: disk.stats.phases.clone(),
         });
     }

@@ -37,6 +37,15 @@ fn fmt_bytes(bytes: u64) -> String {
     }
 }
 
+/// Renders one gauge peak: every gauge is a byte figure except the
+/// parallel pool's busiest-worker time, which is microseconds.
+fn fmt_gauge(gauge: Gauge, peak: u64) -> String {
+    match gauge {
+        Gauge::WorkerBusyUs => format!("{peak} µs"),
+        _ => fmt_bytes(peak),
+    }
+}
+
 /// Renders one run's summary tables (verdict/counters, then the non-zero
 /// phases with their shares, then the non-zero memory gauges).
 fn run_summary_markdown(run: &RunSummary) -> String {
@@ -51,6 +60,9 @@ fn run_summary_markdown(run: &RunSummary) -> String {
     out.push_str(&format!("| transitions | {} |\n", run.transitions));
     out.push_str(&format!("| elapsed | {} ms |\n", run.elapsed_ms));
     out.push_str(&format!("| peak depth | {} |\n", run.peak_depth));
+    if run.steals > 0 {
+        out.push_str(&format!("| steals | {} |\n", run.steals));
+    }
     out.push_str(&format!(
         "| throughput p50 / p90 / max | {} / {} / {} states/s |\n",
         run.throughput.p50, run.throughput.p90, run.throughput.max
@@ -78,11 +90,15 @@ fn run_summary_markdown(run: &RunSummary) -> String {
     }
 
     if Gauge::ALL.iter().any(|g| run.gauge(*g) > 0) {
-        out.push_str("\n| memory gauge | peak |\n|---|---|\n");
+        out.push_str("\n| gauge | peak |\n|---|---|\n");
         for gauge in Gauge::ALL {
             let peak = run.gauge(gauge);
             if peak > 0 {
-                out.push_str(&format!("| {} | {} |\n", gauge.name(), fmt_bytes(peak)));
+                out.push_str(&format!(
+                    "| {} | {} |\n",
+                    gauge.name(),
+                    fmt_gauge(gauge, peak)
+                ));
             }
         }
     }
@@ -176,11 +192,16 @@ pub fn diff_markdown(
         for (i, gauge) in Gauge::ALL.iter().enumerate() {
             if a.gauge(*gauge) > 0 || b.gauge(*gauge) > 0 {
                 out.push_str(&format!(
-                    "| {} peak | {} | {} | {:+} B |\n",
+                    "| {} peak | {} | {} | {:+} {} |\n",
                     gauge.name(),
-                    fmt_bytes(a.gauge(*gauge)),
-                    fmt_bytes(b.gauge(*gauge)),
-                    d.gauge_delta[i]
+                    fmt_gauge(*gauge, a.gauge(*gauge)),
+                    fmt_gauge(*gauge, b.gauge(*gauge)),
+                    d.gauge_delta[i],
+                    if matches!(gauge, Gauge::WorkerBusyUs) {
+                        "µs"
+                    } else {
+                        "B"
+                    }
                 ));
             }
         }
@@ -338,5 +359,29 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512 B");
         assert_eq!(fmt_bytes(2048), "2.0 KiB");
         assert_eq!(fmt_bytes(3 * 1048576), "3.0 MiB");
+    }
+
+    #[test]
+    fn worker_busy_gauge_formats_as_microseconds_not_bytes() {
+        assert_eq!(fmt_gauge(Gauge::WorkerBusyUs, 1500), "1500 µs");
+        assert_eq!(fmt_gauge(Gauge::StoreBytes, 2048), "2.0 KiB");
+    }
+
+    #[test]
+    fn summary_reports_steals_and_worker_busy_for_pool_runs() {
+        let buf = SharedBuffer::new();
+        let tracer = Tracer::to_writer(false, Box::new(buf.clone()));
+        let run = tracer.begin_run("paxos", "pool-bfs(4)", "agreement");
+        run.add(Counter::States, 10);
+        run.add(mp_trace::Counter::Steals, 7);
+        run.sample_gauge(Gauge::WorkerBusyUs, 1234);
+        run.finish("verified");
+        drop(run);
+        let text = buf.contents();
+        let runs = analyze_stream(text.lines()).unwrap();
+        assert_eq!(runs[0].steals, 7);
+        let md = summary_markdown("t.ndjson", &runs);
+        assert!(md.contains("| steals | 7 |"), "{md}");
+        assert!(md.contains("| worker_busy_us | 1234 µs |"), "{md}");
     }
 }

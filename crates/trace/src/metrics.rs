@@ -24,10 +24,13 @@ pub enum Counter {
     /// Search depth / BFS level — recorded as a **high-water mark**, not a
     /// sum: `add` folds the argument in with `max`.
     Depth,
+    /// Work-stealing events of the parallel BFS pool: one bump per batch a
+    /// worker took from a victim's deque instead of its own.
+    Steals,
 }
 
 /// Number of counters in [`Counter::ALL`].
-pub const COUNTER_COUNT: usize = 5;
+pub const COUNTER_COUNT: usize = 6;
 
 impl Counter {
     /// Every counter, in emission order.
@@ -37,6 +40,7 @@ impl Counter {
         Counter::Expansions,
         Counter::Revisits,
         Counter::Depth,
+        Counter::Steals,
     ];
 
     /// Stable snake_case name used in NDJSON progress events.
@@ -47,6 +51,7 @@ impl Counter {
             Counter::Expansions => "expansions",
             Counter::Revisits => "revisits",
             Counter::Depth => "depth",
+            Counter::Steals => "steals",
         }
     }
 
@@ -57,6 +62,7 @@ impl Counter {
             Counter::Expansions => 2,
             Counter::Revisits => 3,
             Counter::Depth => 4,
+            Counter::Steals => 5,
         }
     }
 }
@@ -112,12 +118,13 @@ impl Histogram {
     }
 }
 
-/// A memory gauge of the registry: an instantaneous byte figure the
-/// engines *sample* (as opposed to the monotone [`Counter`]s they bump).
-/// Each gauge is folded in with `fetch_max`, so what the snapshot reports
-/// is the **peak** observed so far — exactly what progress lines and the
+/// A gauge of the registry: an instantaneous figure the engines *sample*
+/// (as opposed to the monotone [`Counter`]s they bump). Each gauge is
+/// folded in with `fetch_max`, so what the snapshot reports is the
+/// **peak** observed so far — exactly what progress lines and the
 /// heartbeat need for "how big did this run get" questions, and stable
-/// under racing samplers (the max of two peaks is the peak).
+/// under racing samplers (the max of two peaks is the peak). All gauges
+/// except [`Gauge::WorkerBusyUs`] are byte figures.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Gauge {
     /// Approximate heap bytes of the visited store's tables.
@@ -132,10 +139,15 @@ pub enum Gauge {
     /// on behalf of the symmetry reduction (0 on symmetry-off runs, where
     /// keys are concrete states).
     CanonicalCacheBytes,
+    /// Microseconds of expansion work done by the busiest worker of the
+    /// parallel BFS pool (each worker samples its own accumulated busy
+    /// time, so the `fetch_max` fold keeps the straggler). **Not** a byte
+    /// figure, unlike every other gauge.
+    WorkerBusyUs,
 }
 
 /// Number of gauges in [`Gauge::ALL`].
-pub const GAUGE_COUNT: usize = 4;
+pub const GAUGE_COUNT: usize = 5;
 
 impl Gauge {
     /// Every gauge, in emission order.
@@ -144,6 +156,7 @@ impl Gauge {
         Gauge::FrontierBytes,
         Gauge::ParentLogBytes,
         Gauge::CanonicalCacheBytes,
+        Gauge::WorkerBusyUs,
     ];
 
     /// Stable snake_case name used in NDJSON progress events.
@@ -153,6 +166,7 @@ impl Gauge {
             Gauge::FrontierBytes => "frontier_bytes",
             Gauge::ParentLogBytes => "parent_log_bytes",
             Gauge::CanonicalCacheBytes => "canonical_cache_bytes",
+            Gauge::WorkerBusyUs => "worker_busy_us",
         }
     }
 
@@ -162,6 +176,7 @@ impl Gauge {
             Gauge::FrontierBytes => 1,
             Gauge::ParentLogBytes => 2,
             Gauge::CanonicalCacheBytes => 3,
+            Gauge::WorkerBusyUs => 4,
         }
     }
 }

@@ -254,8 +254,10 @@ pub fn validate_line(line: &str) -> Result<(EventKind, HashMap<String, Value>), 
                     require_int(&fields, &event, key)?;
                 }
             }
-            if fields.contains_key("elapsed_us") {
-                require_int(&fields, &event, "elapsed_us")?;
+            for key in ["elapsed_us", "steals"] {
+                if fields.contains_key(key) {
+                    require_int(&fields, &event, key)?;
+                }
             }
             require_bool(&fields, &event, "final")?;
             EventKind::Progress
