@@ -34,7 +34,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use mp_store::{
-    canonical_label, FrontierBackend, ItemCodec, PlainCodec, SpillLog, StateStoreBackend,
+    canonical_label, manifest_exists, CheckpointWriter, FrontierBackend, ItemCodec, Manifest,
+    PlainCodec, SpillLog, StateStoreBackend,
 };
 
 use mp_model::{
@@ -209,43 +210,171 @@ where
     });
     frontier.set_trace(trace.handle());
 
+    // Checkpoint identity: the manifest records the protocol structure, the
+    // full strategy label (engine + reducer + symmetry + spill) and the
+    // semantic configuration fields, so a resume under anything that would
+    // explore a different state space is refused.
+    let spec_fp = spec.structure_fingerprint();
+    let identity = format!(
+        "{} sym={}",
+        config.checkpoint_identity(),
+        if trivial {
+            "off".to_string()
+        } else {
+            symmetry.label()
+        }
+    );
+    let every = config
+        .checkpoint
+        .as_ref()
+        .map(|c| c.every_levels.max(1))
+        .unwrap_or(1);
+    let entry_codec = EntryCodec {
+        template: initial_observer.clone(),
+    };
+    let mut ckpt: Option<CheckpointWriter> = None;
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut store_hits_base = 0usize;
+
     macro_rules! finish_stats {
         ($verdict:expr) => {
             stats.elapsed = start.elapsed();
             stats.record_store(store_name, store.stats());
+            stats.store_hits += store_hits_base;
             stats.record_frontier(frontier.name(), frontier.stats(), nodes.spilled_bytes());
             stats.phases = trace.phase_times();
             trace.finish($verdict);
         };
     }
-
-    if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
-        stats.states = 1;
-        trace.add(Counter::States, 1);
-        finish_stats!("violated");
-        let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
-        return RunReport {
-            verdict: Verdict::Violated(Box::new(cx)),
-            stats,
-            strategy,
+    macro_rules! ckpt_write {
+        ($result:expr) => {
+            $result.unwrap_or_else(|e| panic!("checkpoint write failed: {e}"))
+        };
+    }
+    macro_rules! ckpt_counters {
+        () => {
+            [
+                ("states", stats.states as u64),
+                ("expansions", stats.expansions as u64),
+                ("transitions", stats.transitions_executed as u64),
+                ("revisits", stats.revisits as u64),
+                ("reduced_states", stats.reduced_states as u64),
+                ("proviso_expansions", stats.proviso_expansions as u64),
+                ("max_depth", stats.max_depth as u64),
+            ]
         };
     }
 
-    // Validated groups fix the initial state, so its canonical form is
-    // itself; canonicalize anyway so the key discipline has no exceptions
-    // (mirrors the DFS engine).
-    let (entry_state, entry_observer, initial_delta) = if trivial {
-        (initial, initial_observer, 0)
-    } else {
-        symmetry.canonicalize_traced(&initial, &initial_observer, &trace)
+    let resume_manifest = match &config.checkpoint {
+        Some(c) if manifest_exists(&c.dir) => {
+            let manifest = Manifest::load(&c.dir)
+                .unwrap_or_else(|e| panic!("checkpoint manifest in {}: {e}", c.dir.display()));
+            manifest
+                .validate(spec_fp, &strategy, &identity)
+                .unwrap_or_else(|e| panic!("refusing to resume from {}: {e}", c.dir.display()));
+            Some(manifest)
+        }
+        _ => None,
     };
-    store.insert((entry_state.clone(), entry_observer.clone()));
-    let root = nodes.push(None);
-    frontier.push((root, initial_delta, entry_state, entry_observer));
-    stats.states = 1;
-    trace.add(Counter::States, 1);
 
     let mut depth = 0usize;
+    if let Some(manifest) = &resume_manifest {
+        let dir = &config
+            .checkpoint
+            .as_ref()
+            .expect("a resume manifest implies a checkpoint config")
+            .dir;
+        // Rebuild the visited set from every committed level; the last one
+        // also re-seeds the frontier, exactly as the original run left it.
+        for level in 0..=manifest.level {
+            let raws = manifest
+                .read_level(dir, level)
+                .unwrap_or_else(|e| panic!("checkpoint in {}: {e}", dir.display()));
+            let last = level == manifest.level;
+            for raw in raws {
+                let mut input = raw.as_slice();
+                let entry = entry_codec
+                    .decode_item(&mut input)
+                    .unwrap_or_else(|e| panic!("corrupted checkpoint entry: {e}"));
+                if last {
+                    store.insert((entry.2.clone(), entry.3.clone()));
+                    frontier.push(entry);
+                } else {
+                    store.insert((entry.2, entry.3));
+                }
+            }
+        }
+        // Replay the parent log so node indices keep their meaning for
+        // counterexample reconstruction.
+        for raw in manifest
+            .read_parents(dir)
+            .unwrap_or_else(|e| panic!("checkpoint in {}: {e}", dir.display()))
+        {
+            let mut input = raw.as_slice();
+            let record: PathEntry<M> = mp_model::Decode::decode(&mut input)
+                .unwrap_or_else(|e| panic!("corrupted checkpoint parent record: {e}"));
+            nodes.push(record);
+        }
+        depth = manifest.level;
+        stats.states = manifest.counter("states") as usize;
+        stats.expansions = manifest.counter("expansions") as usize;
+        stats.transitions_executed = manifest.counter("transitions") as usize;
+        stats.revisits = manifest.counter("revisits") as usize;
+        stats.reduced_states = manifest.counter("reduced_states") as usize;
+        stats.proviso_expansions = manifest.counter("proviso_expansions") as usize;
+        stats.max_depth = manifest.counter("max_depth") as usize;
+        // The rebuild inserts are all store misses, so the final hit count
+        // needs the committed run's hits folded back in (hits == revisits
+        // for the stateful engines).
+        store_hits_base = stats.revisits;
+        ckpt = Some(
+            CheckpointWriter::resume(dir, manifest)
+                .unwrap_or_else(|e| panic!("cannot resume checkpoint in {}: {e}", dir.display())),
+        );
+        trace.resume(depth as u64, stats.states as u64);
+    } else {
+        if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
+            stats.states = 1;
+            trace.add(Counter::States, 1);
+            finish_stats!("violated");
+            let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
+            return RunReport {
+                verdict: Verdict::Violated(Box::new(cx)),
+                stats,
+                strategy,
+            };
+        }
+
+        // Validated groups fix the initial state, so its canonical form is
+        // itself; canonicalize anyway so the key discipline has no exceptions
+        // (mirrors the DFS engine).
+        let (entry_state, entry_observer, initial_delta) = if trivial {
+            (initial, initial_observer, 0)
+        } else {
+            symmetry.canonicalize_traced(&initial, &initial_observer, &trace)
+        };
+        store.insert((entry_state.clone(), entry_observer.clone()));
+        let root = nodes.push(None);
+        let root_entry = (root, initial_delta, entry_state, entry_observer);
+        stats.states = 1;
+        trace.add(Counter::States, 1);
+        if let Some(c) = &config.checkpoint {
+            let mut writer = CheckpointWriter::new(&c.dir)
+                .unwrap_or_else(|e| panic!("cannot start checkpoint in {}: {e}", c.dir.display()));
+            ckpt_write!(writer.begin_level(0));
+            scratch.clear();
+            entry_codec.encode_item(&root_entry, &mut scratch);
+            ckpt_write!(writer.push_entry(&scratch));
+            scratch.clear();
+            let root_record: PathEntry<M> = None;
+            root_record.encode(&mut scratch);
+            ckpt_write!(writer.push_parent(&scratch));
+            ckpt_write!(writer.seal_level());
+            ckpt_write!(writer.commit(0, spec_fp, &strategy, &identity, &ckpt_counters!()));
+            ckpt = Some(writer);
+        }
+        frontier.push(root_entry);
+    }
     let mut level_obs = LevelObserver::new(&trace);
     if level_obs.enabled() {
         level_obs.seed(store.len() as u64, store.stats().hits as u64);
@@ -260,6 +389,9 @@ where
         stats.max_depth = stats.max_depth.max(depth);
         trace.add(Counter::Depth, depth as u64);
         level_obs.begin_level();
+        if let Some(writer) = ckpt.as_mut() {
+            ckpt_write!(writer.begin_level(depth));
+        }
 
         while let Some((node_idx, delta, key_state, key_observer)) = frontier.pop() {
             // δ⁻¹ maps the stored orbit representative back to the concrete
@@ -354,14 +486,40 @@ where
                     }
                 }
 
-                let new_index = nodes.push(Some((node_idx, instance)));
+                let record = Some((node_idx, instance));
+                if let Some(writer) = ckpt.as_mut() {
+                    scratch.clear();
+                    record.encode(&mut scratch);
+                    ckpt_write!(writer.push_parent(&scratch));
+                }
+                let new_index = nodes.push(record);
                 let (entry_state, entry_observer) = match canonical {
                     Some(key) => key,
                     None => concrete,
                 };
-                frontier.push((new_index, delta, entry_state, entry_observer));
+                let entry = (new_index, delta, entry_state, entry_observer);
+                if let Some(writer) = ckpt.as_mut() {
+                    scratch.clear();
+                    entry_codec.encode_item(&entry, &mut scratch);
+                    ckpt_write!(writer.push_entry(&scratch));
+                }
+                frontier.push(entry);
                 stats.states += 1;
                 trace.add(Counter::States, 1);
+            }
+        }
+
+        // Level boundary: let the external-memory store merge its sorted
+        // runs (a no-op for the in-memory backends), then persist the
+        // completed level.
+        {
+            let _span = trace.span(Phase::RunMerge);
+            store.maintain();
+        }
+        if let Some(writer) = ckpt.as_mut() {
+            ckpt_write!(writer.seal_level());
+            if depth.is_multiple_of(every) {
+                ckpt_write!(writer.commit(depth, spec_fp, &strategy, &identity, &ckpt_counters!()));
             }
         }
 

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::Duration;
 
-use mp_store::{FrontierConfig, StoreConfig};
+use mp_store::{CheckpointConfig, FrontierConfig, StoreConfig};
 use mp_trace::Tracer;
 
 use crate::{Counterexample, ExplorationStats};
@@ -93,6 +93,16 @@ pub struct CheckerConfig {
     /// when the disk frontier is spilling. The sequential engines ignore
     /// this field.
     pub batch_size: usize,
+    /// Checkpoint/resume directory for the breadth-first engines
+    /// (`mp-store`). When set, every completed BFS level is persisted
+    /// (frontier entries, parent records, counters plus a versioned
+    /// manifest) and a later run pointed at the same directory resumes at
+    /// the last committed level with byte-identical verdicts and counters.
+    /// The manifest records the spec fingerprint and this configuration's
+    /// identity, so resuming under a different protocol or search
+    /// configuration is refused. The depth-first and stateless engines
+    /// ignore this field. See `docs/ON_DISK_FORMATS.md` for the layout.
+    pub checkpoint: Option<CheckpointConfig>,
     /// Observability sink (`mp-trace`). The default disabled tracer makes
     /// every instrumentation point a no-op — no clock reads, no atomics
     /// beyond one pointer check. An enabled tracer gives each run a
@@ -114,6 +124,7 @@ impl Default for CheckerConfig {
             store: StoreConfig::Exact,
             frontier: FrontierConfig::Mem,
             batch_size: 0,
+            checkpoint: None,
             trace: Tracer::disabled(),
         }
     }
@@ -192,6 +203,28 @@ impl CheckerConfig {
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
         self
+    }
+
+    /// Enables checkpoint/resume for the breadth-first engines (builder
+    /// style): completed levels are persisted under the configured
+    /// directory and a later run pointed at the same directory resumes at
+    /// the last committed level.
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
+
+    /// The configuration-identity string persisted in checkpoint manifests
+    /// and re-validated on resume. It covers every field that changes what
+    /// the search explores (strategy, store, frontier, deadlock checking,
+    /// the cycle proviso) and deliberately omits run *budgets* (state,
+    /// depth and time limits) and observability settings — resuming with a
+    /// bigger budget or a different tracer is exactly the point.
+    pub fn checkpoint_identity(&self) -> String {
+        format!(
+            "strategy={} store={} frontier={} deadlocks={} proviso={}",
+            self.strategy, self.store, self.frontier, self.check_deadlocks, self.cycle_proviso
+        )
     }
 
     /// Installs an observability tracer (builder style); every engine then
@@ -302,9 +335,37 @@ mod tests {
         assert_eq!(
             c.frontier,
             FrontierConfig::Disk {
-                watermark_bytes: 1024
+                watermark_bytes: 1024,
+                delta: false
             }
         );
+    }
+
+    #[test]
+    fn checkpoint_identity_covers_semantics_not_budgets() {
+        let base = CheckerConfig::stateful_bfs();
+        let id = base.checkpoint_identity();
+        // Budgets and tracing may differ between the killed run and the
+        // resumed one; the identity must not change.
+        assert_eq!(
+            base.clone().with_max_states(7).checkpoint_identity(),
+            id,
+            "state budget must not be part of the identity"
+        );
+        // Anything that changes what the search explores must change it.
+        assert_ne!(
+            base.clone()
+                .with_store(StoreConfig::fingerprint(32))
+                .checkpoint_identity(),
+            id
+        );
+        assert_ne!(
+            base.clone()
+                .with_frontier(FrontierConfig::disk_with_watermark(64))
+                .checkpoint_identity(),
+            id
+        );
+        assert_ne!(base.with_deadlock_check(true).checkpoint_identity(), id);
     }
 
     #[test]

@@ -64,7 +64,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use mp_store::{canonical_label, FrontierBackend, StateStoreBackend};
+use mp_store::{
+    canonical_label, manifest_exists, CheckpointWriter, FrontierBackend, ItemCodec, Manifest,
+    StateStoreBackend,
+};
 
 use mp_model::{
     enabled_instances, execute_enabled, GlobalState, LocalState, Message, ProtocolSpec,
@@ -398,30 +401,37 @@ where
     });
     frontier.set_trace(trace.handle());
 
-    if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
-        stats.states = 1;
-        trace.add(Counter::States, 1);
-        stats.elapsed = start.elapsed();
-        stats.record_store(store_name, store.stats());
-        stats.record_frontier(frontier.name(), frontier.stats(), 0);
-        stats.phases = trace.phase_times();
-        trace.finish("violated");
-        let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
-        return RunReport {
-            verdict: Verdict::Violated(Box::new(cx)),
-            stats,
-            strategy,
-        };
-    }
-
-    let (entry_state, entry_observer, initial_delta) = if trivial {
-        (initial, initial_observer, 0)
-    } else {
-        symmetry.canonicalize_traced(&initial, &initial_observer, &trace)
+    // Checkpoint identity mirrors the sequential BFS: protocol structure,
+    // the full strategy label and the semantic configuration fields. The
+    // strategy label embeds the worker count, so a resume under a different
+    // thread count (or engine, reducer, symmetry) is refused.
+    let spec_fp = spec.structure_fingerprint();
+    let identity = format!(
+        "{} sym={}",
+        config.checkpoint_identity(),
+        if trivial {
+            "off".to_string()
+        } else {
+            symmetry.label()
+        }
+    );
+    let every = config
+        .checkpoint
+        .as_ref()
+        .map(|c| c.every_levels.max(1))
+        .unwrap_or(1);
+    let entry_codec = EntryCodec {
+        template: initial_observer.clone(),
     };
-    store.insert((entry_state.clone(), entry_observer.clone()));
-    trace.add(Counter::States, 1);
-    frontier.push((0, initial_delta, entry_state, entry_observer));
+    let mut ckpt: Option<CheckpointWriter> = None;
+    let mut scratch: Vec<u8> = Vec::new();
+    // Committed counter totals from a resumed manifest. The worker-side
+    // atomics restart at zero on a resume, so the finalization below adds
+    // these bases back in.
+    let mut expansions_base = 0usize;
+    let mut transitions_base = 0usize;
+    let mut reduced_base = 0usize;
+    let mut revisits_base = 0usize;
 
     let violation: Mutex<Option<Counterexample>> = Mutex::new(None);
     let stop = AtomicBool::new(false);
@@ -431,6 +441,125 @@ where
     // The BFS level currently being expanded, mirrored for the workers so
     // a violation report can say how deep it was found.
     let depth_now = AtomicUsize::new(0);
+    let mut depth = 0usize;
+
+    macro_rules! ckpt_write {
+        ($result:expr) => {
+            $result.unwrap_or_else(|e| panic!("checkpoint write failed: {e}"))
+        };
+    }
+    // At a level boundary the pool is idle, so the cumulative store and
+    // atomic counter reads below are stable snapshots. This engine does no
+    // path reconstruction and no proviso accounting, hence the fixed zero.
+    macro_rules! ckpt_counters {
+        () => {
+            [
+                ("states", store.len() as u64),
+                (
+                    "expansions",
+                    (expansions_base + expansions.load(Ordering::SeqCst)) as u64,
+                ),
+                (
+                    "transitions",
+                    (transitions_base + transitions_executed.load(Ordering::SeqCst)) as u64,
+                ),
+                ("revisits", (revisits_base + store.stats().hits) as u64),
+                (
+                    "reduced_states",
+                    (reduced_base + reduced_states.load(Ordering::SeqCst)) as u64,
+                ),
+                ("proviso_expansions", 0u64),
+                ("max_depth", depth as u64),
+            ]
+        };
+    }
+
+    let resume_manifest = match &config.checkpoint {
+        Some(c) if manifest_exists(&c.dir) => {
+            let manifest = Manifest::load(&c.dir)
+                .unwrap_or_else(|e| panic!("checkpoint manifest in {}: {e}", c.dir.display()));
+            manifest
+                .validate(spec_fp, &strategy, &identity)
+                .unwrap_or_else(|e| panic!("refusing to resume from {}: {e}", c.dir.display()));
+            Some(manifest)
+        }
+        _ => None,
+    };
+
+    if let Some(manifest) = &resume_manifest {
+        let dir = &config
+            .checkpoint
+            .as_ref()
+            .expect("a resume manifest implies a checkpoint config")
+            .dir;
+        // Rebuild the visited set from every committed level; the last one
+        // also re-seeds the frontier, exactly as the original run left it.
+        for level in 0..=manifest.level {
+            let raws = manifest
+                .read_level(dir, level)
+                .unwrap_or_else(|e| panic!("checkpoint in {}: {e}", dir.display()));
+            let last = level == manifest.level;
+            for raw in raws {
+                let mut input = raw.as_slice();
+                let entry = entry_codec
+                    .decode_item(&mut input)
+                    .unwrap_or_else(|e| panic!("corrupted checkpoint entry: {e}"));
+                if last {
+                    store.insert((entry.2.clone(), entry.3.clone()));
+                    frontier.push(entry);
+                } else {
+                    store.insert((entry.2, entry.3));
+                }
+            }
+        }
+        depth = manifest.level;
+        expansions_base = manifest.counter("expansions") as usize;
+        transitions_base = manifest.counter("transitions") as usize;
+        reduced_base = manifest.counter("reduced_states") as usize;
+        revisits_base = manifest.counter("revisits") as usize;
+        ckpt = Some(
+            CheckpointWriter::resume(dir, manifest)
+                .unwrap_or_else(|e| panic!("cannot resume checkpoint in {}: {e}", dir.display())),
+        );
+        trace.resume(depth as u64, store.len() as u64);
+    } else {
+        if let PropertyStatus::Violated(reason) = property.evaluate(&initial, &initial_observer) {
+            stats.states = 1;
+            trace.add(Counter::States, 1);
+            stats.elapsed = start.elapsed();
+            stats.record_store(store_name, store.stats());
+            stats.record_frontier(frontier.name(), frontier.stats(), 0);
+            stats.phases = trace.phase_times();
+            trace.finish("violated");
+            let cx = Counterexample::new(spec, property.name(), reason, &[], &initial);
+            return RunReport {
+                verdict: Verdict::Violated(Box::new(cx)),
+                stats,
+                strategy,
+            };
+        }
+
+        let (entry_state, entry_observer, initial_delta) = if trivial {
+            (initial, initial_observer, 0)
+        } else {
+            symmetry.canonicalize_traced(&initial, &initial_observer, &trace)
+        };
+        store.insert((entry_state.clone(), entry_observer.clone()));
+        trace.add(Counter::States, 1);
+        let root_entry = (0, initial_delta, entry_state, entry_observer);
+        if let Some(c) = &config.checkpoint {
+            let mut writer = CheckpointWriter::new(&c.dir)
+                .unwrap_or_else(|e| panic!("cannot start checkpoint in {}: {e}", c.dir.display()));
+            ckpt_write!(writer.begin_level(0));
+            scratch.clear();
+            entry_codec.encode_item(&root_entry, &mut scratch);
+            ckpt_write!(writer.push_entry(&scratch));
+            ckpt_write!(writer.seal_level());
+            ckpt_write!(writer.commit(0, spec_fp, &strategy, &identity, &ckpt_counters!()));
+            ckpt = Some(writer);
+        }
+        frontier.push(root_entry);
+    }
 
     // The coordinator deals one batch at a time; with the disk frontier
     // this (plus the watermark) bounds the resident level size.
@@ -440,7 +569,6 @@ where
         config.batch_size
     };
     let pool: Pool<Entry<S, M, O>> = Pool::new(threads);
-    let mut depth = 0usize;
     let mut limit: Option<String> = None;
     let mut level_obs = LevelObserver::new(&trace);
     if level_obs.enabled() {
@@ -569,13 +697,23 @@ where
             depth_now.store(depth, Ordering::Relaxed);
             trace.add(Counter::Depth, depth as u64);
             level_obs.begin_level();
+            if let Some(writer) = ckpt.as_mut() {
+                ckpt_write!(writer.begin_level(depth));
+            }
 
             let mut next_worker = 0usize;
             loop {
                 // Stream flushed successor blocks into the next frontier
                 // level as they arrive — with the disk frontier this keeps
                 // residency bounded by the watermark, not the level width.
+                // The checkpoint tee rides here because the coordinator is
+                // the only thread allowed to touch the writer.
                 for entry in pool.drain_ready() {
+                    if let Some(writer) = ckpt.as_mut() {
+                        scratch.clear();
+                        entry_codec.encode_item(&entry, &mut scratch);
+                        ckpt_write!(writer.push_entry(&scratch));
+                    }
                     frontier.push(entry);
                 }
                 let mut batch = Vec::with_capacity(batch_size);
@@ -624,10 +762,34 @@ where
             // A flush can land between the last drain and the final
             // `outstanding` read; collect it before advancing the level.
             for entry in pool.drain_ready() {
+                if let Some(writer) = ckpt.as_mut() {
+                    scratch.clear();
+                    entry_codec.encode_item(&entry, &mut scratch);
+                    ckpt_write!(writer.push_entry(&scratch));
+                }
                 frontier.push(entry);
             }
             if stop.load(Ordering::Relaxed) {
                 break 'levels;
+            }
+            // The level is complete: fold the store's in-memory buffer into
+            // its sorted runs (a no-op for the purely in-memory backends)
+            // and commit the checkpoint.
+            {
+                let _span = trace.span(Phase::RunMerge);
+                store.maintain();
+            }
+            if let Some(writer) = ckpt.as_mut() {
+                ckpt_write!(writer.seal_level());
+                if depth.is_multiple_of(every) {
+                    ckpt_write!(writer.commit(
+                        depth,
+                        spec_fp,
+                        &strategy,
+                        &identity,
+                        &ckpt_counters!()
+                    ));
+                }
             }
 
             // Per-level time-series and memory gauges (the pool is idle at
@@ -664,15 +826,18 @@ where
     stats.worker_spawns = pool.spawned.load(Ordering::SeqCst);
 
     stats.states = store.len();
-    stats.expansions = expansions.load(Ordering::Relaxed);
-    stats.transitions_executed = transitions_executed.load(Ordering::Relaxed);
-    stats.reduced_states = reduced_states.load(Ordering::Relaxed);
+    stats.expansions = expansions_base + expansions.load(Ordering::Relaxed);
+    stats.transitions_executed = transitions_base + transitions_executed.load(Ordering::Relaxed);
+    stats.reduced_states = reduced_base + reduced_states.load(Ordering::Relaxed);
     stats.max_depth = depth;
     stats.elapsed = start.elapsed();
     stats.record_store(store_name, store.stats());
     // The store's unified hit accounting is the revisit count for a
     // stateful engine (see `ExplorationStats::store_hits`); the workers
-    // have no per-thread revisit field to sum by hand.
+    // have no per-thread revisit field to sum by hand. On a resume the
+    // rebuild inserts were all misses, so the committed run's hits come
+    // back via the manifest's revisit counter.
+    stats.store_hits += revisits_base;
     stats.revisits = stats.store_hits;
     stats.record_frontier(frontier.name(), frontier.stats(), 0);
     stats.phases = trace.phase_times();

@@ -59,6 +59,12 @@ pub struct ExplorationStats {
     /// Approximate peak heap footprint of the visited-state store in
     /// bytes. This is the number the fingerprint backend shrinks.
     pub store_bytes: usize,
+    /// Bytes of visited-set data the store wrote to disk as sorted runs (0
+    /// for the in-memory backends; see `mp-store`'s `RunStore`).
+    pub store_spilled_bytes: usize,
+    /// Bytes the store wrote while merging its sorted runs at level
+    /// boundaries (0 for the in-memory backends).
+    pub store_merge_bytes: usize,
     /// Name of the frontier backend the BFS engines drove ("mem", "disk";
     /// empty for the depth-first and stateless engines, which have no
     /// frontier).
@@ -152,6 +158,8 @@ impl ExplorationStats {
         self.store_backend = name.to_string();
         self.store_hits = store.hits;
         self.store_bytes = store.approx_bytes;
+        self.store_spilled_bytes = store.spilled_bytes;
+        self.store_merge_bytes = store.merge_bytes;
     }
 
     /// Copies the frontier's counters into this record (called by the BFS
@@ -295,6 +303,7 @@ mod tests {
                 hits: 4,
                 misses: 10,
                 approx_bytes: 2048,
+                ..Default::default()
             },
         );
         assert_eq!(s.store_hits, 4);

@@ -5,10 +5,11 @@
 //! `BENCH_fault_sweep.json`.
 //!
 //! Usage: `cargo run --release -p mp-harness --bin fault_sweep
-//! [--full | --smoke] [--spill] [--json [PATH]] [--threads N]
-//! [--batch-size N] [--progress] [--trace PATH]` (run with `--help` for
-//! the authoritative flag list — it is generated from the same table the
-//! parser uses)
+//! [--full | --smoke] [--spill] [--spill-watermark BYTES]
+//! [--checkpoint-dir DIR] [--checkpoint-every K] [--json [PATH]]
+//! [--threads N] [--batch-size N] [--progress] [--trace PATH]` (run with
+//! `--help` for the authoritative flag list — it is generated from the
+//! same table the parser uses)
 //!
 //! `--threads N` adds a parallel-engine agreement probe: the sweep's
 //! protocol cells are re-checked on the persistent worker pool at N
@@ -22,9 +23,17 @@
 //!
 //! `--spill` forces the disk-backed BFS frontier on: the safety cells run
 //! on the breadth-first engine with the frontier spilling at the sweep
-//! watermark, so every internal consistency gate (backend, symmetry,
-//! zero-budget-seed and spill agreement) is exercised with encoded states
-//! round-tripping through disk segments. CI smokes this combination.
+//! watermark (override with `--spill-watermark BYTES`), so every internal
+//! consistency gate (backend, symmetry, zero-budget-seed and spill
+//! agreement) is exercised with encoded states round-tripping through disk
+//! segments. CI smokes this combination.
+//!
+//! `--checkpoint-dir DIR` checkpoints every safety cell into its own
+//! subdirectory of DIR at each completed BFS level (cadence:
+//! `--checkpoint-every K`, default 1) and switches the safety cells onto
+//! the breadth-first engine. Re-running the same command after a kill
+//! resumes every cell at its last committed level and produces identical
+//! verdicts, counters and JSON rows; see `docs/OPERATIONS.md`.
 
 use std::time::Duration;
 
@@ -46,6 +55,21 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec::switch(
         "--spill",
         "force the disk-backed BFS frontier on for the safety cells",
+    ),
+    FlagSpec::value(
+        "--spill-watermark",
+        "BYTES",
+        "disk-frontier spill watermark used with --spill (default 4096)",
+    ),
+    FlagSpec::value(
+        "--checkpoint-dir",
+        "DIR",
+        "checkpoint every safety cell under DIR and resume from it if present",
+    ),
+    FlagSpec::value(
+        "--checkpoint-every",
+        "K",
+        "commit a checkpoint every K completed BFS levels (default 1)",
     ),
     FlagSpec::optional_value(
         "--json",
@@ -89,9 +113,14 @@ fn main() {
         }
     };
     if spill {
-        run_budget = run_budget.with_frontier(mp_harness::FrontierConfig::disk_with_watermark(
-            SWEEP_SPILL_WATERMARK,
-        ));
+        let watermark = cli.usize_value("--spill-watermark", SWEEP_SPILL_WATERMARK);
+        run_budget =
+            run_budget.with_frontier(mp_harness::FrontierConfig::disk_with_watermark(watermark));
+    }
+    if let Some(dir) = cli.value("--checkpoint-dir") {
+        run_budget = run_budget
+            .with_checkpoint_dir(dir)
+            .with_checkpoint_every(cli.usize_value("--checkpoint-every", 1));
     }
     run_budget = run_budget
         .with_batch_size(cli.usize_value(BATCH_SIZE_FLAG.name, 0))
@@ -101,6 +130,14 @@ fn main() {
     println!("(crash-stop / message loss / duplication / Byzantine corruption)");
     if spill {
         println!("(disk-backed BFS frontier forced on: safety cells spill at the sweep watermark)");
+    }
+    if let Some(dir) = &run_budget.checkpoint_dir {
+        println!(
+            "(checkpointing safety cells under {} every {} level(s); \
+             an existing manifest resumes the cell)",
+            dir.display(),
+            run_budget.checkpoint_every
+        );
     }
     println!();
 

@@ -29,7 +29,9 @@
 
 use std::time::Duration;
 
-use mp_checker::{Checker, CheckerConfig, Invariant, NullObserver, Observer, Property};
+use mp_checker::{
+    Checker, CheckerConfig, CheckpointConfig, Invariant, NullObserver, Observer, Property,
+};
 use mp_faults::FaultBudget;
 use mp_model::{LocalState, Message, Permutable, ProtocolSpec};
 use mp_protocols::echo_multicast::{
@@ -73,6 +75,12 @@ pub struct FaultCell {
     pub transitions: usize,
     /// Approximate peak bytes held by the visited-state store.
     pub store_bytes: usize,
+    /// Bytes of visited-set data the store spilled to disk as sorted runs
+    /// (non-zero only for the external-memory `runs` backend).
+    pub store_spilled_bytes: usize,
+    /// Bytes the store wrote while merging its sorted runs at level
+    /// boundaries (non-zero only for the `runs` backend).
+    pub store_merge_bytes: usize,
     /// Wall-clock time of the run.
     pub time: Duration,
     /// Verdict string of the safety run with symmetry reduction on.
@@ -127,6 +135,31 @@ impl FaultCell {
 /// the segment machinery on every run.
 pub const SWEEP_SPILL_WATERMARK: usize = 4096;
 
+/// Buffer watermark (in entries) of the sweep's external-memory `runs`
+/// visited-store backend: small enough that the larger fault cells spill
+/// sorted fingerprint runs to disk and merge them at level boundaries.
+pub const SWEEP_RUN_WATERMARK: usize = 4096;
+
+/// Flattens one sweep-cell coordinate into a filesystem-safe checkpoint
+/// subdirectory name: lowercase, alphanumerics kept, everything else
+/// collapsed to `-`.
+fn cell_slug(parts: &[&str]) -> String {
+    let mut slug = String::new();
+    for part in parts {
+        if !slug.is_empty() && !slug.ends_with('-') {
+            slug.push('-');
+        }
+        for ch in part.chars() {
+            if ch.is_ascii_alphanumeric() {
+                slug.push(ch.to_ascii_lowercase());
+            } else if !slug.ends_with('-') {
+                slug.push('-');
+            }
+        }
+    }
+    slug.trim_matches('-').to_string()
+}
+
 /// The comparison class of a verdict string: `"verified"`, `"violated"` or
 /// `"bounded"`. Symmetric and plain runs may legitimately report different
 /// counterexample *shapes* (a different path or lasso of the same orbit),
@@ -141,12 +174,15 @@ pub fn verdict_class(verdict: &str) -> &'static str {
     }
 }
 
-/// The visited-store backends every cell is run with.
+/// The visited-store backends every cell is run with. The `runs` backend
+/// is the external-memory visited set: a bloom front in RAM plus sorted
+/// fingerprint runs on disk, merged at BFS level boundaries.
 pub fn sweep_backends() -> Vec<StoreConfig> {
     vec![
         StoreConfig::Exact,
         StoreConfig::sharded(),
         StoreConfig::fingerprint(48),
+        StoreConfig::runs_with_watermark(SWEEP_RUN_WATERMARK),
     ]
 }
 
@@ -249,17 +285,35 @@ fn run_cells<S, M, O>(
                 // A spilling budget (the binary's `--spill` flag) moves the
                 // safety cells onto the BFS engine so the whole sweep
                 // drives the disk frontier; the models are acyclic, so BFS
-                // and DFS explore the same (reduced) state graph.
-                let mut config = if run_budget.frontier.spills() {
-                    CheckerConfig::stateful_bfs()
-                } else {
-                    CheckerConfig::stateful_dfs()
-                };
+                // and DFS explore the same (reduced) state graph. A
+                // checkpointing budget does the same — checkpoint/resume is
+                // a level-synchronous (BFS) contract.
+                let mut config =
+                    if run_budget.frontier.spills() || run_budget.checkpoint_dir.is_some() {
+                        CheckerConfig::stateful_bfs()
+                    } else {
+                        CheckerConfig::stateful_dfs()
+                    };
                 config.frontier = run_budget.frontier;
                 config.max_states = run_budget.max_states;
                 config.time_limit = run_budget.time_limit;
                 config.trace = run_budget.trace.clone();
                 config.store = store;
+                if let Some(root) = &run_budget.checkpoint_dir {
+                    // One subdirectory per cell coordinate, so every cell
+                    // of a killed sweep resumes from its own manifest.
+                    let slug = cell_slug(&[
+                        protocol,
+                        budget_label,
+                        if spor { "spor" } else { "unreduced" },
+                        &store.to_string(),
+                        if symmetry { "sym" } else { "plain" },
+                    ]);
+                    config.checkpoint = Some(
+                        CheckpointConfig::new(root.join(slug))
+                            .with_every_levels(run_budget.checkpoint_every),
+                    );
+                }
                 let checker =
                     Checker::with_observer(spec, property.clone(), observer.clone()).config(config);
                 let checker = if spor { checker.spor() } else { checker };
@@ -282,6 +336,8 @@ fn run_cells<S, M, O>(
                 states: report.stats.states,
                 transitions: report.stats.transitions_executed,
                 store_bytes: report.stats.store_bytes,
+                store_spilled_bytes: report.stats.store_spilled_bytes,
+                store_merge_bytes: report.stats.store_merge_bytes,
                 time: report.stats.elapsed,
                 sym_verdict: sym_report.verdict.to_string(),
                 sym_liveness: liveness_sym.clone(),
@@ -570,7 +626,8 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
         out.push_str(&format!(
             "  {{\"protocol\":\"{}\",\"budget\":\"{}\",\"strategy\":\"{}\",\"backend\":\"{}\",\
              \"verdict\":\"{}\",\"liveness\":\"{}\",\"states\":{},\"transitions\":{},\
-             \"store_bytes\":{},\"time_ms\":{},\"sym_verdict\":\"{}\",\"sym_liveness\":\"{}\",\
+             \"store_bytes\":{},\"store_spilled_bytes\":{},\"store_merge_bytes\":{},\
+             \"time_ms\":{},\"sym_verdict\":\"{}\",\"sym_liveness\":\"{}\",\
              \"sym_states\":{},\"sym_time_ms\":{},\"state_ratio\":{:.3},\
              \"frontier_bytes\":{},\"sym_frontier_bytes\":{},\"frontier_ratio\":{:.3},\
              \"spill_agrees\":{}{}}}{}\n",
@@ -583,6 +640,8 @@ pub fn fault_sweep_json(cells: &[FaultCell]) -> String {
             c.states,
             c.transitions,
             c.store_bytes,
+            c.store_spilled_bytes,
+            c.store_merge_bytes,
             c.time.as_millis(),
             json_escape(&c.sym_verdict),
             json_escape(&c.sym_liveness),
@@ -649,7 +708,7 @@ mod tests {
                 &mut cells,
             );
         }
-        assert_eq!(cells.len(), 2 * 2 * 3);
+        assert_eq!(cells.len(), 2 * 2 * 4);
         assert!(backend_disagreements(&cells).is_empty());
         assert!(symmetry_disagreements(&cells).is_empty());
         assert!(frontier_disagreements(&cells).is_empty());
@@ -690,15 +749,30 @@ mod tests {
         assert_eq!(json.matches("\"sym_frontier_bytes\"").count(), cells.len());
         assert_eq!(json.matches("\"spill_agrees\":true").count(), cells.len());
         assert_eq!(
+            json.matches("\"store_spilled_bytes\":").count(),
+            cells.len()
+        );
+        assert_eq!(json.matches("\"store_merge_bytes\":").count(), cells.len());
+        assert_eq!(
             json.matches("\"phase_expansion_ms\":").count(),
             cells.len(),
             "every cell carries its flat phase breakdown"
         );
         let table = render_fault_sweep(&cells);
         assert!(table.contains("fingerprint"));
+        assert!(table.contains("runs("));
         assert!(table.contains("liveness"));
         assert!(table.contains("ratio"));
         assert!(table.contains("front KiB"));
+    }
+
+    #[test]
+    fn cell_slugs_are_filesystem_safe_and_distinct() {
+        let a = cell_slug(&["Paxos (1,2,1)", "crashes=1", "spor", "runs(4096)", "sym"]);
+        assert_eq!(a, "paxos-1-2-1-crashes-1-spor-runs-4096-sym");
+        let b = cell_slug(&["Paxos (1,2,1)", "crashes=1", "spor", "runs(4096)", "plain"]);
+        assert_ne!(a, b);
+        assert!(a.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Shared experiment-cell runner.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use mp_checker::{Checker, CheckerConfig, Invariant, Observer, Tracer, Verdict};
@@ -36,6 +37,15 @@ pub struct Budget {
     /// instrumentation point a no-op; the binaries' `--progress` /
     /// `--trace PATH` flags install an enabled one.
     pub trace: Tracer,
+    /// Root directory for per-cell checkpoint/resume state (`None` runs
+    /// without checkpoints). Each cell checkpoints into its own
+    /// subdirectory, so a killed sweep resumes every cell at its last
+    /// committed BFS level. [`Budget::apply`] does **not** forward this —
+    /// the sweep derives the per-cell [`mp_checker::CheckpointConfig`]
+    /// itself.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Commit a checkpoint every this-many BFS levels (min 1).
+    pub checkpoint_every: usize,
 }
 
 impl Default for Budget {
@@ -47,6 +57,8 @@ impl Default for Budget {
             frontier: FrontierConfig::Mem,
             batch_size: 0,
             trace: Tracer::disabled(),
+            checkpoint_dir: None,
+            checkpoint_every: 1,
         }
     }
 }
@@ -94,6 +106,18 @@ impl Budget {
     /// phase breakdown.
     pub fn with_trace(mut self, trace: Tracer) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Roots per-cell checkpoint directories under `dir` (builder style).
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the checkpoint cadence in BFS levels (builder style; min 1).
+    pub fn with_checkpoint_every(mut self, every: usize) -> Self {
+        self.checkpoint_every = every.max(1);
         self
     }
 

@@ -84,7 +84,10 @@ pub mod state;
 pub mod transition;
 
 pub use channel::Channels;
-pub use codec::{decode_from_slice, encode_to_vec, Decode, DecodeError, Encode};
+pub use codec::{
+    common_prefix_len, decode_from_slice, encode_to_vec, read_delta_record, read_varint,
+    write_delta_record, write_varint, Decode, DecodeError, Encode, Fnv64,
+};
 pub use enabled::{
     enabled_instances, enabled_instances_of, enabled_instances_with_limits, is_enabled,
     EnumerationLimits, TransitionInstance,

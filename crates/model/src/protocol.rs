@@ -196,6 +196,31 @@ impl<S: LocalState, M: Message> ProtocolSpec<S, M> {
     pub fn transition_names(&self) -> Vec<&str> {
         self.transitions.iter().map(|t| t.name()).collect()
     }
+
+    /// A stable 64-bit fingerprint of the protocol's *structure*: its name,
+    /// process names, and transition (name, executing-process) pairs in id
+    /// order. Guards and effects are opaque closures, so behavioural changes
+    /// that keep the structure identical are not detected — the fingerprint
+    /// identifies *which model was configured*, not its semantics.
+    ///
+    /// The checkpoint manifests of `mp-store` persist this value and refuse
+    /// to resume a run against a protocol whose structure has changed (a
+    /// renamed transition, a different process count); see the
+    /// `docs/ON_DISK_FORMATS.md` compatibility policy.
+    pub fn structure_fingerprint(&self) -> u64 {
+        let mut h = crate::codec::Fnv64::new();
+        h.write(self.name.as_bytes());
+        h.write_u64(self.process_names.len() as u64);
+        for name in &self.process_names {
+            h.write(name.as_bytes());
+        }
+        h.write_u64(self.transitions.len() as u64);
+        for t in &self.transitions {
+            h.write(t.name().as_bytes());
+            h.write_u64(t.process().0 as u64);
+        }
+        h.finish()
+    }
 }
 
 impl<S, M: Ord> fmt::Debug for ProtocolSpec<S, M> {

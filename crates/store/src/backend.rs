@@ -20,6 +20,12 @@ pub struct StoreStats {
     /// the number the engines report as "peak state-storage bytes"; it
     /// covers the store's own tables, not frontier queues or DFS stacks.
     pub approx_bytes: usize,
+    /// Cumulative bytes of visited-set data written to disk as sorted runs
+    /// (0 for the in-memory backends).
+    pub spilled_bytes: usize,
+    /// Cumulative bytes written while merging sorted runs during
+    /// [`StateStoreBackend::maintain`] (0 for the in-memory backends).
+    pub merge_bytes: usize,
 }
 
 impl StoreStats {
@@ -90,8 +96,14 @@ pub trait StateStoreBackend<K> {
     /// Snapshot of the counters.
     fn stats(&self) -> StoreStats;
 
-    /// Short backend name ("exact", "sharded", "fingerprint").
+    /// Short backend name ("exact", "sharded", "fingerprint", "runs").
     fn name(&self) -> &'static str;
+
+    /// Gives the backend a chance to reorganise itself at a quiescent point
+    /// — the BFS engines call this at level boundaries. The external-memory
+    /// backend merges its sorted runs here so lookups stay cheap; the
+    /// in-memory backends have nothing to do, hence the no-op default.
+    fn maintain(&self) {}
 }
 
 /// Approximate byte footprint of a hash table with `capacity` slots of
@@ -111,6 +123,7 @@ mod tests {
             hits: 3,
             misses: 9,
             approx_bytes: 4096,
+            ..Default::default()
         };
         assert_eq!(s.queries(), 12);
         assert!((s.hit_rate() - 0.25).abs() < 1e-12);

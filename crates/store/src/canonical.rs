@@ -28,6 +28,7 @@ pub fn canonical_label(name: &'static str) -> &'static str {
         "exact" => "exact+canon",
         "sharded" => "sharded+canon",
         "fingerprint" => "fingerprint+canon",
+        "runs" => "runs+canon",
         _ => "canonical",
     }
 }
@@ -97,6 +98,10 @@ impl<K: Eq + Hash + Clone> StateStoreBackend<K> for CanonicalStore<K> {
 
     fn stats(&self) -> StoreStats {
         self.inner.stats()
+    }
+
+    fn maintain(&self) {
+        self.inner.maintain()
     }
 
     fn name(&self) -> &'static str {

@@ -3,7 +3,10 @@
 use std::fmt;
 use std::hash::Hash;
 
-use crate::{ExactStore, FingerprintStore, ShardedStore, StateStoreBackend, StoreStats};
+use crate::{
+    ExactStore, FingerprintStore, RunStore, ShardedStore, StateStoreBackend, StoreStats,
+    DEFAULT_RUN_WATERMARK,
+};
 
 /// Default stripe count of the sharded backends.
 pub const DEFAULT_SHARDS: usize = 64;
@@ -36,6 +39,15 @@ pub enum StoreConfig {
         /// Stripe count (rounded up to a power of two).
         shards: usize,
     },
+    /// External-memory hash compaction: a small in-RAM buffer + bloom
+    /// front, with full 64-bit fingerprints spilled to sorted on-disk runs
+    /// past the watermark (see [`RunStore`]). Probabilistic like
+    /// [`StoreConfig::Fingerprint`], but resident memory stays bounded by
+    /// the watermark however large the state space grows.
+    Runs {
+        /// Fingerprints buffered in RAM before a sorted run is spilled.
+        watermark_entries: usize,
+    },
 }
 
 impl StoreConfig {
@@ -52,6 +64,22 @@ impl StoreConfig {
     /// [`StoreConfig::for_parallel`] widens it for concurrent use.
     pub fn fingerprint(bits: u32) -> Self {
         StoreConfig::Fingerprint { bits, shards: 1 }
+    }
+
+    /// The external-memory runs backend with the default watermark.
+    pub fn runs() -> Self {
+        StoreConfig::Runs {
+            watermark_entries: DEFAULT_RUN_WATERMARK,
+        }
+    }
+
+    /// The external-memory runs backend with an explicit watermark (tiny
+    /// watermarks force multi-run spilling on small models, which is how
+    /// the tests and the smoke sweep exercise the merge machinery).
+    pub fn runs_with_watermark(watermark_entries: usize) -> Self {
+        StoreConfig::Runs {
+            watermark_entries: watermark_entries.max(1),
+        }
     }
 
     /// The configuration the parallel engine actually uses: a single-lock
@@ -71,7 +99,10 @@ impl StoreConfig {
 
     /// Returns `true` if the backend stores full keys (no omissions).
     pub fn is_exact(&self) -> bool {
-        !matches!(self, StoreConfig::Fingerprint { .. })
+        !matches!(
+            self,
+            StoreConfig::Fingerprint { .. } | StoreConfig::Runs { .. }
+        )
     }
 
     /// Builds the backend for key type `K`.
@@ -81,6 +112,9 @@ impl StoreConfig {
             StoreConfig::Sharded { shards } => StoreImpl::Sharded(ShardedStore::new(shards)),
             StoreConfig::Fingerprint { bits, shards } => {
                 StoreImpl::Fingerprint(FingerprintStore::new(bits, shards))
+            }
+            StoreConfig::Runs { watermark_entries } => {
+                StoreImpl::Runs(RunStore::new(watermark_entries))
             }
         }
     }
@@ -92,6 +126,7 @@ impl fmt::Display for StoreConfig {
             StoreConfig::Exact => write!(f, "exact"),
             StoreConfig::Sharded { shards } => write!(f, "sharded({shards})"),
             StoreConfig::Fingerprint { bits, .. } => write!(f, "fingerprint({bits}-bit)"),
+            StoreConfig::Runs { watermark_entries } => write!(f, "runs({watermark_entries})"),
         }
     }
 }
@@ -106,6 +141,8 @@ pub enum StoreImpl<K> {
     Sharded(ShardedStore<K>),
     /// See [`FingerprintStore`].
     Fingerprint(FingerprintStore<K>),
+    /// See [`RunStore`].
+    Runs(RunStore<K>),
 }
 
 impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
@@ -114,6 +151,7 @@ impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
             StoreImpl::Exact(s) => s.insert(key),
             StoreImpl::Sharded(s) => s.insert(key),
             StoreImpl::Fingerprint(s) => s.insert(key),
+            StoreImpl::Runs(s) => s.insert(key),
         }
     }
 
@@ -125,6 +163,7 @@ impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
             StoreImpl::Exact(s) => s.insert_ref(key),
             StoreImpl::Sharded(s) => s.insert_ref(key),
             StoreImpl::Fingerprint(s) => s.insert_ref(key),
+            StoreImpl::Runs(s) => s.insert_ref(key),
         }
     }
 
@@ -133,6 +172,7 @@ impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
             StoreImpl::Exact(s) => s.contains(key),
             StoreImpl::Sharded(s) => s.contains(key),
             StoreImpl::Fingerprint(s) => s.contains(key),
+            StoreImpl::Runs(s) => s.contains(key),
         }
     }
 
@@ -141,6 +181,7 @@ impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
             StoreImpl::Exact(s) => StateStoreBackend::len(s),
             StoreImpl::Sharded(s) => StateStoreBackend::len(s),
             StoreImpl::Fingerprint(s) => StateStoreBackend::<K>::len(s),
+            StoreImpl::Runs(s) => StateStoreBackend::<K>::len(s),
         }
     }
 
@@ -149,6 +190,15 @@ impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
             StoreImpl::Exact(s) => s.stats(),
             StoreImpl::Sharded(s) => s.stats(),
             StoreImpl::Fingerprint(s) => StateStoreBackend::<K>::stats(s),
+            StoreImpl::Runs(s) => StateStoreBackend::<K>::stats(s),
+        }
+    }
+
+    fn maintain(&self) {
+        // Only the external-memory backend has level-boundary work (merging
+        // its sorted runs); the in-memory backends keep the default no-op.
+        if let StoreImpl::Runs(s) = self {
+            StateStoreBackend::<K>::maintain(s);
         }
     }
 
@@ -157,6 +207,7 @@ impl<K: Eq + Hash> StateStoreBackend<K> for StoreImpl<K> {
             StoreImpl::Exact(s) => StateStoreBackend::name(s),
             StoreImpl::Sharded(s) => StateStoreBackend::name(s),
             StoreImpl::Fingerprint(s) => StateStoreBackend::<K>::name(s),
+            StoreImpl::Runs(s) => StateStoreBackend::<K>::name(s),
         }
     }
 }

@@ -85,6 +85,7 @@ impl<K: Eq + Hash> StateStoreBackend<K> for ExactStore<K> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             approx_bytes: table_bytes(seen.capacity(), size_of::<K>()),
+            ..Default::default()
         }
     }
 

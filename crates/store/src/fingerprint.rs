@@ -140,6 +140,7 @@ impl<K: Hash> StateStoreBackend<K> for FingerprintStore<K> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             approx_bytes,
+            ..Default::default()
         }
     }
 

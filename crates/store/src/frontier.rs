@@ -39,7 +39,7 @@ use std::marker::PhantomData;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mp_model::{Decode, DecodeError, Encode};
+use mp_model::{read_delta_record, write_delta_record, Decode, DecodeError, Encode};
 use mp_trace::{Histogram, Phase, TraceHandle};
 
 /// Default in-memory watermark (and segment size) of the disk frontier:
@@ -65,6 +65,11 @@ pub enum FrontierConfig {
         /// Bytes of encoded entries buffered in memory per level queue
         /// before a segment is written out (also the segment size).
         watermark_bytes: usize,
+        /// Delta-encode each record against the previous record of its
+        /// segment (BFS neighbours share most of their bytes, so segments
+        /// shrink several-fold). Each segment stays self-contained: its
+        /// first record is stored whole. See `docs/ON_DISK_FORMATS.md`.
+        delta: bool,
     },
 }
 
@@ -73,6 +78,7 @@ impl FrontierConfig {
     pub fn disk() -> Self {
         FrontierConfig::Disk {
             watermark_bytes: DEFAULT_FRONTIER_WATERMARK,
+            delta: false,
         }
     }
 
@@ -82,6 +88,17 @@ impl FrontierConfig {
     pub fn disk_with_watermark(watermark_bytes: usize) -> Self {
         FrontierConfig::Disk {
             watermark_bytes: watermark_bytes.max(1),
+            delta: false,
+        }
+    }
+
+    /// Like [`FrontierConfig::disk_with_watermark`], with delta-compressed
+    /// segments (each record stored as its difference from the previous
+    /// record of the segment).
+    pub fn disk_delta_with_watermark(watermark_bytes: usize) -> Self {
+        FrontierConfig::Disk {
+            watermark_bytes: watermark_bytes.max(1),
+            delta: true,
         }
     }
 
@@ -96,9 +113,14 @@ impl FrontierConfig {
     pub fn build<T, C: ItemCodec<T>>(&self, codec: C) -> FrontierImpl<T, C> {
         match *self {
             FrontierConfig::Mem => FrontierImpl::Mem(MemFrontier::new()),
-            FrontierConfig::Disk { watermark_bytes } => {
-                FrontierImpl::Disk(Box::new(DiskFrontier::new(watermark_bytes, codec)))
-            }
+            FrontierConfig::Disk {
+                watermark_bytes,
+                delta,
+            } => FrontierImpl::Disk(Box::new(DiskFrontier::with_options(
+                watermark_bytes,
+                delta,
+                codec,
+            ))),
         }
     }
 
@@ -107,7 +129,11 @@ impl FrontierConfig {
     pub fn build_log<T: Clone, C: ItemCodec<T>>(&self, codec: C) -> SpillLog<T, C> {
         match *self {
             FrontierConfig::Mem => SpillLog::mem(codec),
-            FrontierConfig::Disk { watermark_bytes } => SpillLog::disk(watermark_bytes, codec),
+            // The log is randomly read back one record at a time, so delta
+            // chains would defeat it — records stay raw regardless.
+            FrontierConfig::Disk {
+                watermark_bytes, ..
+            } => SpillLog::disk(watermark_bytes, codec),
         }
     }
 }
@@ -116,8 +142,12 @@ impl std::fmt::Display for FrontierConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             FrontierConfig::Mem => write!(f, "mem"),
-            FrontierConfig::Disk { watermark_bytes } => {
-                write!(f, "disk({} KiB watermark)", watermark_bytes / 1024)
+            FrontierConfig::Disk {
+                watermark_bytes,
+                delta,
+            } => {
+                let delta = if *delta { ", delta" } else { "" };
+                write!(f, "disk({} KiB watermark{delta})", watermark_bytes / 1024)
             }
         }
     }
@@ -322,7 +352,7 @@ impl<T> FrontierBackend<T> for MemFrontier<T> {
 /// Names spill files uniquely within the process.
 static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
 
-fn spill_path(prefix: &str) -> PathBuf {
+pub(crate) fn spill_path(prefix: &str) -> PathBuf {
     std::env::temp_dir().join(format!(
         "{prefix}-{}-{}.bin",
         std::process::id(),
@@ -330,7 +360,7 @@ fn spill_path(prefix: &str) -> PathBuf {
     ))
 }
 
-fn open_spill(path: &PathBuf) -> File {
+pub(crate) fn open_spill(path: &PathBuf) -> File {
     OpenOptions::new()
         .create(true)
         .truncate(true)
@@ -393,6 +423,15 @@ pub struct DiskFrontier<T, C> {
     cur_tail_items: usize,
     cur_items: usize,
     cur_bytes: usize,
+    // Delta compression (see `FrontierConfig::Disk { delta }`): the encoded
+    // previous record of the write chain / read chain, and a scratch buffer
+    // the next record is encoded into before it is delta-framed. Both
+    // chains restart empty at every segment boundary, so each segment (and
+    // the in-memory tail) decodes without its neighbours.
+    delta: bool,
+    prev_write: Vec<u8>,
+    prev_read: Vec<u8>,
+    scratch: Vec<u8>,
     stats: FrontierStats,
     trace: TraceHandle,
     _marker: PhantomData<fn() -> T>,
@@ -401,6 +440,12 @@ pub struct DiskFrontier<T, C> {
 impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
     /// Creates a disk frontier spilling past `watermark` bytes per level.
     pub fn new(watermark: usize, codec: C) -> Self {
+        Self::with_options(watermark, false, codec)
+    }
+
+    /// Creates a disk frontier, optionally delta-compressing each record
+    /// against its predecessor in the segment (`delta = true`).
+    pub fn with_options(watermark: usize, delta: bool, codec: C) -> Self {
         let paths = [spill_path("mp-frontier"), spill_path("mp-frontier")];
         let files = [open_spill(&paths[0]), open_spill(&paths[1])];
         DiskFrontier {
@@ -423,6 +468,10 @@ impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
             cur_tail_items: 0,
             cur_items: 0,
             cur_bytes: 0,
+            delta,
+            prev_write: Vec::new(),
+            prev_read: Vec::new(),
+            scratch: Vec::new(),
             stats: FrontierStats::default(),
             trace: TraceHandle::disabled(),
             _marker: PhantomData,
@@ -455,9 +504,15 @@ impl<T, C: ItemCodec<T>> DiskFrontier<T, C> {
         self.stats.segments += 1;
         self.next_buf.clear();
         self.next_buf_items = 0;
+        // Each segment is self-contained: the delta chain restarts, so the
+        // next record is stored whole.
+        self.prev_write.clear();
     }
 
     fn refill_chunk(&mut self) -> bool {
+        // The read chain restarts with each segment (and with the tail),
+        // mirroring the write side.
+        self.prev_read.clear();
         if let Some(segment) = self.cur_segments.pop_front() {
             let _io = self.trace.span(Phase::SpillIo);
             self.cur_chunk.resize(segment.len, 0);
@@ -491,7 +546,14 @@ impl<T, C: ItemCodec<T>> FrontierBackend<T> for DiskFrontier<T, C> {
         let start = self.next_buf.len();
         {
             let _span = self.trace.span(Phase::FrontierEncode);
-            self.codec.encode_item(&item, &mut self.next_buf);
+            if self.delta {
+                self.scratch.clear();
+                self.codec.encode_item(&item, &mut self.scratch);
+                write_delta_record(&self.prev_write, &self.scratch, &mut self.next_buf);
+                std::mem::swap(&mut self.prev_write, &mut self.scratch);
+            } else {
+                self.codec.encode_item(&item, &mut self.next_buf);
+            }
         }
         let record = self.next_buf.len() - start;
         self.next_buf_items += 1;
@@ -512,9 +574,21 @@ impl<T, C: ItemCodec<T>> FrontierBackend<T> for DiskFrontier<T, C> {
         let before = slice.len();
         let item = {
             let _span = self.trace.span(Phase::FrontierDecode);
-            self.codec
-                .decode_item(&mut slice)
-                .unwrap_or_else(|e| panic!("corrupted frontier spill record: {e}"))
+            if self.delta {
+                let full = read_delta_record(&self.prev_read, &mut slice)
+                    .unwrap_or_else(|e| panic!("corrupted frontier spill record: {e}"));
+                let mut full_slice = full.as_slice();
+                let item = self
+                    .codec
+                    .decode_item(&mut full_slice)
+                    .unwrap_or_else(|e| panic!("corrupted frontier spill record: {e}"));
+                self.prev_read = full;
+                item
+            } else {
+                self.codec
+                    .decode_item(&mut slice)
+                    .unwrap_or_else(|e| panic!("corrupted frontier spill record: {e}"))
+            }
         };
         self.cur_pos += before - slice.len();
         self.cur_chunk_items -= 1;
@@ -542,6 +616,8 @@ impl<T, C: ItemCodec<T>> FrontierBackend<T> for DiskFrontier<T, C> {
         self.cur_chunk.clear();
         self.cur_pos = 0;
         self.cur_chunk_items = 0;
+        self.prev_write.clear();
+        self.prev_read.clear();
         self.cur_items = self.next_items;
         self.cur_bytes = self.next_bytes;
         self.next_items = 0;
@@ -880,6 +956,55 @@ mod tests {
     }
 
     #[test]
+    fn delta_disk_frontier_pops_in_identical_fifo_order() {
+        let levels = [1, 7, 40, 3, 25];
+        let mut mem = MemFrontier::new();
+        let mut delta: DiskFrontier<Item, _> = DiskFrontier::with_options(64, true, PlainCodec);
+        let from_mem = drive(&mut mem, &levels);
+        let from_delta = drive(&mut delta, &levels);
+        assert_eq!(from_mem, from_delta);
+        let stats = delta.stats();
+        assert!(stats.segments > 1, "tiny watermark must multi-segment");
+        assert!(stats.spilled_bytes > 0);
+    }
+
+    #[test]
+    fn delta_segments_shrink_when_records_share_prefixes() {
+        // Records with a long shared prefix (the common case for encoded
+        // BFS neighbours): delta framing should cut the spill several-fold.
+        type Rec = (Vec<u8>, usize);
+        fn rec(i: usize) -> Rec {
+            (vec![0xAB; 48], i)
+        }
+        let mut plain: DiskFrontier<Rec, _> = DiskFrontier::new(256, PlainCodec);
+        let mut delta: DiskFrontier<Rec, _> = DiskFrontier::with_options(256, true, PlainCodec);
+        for i in 0..200 {
+            plain.push(rec(i));
+            delta.push(rec(i));
+        }
+        assert_eq!(plain.advance_level(), 200);
+        assert_eq!(delta.advance_level(), 200);
+        let mut popped = 0;
+        loop {
+            match (plain.pop(), delta.pop()) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a, b);
+                    popped += 1;
+                }
+                (None, None) => break,
+                _ => panic!("plain and delta frontiers disagree on length"),
+            }
+        }
+        assert_eq!(popped, 200);
+        let (plain_spill, delta_spill) = (plain.stats().spilled_bytes, delta.stats().spilled_bytes);
+        assert!(
+            delta_spill * 2 < plain_spill,
+            "delta spill ({delta_spill}B) must substantially undercut the \
+             plain spill ({plain_spill}B)"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "advance_level")]
     fn advancing_a_non_exhausted_level_panics() {
         let mut mem = MemFrontier::new();
@@ -919,6 +1044,9 @@ mod tests {
         assert!(FrontierConfig::disk().to_string().starts_with("disk("));
         assert!(!FrontierConfig::Mem.spills());
         assert!(FrontierConfig::disk().spills());
+        let delta = FrontierConfig::disk_delta_with_watermark(4096);
+        assert!(delta.to_string().contains("delta"), "{delta}");
+        assert!(delta.spills());
         assert_eq!(FrontierConfig::default(), FrontierConfig::Mem);
     }
 }

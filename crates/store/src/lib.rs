@@ -19,6 +19,12 @@
 //!   is stored. Memory per visited state drops from the full key size
 //!   (hundreds of bytes for protocol states) to a few bytes, at the price
 //!   of a bounded *omission* probability (see below).
+//! * [`RunStore`] — **external-memory** hash compaction: full 64-bit
+//!   fingerprints, buffered in RAM up to a watermark and then spilled to
+//!   sorted on-disk runs fronted by a bloom filter, merged at BFS level
+//!   boundaries ([`StateStoreBackend::maintain`]). Resident memory stays
+//!   bounded by the watermark + bloom front however large the state space
+//!   grows; the omission probability is that of 64-bit fingerprints.
 //!
 //! ## Soundness caveat of hash compaction
 //!
@@ -64,6 +70,14 @@
 //! discipline so counterexample paths stay reconstructible. See the
 //! [`frontier`](self::FrontierBackend) module types for the details.
 //!
+//! ## Checkpoint/resume
+//!
+//! Long sweeps survive being killed: the BFS engines can persist every
+//! completed level (frontier entries, parent records, counters) through a
+//! [`CheckpointWriter`] and resume from the [`Manifest`] at the last
+//! committed level, producing byte-identical verdicts and statistics. All
+//! persisted byte layouts are specified in `docs/ON_DISK_FORMATS.md`.
+//!
 //! ```
 //! use mp_store::{FrontierBackend, FrontierConfig, PlainCodec};
 //!
@@ -84,14 +98,20 @@
 
 mod backend;
 mod canonical;
+mod checkpoint;
 mod config;
 mod exact;
 mod fingerprint;
 mod frontier;
+mod runstore;
 mod sharded;
 
 pub use backend::{StateStoreBackend, StoreStats};
 pub use canonical::{canonical_label, CanonicalStore, KeyMapper};
+pub use checkpoint::{
+    manifest_exists, CheckpointConfig, CheckpointError, CheckpointWriter, FileMeta, Manifest,
+    CHECKPOINT_VERSION,
+};
 pub use config::{StoreConfig, StoreImpl, DEFAULT_FINGERPRINT_BITS, DEFAULT_SHARDS};
 pub use exact::{ExactStore, StateStore};
 pub use fingerprint::FingerprintStore;
@@ -99,6 +119,7 @@ pub use frontier::{
     DiskFrontier, FrontierBackend, FrontierConfig, FrontierImpl, FrontierStats, ItemCodec,
     MemFrontier, PlainCodec, SpillLog, DEFAULT_FRONTIER_WATERMARK,
 };
+pub use runstore::{RunStore, DEFAULT_RUN_WATERMARK};
 pub use sharded::ShardedStore;
 
 #[cfg(test)]
@@ -131,6 +152,9 @@ mod tests {
             StoreConfig::sharded(),
             StoreConfig::Sharded { shards: 4 },
             StoreConfig::fingerprint(64),
+            // A tiny watermark so the external-memory backend spills and
+            // answers from its sorted runs, not just the RAM buffer.
+            StoreConfig::runs_with_watermark(32),
         ];
         let expected: Vec<bool> = {
             let exact = StoreConfig::Exact.build::<u64>();
@@ -221,6 +245,7 @@ mod tests {
             StoreConfig::Exact,
             StoreConfig::sharded(),
             StoreConfig::fingerprint(64),
+            StoreConfig::runs_with_watermark(32),
         ] {
             let store = config.build::<u64>();
             assert!(!store.contains(&1)); // miss
@@ -240,6 +265,7 @@ mod tests {
             StoreConfig::Exact,
             StoreConfig::sharded(),
             StoreConfig::fingerprint(64),
+            StoreConfig::runs_with_watermark(32),
         ] {
             let by_value = config.build::<u64>();
             let by_ref = config.build::<u64>();
@@ -279,5 +305,13 @@ mod tests {
         assert_eq!(striped.for_parallel(), striped);
         assert!(StoreConfig::Exact.is_exact());
         assert!(!StoreConfig::fingerprint(32).is_exact());
+        // The external-memory backend: probabilistic (64-bit fingerprints),
+        // already thread-safe, labelled by its watermark.
+        assert_eq!(
+            StoreConfig::runs_with_watermark(512).to_string(),
+            "runs(512)"
+        );
+        assert_eq!(StoreConfig::runs().for_parallel(), StoreConfig::runs());
+        assert!(!StoreConfig::runs().is_exact());
     }
 }

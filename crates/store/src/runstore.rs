@@ -1,0 +1,589 @@
+//! The external-memory visited set: a bloom front in RAM, sorted runs of
+//! fingerprints on disk.
+//!
+//! The visited set is the structure that outgrows RAM first on
+//! certification sweeps — every backend in this crate so far keeps at least
+//! one word *per visited state* resident. [`RunStore`] breaks that bound:
+//!
+//! * recent fingerprints live in an in-memory **buffer** (a sorted set);
+//! * when the buffer reaches the configured **watermark** it is flushed to
+//!   a temporary file as one **sorted run** of delta-encoded fingerprints
+//!   (see `docs/ON_DISK_FORMATS.md` in the repository for the exact byte
+//!   layout);
+//! * a **bloom filter** over everything spilled screens lookups: a bloom
+//!   miss proves the fingerprint was never spilled, so the common case — a
+//!   genuinely new state — touches no disk at all;
+//! * a bloom *maybe* falls through to a binary search over each run's
+//!   in-memory block index, reading back exactly one block per run.
+//!
+//! Lookup cost is O(runs) block reads in the worst case, so the engines
+//! call [`StateStoreBackend::maintain`] at BFS level boundaries, which
+//! merges all runs into one — lookups between boundaries stay cheap and
+//! resident memory stays bounded by the bloom front, the buffer and one
+//! block per run during the merge.
+//!
+//! Like [`crate::FingerprintStore`] at 64 bits, membership is decided on a
+//! 64-bit hash of the key: `Verified` verdicts become probabilistic (see
+//! the crate docs for the soundness contract), while counterexamples stay
+//! exact.
+//!
+//! ```
+//! use mp_store::{RunStore, StateStoreBackend};
+//!
+//! // A tiny watermark forces several sorted runs onto disk.
+//! let store: RunStore<u64> = RunStore::new(128);
+//! for k in 0..1000u64 {
+//!     assert!(store.insert(k), "every key is new");
+//! }
+//! for k in 0..1000u64 {
+//!     assert!(store.contains(&k), "spilled keys stay visible");
+//! }
+//! store.maintain(); // merge the runs (the engines do this per BFS level)
+//! let stats = store.stats();
+//! assert_eq!(stats.entries, 1000);
+//! assert!(stats.spilled_bytes > 0, "runs went to disk");
+//! assert!(stats.merge_bytes > 0, "maintain rewrote them as one run");
+//! ```
+
+use std::collections::BTreeSet;
+use std::fs::File;
+use std::hash::Hash;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::marker::PhantomData;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mp_model::{read_varint, write_varint};
+
+use crate::backend::{StateStoreBackend, StoreStats};
+use crate::frontier::{open_spill, spill_path};
+use crate::sharded::hash64;
+
+/// Default run-flush watermark: fingerprints buffered in RAM before a
+/// sorted run is written out (~24 MiB of buffer at `BTreeSet` overheads).
+pub const DEFAULT_RUN_WATERMARK: usize = 1 << 20;
+
+/// Fingerprints per encoded block of a sorted run. One block is the unit
+/// of disk read on a lookup and the granularity of the in-memory block
+/// index.
+const BLOCK_ENTRIES: usize = 256;
+
+/// One block of a sorted run: `count` fingerprints starting at `first_fp`,
+/// stored as `varint(count) varint(first_fp) varint(gap)*` at
+/// `offset..offset+len` in the run file.
+#[derive(Clone, Copy, Debug)]
+struct Block {
+    first_fp: u64,
+    offset: u64,
+    len: usize,
+    count: usize,
+}
+
+/// One sorted run on disk plus its in-memory block index.
+#[derive(Debug)]
+struct Run {
+    file: File,
+    path: PathBuf,
+    index: Vec<Block>,
+    entries: usize,
+}
+
+impl Run {
+    fn read_block(&mut self, block: Block) -> Vec<u64> {
+        let mut raw = vec![0u8; block.len];
+        self.file
+            .seek(SeekFrom::Start(block.offset))
+            .and_then(|_| self.file.read_exact(&mut raw))
+            .unwrap_or_else(|e| panic!("run read from {}: {e}", self.path.display()));
+        decode_block(&raw, block.count)
+    }
+
+    /// Binary-searches the block index and reads back at most one block.
+    fn contains(&mut self, fp: u64) -> bool {
+        // Last block whose first fingerprint is <= fp.
+        let at = self.index.partition_point(|b| b.first_fp <= fp);
+        if at == 0 {
+            return false;
+        }
+        let block = self.index[at - 1];
+        self.read_block(block).binary_search(&fp).is_ok()
+    }
+}
+
+impl Drop for Run {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+fn decode_block(raw: &[u8], expected: usize) -> Vec<u64> {
+    let mut input = raw;
+    let count =
+        read_varint(&mut input).unwrap_or_else(|e| panic!("corrupted run block: {e}")) as usize;
+    assert_eq!(count, expected, "run block count disagrees with the index");
+    let mut fps = Vec::with_capacity(count);
+    let mut fp = 0u64;
+    for i in 0..count {
+        let delta = read_varint(&mut input).unwrap_or_else(|e| panic!("corrupted run block: {e}"));
+        fp = if i == 0 { delta } else { fp + delta };
+        fps.push(fp);
+    }
+    fps
+}
+
+/// Streams sorted fingerprints into a new run file, block by block, so a
+/// merge never holds more than one output block in memory.
+struct RunWriter {
+    file: File,
+    path: PathBuf,
+    index: Vec<Block>,
+    entries: usize,
+    bytes: usize,
+    block: Vec<u64>,
+    scratch: Vec<u8>,
+}
+
+impl RunWriter {
+    fn new() -> Self {
+        let path = spill_path("mp-runstore");
+        let file = open_spill(&path);
+        RunWriter {
+            file,
+            path,
+            index: Vec::new(),
+            entries: 0,
+            bytes: 0,
+            block: Vec::with_capacity(BLOCK_ENTRIES),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, fp: u64) {
+        self.block.push(fp);
+        if self.block.len() == BLOCK_ENTRIES {
+            self.flush_block();
+        }
+    }
+
+    fn flush_block(&mut self) {
+        if self.block.is_empty() {
+            return;
+        }
+        self.scratch.clear();
+        write_varint(self.block.len() as u64, &mut self.scratch);
+        let mut prev = 0u64;
+        for (i, fp) in self.block.iter().enumerate() {
+            let delta = if i == 0 { *fp } else { fp - prev };
+            write_varint(delta, &mut self.scratch);
+            prev = *fp;
+        }
+        self.file
+            .write_all(&self.scratch)
+            .unwrap_or_else(|e| panic!("run write to {}: {e}", self.path.display()));
+        self.index.push(Block {
+            first_fp: self.block[0],
+            offset: self.bytes as u64,
+            len: self.scratch.len(),
+            count: self.block.len(),
+        });
+        self.entries += self.block.len();
+        self.bytes += self.scratch.len();
+        self.block.clear();
+    }
+
+    fn finish(mut self) -> (Run, usize) {
+        self.flush_block();
+        let bytes = self.bytes;
+        (
+            Run {
+                file: self.file,
+                path: self.path,
+                index: self.index,
+                entries: self.entries,
+            },
+            bytes,
+        )
+    }
+}
+
+/// Reads one run's fingerprints back in order, one block resident at a
+/// time — the merge-side cursor.
+struct RunCursor {
+    run: Run,
+    block_at: usize,
+    fps: Vec<u64>,
+    pos: usize,
+}
+
+impl RunCursor {
+    fn new(run: Run) -> Self {
+        RunCursor {
+            run,
+            block_at: 0,
+            fps: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&mut self) -> Option<u64> {
+        while self.pos >= self.fps.len() {
+            if self.block_at >= self.run.index.len() {
+                return None;
+            }
+            let block = self.run.index[self.block_at];
+            self.block_at += 1;
+            self.fps = self.run.read_block(block);
+            self.pos = 0;
+        }
+        Some(self.fps[self.pos])
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+}
+
+#[derive(Debug)]
+struct RunInner {
+    /// Fingerprints not yet spilled, kept sorted for the next run flush.
+    buffer: BTreeSet<u64>,
+    /// Bit array over everything spilled; a clear probe proves absence.
+    bloom: Vec<u64>,
+    bloom_mask: u64,
+    runs: Vec<Run>,
+    watermark: usize,
+    spilled_bytes: usize,
+    merge_bytes: usize,
+}
+
+impl RunInner {
+    fn bloom_slots(&self, fp: u64) -> [usize; 2] {
+        let h1 = fp & self.bloom_mask;
+        let h2 = fp.wrapping_mul(0x9e3779b97f4a7c15).rotate_left(32) & self.bloom_mask;
+        [h1 as usize, h2 as usize]
+    }
+
+    fn bloom_set(&mut self, fp: u64) {
+        for slot in self.bloom_slots(fp) {
+            self.bloom[slot >> 6] |= 1u64 << (slot & 63);
+        }
+    }
+
+    fn bloom_maybe(&self, fp: u64) -> bool {
+        self.bloom_slots(fp)
+            .iter()
+            .all(|slot| self.bloom[slot >> 6] & (1u64 << (slot & 63)) != 0)
+    }
+
+    fn spilled_contains(&mut self, fp: u64) -> bool {
+        if !self.bloom_maybe(fp) {
+            return false;
+        }
+        self.runs.iter_mut().any(|run| run.contains(fp))
+    }
+
+    fn flush_run(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let mut writer = RunWriter::new();
+        for fp in std::mem::take(&mut self.buffer) {
+            writer.push(fp);
+        }
+        let (run, bytes) = writer.finish();
+        self.spilled_bytes += bytes;
+        self.runs.push(run);
+    }
+
+    fn merge_runs(&mut self) -> usize {
+        if self.runs.len() <= 1 {
+            return 0;
+        }
+        let mut cursors: Vec<RunCursor> = std::mem::take(&mut self.runs)
+            .into_iter()
+            .map(RunCursor::new)
+            .collect();
+        let mut writer = RunWriter::new();
+        loop {
+            // Fingerprints are globally unique across runs, so a plain
+            // min-scan merge needs no tie-breaking. Run counts are small
+            // (one per watermark flush since the last boundary), so the
+            // O(runs)-per-entry scan beats heap bookkeeping.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, cursor) in cursors.iter_mut().enumerate() {
+                if let Some(fp) = cursor.peek() {
+                    if best.is_none_or(|(b, _)| fp < b) {
+                        best = Some((fp, i));
+                    }
+                }
+            }
+            match best {
+                Some((fp, i)) => {
+                    cursors[i].advance();
+                    writer.push(fp);
+                }
+                None => break,
+            }
+        }
+        let (run, bytes) = writer.finish();
+        self.merge_bytes += bytes;
+        self.runs.push(run);
+        bytes
+    }
+}
+
+/// The external-memory visited set. See the module docs for the layout and
+/// [`crate::StoreConfig::Runs`] for selecting it from a run configuration.
+#[derive(Debug)]
+pub struct RunStore<K> {
+    inner: Mutex<RunInner>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    _key: PhantomData<fn(K) -> K>,
+}
+
+impl<K: Hash> RunStore<K> {
+    /// Creates a store that flushes a sorted run every `watermark_entries`
+    /// buffered fingerprints (minimum 1). The bloom front is sized at 64
+    /// bits per watermark entry, rounded up to a power of two.
+    pub fn new(watermark_entries: usize) -> Self {
+        let watermark = watermark_entries.max(1);
+        let bloom_bits = (watermark * 64).next_power_of_two().max(1 << 12);
+        RunStore {
+            inner: Mutex::new(RunInner {
+                buffer: BTreeSet::new(),
+                bloom: vec![0u64; bloom_bits / 64],
+                bloom_mask: (bloom_bits - 1) as u64,
+                runs: Vec::new(),
+                watermark,
+                spilled_bytes: 0,
+                merge_bytes: 0,
+            }),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            _key: PhantomData,
+        }
+    }
+
+    /// The configured run-flush watermark, in fingerprints.
+    pub fn watermark(&self) -> usize {
+        self.inner.lock().expect("run store poisoned").watermark
+    }
+
+    /// Number of sorted runs currently on disk (drops back to one after
+    /// [`StateStoreBackend::maintain`]).
+    pub fn run_count(&self) -> usize {
+        self.inner.lock().expect("run store poisoned").runs.len()
+    }
+
+    fn record(&self, present: bool) {
+        if present {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn insert_fp(&self, fp: u64) -> bool {
+        let mut inner = self.inner.lock().expect("run store poisoned");
+        if inner.buffer.contains(&fp) || inner.spilled_contains(fp) {
+            drop(inner);
+            self.record(true);
+            return false;
+        }
+        inner.buffer.insert(fp);
+        if inner.buffer.len() >= inner.watermark {
+            // Set the bloom bits before the flush consumes the buffer.
+            let fps: Vec<u64> = inner.buffer.iter().copied().collect();
+            for fp in fps {
+                inner.bloom_set(fp);
+            }
+            inner.flush_run();
+        }
+        drop(inner);
+        self.record(false);
+        true
+    }
+}
+
+impl<K: Hash> StateStoreBackend<K> for RunStore<K> {
+    fn insert(&self, key: K) -> bool {
+        self.insert_fp(hash64(&key))
+    }
+
+    fn insert_ref(&self, key: &K) -> bool
+    where
+        K: Clone,
+    {
+        // Only the hash is stored — no clone, ever.
+        self.insert_fp(hash64(key))
+    }
+
+    fn contains(&self, key: &K) -> bool {
+        let fp = hash64(key);
+        let mut inner = self.inner.lock().expect("run store poisoned");
+        let present = inner.buffer.contains(&fp) || inner.spilled_contains(fp);
+        drop(inner);
+        self.record(present);
+        present
+    }
+
+    fn len(&self) -> usize {
+        let inner = self.inner.lock().expect("run store poisoned");
+        inner.buffer.len() + inner.runs.iter().map(|r| r.entries).sum::<usize>()
+    }
+
+    fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("run store poisoned");
+        let entries = inner.buffer.len() + inner.runs.iter().map(|r| r.entries).sum::<usize>();
+        // Resident bytes: the bloom bit array, the buffered fingerprints
+        // (BTreeSet nodes cost roughly three words per u64 entry), and the
+        // block indices. The run payloads themselves live on disk and are
+        // deliberately *not* counted here — that is the whole point.
+        let approx_bytes = inner.bloom.len() * 8
+            + inner.buffer.len() * 3 * std::mem::size_of::<u64>()
+            + inner
+                .runs
+                .iter()
+                .map(|r| r.index.len() * std::mem::size_of::<Block>())
+                .sum::<usize>();
+        StoreStats {
+            entries,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            approx_bytes,
+            spilled_bytes: inner.spilled_bytes,
+            merge_bytes: inner.merge_bytes,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "runs"
+    }
+
+    fn maintain(&self) {
+        let mut inner = self.inner.lock().expect("run store poisoned");
+        inner.merge_runs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize, seed: u64) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spilled_and_buffered_keys_agree_with_exact_semantics() {
+        let input = keys(5_000, 11);
+        let store: RunStore<u64> = RunStore::new(256);
+        for k in &input {
+            assert!(store.insert(*k), "first insert of {k} is new");
+        }
+        for k in &input {
+            assert!(!store.insert(*k), "re-insert of {k} is a hit");
+            assert!(store.contains(k));
+        }
+        assert_eq!(store.len(), input.len());
+        assert!(store.run_count() > 1, "the tiny watermark must multi-run");
+        let stats = store.stats();
+        assert_eq!(stats.entries, input.len());
+        assert_eq!(stats.hits, 2 * input.len());
+        assert_eq!(stats.misses, input.len());
+        assert!(stats.spilled_bytes > 0);
+    }
+
+    #[test]
+    fn maintain_merges_runs_and_preserves_membership() {
+        let input = keys(3_000, 23);
+        let store: RunStore<u64> = RunStore::new(200);
+        for k in &input {
+            store.insert(*k);
+        }
+        let runs_before = store.run_count();
+        assert!(runs_before > 1);
+        store.maintain();
+        assert_eq!(store.run_count(), 1, "maintain leaves a single run");
+        for k in &input {
+            assert!(store.contains(k), "membership survives the merge");
+        }
+        assert_eq!(store.len(), input.len());
+        let stats = store.stats();
+        assert!(stats.merge_bytes > 0, "the merge was accounted");
+        // A second maintain with one run is a no-op.
+        store.maintain();
+        assert_eq!(store.stats().merge_bytes, stats.merge_bytes);
+    }
+
+    #[test]
+    fn absent_keys_stay_absent_through_spills_and_merges() {
+        let present = keys(2_000, 5);
+        let absent = keys(2_000, 6);
+        let store: RunStore<u64> = RunStore::new(128);
+        for k in &present {
+            store.insert(*k);
+        }
+        store.maintain();
+        let absent: Vec<u64> = absent
+            .into_iter()
+            .filter(|k| !present.contains(k))
+            .collect();
+        for k in &absent {
+            assert!(!store.contains(k), "{k} was never inserted");
+        }
+    }
+
+    #[test]
+    fn resident_bytes_stay_bounded_while_spill_grows() {
+        let store: RunStore<u64> = RunStore::new(512);
+        for k in keys(50_000, 77) {
+            store.insert(k);
+            store.maintain();
+        }
+        let stats = store.stats();
+        assert_eq!(stats.entries, 50_000);
+        assert!(
+            stats.approx_bytes < stats.spilled_bytes,
+            "resident ({}) must undercut cumulative spill ({})",
+            stats.approx_bytes,
+            stats.spilled_bytes
+        );
+        // The dominant resident cost is the fixed bloom front, not a
+        // per-entry table: 50k entries at 8B each would be 400kB; the
+        // bloom for a 512-entry watermark is 32k bits = 4kB plus indices.
+        assert!(stats.approx_bytes < 50_000 * 8);
+    }
+
+    #[test]
+    fn blocks_round_trip_through_the_delta_encoding() {
+        let mut writer = RunWriter::new();
+        let fps: Vec<u64> = (0..1000u64).map(|i| i * i * 7919).collect();
+        for fp in &fps {
+            writer.push(*fp);
+        }
+        let (mut run, bytes) = writer.finish();
+        assert!(bytes > 0);
+        assert_eq!(run.entries, fps.len());
+        let mut decoded = Vec::new();
+        for block in run.index.clone() {
+            decoded.extend(run.read_block(block));
+        }
+        assert_eq!(decoded, fps);
+        for fp in &fps {
+            assert!(run.contains(*fp));
+        }
+        assert!(!run.contains(3));
+    }
+}

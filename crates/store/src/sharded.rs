@@ -123,6 +123,7 @@ impl<K: Eq + Hash> StateStoreBackend<K> for ShardedStore<K> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             approx_bytes,
+            ..Default::default()
         }
     }
 

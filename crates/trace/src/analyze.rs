@@ -85,6 +85,9 @@ pub struct RunSummary {
     pub gauges: [u64; GAUGE_COUNT],
     /// The per-level time series (empty for non-BFS engines).
     pub levels: Vec<LevelSummary>,
+    /// The BFS level this run resumed from when it was rebuilt from a
+    /// checkpoint (`None` for uninterrupted runs and pre-schema-3 streams).
+    pub resumed_from: Option<u64>,
     /// Throughput percentiles over the progress samples.
     pub throughput: ThroughputStats,
 }
@@ -299,6 +302,12 @@ where
                     frontier_bytes: get_int(&fields, "frontier_bytes"),
                     duration_us: get_int(&fields, "duration_us"),
                 });
+            }
+            EventKind::Resume => {
+                let run = current
+                    .as_mut()
+                    .ok_or_else(|| format!("line {lineno}: resume outside a run"))?;
+                run.resumed_from = Some(get_int(&fields, "level"));
             }
             EventKind::PhaseSummary => {
                 let run = current

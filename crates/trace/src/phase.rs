@@ -30,10 +30,12 @@ pub enum Phase {
     StubbornSet,
     /// The Tarjan SCC backstop pass of the liveness engine.
     SccBackstop,
+    /// Merging sorted fingerprint runs of the external-memory visited store.
+    RunMerge,
 }
 
 /// Number of phases in [`Phase::ALL`].
-pub const PHASE_COUNT: usize = 8;
+pub const PHASE_COUNT: usize = 9;
 
 impl Phase {
     /// Every phase, in emission order.
@@ -46,6 +48,7 @@ impl Phase {
         Phase::SpillIo,
         Phase::StubbornSet,
         Phase::SccBackstop,
+        Phase::RunMerge,
     ];
 
     /// Stable snake_case name used in NDJSON fields (`<name>_us`) and the
@@ -60,6 +63,7 @@ impl Phase {
             Phase::SpillIo => "spill_io",
             Phase::StubbornSet => "stubborn_set",
             Phase::SccBackstop => "scc_backstop",
+            Phase::RunMerge => "run_merge",
         }
     }
 
@@ -74,6 +78,7 @@ impl Phase {
             Phase::SpillIo => 5,
             Phase::StubbornSet => 6,
             Phase::SccBackstop => 7,
+            Phase::RunMerge => 8,
         }
     }
 }

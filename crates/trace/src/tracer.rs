@@ -258,7 +258,7 @@ impl RunInner {
     fn emit_header(&self) {
         let mut line = String::new();
         self.header("run_header", &mut line);
-        line.push_str(",\"schema\":2");
+        line.push_str(",\"schema\":3");
         push_str_field(&mut line, "property", &self.property);
         line.push('}');
         self.shared.write_line(&line);
@@ -311,6 +311,22 @@ impl RunInner {
         push_u64_field(&mut line, "store_hits", level.store_hits);
         push_u64_field(&mut line, "frontier_bytes", level.frontier_bytes);
         push_u64_field(&mut line, "duration_us", level.duration_us);
+        line.push('}');
+        self.shared.write_line(&line);
+    }
+
+    /// Emits one `resume` event, unless the run already finished. The BFS
+    /// engines call this exactly once, before the first resumed level, when
+    /// a checkpoint manifest rebuilt their state.
+    fn emit_resume(&self, level: u64, states: u64) {
+        let finished = self.finished.lock().expect("trace run lock poisoned");
+        if *finished {
+            return;
+        }
+        let mut line = String::new();
+        self.header("resume", &mut line);
+        push_u64_field(&mut line, "level", level);
+        push_u64_field(&mut line, "states", states);
         line.push('}');
         self.shared.write_line(&line);
     }
@@ -510,6 +526,16 @@ impl TraceHandle {
     pub fn level_summary(&self, level: &LevelSummary) {
         if let Some(inner) = &self.inner {
             inner.emit_level_summary(level);
+        }
+    }
+
+    /// Emits one `resume` event recording that the engine rebuilt its state
+    /// from a checkpoint: `level` is the last completed BFS level in the
+    /// manifest, `states` the visited-store size after the rebuild. A no-op
+    /// when disabled or after the run finished.
+    pub fn resume(&self, level: u64, states: u64) {
+        if let Some(inner) = &self.inner {
+            inner.emit_resume(level, states);
         }
     }
 
@@ -800,6 +826,24 @@ mod tests {
         let level_at = text.find("level_summary").unwrap();
         let summary_at = text.find("phase_summary").unwrap();
         assert!(level_at < summary_at);
+    }
+
+    #[test]
+    fn resume_events_land_in_the_stream_and_respect_finish() {
+        let (buf, tracer) = traced_buffer();
+        let run = tracer.begin_run("demo", "stateful-bfs", "p");
+        run.resume(4, 1234);
+        run.finish("verified");
+        run.resume(9, 9999);
+        drop(run);
+        let text = buf.contents();
+        let resume_line = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"resume\""))
+            .expect("resume emitted");
+        assert!(resume_line.contains("\"level\":4"));
+        assert!(resume_line.contains("\"states\":1234"));
+        assert!(!text.contains("\"level\":9"), "post-finish resume dropped");
     }
 
     #[test]

@@ -43,6 +43,9 @@ pub enum EventKind {
     Progress,
     /// Per-BFS-level time-series sample (schema 2).
     LevelSummary,
+    /// Checkpoint-resume marker: the engine rebuilt its state from a
+    /// manifest (schema 3).
+    Resume,
     /// Per-phase wall-clock and histogram summaries.
     PhaseSummary,
     /// Final verdict of the run.
@@ -229,10 +232,11 @@ pub fn validate_line(line: &str) -> Result<(EventKind, HashMap<String, Value>), 
         "run_header" => {
             let schema = require_int(&fields, &event, "schema")?;
             // Schema 2 added `elapsed_us` + memory gauges to progress
-            // events and the `level_summary` event; streams of either
-            // version validate (the additions are optional fields plus a
-            // new event kind, so version-1 streams remain well-formed).
-            if schema != 1 && schema != 2 {
+            // events and the `level_summary` event; schema 3 added the
+            // `resume` event. Streams of every version validate (each
+            // addition is optional fields plus a new event kind, so older
+            // streams remain well-formed).
+            if !(1..=3).contains(&schema) {
                 return Err(format!("run_header: unsupported schema version {schema}"));
             }
             require_str(&fields, &event, "property")?;
@@ -275,6 +279,12 @@ pub fn validate_line(line: &str) -> Result<(EventKind, HashMap<String, Value>), 
             }
             EventKind::LevelSummary
         }
+        "resume" => {
+            for key in ["level", "states"] {
+                require_int(&fields, &event, key)?;
+            }
+            EventKind::Resume
+        }
         "phase_summary" => {
             require_int(&fields, &event, "elapsed_ms")?;
             for phase in Phase::ALL {
@@ -310,6 +320,8 @@ pub struct StreamSummary {
     pub progress_events: usize,
     /// Total level_summary events.
     pub level_summaries: usize,
+    /// Total resume events (checkpoint-resumed runs).
+    pub resume_events: usize,
     /// Runs whose verdict carried `clean:true`.
     pub clean_runs: usize,
     /// Runs that ended in the `Drop`-flushed `"aborted"` verdict.
@@ -386,6 +398,15 @@ where
                     return ordering_error("level_summary after the phase_summary".to_string());
                 }
                 summary.level_summaries += 1;
+            }
+            EventKind::Resume => {
+                if !open {
+                    return ordering_error("resume outside a run".to_string());
+                }
+                if summaries_in_run > 0 {
+                    return ordering_error("resume after the phase_summary".to_string());
+                }
+                summary.resume_events += 1;
             }
             EventKind::PhaseSummary => {
                 if !open {
@@ -548,6 +569,53 @@ mod tests {
         // A missing field is a schema error.
         let bad = r#"{"event":"level_summary","seq":1,"protocol":"p","strategy":"s","level":1}"#;
         assert!(validate_line(bad).unwrap_err().contains("width"));
+    }
+
+    #[test]
+    fn resume_events_validate_and_obey_the_ordering() {
+        let header = r#"{"event":"run_header","seq":0,"protocol":"p","strategy":"s","schema":3,"property":"x"}"#;
+        let resume =
+            r#"{"event":"resume","seq":1,"protocol":"p","strategy":"s","level":4,"states":1234}"#;
+        let progress = r#"{"event":"progress","seq":2,"protocol":"p","strategy":"s","elapsed_ms":0,"states":3,"transitions":2,"depth":1,"states_per_sec":25000,"final":true}"#;
+        let phase = {
+            let mut line = String::from(
+                r#"{"event":"phase_summary","seq":3,"protocol":"p","strategy":"s","elapsed_ms":0"#,
+            );
+            for p in Phase::ALL {
+                line.push_str(&format!(",\"{}_us\":0", p.name()));
+            }
+            for h in Histogram::ALL {
+                line.push_str(&format!(
+                    ",\"{n}_count\":0,\"{n}_sum\":0,\"{n}_max\":0,\"{n}_buckets\":\"\"",
+                    n = h.name()
+                ));
+            }
+            line.push('}');
+            line
+        };
+        let verdict = r#"{"event":"verdict","seq":4,"protocol":"p","strategy":"s","verdict":"verified","clean":true,"states":3,"transitions":2,"elapsed_ms":0}"#;
+        let summary = validate_stream([header, resume, progress, phase.as_str(), verdict]).unwrap();
+        assert_eq!(summary.runs, 1);
+        assert_eq!(summary.resume_events, 1);
+
+        // A resume after the phase_summary violates the ordering.
+        let order = classify_stream([header, progress, phase.as_str(), resume, verdict]);
+        assert!(
+            matches!(&order, StreamVerdict::Invalid(e) if e.contains("after the phase_summary")),
+            "{order:?}"
+        );
+        // ...and outside a run it is rejected outright.
+        assert!(matches!(
+            classify_stream([resume]),
+            StreamVerdict::Invalid(_)
+        ));
+        // A missing field is a schema error, as is an unsupported version.
+        let bad = r#"{"event":"resume","seq":1,"protocol":"p","strategy":"s","level":1}"#;
+        assert!(validate_line(bad).unwrap_err().contains("states"));
+        let bad_schema = r#"{"event":"run_header","seq":0,"protocol":"p","strategy":"s","schema":4,"property":"x"}"#;
+        assert!(validate_line(bad_schema)
+            .unwrap_err()
+            .contains("unsupported schema"));
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Integration tests for checkpoint/resume on the breadth-first engines
+//! (`mp-store`'s `CheckpointConfig` driven through `CheckerConfig`):
+//!
+//! * a run killed mid-search (simulated by a tight state limit, which
+//!   leaves the checkpoint directory exactly as a SIGKILL at that point
+//!   would) and then re-run on the same directory produces the **same
+//!   verdict and deterministic counters** as an uninterrupted run — across
+//!   the in-memory and disk frontiers and symmetry on/off,
+//! * a resumed violating run reports the byte-identical counterexample
+//!   path,
+//! * the external-memory `runs` visited store checkpoints and resumes like
+//!   the in-memory backends while spilling sorted runs to disk,
+//! * resuming a *completed* run is a no-op that reproduces the final
+//!   verdict and counters, and
+//! * resume **refuses** manifests from a different configuration, a
+//!   corrupted manifest, a tampered level file, and a future format
+//!   version (the versioning policy of `docs/ON_DISK_FORMATS.md`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mp_basset::checker::{Checker, CheckerConfig, CheckpointConfig, RunReport, Verdict};
+use mp_basset::faults::FaultBudget;
+use mp_basset::protocols::paxos::{
+    self, consensus_property, faulty_consensus_property, faulty_quorum_model as faulty_paxos,
+    quorum_model as paxos_quorum, PaxosSetting, PaxosVariant,
+};
+use mp_basset::store::{FrontierConfig, StoreConfig};
+
+/// A fresh scratch directory per call; the checkpoint writer creates it.
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "mp-basset-ckpt-test-{}-{tag}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// Runs the Paxos crash-cell safety check under SPOR with an optional
+/// checkpoint directory, state limit, store and symmetry setting.
+fn run_crash_cell(
+    symmetry: bool,
+    frontier: FrontierConfig,
+    store: Option<StoreConfig>,
+    checkpoint: Option<CheckpointConfig>,
+    max_states: Option<usize>,
+) -> RunReport {
+    let setting = PaxosSetting::new(1, 2, 1);
+    let roles = paxos::symmetry_roles(setting);
+    let spec = faulty_paxos(
+        setting,
+        PaxosVariant::Correct,
+        FaultBudget::none().crashes(1).drops(1),
+    );
+    let mut config = CheckerConfig::stateful_bfs().with_frontier(frontier);
+    if let Some(store) = store {
+        config = config.with_store(store);
+    }
+    if let Some(checkpoint) = checkpoint {
+        config = config.with_checkpoint(checkpoint);
+    }
+    if let Some(max_states) = max_states {
+        config.max_states = max_states;
+    }
+    let checker = Checker::new(&spec, faulty_consensus_property(setting))
+        .spor()
+        .config(config);
+    let checker = if symmetry {
+        checker.with_role_symmetry(&roles)
+    } else {
+        checker
+    };
+    checker.run()
+}
+
+// ---------------------------------------------------------------------------
+// (a) Kill/resume equivalence across frontiers × symmetry.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted() {
+    for symmetry in [false, true] {
+        for (fname, frontier) in [
+            ("mem", FrontierConfig::Mem),
+            ("disk", FrontierConfig::disk_with_watermark(512)),
+        ] {
+            let label = format!("sym={symmetry} frontier={fname}");
+            let uninterrupted = run_crash_cell(symmetry, frontier, None, None, None);
+            assert!(uninterrupted.verdict.is_verified(), "{label}");
+
+            let dir = temp_dir("equiv");
+            // A tight state limit stops the search mid-level, leaving the
+            // directory exactly as a kill at that point would: the
+            // manifest still names the last *committed* level.
+            let interrupted = run_crash_cell(
+                symmetry,
+                frontier,
+                None,
+                Some(CheckpointConfig::new(&dir)),
+                Some(30),
+            );
+            assert!(
+                matches!(interrupted.verdict, Verdict::LimitReached { .. }),
+                "{label}: the tight limit must interrupt the run"
+            );
+
+            let resumed = run_crash_cell(
+                symmetry,
+                frontier,
+                None,
+                Some(CheckpointConfig::new(&dir)),
+                None,
+            );
+            assert_eq!(
+                uninterrupted.verdict.to_string(),
+                resumed.verdict.to_string(),
+                "{label}: verdicts"
+            );
+            assert_eq!(
+                uninterrupted.stats.counters(),
+                resumed.stats.counters(),
+                "{label}: deterministic counters"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (b) A resumed violating run finds the identical counterexample.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resumed_run_reproduces_the_identical_counterexample() {
+    // The paper's injected learner bug: the BFS finds the shortest
+    // violating path, and the resumed run must reconstruct the exact same
+    // one from the replayed parent log.
+    let setting = PaxosSetting::new(2, 3, 1);
+    let spec = paxos_quorum(setting, PaxosVariant::FaultyLearner);
+    let run = |checkpoint: Option<CheckpointConfig>, max_states: Option<usize>| {
+        let mut config = CheckerConfig::stateful_bfs()
+            .with_frontier(FrontierConfig::disk_delta_with_watermark(512));
+        if let Some(checkpoint) = checkpoint {
+            config = config.with_checkpoint(checkpoint);
+        }
+        if let Some(max_states) = max_states {
+            config.max_states = max_states;
+        }
+        Checker::new(&spec, consensus_property(setting))
+            .spor()
+            .config(config)
+            .run()
+    };
+    let uninterrupted = run(None, None);
+    let full_cx = uninterrupted
+        .verdict
+        .counterexample()
+        .expect("the injected bug must be found");
+
+    let dir = temp_dir("cx");
+    let interrupted = run(Some(CheckpointConfig::new(&dir)), Some(100));
+    assert!(
+        matches!(interrupted.verdict, Verdict::LimitReached { .. }),
+        "the limit must fire before the violating depth"
+    );
+    let resumed = run(Some(CheckpointConfig::new(&dir)), None);
+    let resumed_cx = resumed
+        .verdict
+        .counterexample()
+        .expect("the resumed run must find the bug");
+    assert_eq!(full_cx.steps, resumed_cx.steps, "counterexample paths");
+    assert_eq!(
+        uninterrupted.stats.counters(),
+        resumed.stats.counters(),
+        "deterministic counters"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// (c) The external-memory visited store rides the same contract.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn runs_store_checkpoints_and_resumes_with_spilled_runs() {
+    let store = StoreConfig::runs_with_watermark(64);
+    let frontier = FrontierConfig::disk_with_watermark(512);
+    let uninterrupted = run_crash_cell(false, frontier, Some(store), None, None);
+    assert!(uninterrupted.verdict.is_verified());
+    assert!(
+        uninterrupted.stats.store_spilled_bytes > 0,
+        "the tiny watermark must spill sorted runs"
+    );
+
+    let dir = temp_dir("runs");
+    let interrupted = run_crash_cell(
+        false,
+        frontier,
+        Some(store),
+        Some(CheckpointConfig::new(&dir)),
+        Some(30),
+    );
+    assert!(matches!(interrupted.verdict, Verdict::LimitReached { .. }));
+    let resumed = run_crash_cell(
+        false,
+        frontier,
+        Some(store),
+        Some(CheckpointConfig::new(&dir)),
+        None,
+    );
+    assert_eq!(
+        uninterrupted.verdict.to_string(),
+        resumed.verdict.to_string()
+    );
+    assert_eq!(uninterrupted.stats.counters(), resumed.stats.counters());
+    assert!(resumed.stats.store_spilled_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// (d) Resuming a completed run is a no-op with identical results.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resuming_a_completed_run_reproduces_its_result() {
+    let dir = temp_dir("done");
+    let frontier = FrontierConfig::Mem;
+    let first = run_crash_cell(
+        false,
+        frontier,
+        None,
+        Some(CheckpointConfig::new(&dir)),
+        None,
+    );
+    assert!(first.verdict.is_verified());
+    let again = run_crash_cell(
+        false,
+        frontier,
+        None,
+        Some(CheckpointConfig::new(&dir)),
+        None,
+    );
+    assert_eq!(first.verdict.to_string(), again.verdict.to_string());
+    assert_eq!(first.stats.counters(), again.stats.counters());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// (e) Resume rejects anything it cannot prove equivalent.
+// ---------------------------------------------------------------------------
+
+/// Interrupts a plain (sym-off, mem-frontier) crash-cell run into `dir`.
+fn seed_checkpoint(dir: &PathBuf) {
+    let interrupted = run_crash_cell(
+        false,
+        FrontierConfig::Mem,
+        None,
+        Some(CheckpointConfig::new(dir)),
+        Some(30),
+    );
+    assert!(matches!(interrupted.verdict, Verdict::LimitReached { .. }));
+}
+
+#[test]
+#[should_panic(expected = "refusing to resume")]
+fn resume_under_a_different_configuration_is_refused() {
+    let dir = temp_dir("mismatch");
+    seed_checkpoint(&dir);
+    // Same protocol, but symmetry on: a different search identity.
+    run_crash_cell(
+        true,
+        FrontierConfig::Mem,
+        None,
+        Some(CheckpointConfig::new(&dir)),
+        None,
+    );
+}
+
+#[test]
+#[should_panic(expected = "corrupt checkpoint")]
+fn a_corrupted_manifest_is_refused() {
+    let dir = temp_dir("corrupt-manifest");
+    seed_checkpoint(&dir);
+    let manifest = dir.join("MANIFEST");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(
+        &manifest,
+        text.replace("spec_fingerprint", "spec_fingerprnt"),
+    )
+    .unwrap();
+    run_crash_cell(
+        false,
+        FrontierConfig::Mem,
+        None,
+        Some(CheckpointConfig::new(&dir)),
+        None,
+    );
+}
+
+#[test]
+#[should_panic(expected = "checkpoint")]
+fn a_tampered_level_file_is_refused() {
+    let dir = temp_dir("corrupt-level");
+    seed_checkpoint(&dir);
+    // Flip one byte of the root level; the per-file FNV in the manifest no
+    // longer matches and the resume must refuse to rebuild from it.
+    let level0 = dir.join("level_0.front");
+    let mut bytes = std::fs::read(&level0).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&level0, bytes).unwrap();
+    run_crash_cell(
+        false,
+        FrontierConfig::Mem,
+        None,
+        Some(CheckpointConfig::new(&dir)),
+        None,
+    );
+}
+
+#[test]
+#[should_panic(expected = "checkpoint mismatch")]
+fn a_future_manifest_version_is_refused() {
+    let dir = temp_dir("version");
+    seed_checkpoint(&dir);
+    let manifest = dir.join("MANIFEST");
+    let text = std::fs::read_to_string(&manifest).unwrap();
+    std::fs::write(
+        &manifest,
+        text.replace("mp-basset-checkpoint v1", "mp-basset-checkpoint v2"),
+    )
+    .unwrap();
+    run_crash_cell(
+        false,
+        FrontierConfig::Mem,
+        None,
+        Some(CheckpointConfig::new(&dir)),
+        None,
+    );
+}
